@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (see
+the per-experiment index in ``DESIGN.md``).  The regenerated rows are
+registered with :func:`report` and printed in the terminal summary, so
+``pytest benchmarks/ --benchmark-only`` output contains the same rows
+the paper reports, next to pytest-benchmark's timing table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import run_figure6
+
+_REPORTS: list[str] = []
+
+
+def report(text: str) -> None:
+    """Register a regenerated table/figure for the terminal summary."""
+    _REPORTS.append(text)
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _REPORTS:
+        return
+    terminalreporter.section("regenerated paper tables & figures")
+    for text in _REPORTS:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+
+
+@pytest.fixture(scope="session")
+def figure6_rows():
+    """The full T1-T8 × {Original, HWLC, HWLC+DR} sweep (run once)."""
+    return run_figure6()

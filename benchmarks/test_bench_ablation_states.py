@@ -1,0 +1,25 @@
+"""E10 — ablation of the Figure 1 state machine and thread segments.
+
+Workload: the two patterns each refinement exists to forgive —
+init-once/read-many data (states) and create/join hand-offs (segments)
+— run under the raw Eraser rule, with states, and with states+segments.
+
+Expected shape: each refinement level strictly reduces reported
+locations, and each workload's false positives vanish exactly at the
+level the corresponding refinement was introduced.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.experiments.studies import ablation_study
+
+
+def test_bench_ablation(benchmark):
+    study = benchmark.pedantic(ablation_study, rounds=3, iterations=1)
+    init_row = study.counts["init-then-share"]
+    handoff_row = study.counts["create-join-handoff"]
+    assert init_row["raw-eraser"] > init_row["eraser-states"] == 0
+    assert handoff_row["eraser-states"] > handoff_row["helgrind"] == 0
+    report(study.format())

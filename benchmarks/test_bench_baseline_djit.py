@@ -1,0 +1,24 @@
+"""E11 — §2.2 baselines: lock-set vs DJIT vs hybrid.
+
+Workload: a mixed-discipline program containing a genuine concurrent
+race, an unlocked-but-ordered write pair, and clean locked traffic.
+
+Expected shape: DJIT's racy-address set is a strict subset of the
+lock-set detector's (it misses the ordered discipline violation); the
+hybrid also stays within the lock-set's set while keeping the real
+race.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.experiments.studies import baseline_study
+
+
+def test_bench_baseline_comparison(benchmark):
+    study = benchmark.pedantic(baseline_study, rounds=3, iterations=1)
+    assert study.djit_addrs < study.lockset_addrs
+    assert study.hybrid_addrs <= study.lockset_addrs
+    assert study.lockset_addrs & study.djit_addrs  # the true race is common
+    report(study.format())

@@ -1,0 +1,24 @@
+"""E6 — §4.3: schedule-dependent false negatives.
+
+Workload: the delayed-lock-set-initialisation scenario (one unlocked
+writer, one locked writer) probed across 24 seeded schedules.
+
+Expected shape: the race is reported under *some* schedules and missed
+under others — "this is not guaranteed to happen in the development
+environment, and may cause failures after delivering the software".
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.experiments.studies import false_negative_study
+
+
+def test_bench_false_negative_sweep(benchmark):
+    study = benchmark.pedantic(
+        lambda: false_negative_study(seeds=range(24)), rounds=1, iterations=1
+    )
+    assert study.seeds_detected
+    assert study.seeds_missed
+    report(study.format())

@@ -1,0 +1,35 @@
+"""E2 — regenerate the paper's Figure 5 (stacked warning decomposition).
+
+Workload: the same T1-T8 sweep as E1; the decomposition splits each test
+case's Original-run locations into hardware-bus-lock false positives,
+destructor false positives and correctly reported data races — computed
+both the paper's way (differences between configurations) and from the
+ground-truth oracle, which must agree.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.detectors.classify import classify_report
+from repro.experiments.figures import figure5_decomposition
+from repro.experiments.harness import run_proxy_case
+from repro.oracle import WarningCategory
+from repro.sip.workload import evaluation_cases
+
+
+def test_bench_figure5_decomposition(benchmark, figure6_rows):
+    case = evaluation_cases()[0]
+    run = benchmark.pedantic(
+        lambda: run_proxy_case(case, "original"), rounds=3, iterations=1
+    )
+    # Classification itself is part of the measured pipeline.
+    assert run.classified.total == run.location_count
+    for row in figure6_rows:
+        original = row.runs["original"]
+        # Figure 5's defining property: destructor FPs are the bigger
+        # removed slice, hardware-lock the smaller top slice.
+        assert original.fp_count(WarningCategory.FP_DESTRUCTOR) > original.fp_count(
+            WarningCategory.FP_HW_LOCK
+        ), row.case_id
+    report(figure5_decomposition(figure6_rows))

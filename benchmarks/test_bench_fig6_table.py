@@ -1,0 +1,38 @@
+"""E1 — regenerate the paper's Figure 6 table.
+
+Workload: the eight SIPp test cases T1-T8 on the thread-per-request
+proxy (evaluation bug set, GLIBCPP_FORCE_NEW-style allocator), measured
+under the three detector configurations of the paper's evaluation.
+
+Expected shape (asserted): Original > HWLC > HWLC+DR per case;
+annotation removes more than half of HWLC's count in every case; total
+removal in/near the paper's 65-81 % band.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.experiments.figures import figure6_table, shape_violations
+from repro.experiments.harness import run_proxy_case
+from repro.sip.workload import evaluation_cases
+
+
+def test_bench_figure6_full_table(benchmark, figure6_rows):
+    """Times one representative cell (T1 under HWLC+DR); the full table
+    comes from the session fixture and is printed in the summary."""
+    case = evaluation_cases()[0]
+    benchmark.pedantic(
+        lambda: run_proxy_case(case, "hwlc+dr"), rounds=3, iterations=1
+    )
+    assert shape_violations(figure6_rows) == []
+    report(figure6_table(figure6_rows))
+
+
+def test_bench_figure6_original_config(benchmark):
+    """Times the most expensive cell (T5 under Original)."""
+    case = evaluation_cases()[4]
+    run = benchmark.pedantic(
+        lambda: run_proxy_case(case, "original"), rounds=3, iterations=1
+    )
+    assert run.location_count > 0

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""§3.1/§3.3: the transparent delete-site annotation pipeline.
+
+Builds a MiniCxx program twice — once plainly, once through the
+annotation stage — shows the Figure 4 source transformation, and runs
+both binaries under the race detector to show the destructor false
+positives disappearing.
+
+Run with::
+
+    python examples/instrumented_build.py
+"""
+
+from repro import VM, HelgrindConfig, HelgrindDetector
+from repro.instrument import BuildOptions, BuildPipeline
+
+SOURCE = """
+// A polymorphic message object shared between request workers.
+class Message {
+    field length;
+    method size() { return this.length; }
+};
+class SipRequest : Message {
+    field method_name;
+};
+
+fn reader(msg, m) {
+    lock(m);
+    var n = msg.size();     // virtual call: reads the vptr
+    unlock(m);
+    sleep(20);              // keeps serving other requests
+}
+
+fn main() {
+    var m = mutex();
+    var msg = new SipRequest;
+    msg.length = 42;
+    var t1 = spawn reader(msg, m);
+    var t2 = spawn reader(msg, m);
+    sleep(8);               // protocol: readers are done with msg by now
+    delete msg;             // base-class dtor rewrites the vptr!
+    join t1;
+    join t2;
+}
+"""
+
+
+def build_and_run(instrument: bool):
+    pipeline = BuildPipeline()
+    artifacts = pipeline.build(SOURCE, BuildOptions(instrument=instrument))
+    detector = HelgrindDetector(HelgrindConfig.hwlc_dr())
+    VM(detectors=(detector,)).run(artifacts.program.main)
+    return artifacts, detector
+
+
+def main() -> None:
+    print("=== build WITHOUT instrumentation ===")
+    plain_art, plain_det = build_and_run(instrument=False)
+    print(f"delete sites: {plain_art.delete_sites}, annotated: {plain_art.annotated_sites}")
+    print(f"warnings: {plain_det.report.location_count}")
+    for warning in plain_det.report:
+        print(warning.format())
+    assert plain_det.report.location_count >= 1
+    print()
+
+    print("=== build WITH instrumentation (the §3.3 wrapper script) ===")
+    inst_art, inst_det = build_and_run(instrument=True)
+    print(f"delete sites: {inst_art.delete_sites}, annotated: {inst_art.annotated_sites}")
+    print(f"warnings: {inst_det.report.location_count}")
+    assert inst_det.report.location_count == 0
+    print()
+
+    print("the annotated source the second stage emitted (Figure 4):")
+    print("-" * 60)
+    for line in inst_art.annotated_source.splitlines():
+        if line.strip():
+            print("  " + line)
+    print("-" * 60)
+    print()
+    print('paper §3.1: "Annotation is done on-the-fly and it is easily')
+    print('removed from the build process, since the source code is not')
+    print('modified, neither by the annotation tool nor by the programmer."')
+
+
+if __name__ == "__main__":
+    main()

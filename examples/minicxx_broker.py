@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""A complete MiniCxx application built through the §3.3 pipeline.
+
+A small message broker written in MiniCxx — classes with inheritance
+and virtual dispatch, a worker pool fed through a queue, COW strings,
+globals, locks — preprocessed, (optionally) annotated and compiled,
+then raced under three detector configurations.  Demonstrates that the
+instrumentation front-end handles a real program, not just snippets.
+
+Run with::
+
+    python examples/minicxx_broker.py
+"""
+
+from repro import VM, HelgrindConfig, HelgrindDetector
+from repro.instrument import BuildOptions, BuildPipeline
+from repro.runtime import RandomScheduler
+
+CONFIG_H = """
+#ifndef CONFIG_H
+#define CONFIG_H
+#define N_WORKERS 3
+#define N_JOBS 9
+#endif
+"""
+
+BROKER_SRC = """
+#include "config.h"
+
+global processed = 0;
+global rejected = 0;
+
+class Message {
+    field topic;
+    field payload;
+    method describe() { return this.topic; }
+    method weight() { return 1; }
+};
+class UrgentMessage : Message {
+    field deadline;
+    method weight() { return 10; }
+    dtor { print("urgent-destroyed"); }
+};
+
+fn make_message(i) {
+    if (i % 3 == 0) {
+        var u = new UrgentMessage;
+        u.topic = "alerts";
+        u.payload = i;
+        u.deadline = i + 100;
+        return u;
+    }
+    var msg = new Message;
+    msg.topic = "telemetry";
+    msg.payload = i;
+    return msg;
+}
+
+fn worker(jobs, stats_lock, id) {
+    while (true) {
+        var msg = take(jobs);
+        if (msg == null) { return; }
+        var label = msg.describe();
+        var w = msg.weight();
+        lock(stats_lock);
+        if (w > 5) {
+            processed = processed + w;
+        } else {
+            processed = processed + 1;
+        }
+        unlock(stats_lock);
+        delete msg;
+    }
+}
+
+fn main() {
+    var jobs = queue();
+    var stats_lock = mutex();
+    var w1 = spawn worker(jobs, stats_lock, 1);
+    var w2 = spawn worker(jobs, stats_lock, 2);
+    var w3 = spawn worker(jobs, stats_lock, 3);
+    var i = 0;
+    while (i < N_JOBS) {
+        put(jobs, make_message(i));
+        i = i + 1;
+    }
+    put(jobs, null);
+    put(jobs, null);
+    put(jobs, null);
+    join w1;
+    join w2;
+    join w3;
+    lock(stats_lock);
+    var total = processed;
+    unlock(stats_lock);
+    print(total);
+    return total;
+}
+"""
+
+
+def build_and_run(instrument: bool, det_config, *, force_new: bool = False):
+    pipeline = BuildPipeline(includes={"config.h": CONFIG_H})
+    artifacts = pipeline.build(
+        BROKER_SRC,
+        BuildOptions(instrument=instrument, force_new_allocator=force_new),
+    )
+    detector = HelgrindDetector(det_config)
+    vm = VM(detectors=(detector,), scheduler=RandomScheduler(11))
+    result = vm.run(artifacts.program.main)
+    return artifacts, detector, result
+
+
+def main() -> None:
+    print("building the broker through preprocess -> annotate -> compile ...\n")
+    # Each row removes one §4 warning source: queue-aware HB kills the
+    # Figure 11 hand-off FPs, the annotated build kills the destructor
+    # FPs, and the force-new allocator (GLIBCPP_FORCE_NEW, §4) kills the
+    # pool-reuse FPs left by messages recycled across dialogs.
+    runs = [
+        ("plain build, lock-set+segments", False, HelgrindConfig.hwlc_dr(), False),
+        ("plain build, queue-aware (ext.)", False, HelgrindConfig.extended(), False),
+        ("instrumented, queue-aware", True, HelgrindConfig.extended(), False),
+        ("instrumented, queue-aware, force-new", True, HelgrindConfig.extended(), True),
+    ]
+    print(f"{'build / detector':40s} {'result':>7s} {'warnings':>9s}")
+    results = []
+    for label, instrument, config, force_new in runs:
+        artifacts, detector, result = build_and_run(
+            instrument, config, force_new=force_new
+        )
+        print(f"{label:40s} {result:7d} {detector.report.location_count:9d}")
+        results.append((artifacts, detector, result))
+
+    counts = [det.report.location_count for _, det, _ in results]
+    # Rows 2 and 3 are both dominated by pool-reuse noise (recycled
+    # message memory carries stale shadow state into the next dialog —
+    # the §4 libstdc++ issue — so their exact counts wobble); the
+    # force-new row must be clean and the first row the worst.
+    assert counts[0] > 0
+    assert counts[3] == 0
+    art, det, result = results[3]
+    assert result == 3 * 10 + 6  # three urgent (weight 10) + six normal
+    assert art.annotated_sites == art.delete_sites == 1
+    print()
+    print(f"program output: {art.program.last_output}")
+    print("every §4 warning source eliminated by its own remedy; same answer.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Systematic schedule exploration: §4.3's hope, made a proof.
+
+The paper's remedy for schedule-dependent detection is to re-run with
+different inputs and hope for different interleavings.  On a
+deterministic VM we can *enumerate* the interleavings of small programs
+instead, CHESS-style — and turn three of the paper's claims into
+exhaustive verdicts:
+
+1. the unlocked-unlocked race is reported under **every** schedule
+   (lock-set detection really is schedule-independent here);
+2. the §4.3 unlocked-vs-locked race is reported under some schedules
+   and provably **missed** under others (delayed initialisation);
+3. the lost-update corruption is real: some schedule yields the wrong
+   counter value.
+
+Run with::
+
+    python examples/schedule_exploration.py
+"""
+
+from repro import HelgrindConfig, HelgrindDetector
+from repro.runtime import explore
+
+
+def plain_race(api):
+    counter = api.malloc(1)
+    api.store(counter, 0)
+
+    def w(a):
+        a.store(counter, a.load(counter) + 1)
+
+    t1, t2 = api.spawn(w), api.spawn(w)
+    api.join(t1)
+    api.join(t2)
+    return api.load(counter)
+
+
+def delayed_init_race(api):
+    addr = api.malloc(1)
+    api.store(addr, 0)
+    m = api.mutex()
+
+    def unlocked_writer(a):
+        a.store(addr, 1)
+
+    def locked_writer(a):
+        a.lock(m)
+        a.store(addr, 2)
+        a.unlock(m)
+
+    t1, t2 = api.spawn(unlocked_writer), api.spawn(locked_writer)
+    api.join(t1)
+    api.join(t2)
+
+
+def main() -> None:
+    detector = lambda: HelgrindDetector(HelgrindConfig.hwlc())  # noqa: E731
+
+    print("1) unlocked vs unlocked (no hiding place):")
+    result = explore(plain_race, detector_factories=(detector,), max_schedules=1024)
+    print("   " + result.format().replace("\n", "\n   "))
+    assert result.exhausted
+    assert result.races_found == result.schedules_run
+    print(f"   -> reported under all {result.schedules_run} schedules\n")
+
+    print("2) the §4.3 case — unlocked vs locked writer:")
+    result = explore(
+        delayed_init_race, detector_factories=(detector,), max_schedules=2048
+    )
+    print("   " + result.format().replace("\n", "\n   "))
+    assert result.exhausted
+    missed = result.schedules_run - result.races_found
+    print(
+        f"   -> reported under {result.races_found} schedules, MISSED under "
+        f"{missed} (delayed lock-set initialisation) — the paper: 'this is "
+        "not\n      guaranteed to happen in the development environment'\n"
+    )
+
+    print("3) the corruption the race causes:")
+    result = explore(plain_race, max_schedules=1024)
+    print(f"   distinct final counter values: {sorted(result.distinct_results())}")
+    assert result.distinct_results() == {1, 2}
+    print("   -> one schedule loses an update: the failure is real, not")
+    print("      just a warning.")
+
+
+if __name__ == "__main__":
+    main()

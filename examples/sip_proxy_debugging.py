@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""The full §3.2 debugging process on the SIP proxy server.
+
+Instrumentation → Execution → Analysis, exactly as the paper describes
+it: run one SIPp test case against the (buggy) proxy under the three
+detector configurations, print the warning counts, and triage the final
+run's warnings into the paper's categories — ending with the list of
+*real* bugs found (§4.1).
+
+Run with::
+
+    python examples/sip_proxy_debugging.py
+"""
+
+from repro.detectors import HelgrindConfig, HelgrindDetector
+from repro.detectors.classify import classify_report
+from repro.oracle import GroundTruth, WarningCategory
+from repro.runtime import VM, RandomScheduler
+from repro.sip import ProxyConfig, SipProxy, evaluation_cases
+from repro.sip.bugs import BUGS, EVALUATION_BUGS
+
+
+def debug_run(case, config_name: str, det_config: HelgrindConfig):
+    """One pass of the debugging loop: build, execute on the VM, log."""
+    truth = GroundTruth()
+    proxy = SipProxy(
+        ProxyConfig(
+            bugs=EVALUATION_BUGS,
+            # Stage 1 (instrumentation): the build switch — delete sites
+            # emit HG_DESTRUCT when the detector will honour them.
+            instrumented=det_config.honor_destruct,
+        ),
+        truth=truth,
+    )
+    detector = HelgrindDetector(det_config)
+    vm = VM(
+        detectors=(detector,),
+        scheduler=RandomScheduler(42),
+        step_limit=10_000_000,
+    )
+    # Stage 2 (execution): the test suite drives the proxy on the VM.
+    result = vm.run(proxy.main, case.wires)
+    # Stage 3 (analysis): triage the log.
+    classified = classify_report(detector.report, truth)
+    return detector, classified, result
+
+
+def main() -> None:
+    case = evaluation_cases()[0]  # T1
+    print(f"test case {case.case_id} ({case.name}): {case.message_count} requests")
+    print(f"  {case.description}")
+    print()
+
+    configs = [
+        ("Original", HelgrindConfig.original()),
+        ("HWLC", HelgrindConfig.hwlc()),
+        ("HWLC+DR", HelgrindConfig.hwlc_dr()),
+    ]
+    last = None
+    print(f"{'configuration':14s} {'locations':>10s}   notes")
+    for name, det_config in configs:
+        detector, classified, result = debug_run(case, name, det_config)
+        notes = ", ".join(
+            f"{cat.value}={n}" for cat, n in sorted(
+                classified.counts.items(), key=lambda kv: -kv[1]
+            )
+        )
+        print(f"{name:14s} {detector.report.location_count:10d}   {notes}")
+        last = classified
+    print()
+
+    print("triage of the HWLC+DR run (the analyst's worklist):")
+    real = last.of(WarningCategory.TRUE_RACE)
+    bug_ids = sorted({item.bug_id for item in real if item.bug_id})
+    for bug_id in bug_ids:
+        bug = BUGS[bug_id]
+        locations = sum(1 for item in real if item.bug_id == bug_id)
+        print(f"  [{bug.paper_ref}] {bug.title}")
+        print(f"      {locations} warning location(s); fix: {bug.fix}")
+    print()
+    print("after fixing: re-run the suite — 'all warnings related to the")
+    print("corrected defect will disappear and do not have to be considered")
+    print("again' (§4).")
+
+    # Run the *fixed* proxy to confirm the worklist empties:
+    truth = GroundTruth()
+    proxy = SipProxy(ProxyConfig.fixed(instrumented=True), truth=truth)
+    detector = HelgrindDetector(HelgrindConfig.hwlc_dr())
+    vm = VM(detectors=(detector,), scheduler=RandomScheduler(42), step_limit=10_000_000)
+    vm.run(proxy.main, case.wires)
+    fixed = classify_report(detector.report, truth)
+    print()
+    print(
+        f"fixed proxy, same test case: {fixed.true_races} true races remain "
+        f"({detector.report.location_count} locations total)"
+    )
+
+
+if __name__ == "__main__":
+    main()

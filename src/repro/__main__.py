@@ -1,0 +1,16 @@
+"""``python -m repro`` entry point — see :mod:`repro.cli`."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    try:
+        code = main()
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 0
+    sys.exit(code)

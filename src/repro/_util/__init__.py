@@ -1,0 +1,12 @@
+"""Small internal utilities shared across the package.
+
+Nothing in here is part of the public API; import from the concrete
+submodules (:mod:`repro._util.ids`, :mod:`repro._util.rng`,
+:mod:`repro._util.tables`) inside the library only.
+"""
+
+from repro._util.ids import IdAllocator
+from repro._util.rng import SplitMix64
+from repro._util.tables import format_table
+
+__all__ = ["IdAllocator", "SplitMix64", "format_table"]

@@ -1,0 +1,59 @@
+"""Plain-text table rendering for the experiment harness.
+
+The benchmark harness prints the same rows the paper's tables and figures
+report (see ``EXPERIMENTS.md``); this module renders them as aligned
+monospace tables so ``pytest -s benchmarks/`` output is directly
+comparable to the paper.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+    align_right: Sequence[bool] | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table.
+
+    ``align_right[i]`` selects right alignment for column ``i``; by
+    default every column except the first is right-aligned, which suits
+    the "label, number, number, ..." shape of the paper's tables.
+    """
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    ncols = len(headers)
+    for row in str_rows:
+        if len(row) != ncols:
+            raise ValueError(f"row has {len(row)} cells, expected {ncols}: {row}")
+    if align_right is None:
+        align_right = [False] + [True] * (ncols - 1)
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            parts.append(cell.rjust(widths[i]) if align_right[i] else cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,252 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The Valgrind experience the paper praises — "widely accepted by
+programmers in different environments because of its ease of use and
+the usefulness of its output" (§5) — is one command with readable
+output.  The CLI exposes the reproduction the same way:
+
+========  ============================================================
+command   what it does
+========  ============================================================
+figure6   run T1-T8 × {Original, HWLC, HWLC+DR}; print Figures 6 and 5
+case      run one test case under one configuration; print the warnings
+studies   the §4.3 false-negative sweep, the E10 ablation, E11 baselines
+perf      the §4.5 slowdown and trace-cost measurements
+bugs      the §4.1 injected-bug registry
+report    regenerate the full EXPERIMENTS.md record in one pass
+suppress  run a case, triage it, emit a suppression file (§2.3.1)
+========  ============================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    return args.handler(args)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Fault Detection in Multi-Threaded C++ Server "
+            "Applications' (Muehlenfeld & Wotawa, ENTCS 174, 2007)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    p = sub.add_parser("figure6", help="regenerate Figures 6 and 5")
+    p.add_argument("--seed", type=int, default=42, help="scheduler seed")
+    p.add_argument(
+        "--mode",
+        choices=("thread-per-request", "thread-pool"),
+        default="thread-per-request",
+    )
+    p.set_defaults(handler=_cmd_figure6)
+
+    p = sub.add_parser("case", help="run one test case under one configuration")
+    p.add_argument("case_id", choices=[f"T{i}" for i in range(1, 9)])
+    p.add_argument(
+        "config",
+        choices=("original", "hwlc", "hwlc+dr", "extended", "raw-eraser"),
+    )
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--full", action="store_true", help="print every warning block")
+    p.set_defaults(handler=_cmd_case)
+
+    p = sub.add_parser("studies", help="false negatives, ablation, baselines")
+    p.set_defaults(handler=_cmd_studies)
+
+    p = sub.add_parser("perf", help="the §4.5 slowdown measurements")
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--iterations", type=int, default=120)
+    p.set_defaults(handler=_cmd_perf)
+
+    p = sub.add_parser("bugs", help="list the §4.1 injected-bug registry")
+    p.set_defaults(handler=_cmd_bugs)
+
+    p = sub.add_parser(
+        "report", help="regenerate the full experiment record (EXPERIMENTS.md data)"
+    )
+    p.add_argument("--seed", type=int, default=42)
+    p.set_defaults(handler=_cmd_report)
+
+    p = sub.add_parser("suppress", help="triage a case and emit suppressions")
+    p.add_argument("case_id", choices=[f"T{i}" for i in range(1, 9)])
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("-o", "--output", default="-", help="file ('-' = stdout)")
+    p.set_defaults(handler=_cmd_suppress)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Command implementations (imports deferred so --help stays instant)
+# ----------------------------------------------------------------------
+
+
+def _cmd_figure6(args) -> int:
+    from repro.experiments.figures import (
+        figure5_decomposition,
+        figure6_table,
+        shape_violations,
+    )
+    from repro.experiments.harness import run_figure6
+
+    rows = run_figure6(seed=args.seed, mode=args.mode)
+    print(figure6_table(rows))
+    print()
+    print(figure5_decomposition(rows))
+    problems = shape_violations(rows)
+    if problems:
+        print("\nSHAPE VIOLATIONS:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print("\nall of the paper's qualitative claims hold on this run.")
+    return 0
+
+
+def _case_by_id(case_id: str):
+    from repro.sip.workload import evaluation_cases
+
+    for case in evaluation_cases():
+        if case.case_id == case_id:
+            return case
+    raise SystemExit(f"unknown case {case_id}")
+
+
+def _cmd_case(args) -> int:
+    from repro.experiments.harness import run_proxy_case
+
+    case = _case_by_id(args.case_id)
+    run = run_proxy_case(case, args.config, seed=args.seed)
+    print(
+        f"{case.case_id} ({case.name}) under {args.config}: "
+        f"{run.location_count} reported locations, "
+        f"{run.events} events, {run.wall_seconds * 1e3:.0f} ms"
+    )
+    print(run.classified.format_summary())
+    if args.full:
+        print()
+        for item in run.classified.items:
+            print(f"--- [{item.category.value}] {item.note or ''}")
+            print(item.warning.format())
+            print()
+    return 0
+
+
+def _cmd_studies(args) -> int:
+    from repro.experiments.studies import (
+        ablation_study,
+        baseline_study,
+        false_negative_study,
+    )
+
+    print(false_negative_study().format())
+    print()
+    print(ablation_study().format())
+    print()
+    print(baseline_study().format())
+    return 0
+
+
+def _cmd_perf(args) -> int:
+    from repro.experiments.performance import measure_performance, trace_cost
+
+    report = measure_performance(
+        n_threads=args.threads, iterations=args.iterations
+    )
+    print(report.format())
+    cost = trace_cost(n_threads=args.threads, iterations=args.iterations)
+    print(
+        f"  offline mode: {int(cost['events'])} events "
+        f"(~{int(cost['estimated_bytes'])} bytes), "
+        f"replay {cost['replay_seconds'] * 1e3:.1f} ms"
+    )
+    return 0
+
+
+def _cmd_bugs(args) -> int:
+    from repro.sip.bugs import BUGS
+
+    for bug in BUGS.values():
+        print(f"{bug.bug_id:20s} [{bug.paper_ref}]")
+        print(f"  {bug.title}")
+        print(f"  fix: {bug.fix}")
+        print()
+    return 0
+
+
+def _cmd_report(args) -> int:
+    """Everything EXPERIMENTS.md records, regenerated in one pass."""
+    from repro.experiments.figures import (
+        figure5_decomposition,
+        figure6_table,
+        shape_violations,
+    )
+    from repro.experiments.harness import run_figure6
+    from repro.experiments.performance import measure_performance, trace_cost
+    from repro.experiments.studies import (
+        ablation_study,
+        baseline_study,
+        false_negative_study,
+    )
+
+    rows = run_figure6(seed=args.seed)
+    print(figure6_table(rows))
+    print()
+    print(figure5_decomposition(rows))
+    print()
+    print(false_negative_study().format())
+    print()
+    print(ablation_study().format())
+    print()
+    print(baseline_study().format())
+    print()
+    print("Multi-threaded performance tier:")
+    print(measure_performance(n_threads=4, iterations=120).format())
+    print()
+    print("Single-threaded performance tier:")
+    print(measure_performance(n_threads=1, iterations=400).format())
+    cost = trace_cost()
+    print()
+    print(
+        f"offline mode: {int(cost['events'])} events "
+        f"(~{int(cost['estimated_bytes'])} bytes), "
+        f"replay {cost['replay_seconds'] * 1e3:.1f} ms"
+    )
+    problems = shape_violations(rows)
+    if problems:
+        print("\nSHAPE VIOLATIONS:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    return 0
+
+
+def _cmd_suppress(args) -> int:
+    from repro.detectors.suppress_gen import generate_suppressions
+    from repro.experiments.harness import run_proxy_case
+
+    case = _case_by_id(args.case_id)
+    run = run_proxy_case(case, "original", seed=args.seed)
+    text = generate_suppressions(run.classified)
+    if args.output == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        fp = run.classified.false_positives
+        print(f"wrote {fp} suppression entries to {args.output}")
+    return 0

@@ -1,0 +1,47 @@
+"""A simulated C++ runtime over guest memory.
+
+The paper's false positives are not artefacts of the application's
+logic; they come from what the *C++ implementation* does under the
+hood — compiler-generated destructor chains rewriting vptrs (§4.2.1),
+libstdc++'s reference-counted copy-on-write ``std::string`` (§4.2.2,
+Figure 8/9), the pooling allocator recycling memory behind the tool's
+back (§4), and libc functions returning pointers to static data
+(§4.1.3).  This package rebuilds those mechanisms *as guest code*, so
+running any program that uses them produces the same access patterns
+Helgrind saw on the real binary:
+
+``repro.cxx.allocator``
+    ``__default_alloc_template``-style size-class pool with the
+    ``GLIBCPP_FORCE_NEW`` escape hatch.
+``repro.cxx.object_model``
+    Class hierarchies; construction and destruction walk the base chain
+    writing the vptr header word, exactly the writes behind the
+    destructor false positives; ``delete_object`` optionally emits the
+    Figure 4 ``HG_DESTRUCT`` annotation (the build-time switch).
+``repro.cxx.string``
+    ``CowString`` — reference-counted copy-on-write string whose
+    ``_M_grab`` does a plain read followed by a bus-locked increment.
+``repro.cxx.containers``
+    Vector and map over the pooled allocator.
+``repro.cxx.libc``
+    ``localtime`` & friends with their static result buffers.
+"""
+
+from repro.cxx.allocator import AllocStrategy, CxxAllocator
+from repro.cxx.containers import CxxMap, CxxVector
+from repro.cxx.libc import LibC
+from repro.cxx.object_model import CxxClass, CxxObject, delete_object, new_object
+from repro.cxx.string import CowString
+
+__all__ = [
+    "AllocStrategy",
+    "CowString",
+    "CxxAllocator",
+    "CxxClass",
+    "CxxMap",
+    "CxxObject",
+    "CxxVector",
+    "LibC",
+    "delete_object",
+    "new_object",
+]

@@ -1,0 +1,167 @@
+"""The libstdc++-style pooling allocator (and its escape hatch).
+
+§4 of the paper: *"An issue arising when using Helgrind with the GNU C++
+Standard Library is false reporting due to the memory allocation
+strategy in the standard container objects.  Memory is reused internally
+and accesses to the reused memory regions are reported as data races,
+even though the accesses are separated by freeing and allocating, as
+Helgrind does not know anything about them.  Fortunately, the allocation
+strategy of the GNU Standard C++ Library is configurable with
+environment variables."*
+
+:class:`CxxAllocator` reproduces both modes:
+
+* ``AllocStrategy.POOL`` — the default ``__default_alloc_template``
+  behaviour: small allocations come from per-size-class free lists
+  carved out of large chunks; ``deallocate`` pushes the range back on
+  the free list **without telling the VM**, so the detector's shadow
+  state survives across logical objects and the next owner inherits a
+  stale SHARED state → the §4 false positives.
+* ``AllocStrategy.FORCE_NEW`` — the ``GLIBCPP_FORCE_NEW`` environment
+  switch: every allocation goes straight to the VM heap, every free is a
+  real free.  The detector sees each object's lifetime → no reuse FPs.
+  The paper notes "this must be done prior to calling Helgrind"; here it
+  is a constructor argument for the same reason (the strategy is fixed
+  before the program runs).
+* ``announce=True`` — a *repaired* pool (our extension): identical reuse
+  behaviour, but each reissue emits an ``hg_clean`` client request so
+  the detector resets the range, showing that the right fix is an
+  annotation, not disabling pooling.
+
+When a pooled range is *reissued*, the allocator registers an
+``FP_ALLOC_REUSE`` ground-truth claim for it: any warning at those
+addresses is attributable to reuse (the oracle analogue of the authors'
+manual triage of this FP class).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.oracle import GroundTruth, WarningCategory
+
+__all__ = ["AllocStrategy", "CxxAllocator"]
+
+#: Size classes, in words (libstdc++ uses 8..128 bytes in steps of 8).
+_SIZE_CLASSES = (1, 2, 4, 8, 16, 32, 64)
+#: How many objects of a class to carve per chunk refill.
+_OBJECTS_PER_CHUNK = 8
+
+
+class AllocStrategy(enum.Enum):
+    """Pool vs direct allocation (the ``GLIBCPP_FORCE_NEW`` switch)."""
+
+    POOL = "pool"
+    FORCE_NEW = "force-new"
+
+
+class CxxAllocator:
+    """Guest-level allocator; all memory traffic goes through ``api``.
+
+    One allocator instance is shared by all threads of a guest program
+    (like the real singleton pool).  The free-list manipulation itself
+    is host-level bookkeeping — the real pool protects its lists with
+    its own internal lock which Helgrind *does* see; modelling that adds
+    nothing to the experiments, so list operations are not traced.
+    """
+
+    def __init__(
+        self,
+        api,
+        *,
+        strategy: AllocStrategy = AllocStrategy.POOL,
+        truth: GroundTruth | None = None,
+        announce: bool = False,
+    ) -> None:
+        self.api = api
+        self.strategy = strategy
+        self.truth = truth
+        self.announce = announce
+        #: size-class -> list of free base addresses.
+        self._free: dict[int, list[int]] = {c: [] for c in _SIZE_CLASSES}
+        #: Statistics for the E8 experiment.
+        self.pool_hits = 0
+        self.pool_misses = 0
+        self.direct_allocs = 0
+        #: addr -> size-class for pooled live allocations.
+        self._live_pooled: dict[int, int] = {}
+        #: Addresses that have carried at least one previous object.
+        self._used_before: set[int] = set()
+
+    # ------------------------------------------------------------------
+
+    def allocate(self, api, size: int, tag: str = "") -> int:
+        """Allocate ``size`` words; returns the base address.
+
+        ``api`` is the *calling thread's* guest API (the allocator is
+        shared, the caller is not).
+        """
+        if self.strategy is AllocStrategy.FORCE_NEW or size > _SIZE_CLASSES[-1]:
+            self.direct_allocs += 1
+            return api.malloc(size, tag=tag or "operator-new")
+        size_class = self._class_for(size)
+        free_list = self._free[size_class]
+        if not free_list:
+            self.pool_misses += 1
+            self._refill(api, size_class)
+        addr = free_list.pop()
+        if addr in self._used_before:
+            # Reissue of a recycled range — the §4 confusion source.
+            self.pool_hits += 1
+            self._on_reissue(api, addr, size_class, tag)
+        self._live_pooled[addr] = size_class
+        return addr
+
+    def deallocate(self, api, addr: int, size: int) -> None:
+        """Return ``addr`` to the pool (or the VM under FORCE_NEW)."""
+        size_class = self._live_pooled.pop(addr, None)
+        if size_class is None:
+            api.free(addr)  # direct allocation
+            return
+        # Pooled: no VM free — the range silently joins the free list.
+        self._used_before.add(addr)
+        self._free[size_class].append(addr)
+
+    # ------------------------------------------------------------------
+
+    def _class_for(self, size: int) -> int:
+        for c in _SIZE_CLASSES:
+            if size <= c:
+                return c
+        raise AssertionError("unreachable: large sizes go direct")
+
+    def _refill(self, api, size_class: int) -> None:
+        """Carve a fresh chunk into ``size_class`` objects."""
+        chunk = api.malloc(
+            size_class * _OBJECTS_PER_CHUNK, tag=f"pool-chunk[{size_class}]"
+        )
+        # LIFO order: lowest address is handed out first.
+        for i in reversed(range(_OBJECTS_PER_CHUNK)):
+            self._free[size_class].append(chunk + i * size_class)
+
+    def _on_reissue(self, api, addr: int, size_class: int, tag: str) -> None:
+        """Bookkeeping when a previously-used range is handed out again."""
+        if self.truth is not None:
+            self.truth.claim(
+                addr,
+                size_class,
+                WarningCategory.FP_ALLOC_REUSE,
+                note=f"pool reissue for {tag or 'object'}",
+            )
+        if self.announce:
+            api.hg_clean(addr, size_class)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def reuse_count(self) -> int:
+        """Number of allocations served from recycled ranges."""
+        return self.pool_hits
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "pool_hits": self.pool_hits,
+            "pool_misses": self.pool_misses,
+            "direct_allocs": self.direct_allocs,
+            "live_pooled": len(self._live_pooled),
+        }

@@ -1,0 +1,213 @@
+"""STL-style containers over the pooled allocator.
+
+Minimal ``std::vector`` / ``std::map`` models whose storage lives in
+guest memory and flows through :class:`repro.cxx.allocator.CxxAllocator`
+— which is the entire point: container churn is what drives the §4
+allocator-reuse false positives ("false reporting due to the memory
+allocation strategy in the standard container objects").
+
+Layout
+------
+``CxxVector``: a control block ``[size][capacity][buf*]`` plus a data
+buffer that is reallocated on growth (the old buffer returning to the
+pool is the reuse trigger).
+
+``CxxMap``: an association vector — sorted ``(key, value)`` pairs in a
+single buffer with binary-search lookup, the classic small-``std::map``
+implementation strategy.  Keys are host strings/ints; values are guest
+words.  Like the real ``std::map::operator[]``, lookups of missing keys
+insert a default value — and like the real thing, none of this is
+internally synchronised: callers must lock, and the paper's
+``getDomainData`` bug (Figure 7) is precisely a caller handing out an
+unprotected reference to such a map.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GuestFault
+
+__all__ = ["CxxVector", "CxxMap"]
+
+_V_SIZE = 0
+_V_CAP = 1
+_V_BUF = 2
+_V_CTRL = 3
+
+_FILE = "stl_impl.h"
+
+
+class CxxVector:
+    """A growable guest-memory array of words."""
+
+    __slots__ = ("ctrl", "allocator")
+
+    def __init__(self, api, allocator, *, capacity: int = 4) -> None:
+        self.allocator = allocator
+        with api.frame("vector::vector", _FILE, 20):
+            self.ctrl = allocator.allocate(api, _V_CTRL, tag="vector.ctrl")
+            buf = allocator.allocate(api, capacity, tag="vector.buf")
+            api.store(self.ctrl + _V_SIZE, 0)
+            api.store(self.ctrl + _V_CAP, capacity)
+            api.store(self.ctrl + _V_BUF, buf)
+
+    def size(self, api) -> int:
+        with api.frame("vector::size", _FILE, 41):
+            return api.load(self.ctrl + _V_SIZE)
+
+    def push_back(self, api, value) -> None:
+        with api.frame("vector::push_back", _FILE, 55):
+            size = api.load(self.ctrl + _V_SIZE)
+            cap = api.load(self.ctrl + _V_CAP)
+            buf = api.load(self.ctrl + _V_BUF)
+            if size == cap:
+                buf = self._grow(api, size, cap, buf)
+            api.store(buf + size, value)
+            api.store(self.ctrl + _V_SIZE, size + 1)
+
+    def _grow(self, api, size: int, cap: int, old_buf: int) -> int:
+        with api.frame("vector::_M_realloc", _FILE, 70):
+            new_cap = cap * 2
+            new_buf = self.allocator.allocate(api, new_cap, tag="vector.buf")
+            for i in range(size):
+                api.store(new_buf + i, api.load(old_buf + i))
+            # The old buffer returns to the pool: the §4 reuse trigger.
+            self.allocator.deallocate(api, old_buf, cap)
+            api.store(self.ctrl + _V_CAP, new_cap)
+            api.store(self.ctrl + _V_BUF, new_buf)
+            return new_buf
+
+    def get(self, api, index: int):
+        with api.frame("vector::operator[]", _FILE, 90):
+            size = api.load(self.ctrl + _V_SIZE)
+            if not 0 <= index < size:
+                raise GuestFault(
+                    f"vector index {index} out of range [0, {size})", tid=api.tid
+                )
+            buf = api.load(self.ctrl + _V_BUF)
+            return api.load(buf + index)
+
+    def set(self, api, index: int, value) -> None:
+        with api.frame("vector::operator[]", _FILE, 90):
+            size = api.load(self.ctrl + _V_SIZE)
+            if not 0 <= index < size:
+                raise GuestFault(
+                    f"vector index {index} out of range [0, {size})", tid=api.tid
+                )
+            buf = api.load(self.ctrl + _V_BUF)
+            api.store(buf + index, value)
+
+    def pop_back(self, api):
+        with api.frame("vector::pop_back", _FILE, 101):
+            size = api.load(self.ctrl + _V_SIZE)
+            if size == 0:
+                raise GuestFault("pop_back on empty vector", tid=api.tid)
+            buf = api.load(self.ctrl + _V_BUF)
+            value = api.load(buf + size - 1)
+            api.store(self.ctrl + _V_SIZE, size - 1)
+            return value
+
+    def destroy(self, api) -> None:
+        """``~vector``: release buffer and control block."""
+        with api.frame("vector::~vector", _FILE, 33):
+            cap = api.load(self.ctrl + _V_CAP)
+            buf = api.load(self.ctrl + _V_BUF)
+            self.allocator.deallocate(api, buf, cap)
+            self.allocator.deallocate(api, self.ctrl, _V_CTRL)
+
+    def storage_peek(self, vm) -> tuple[int, int]:
+        """Untraced (host-level) view of ``(buffer, capacity)``.
+
+        For oracle bookkeeping only: reads the control words through the
+        VM's debug interface so the inspection itself emits no events
+        and cannot perturb detector state.
+        """
+        cap = vm.memory.peek(self.ctrl + _V_CAP) or 0
+        buf = vm.memory.peek(self.ctrl + _V_BUF) or 0
+        return buf, cap
+
+
+class CxxMap:
+    """A sorted association vector with ``std::map`` semantics.
+
+    Entries occupy two consecutive words (key, value) in the buffer.
+    """
+
+    __slots__ = ("_vec",)
+
+    def __init__(self, api, allocator) -> None:
+        with api.frame("map::map", _FILE, 120):
+            self._vec = CxxVector(api, allocator, capacity=8)
+
+    def size(self, api) -> int:
+        with api.frame("map::size", _FILE, 130):
+            return self._vec.size(api) // 2
+
+    def _find_slot(self, api, key) -> tuple[int, bool]:
+        """Linear scan (entries are few); returns (pair index, found)."""
+        n = self._vec.size(api) // 2
+        for i in range(n):
+            existing = self._vec.get(api, 2 * i)
+            if existing == key:
+                return i, True
+            if existing > key:
+                return i, False
+        return n, False
+
+    def insert(self, api, key, value) -> bool:
+        """Insert; returns False if the key already existed (no update)."""
+        with api.frame("map::insert", _FILE, 140):
+            idx, found = self._find_slot(api, key)
+            if found:
+                return False
+            self._shift_in(api, idx, key, value)
+            return True
+
+    def _shift_in(self, api, idx: int, key, value) -> None:
+        self._vec.push_back(api, None)
+        self._vec.push_back(api, None)
+        n = self._vec.size(api) // 2
+        for j in range(n - 1, idx, -1):
+            self._vec.set(api, 2 * j, self._vec.get(api, 2 * (j - 1)))
+            self._vec.set(api, 2 * j + 1, self._vec.get(api, 2 * (j - 1) + 1))
+        self._vec.set(api, 2 * idx, key)
+        self._vec.set(api, 2 * idx + 1, value)
+
+    def get(self, api, key, default=None):
+        with api.frame("map::find", _FILE, 160):
+            idx, found = self._find_slot(api, key)
+            if not found:
+                return default
+            return self._vec.get(api, 2 * idx + 1)
+
+    def subscript(self, api, key):
+        """``map::operator[]``: inserts a default on miss (like the STL)."""
+        with api.frame("map::operator[]", _FILE, 175):
+            idx, found = self._find_slot(api, key)
+            if not found:
+                self._shift_in(api, idx, key, 0)
+            return self._vec.get(api, 2 * idx + 1)
+
+    def set(self, api, key, value) -> None:
+        with api.frame("map::operator[]", _FILE, 175):
+            idx, found = self._find_slot(api, key)
+            if found:
+                self._vec.set(api, 2 * idx + 1, value)
+            else:
+                self._shift_in(api, idx, key, value)
+
+    def contains(self, api, key) -> bool:
+        with api.frame("map::count", _FILE, 190):
+            return self._find_slot(api, key)[1]
+
+    def keys(self, api) -> list:
+        with api.frame("map::begin", _FILE, 200):
+            n = self._vec.size(api) // 2
+            return [self._vec.get(api, 2 * i) for i in range(n)]
+
+    def destroy(self, api) -> None:
+        with api.frame("map::~map", _FILE, 125):
+            self._vec.destroy(api)
+
+    def storage_peek(self, vm) -> tuple[int, int]:
+        """Untraced ``(buffer, capacity)`` of the backing vector."""
+        return self._vec.storage_peek(vm)

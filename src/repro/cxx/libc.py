@@ -1,0 +1,148 @@
+"""Non-thread-safe libc functions with static result buffers (§4.1.3).
+
+The paper quotes the glibc manual: *"The four functions asctime(),
+ctime(), gmtime() and localtime() return a pointer to static data and
+hence are NOT thread-safe"* — and reports that the proxy's use of such
+functions produced genuine data-race warnings.
+
+:class:`LibC` models the family: each legacy function owns one static
+guest buffer, lazily allocated, written on every call, whose address is
+returned to the caller.  Two threads calling ``localtime`` concurrently
+genuinely race on the buffer (a *true positive*), so the buffer is
+claimed as ``TRUE_RACE`` in the oracle with ``bug_id='libc-static'``.
+
+The reentrant ``*_r`` variants (the fix the paper implies) write into a
+caller-supplied buffer instead.
+"""
+
+from __future__ import annotations
+
+from repro.oracle import GroundTruth, WarningCategory
+
+__all__ = ["LibC", "TM_SIZE"]
+
+#: Words in a ``struct tm`` model: sec, min, hour, mday, mon, year.
+TM_SIZE = 6
+
+_FILE = "time.c"
+
+
+class LibC:
+    """One simulated C library instance, shared by all guest threads."""
+
+    def __init__(self, *, truth: GroundTruth | None = None, bug_id: str = "libc-static") -> None:
+        self.truth = truth
+        self.bug_id = bug_id
+        self._static_buffers: dict[str, int] = {}
+        #: Number of calls per function (test/diagnostic aid).
+        self.calls: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def _static_buffer(self, api, name: str, size: int) -> int:
+        addr = self._static_buffers.get(name)
+        if addr is None:
+            addr = api.malloc(size, tag=f"libc.static.{name}")
+            self._static_buffers[name] = addr
+            if self.truth is not None:
+                self.truth.claim(
+                    addr,
+                    size,
+                    WarningCategory.TRUE_RACE,
+                    note=f"static result buffer of {name}() — not thread-safe",
+                    bug_id=self.bug_id,
+                )
+        return addr
+
+    def _count(self, name: str) -> None:
+        self.calls[name] = self.calls.get(name, 0) + 1
+
+    # ------------------------------------------------------------------
+    # The unsafe family: write static data, return its address.
+    # ------------------------------------------------------------------
+
+    def localtime(self, api, timestamp: int) -> int:
+        """``struct tm *localtime(const time_t *)`` — NOT thread-safe."""
+        self._count("localtime")
+        buf = self._static_buffer(api, "localtime", TM_SIZE)
+        with api.frame("localtime", _FILE, 88):
+            self._fill_tm(api, buf, timestamp)
+        return buf
+
+    def gmtime(self, api, timestamp: int) -> int:
+        """``struct tm *gmtime(const time_t *)`` — NOT thread-safe."""
+        self._count("gmtime")
+        buf = self._static_buffer(api, "gmtime", TM_SIZE)
+        with api.frame("gmtime", _FILE, 95):
+            self._fill_tm(api, buf, timestamp)
+        return buf
+
+    def ctime(self, api, timestamp: int) -> int:
+        """``char *ctime(const time_t *)`` — NOT thread-safe.
+
+        Returns the address of a one-word static string buffer.
+        """
+        self._count("ctime")
+        buf = self._static_buffer(api, "ctime", 1)
+        with api.frame("ctime", _FILE, 102):
+            api.store(buf, f"time-string-{timestamp}")
+        return buf
+
+    def asctime(self, api, tm_addr: int) -> int:
+        """``char *asctime(const struct tm *)`` — NOT thread-safe."""
+        self._count("asctime")
+        buf = self._static_buffer(api, "asctime", 1)
+        with api.frame("asctime", _FILE, 110):
+            parts = [api.load(tm_addr + i) for i in range(TM_SIZE)]
+            api.store(buf, "tm:" + ":".join(str(p) for p in parts))
+        return buf
+
+    def strtok(self, api, text_addr: int | None, sep: str) -> object:
+        """``char *strtok(char *, const char *)`` — static cursor state.
+
+        The parse position lives in a static word; interleaved use from
+        two threads corrupts both parses.
+        """
+        self._count("strtok")
+        state = self._static_buffer(api, "strtok", 2)
+        with api.frame("strtok", "string.c", 55):
+            if text_addr is not None:
+                api.store(state, text_addr)
+                api.store(state + 1, 0)
+            src = api.load(state)
+            pos = api.load(state + 1)
+            text = api.load(src)
+            tokens = text.split(sep)
+            if pos >= len(tokens):
+                return None
+            api.store(state + 1, pos + 1)
+            return tokens[pos]
+
+    # ------------------------------------------------------------------
+    # The reentrant fixes.
+    # ------------------------------------------------------------------
+
+    def localtime_r(self, api, timestamp: int, buf: int) -> int:
+        """``localtime_r``: caller-supplied buffer — thread-safe."""
+        self._count("localtime_r")
+        with api.frame("localtime_r", _FILE, 120):
+            self._fill_tm(api, buf, timestamp)
+        return buf
+
+    def gmtime_r(self, api, timestamp: int, buf: int) -> int:
+        self._count("gmtime_r")
+        with api.frame("gmtime_r", _FILE, 128):
+            self._fill_tm(api, buf, timestamp)
+        return buf
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _fill_tm(api, buf: int, timestamp: int) -> None:
+        """Decompose ``timestamp`` into the six ``struct tm`` words."""
+        api.store(buf + 0, timestamp % 60)
+        api.store(buf + 1, (timestamp // 60) % 60)
+        api.store(buf + 2, (timestamp // 3600) % 24)
+        api.store(buf + 3, (timestamp // 86400) % 31 + 1)
+        api.store(buf + 4, (timestamp // 2678400) % 12 + 1)
+        api.store(buf + 5, 1970 + timestamp // 31536000)

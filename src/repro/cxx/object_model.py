@@ -1,0 +1,221 @@
+"""The simulated C++ object model: vptrs, constructor/destructor chains.
+
+§4.2.1 of the paper explains the largest false-positive class:
+
+    "When the destructor of an object is called every destructor of its
+    parent classes is called prior to actually releasing the memory
+    associated with the object.  The destructor of the super-class
+    should only see the properties of its class ... This change is done
+    by writing to a location in the object's memory."
+
+That location is the vptr (word 0 of the object here).  We model it
+faithfully:
+
+* ``new_object`` runs the constructor chain **base → derived**; each
+  constructor stores its class's vtable pointer into the header, then
+  zero-initialises the fields that class declares.
+* ``delete_object`` runs the destructor chain **derived → base**; each
+  destructor *first* rewrites the header to its own class's vtable (the
+  compiler-generated write that trips Helgrind), then runs its body.
+  With ``annotate=True`` the Figure 4 ``HG_DESTRUCT`` client request is
+  emitted before the chain — the output of the instrumented build.
+
+Objects are laid out ``[vptr][base fields...][derived fields...]``, the
+standard single-inheritance layout.
+
+All accesses happen under descriptive guest stack frames
+(``Derived::~Derived (file:line)``) so warnings carry the same shape as
+the paper's Figure 9 and the destructor-stack classification heuristic
+applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import GuestFault
+from repro.oracle import GroundTruth, WarningCategory
+
+__all__ = ["CxxClass", "CxxObject", "new_object", "delete_object"]
+
+
+@dataclass
+class CxxClass:
+    """A class description: name, optional single base, declared fields.
+
+    ``methods`` maps method names to ``fn(api, obj, *args)`` callables;
+    :meth:`CxxObject.vcall` dispatches through the vptr like a real
+    virtual call (reading the header word first).
+    """
+
+    name: str
+    base: "CxxClass | None" = None
+    fields: tuple[str, ...] = ()
+    methods: dict[str, Callable] = field(default_factory=dict)
+    #: Source coordinates used for constructor/destructor frames.
+    file: str = "<generated>"
+    line: int = 0
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for cls in self.mro():
+            for f in cls.fields:
+                if f in seen:
+                    raise ValueError(
+                        f"field {f!r} declared twice in hierarchy of {self.name}"
+                    )
+                seen.add(f)
+
+    def mro(self) -> list["CxxClass"]:
+        """Base-to-derived chain (single inheritance)."""
+        chain: list[CxxClass] = []
+        cls: CxxClass | None = self
+        while cls is not None:
+            chain.append(cls)
+            cls = cls.base
+        chain.reverse()
+        return chain
+
+    @property
+    def size(self) -> int:
+        """Object size in words: 1 header word + all fields."""
+        return 1 + sum(len(c.fields) for c in self.mro())
+
+    def field_offset(self, name: str) -> int:
+        offset = 1  # header
+        for cls in self.mro():
+            for f in cls.fields:
+                if f == name:
+                    return offset
+                offset += 1
+        raise KeyError(f"{self.name} has no field {name!r}")
+
+    def all_fields(self) -> list[str]:
+        out: list[str] = []
+        for cls in self.mro():
+            out.extend(cls.fields)
+        return out
+
+    def find_method(self, name: str) -> Callable:
+        """Look the method up derived-to-base (virtual override order)."""
+        for cls in reversed(self.mro()):
+            if name in cls.methods:
+                return cls.methods[name]
+        raise KeyError(f"{self.name} has no method {name!r}")
+
+    def is_derived(self) -> bool:
+        return self.base is not None
+
+    def __repr__(self) -> str:
+        base = f" : {self.base.name}" if self.base else ""
+        return f"CxxClass({self.name}{base}, {len(self.all_fields())} fields)"
+
+
+@dataclass(slots=True)
+class CxxObject:
+    """A constructed instance living in guest memory."""
+
+    cls: CxxClass
+    addr: int
+
+    @property
+    def header_addr(self) -> int:
+        return self.addr
+
+    def field_addr(self, name: str) -> int:
+        return self.addr + self.cls.field_offset(name)
+
+    def get(self, api, name: str):
+        """Plain (unlocked) field read."""
+        return api.load(self.field_addr(name))
+
+    def set(self, api, name: str, value) -> None:
+        """Plain (unlocked) field write."""
+        api.store(self.field_addr(name), value)
+
+    def vcall(self, api, method: str, *args):
+        """Virtual dispatch: read the vptr, then invoke the override.
+
+        The vptr *read* is what drags the header word into a shared
+        state once a second thread calls any virtual method — the
+        precondition for the §4.2.1 destructor warnings.
+        """
+        vptr = api.load(self.header_addr)
+        if not isinstance(vptr, str) or not vptr.startswith("vtbl:"):
+            raise GuestFault(
+                f"virtual call on corrupt object at {self.addr:#x} (vptr={vptr!r})",
+                tid=api.tid,
+            )
+        impl = self.cls.find_method(method)
+        return impl(api, self, *args)
+
+
+def new_object(
+    api,
+    cls: CxxClass,
+    allocator,
+    *,
+    init: dict[str, object] | None = None,
+) -> CxxObject:
+    """``new Cls(...)``: allocate and run the constructor chain."""
+    addr = allocator.allocate(api, cls.size, tag=cls.name)
+    obj = CxxObject(cls, addr)
+    for c in cls.mro():  # base → derived
+        with api.frame(f"{c.name}::{c.name}", c.file, c.line):
+            # The compiler sets the vtable pointer for the class whose
+            # constructor body is about to run.
+            api.store(obj.header_addr, f"vtbl:{c.name}")
+            for f in c.fields:
+                api.store(obj.field_addr(f), 0)
+    if init:
+        for name, value in init.items():
+            obj.set(api, name, value)
+    return obj
+
+
+def delete_object(
+    api,
+    obj: CxxObject,
+    allocator,
+    *,
+    annotate: bool,
+    truth: GroundTruth | None = None,
+) -> None:
+    """``delete obj``: destructor chain derived → base, then deallocate.
+
+    ``annotate`` is the build switch of §3.3: instrumented builds pass
+    the pointer through ``ca_deletor_single`` (Figure 4), which emits
+    ``VALGRIND_HG_DESTRUCT(object, sizeof(Type))`` before the destructor
+    runs.  Un-instrumented builds (or source the build had no access to)
+    go straight to the destructor chain.
+
+    Destructor header rewrites only happen for *derived* classes — a
+    class without bases never needs to re-point its vptr mid-destruction
+    — matching the paper's observation that the warnings "all belong to
+    derived classes".
+    """
+    if annotate:
+        api.hg_destruct(obj.addr, obj.cls.size)
+    if truth is not None:
+        # Oracle: warnings on the header from here on are the §4.2.1 FP
+        # class (the destructor writes themselves are single-owner).
+        truth.claim(
+            obj.header_addr,
+            1,
+            WarningCategory.FP_DESTRUCTOR,
+            note=f"vptr rewrites while destroying {obj.cls.name}",
+        )
+    chain = list(reversed(obj.cls.mro()))  # derived → base
+    for i, c in enumerate(chain):
+        with api.frame(f"{c.name}::~{c.name}", c.file, c.line + 1):
+            # The compiler re-points the vptr so the base destructor
+            # sees its own class — the §4.2.1 write.  The most-derived
+            # destructor entry needs no rewrite (the vptr already points
+            # at it); every *base* entry does.
+            if i > 0:
+                api.store(obj.header_addr, f"vtbl:{c.name}")
+            dtor = c.methods.get("~")
+            if dtor is not None:
+                dtor(api, obj)
+    allocator.deallocate(api, obj.addr, obj.cls.size)

@@ -1,0 +1,152 @@
+"""Reference-counted copy-on-write string (the Figure 8/9 machinery).
+
+GNU libstdc++ 3.x implemented ``std::string`` with a shared
+representation (``_Rep``): copying a string just bumps a reference
+counter on the source representation.  Thread safety of the counter is
+achieved with bus-locked (``LOCK``-prefixed) atomic arithmetic — but the
+*checks* of the counter (is the rep shared? is it leaked?) are plain
+unlocked reads.  That exact combination is the paper's Figure 8: copying
+a string that another thread also copies makes Helgrind's original
+bus-lock model report ``_M_grab`` as a possible data race (Figure 9),
+because the plain reads empty the candidate set of the counter word.
+
+Representation layout (one guest block, tag ``string.rep``)::
+
+    [0] refcount        (atomic; plain reads + LOCKed RMWs)
+    [1] length
+    [2] capacity
+    [3] data            (the character payload, one word)
+
+A :class:`CowString` *handle* is the ``std::string`` object itself: a
+single pointer-sized value.  Handles are host objects because the paper
+never depends on where the handle lives, only on what happens to the
+rep; when a handle is a field of a guest object, store
+:attr:`CowString.rep` in that field and rewrap with
+:meth:`CowString.from_rep`.
+
+Every operation runs under the libstdc++ frame names that appear in
+Figure 9 (``_M_grab``, ``_M_dispose``, ``basic_string::basic_string``),
+so reports and suppression files line up with the paper's output.
+"""
+
+from __future__ import annotations
+
+from repro.oracle import GroundTruth, WarningCategory
+
+__all__ = ["CowString"]
+
+_OFF_REFCOUNT = 0
+_OFF_LENGTH = 1
+_OFF_CAPACITY = 2
+_OFF_DATA = 3
+_REP_SIZE = 4
+
+_FILE = "basic_string.h"
+
+
+class CowString:
+    """A handle to a shared string representation in guest memory."""
+
+    __slots__ = ("rep", "allocator", "truth")
+
+    def __init__(self, rep: int, allocator, truth: GroundTruth | None) -> None:
+        self.rep = rep
+        self.allocator = allocator
+        self.truth = truth
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls, api, text: str, allocator, *, truth: GroundTruth | None = None
+    ) -> "CowString":
+        """``std::string s("text")`` — fresh rep with refcount 1."""
+        with api.frame("basic_string::basic_string", _FILE, 104):
+            rep = allocator.allocate(api, _REP_SIZE, tag="string.rep")
+            api.store(rep + _OFF_REFCOUNT, 1)
+            api.store(rep + _OFF_LENGTH, len(text))
+            api.store(rep + _OFF_CAPACITY, max(len(text), 8))
+            api.store(rep + _OFF_DATA, text)
+        if truth is not None:
+            # Oracle: the refcount word is synchronised by the bus lock;
+            # any warning on it is the §4.2.2 hardware-lock FP.
+            truth.claim(
+                rep + _OFF_REFCOUNT,
+                1,
+                WarningCategory.FP_HW_LOCK,
+                note="std::string reference counter (Fig 8)",
+            )
+        return cls(rep, allocator, truth)
+
+    @classmethod
+    def from_rep(cls, rep: int, allocator, truth: GroundTruth | None = None) -> "CowString":
+        """Rewrap a rep pointer loaded from a guest object field."""
+        return cls(rep, allocator, truth)
+
+    # ------------------------------------------------------------------
+    # The Figure 8 operations
+    # ------------------------------------------------------------------
+
+    def copy(self, api) -> "CowString":
+        """``std::string t = s`` — ``_M_grab``: share the rep.
+
+        The plain (un-``LOCK``ed) read checks whether the rep is
+        shareable; the increment itself carries the ``LOCK`` prefix.
+        This pairing is what distinguishes the original and corrected
+        bus-lock models.
+        """
+        with api.frame("basic_string::basic_string", _FILE, 210):
+            with api.frame("_M_grab", _FILE, 183):
+                shareable = api.load(self.rep + _OFF_REFCOUNT)  # plain read
+                if shareable >= 0:
+                    api.atomic_add(self.rep + _OFF_REFCOUNT, 1)  # LOCK add
+        return CowString(self.rep, self.allocator, self.truth)
+
+    def dispose(self, api) -> None:
+        """``~basic_string`` — ``_M_dispose``: drop one reference."""
+        with api.frame("_M_dispose", _FILE, 236):
+            old = api.atomic_add(self.rep + _OFF_REFCOUNT, -1)  # LOCK sub
+            if old == 1:
+                self.allocator.deallocate(api, self.rep, _REP_SIZE)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    def value(self, api) -> str:
+        """Read the character payload (``c_str()``-style)."""
+        with api.frame("basic_string::data", _FILE, 301):
+            api.load(self.rep + _OFF_LENGTH)
+            return api.load(self.rep + _OFF_DATA)
+
+    def length(self, api) -> int:
+        with api.frame("basic_string::size", _FILE, 290):
+            return api.load(self.rep + _OFF_LENGTH)
+
+    def refcount(self, api) -> int:
+        """Diagnostic plain read of the counter (tests only)."""
+        return api.load(self.rep + _OFF_REFCOUNT)
+
+    def mutate(self, api, text: str) -> "CowString":
+        """``s = "new"`` — copy-on-write.
+
+        A shared rep is unshared first (``_M_mutate``): allocate a fresh
+        rep, drop a reference on the old one.  Returns the handle to
+        write back (it may be ``self``).
+        """
+        with api.frame("_M_mutate", _FILE, 252):
+            shared = api.load(self.rep + _OFF_REFCOUNT) > 1  # plain read
+            if shared:
+                fresh = CowString.create(
+                    api, text, self.allocator, truth=self.truth
+                )
+                self.dispose(api)
+                return fresh
+            api.store(self.rep + _OFF_LENGTH, len(text))
+            api.store(self.rep + _OFF_DATA, text)
+            return self
+
+    def __repr__(self) -> str:
+        return f"CowString(rep={self.rep:#x})"

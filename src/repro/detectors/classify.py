@@ -1,0 +1,117 @@
+"""Triage of detector warnings against the ground-truth oracle.
+
+The paper's evaluation hinges on *classifying* reported locations: the
+Figure 5 bar chart splits every test case's warnings into false
+positives from the hardware-lock misinterpretation, false positives from
+destructor writes, and "correctly reported data races".  The authors did
+this by hand over hundreds of warnings (§4: "After inspecting individual
+warnings...").  Our guest code registers its intent in a
+:class:`repro.oracle.GroundTruth` as it runs, and this module performs
+the join.
+
+Classification rules, in order:
+
+1. If the oracle has a claim covering the warning's address, that claim
+   wins (the common case — string refcounts, object headers, injected
+   bugs and queue-transferred buffers are all claimed by the code that
+   creates them).
+2. Otherwise, a warning whose innermost frame is a destructor
+   (``~Class``-style name) is attributed to the destructor category —
+   the same stack-shape heuristic a human triager uses.
+3. Otherwise it is UNKNOWN, which experiments treat as a failure of the
+   experiment's coverage, not of the detector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.detectors.report import Report, Warning_
+from repro.oracle import GroundTruth, WarningCategory
+
+__all__ = ["ClassifiedWarning", "ClassifiedReport", "classify_report"]
+
+
+@dataclass(slots=True)
+class ClassifiedWarning:
+    """A warning joined with its oracle verdict."""
+
+    warning: Warning_
+    category: WarningCategory
+    note: str = ""
+    bug_id: str = ""
+
+
+@dataclass(slots=True)
+class ClassifiedReport:
+    """Per-category decomposition of one detector report.
+
+    ``counts`` uses the Figure 6 metric (distinct locations).
+    """
+
+    items: list[ClassifiedWarning] = field(default_factory=list)
+
+    @property
+    def counts(self) -> dict[WarningCategory, int]:
+        out: dict[WarningCategory, int] = {}
+        for item in self.items:
+            out[item.category] = out.get(item.category, 0) + 1
+        return out
+
+    def count(self, category: WarningCategory) -> int:
+        return self.counts.get(category, 0)
+
+    @property
+    def total(self) -> int:
+        return len(self.items)
+
+    @property
+    def false_positives(self) -> int:
+        return sum(1 for i in self.items if i.category.is_false_positive)
+
+    @property
+    def true_races(self) -> int:
+        return self.count(WarningCategory.TRUE_RACE)
+
+    def of(self, category: WarningCategory) -> list[ClassifiedWarning]:
+        return [i for i in self.items if i.category == category]
+
+    def bug_ids_found(self) -> set[str]:
+        """Injected bug ids with at least one reported location (E9)."""
+        return {i.bug_id for i in self.items if i.bug_id}
+
+    def format_summary(self) -> str:
+        lines = [f"{self.total} locations:"]
+        for category, n in sorted(self.counts.items(), key=lambda kv: -kv[1]):
+            lines.append(f"  {category.value:24s} {n}")
+        return "\n".join(lines)
+
+
+def classify_report(report: Report, truth: GroundTruth) -> ClassifiedReport:
+    """Join every warning in ``report`` against the oracle."""
+    out = ClassifiedReport()
+    for warning in report:
+        out.items.append(_classify_one(warning, truth))
+    return out
+
+
+def _classify_one(warning: Warning_, truth: GroundTruth) -> ClassifiedWarning:
+    if warning.addr is not None:
+        entry = truth.entry_for(warning.addr)
+        if entry is not None:
+            return ClassifiedWarning(
+                warning, entry.category, entry.note, entry.bug_id
+            )
+    site = warning.site
+    if site is not None and _in_destructor(warning):
+        return ClassifiedWarning(
+            warning,
+            WarningCategory.FP_DESTRUCTOR,
+            "stack-shape heuristic: access inside a destructor frame",
+        )
+    return ClassifiedWarning(warning, WarningCategory.UNKNOWN)
+
+
+def _in_destructor(warning: Warning_) -> bool:
+    """C++ destructor frames render as ``Class::~Class`` or ``~Class``."""
+    return any("~" in frame.function for frame in warning.stack[:2])

@@ -1,0 +1,167 @@
+"""Deadlock detection: lock-order graphs and lock-timeout watchdogs.
+
+The paper uses two mechanisms (§3.3):
+
+* "the race-checker also does dead-lock detection" — Helgrind watches
+  the *lock acquisition order*: if thread 1 ever takes B while holding A
+  and thread 2 takes A while holding B, the program can deadlock under
+  an unlucky schedule even if this run survived.
+  :class:`LockGraphDetector` implements that: a directed graph with an
+  edge ``a → b`` whenever some thread acquired ``b`` while holding
+  ``a``; a cycle is a *potential deadlock* and is reported once per
+  distinct cycle.
+
+* "Deadlocks on Mutex locks are detected by the application using a
+  timeout while trying to acquire a lock inside the lock-function" —
+  the application-level scheme the proxy used before adopting the tool
+  (and whose bookkeeping contained the paper's very first reported data
+  race, §4.1!).  That application-side mechanism lives in
+  :mod:`repro.sip.bugs`; this module is the tool side.
+
+Actual wedged states (no runnable thread) are detected by the VM itself
+and raised as :class:`repro.errors.DeadlockError` — see
+:meth:`repro.runtime.vm.VM._scheduler_loop`.
+"""
+
+from __future__ import annotations
+
+from repro.detectors.report import Report, Warning_, WarningKind
+from repro.runtime.events import Event, LockAcquire, LockRelease
+
+__all__ = ["LockGraphDetector"]
+
+
+class LockGraphDetector:
+    """Lock-order (lock hierarchy) cycle detector.
+
+    Edges carry the stack of the acquisition that created them so that
+    reports show *where* each direction of the inversion happens.
+    """
+
+    def __init__(self, *, gate_lock_filter: bool = True) -> None:
+        self.report = Report()
+        #: Gate-lock refinement: an order inversion in which every edge
+        #: was acquired while some common *third* lock was held cannot
+        #: deadlock — the gate serialises the two acquisition paths.
+        #: Helgrind and its descendants apply the same filter to avoid
+        #: flooding users with benign hierarchy violations.
+        self.gate_lock_filter = gate_lock_filter
+        self._held: dict[int, list[int]] = {}
+        #: adjacency: lock -> {later-acquired lock: witness info}; the
+        #: witness is (tid, stack, guards) where ``guards`` accumulates
+        #: the intersection of everything else held across *every*
+        #: acquisition that exercised this edge.
+        self._edges: dict[int, dict[int, list]] = {}
+        self._reported_cycles: set[tuple[int, ...]] = set()
+        #: Cycles observed but excused by a gate lock (statistics).
+        self.gated_cycles = 0
+
+    # ------------------------------------------------------------------
+
+    def handle(self, event: Event, vm) -> None:
+        if isinstance(event, LockAcquire):
+            self._on_acquire(event)
+        elif isinstance(event, LockRelease):
+            held = self._held.get(event.tid)
+            if held is not None and event.lock_id in held:
+                held.remove(event.lock_id)
+
+    def _on_acquire(self, event: LockAcquire) -> None:
+        held = self._held.setdefault(event.tid, [])
+        for prior in held:
+            if prior == event.lock_id:
+                continue
+            guards = frozenset(held) - {prior, event.lock_id}
+            edges = self._edges.setdefault(prior, {})
+            witness = edges.get(event.lock_id)
+            if witness is None:
+                edges[event.lock_id] = [event.tid, event.stack, guards]
+                cycle = self._find_cycle(event.lock_id, prior)
+                if cycle is not None:
+                    self._consider_cycle(cycle, event)
+            else:
+                # Another exercise of a known edge: only locks held on
+                # *every* traversal can serve as the gate.
+                witness[2] = witness[2] & guards
+        held.append(event.lock_id)
+
+    # ------------------------------------------------------------------
+
+    def _find_cycle(self, start: int, target: int) -> list[int] | None:
+        """DFS: is ``target`` reachable from ``start``?  (If so, adding
+        the edge ``target → start`` just closed a cycle.)"""
+        stack = [(start, [start])]
+        seen = {start}
+        while stack:
+            node, path = stack.pop()
+            if node == target:
+                return path
+            for succ in self._edges.get(node, ()):
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append((succ, path + [succ]))
+        return None
+
+    def _consider_cycle(self, cycle: list[int], event: LockAcquire) -> None:
+        # Canonical form: rotate so the smallest lock id leads, making
+        # A→B→A and B→A→B the same cycle for deduplication.
+        pivot = cycle.index(min(cycle))
+        canon = tuple(cycle[pivot:] + cycle[:pivot])
+        if canon in self._reported_cycles:
+            return
+        if self.gate_lock_filter and self._gated(canon):
+            self.gated_cycles += 1
+            return
+        self._reported_cycles.add(canon)
+        names = " -> ".join(f"lock{l}" for l in canon + (canon[0],))
+        details = {
+            "Cycle": names,
+            "Note": "threads acquiring these locks in both orders "
+            "can deadlock under an unlucky schedule",
+        }
+        # Witness each edge of the cycle: which thread acquired the
+        # successor while holding the predecessor, and where.
+        ring = canon + (canon[0],)
+        for prior, then in zip(ring, ring[1:]):
+            witness = self._edges.get(prior, {}).get(then)
+            if witness is not None:
+                tid, stack, _guards = witness
+                where = str(stack[0]) if stack else "<no symbols>"
+                details[f"Edge lock{prior} -> lock{then}"] = (
+                    f"thread {tid} at {where}"
+                )
+        self.report.add(
+            Warning_(
+                kind=WarningKind.LOCK_ORDER,
+                message=f"Lock order inversion: cycle {names}",
+                tid=event.tid,
+                step=event.step,
+                stack=event.stack,
+                addr=None,
+                details=details,
+            )
+        )
+
+    def _gated(self, canon: tuple[int, ...]) -> bool:
+        """True if one lock guarded every edge of the cycle."""
+        ring = canon + (canon[0],)
+        common: frozenset[int] | None = None
+        for prior, then in zip(ring, ring[1:]):
+            witness = self._edges.get(prior, {}).get(then)
+            if witness is None:
+                return False  # incomplete information: do not excuse
+            guards = witness[2]
+            common = guards if common is None else (common & guards)
+            if not common:
+                return False
+        return bool(common)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def cycles_found(self) -> int:
+        return len(self._reported_cycles)
+
+    def held_by(self, tid: int) -> list[int]:
+        """Current acquisition stack of ``tid`` (for tests)."""
+        return list(self._held.get(tid, ()))

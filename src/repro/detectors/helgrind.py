@@ -1,0 +1,415 @@
+"""The Helgrind-style data-race detector with the paper's improvements.
+
+:class:`HelgrindDetector` is the complete on-the-fly checker: the Eraser
+lock-set machine (:mod:`repro.detectors.lockset`), thread segments
+(:mod:`repro.detectors.segments`), and — selected by
+:class:`HelgrindConfig` — the paper's two contributions plus its
+future-work extension:
+
+**Hardware bus-lock model (HWLC, §3.1 / §4.2.2).**
+The x86 ``LOCK`` prefix is modelled as a virtual lock injected into the
+effective lock-set of individual accesses:
+
+* ``BusLockModel.MUTEX`` — the *original*, incorrect Helgrind model: the
+  virtual lock is held only during ``LOCK``-prefixed accesses.  Plain
+  reads of an atomically-updated word therefore drain its candidate set
+  and produce the Figure 8/9 false positive.
+* ``BusLockModel.RWLOCK`` — the paper's correction: "a read-write lock
+  being held for reading in every read access and locked for writing,
+  when the lock prefix is used".  Every plain read holds the bus lock in
+  read mode; ``LOCK``-prefixed accesses hold it in write mode; plain
+  writes do not hold it at all.  Atomic counters stop warning, while
+  genuinely unprotected writes still do (their write-mode set is empty).
+
+**Destructor annotation (DR, §3.1 / §4.2.1).**
+When ``honor_destruct`` is set, a ``VALGRIND_HG_DESTRUCT`` client request
+(emitted by instrumented ``delete`` sites, Figure 4) moves the object's
+words back to EXCLUSIVE(current segment), so the header writes performed
+by the chain of base-class destructors no longer warn — while any touch
+by *another* thread during destruction is still caught.
+
+**Higher-level synchronisation (extended config, §4.4 / §5).**
+``queue_hb``/``cond_hb`` teach the segment graph about message-queue
+put/get, semaphore post/wait and condvar signal/wait pairs, closing the
+Figure 11 thread-pool false-positive class the paper leaves as future
+work.  (``cond_hb`` is off even in the extended config's documentation
+examples unless asked for: §2.2 explains why the signal/wait relation is
+not generally sound to treat as ordering.)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.detectors.lockset import LocksetMachine, WordState
+from repro.detectors.report import Report, Warning_, WarningKind
+from repro.detectors.segments import SegmentGraph
+from repro._util.intervals import IntervalSet
+from repro.runtime.events import (
+    ClientRequest,
+    CondSignal,
+    CondWait,
+    Event,
+    LockAcquire,
+    LockMode,
+    LockRelease,
+    MemAlloc,
+    MemFree,
+    MemoryAccess,
+    QueueGet,
+    QueuePut,
+    SemPost,
+    SemWait,
+    ThreadCreate,
+    ThreadFinish,
+    ThreadJoin,
+)
+
+__all__ = ["BusLockModel", "HelgrindConfig", "HelgrindDetector", "BUS_LOCK_ID"]
+
+#: Reserved lock id for the virtual hardware bus lock.
+BUS_LOCK_ID = -1
+
+
+class BusLockModel(enum.Enum):
+    """How the ``LOCK`` prefix is interpreted (the HWLC switch)."""
+
+    #: Original Helgrind: a mutex held only during LOCKed accesses.
+    MUTEX = "mutex"
+    #: The paper's correction: an implicit read-write lock.
+    RWLOCK = "rwlock"
+
+
+@dataclass(frozen=True, slots=True)
+class HelgrindConfig:
+    """Detector configuration — one row selector of the paper's Figure 6.
+
+    The three evaluation configurations::
+
+        HelgrindConfig.original()   # as-shipped Helgrind
+        HelgrindConfig.hwlc()       # + corrected hardware bus lock
+        HelgrindConfig.hwlc_dr()    # + destructor annotation
+
+    plus the ablation and extension configurations used by E10/E5.
+    """
+
+    name: str = "original"
+    bus_lock_model: BusLockModel = BusLockModel.MUTEX
+    honor_destruct: bool = False
+    #: Figure 1 state machine (ablation D1).
+    use_states: bool = True
+    #: VisualThreads segment ownership transfer (ablation D2).
+    segment_transfer: bool = True
+    #: Treat queue put/get and sem post/wait as segment edges (§5).
+    queue_hb: bool = False
+    #: Treat condvar signal/wait as segment edges (unsound in general).
+    cond_hb: bool = False
+    #: One report per racy word (Eraser's literal rule) vs Helgrind's
+    #: keep-reporting behaviour, where the report layer deduplicates by
+    #: call stack and one racy word can surface at many locations.
+    once_per_word: bool = False
+    #: Record each word's previous access so warnings can show both
+    #: sides of the conflict (later Helgrind's --history-level=full).
+    #: Costs one stack reference per shadow word; off by default.
+    access_history: bool = False
+
+    # -- the paper's three evaluation configurations -------------------
+
+    @classmethod
+    def original(cls) -> "HelgrindConfig":
+        """Helgrind as shipped: mutex bus lock, no annotations."""
+        return cls(name="original")
+
+    @classmethod
+    def hwlc(cls) -> "HelgrindConfig":
+        """HWLC: corrected (rw-lock) hardware bus-lock semantics."""
+        return cls(name="hwlc", bus_lock_model=BusLockModel.RWLOCK)
+
+    @classmethod
+    def hwlc_dr(cls) -> "HelgrindConfig":
+        """HWLC+DR: corrected bus lock + destructor annotations honoured."""
+        return cls(
+            name="hwlc+dr",
+            bus_lock_model=BusLockModel.RWLOCK,
+            honor_destruct=True,
+        )
+
+    # -- ablations & extensions ----------------------------------------
+
+    @classmethod
+    def raw_eraser(cls) -> "HelgrindConfig":
+        """§2.3.2's basic algorithm: no states, no segments."""
+        return cls(name="raw-eraser", use_states=False, segment_transfer=False)
+
+    @classmethod
+    def eraser_states(cls) -> "HelgrindConfig":
+        """Figure 1 states but per-thread ownership (no segments)."""
+        return cls(name="eraser-states", segment_transfer=False)
+
+    @classmethod
+    def extended(cls) -> "HelgrindConfig":
+        """HWLC+DR plus queue/semaphore happens-before (future work, §5)."""
+        return cls(
+            name="extended",
+            bus_lock_model=BusLockModel.RWLOCK,
+            honor_destruct=True,
+            queue_hb=True,
+        )
+
+    def with_(self, **changes) -> "HelgrindConfig":
+        """A modified copy (convenience for experiments)."""
+        return replace(self, **changes)
+
+
+class _HeldLocks:
+    """Per-thread lock holdings with precomputed effective set variants.
+
+    Rebuilding frozensets on every *lock* event (rare) keeps the per
+    *memory access* path (hot) allocation-free.
+    """
+
+    __slots__ = ("modes", "any_", "write", "any_bus", "write_bus")
+
+    def __init__(self) -> None:
+        self.modes: dict[int, LockMode] = {}
+        self._rebuild()
+
+    def acquire(self, lock_id: int, mode: LockMode) -> None:
+        self.modes[lock_id] = mode
+        self._rebuild()
+
+    def release(self, lock_id: int) -> None:
+        self.modes.pop(lock_id, None)
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        any_ = frozenset(self.modes)
+        write = frozenset(
+            lid
+            for lid, mode in self.modes.items()
+            if mode in (LockMode.EXCLUSIVE, LockMode.WRITE)
+        )
+        self.any_ = any_
+        self.write = write
+        self.any_bus = any_ | {BUS_LOCK_ID}
+        self.write_bus = write | {BUS_LOCK_ID}
+
+
+class HelgrindDetector:
+    """On-the-fly data-race detector (register on a VM or feed a trace).
+
+    After a run, results are in :attr:`report`; the candidate-set shadow
+    memory and the segment graph remain inspectable for tests and
+    experiments.
+    """
+
+    def __init__(self, config: HelgrindConfig | None = None, *, suppressions=None) -> None:
+        self.config = config or HelgrindConfig.original()
+        self.segments = SegmentGraph()
+        self.machine = LocksetMachine(
+            self.segments,
+            use_states=self.config.use_states,
+            segment_transfer=self.config.segment_transfer,
+            once_per_word=self.config.once_per_word,
+        )
+        self.machine.access_history = self.config.access_history
+        self.report = Report(suppressions)
+        self._held: dict[int, _HeldLocks] = {}
+        self._benign = IntervalSet()
+        #: queue messages in flight: (queue_id, msg_id) -> clock token.
+        self._queue_tokens: dict[tuple[int, int], dict[int, int]] = {}
+        #: semaphore post tokens, FIFO per semaphore.
+        self._sem_tokens: dict[int, list[dict[int, int]]] = {}
+        #: last signal token per condvar.
+        self._cond_tokens: dict[int, dict[int, int]] = {}
+        #: lock names for report rendering (learned from events lazily).
+        self._access_checks = 0
+
+    # ------------------------------------------------------------------
+    # VM hook
+    # ------------------------------------------------------------------
+
+    def handle(self, event: Event, vm) -> None:
+        """Dispatch one event (the detector ABI)."""
+        if isinstance(event, MemoryAccess):
+            self._on_access(event, vm)
+        elif isinstance(event, LockAcquire):
+            self._held_for(event.tid).acquire(event.lock_id, event.mode)
+        elif isinstance(event, LockRelease):
+            self._held_for(event.tid).release(event.lock_id)
+        elif isinstance(event, MemAlloc):
+            self.machine.on_alloc(event.addr, event.size)
+        elif isinstance(event, MemFree):
+            self.machine.on_free(event.addr, event.size)
+        elif isinstance(event, ThreadCreate):
+            self.segments.on_create(event.tid, event.child_tid)
+        elif isinstance(event, ThreadFinish):
+            self.segments.on_finish(event.tid)
+        elif isinstance(event, ThreadJoin):
+            self.segments.on_join(event.tid, event.joined_tid)
+        elif isinstance(event, ClientRequest):
+            self._on_client_request(event)
+        elif isinstance(event, QueuePut):
+            if self.config.queue_hb:
+                self._queue_tokens[(event.queue_id, event.msg_id)] = self.segments.post(
+                    event.tid
+                )
+        elif isinstance(event, QueueGet):
+            if self.config.queue_hb:
+                token = self._queue_tokens.pop((event.queue_id, event.msg_id), None)
+                if token is not None:
+                    self.segments.receive(event.tid, token)
+        elif isinstance(event, SemPost):
+            if self.config.queue_hb:
+                self._sem_tokens.setdefault(event.sem_id, []).append(
+                    self.segments.post(event.tid)
+                )
+        elif isinstance(event, SemWait):
+            if self.config.queue_hb:
+                tokens = self._sem_tokens.get(event.sem_id)
+                if tokens:
+                    self.segments.receive(event.tid, tokens.pop(0))
+        elif isinstance(event, CondSignal):
+            if self.config.cond_hb:
+                self._cond_tokens[event.cond_id] = self.segments.post(event.tid)
+        elif isinstance(event, CondWait):
+            if self.config.cond_hb and event.phase == "leave":
+                token = self._cond_tokens.get(event.cond_id)
+                if token is not None:
+                    self.segments.receive(event.tid, token)
+        # BarrierWait: intentionally ignored by the lock-set algorithm.
+
+    # ------------------------------------------------------------------
+    # Memory accesses (the hot path)
+    # ------------------------------------------------------------------
+
+    def _on_access(self, event: MemoryAccess, vm) -> None:
+        if event.addr in self._benign:
+            return
+        self._access_checks += 1
+        held = self._held_for(event.tid)
+        locks_any, locks_write = self._effective_sets(held, event)
+        machine = self.machine
+        outcome = machine.access(
+            event.addr,
+            event.tid,
+            is_write=event.is_write,
+            locks_any=locks_any,
+            locks_write=locks_write,
+        )
+        if outcome.race:
+            self._report_race(event, outcome, vm)
+        if machine.access_history:
+            word = machine.word(event.addr)
+            prev = word.last_access
+            if prev is not None and prev[0] != event.tid:
+                word.last_other = prev
+            word.last_access = (event.tid, event.is_write, event.stack)
+
+    def _effective_sets(
+        self, held: _HeldLocks, event: MemoryAccess
+    ) -> tuple[frozenset[int], frozenset[int]]:
+        """Inject the virtual bus lock according to the configured model."""
+        model = self.config.bus_lock_model
+        if model is BusLockModel.MUTEX:
+            if event.bus_locked:
+                return held.any_bus, held.write_bus
+            return held.any_, held.write
+        # RWLOCK (the HWLC correction):
+        if event.bus_locked:
+            return held.any_bus, held.write_bus  # LOCK prefix: write mode
+        if not event.is_write:
+            return held.any_bus, held.write  # every plain read: read mode
+        return held.any_, held.write  # plain write: not held
+
+    def _report_race(self, event: MemoryAccess, outcome, vm) -> None:
+        verb = "writing" if event.is_write else "reading"
+        details = {
+            "Previous state": _describe_state(
+                outcome.prev_state, outcome.prev_lockset
+            ),
+        }
+        if self.config.access_history:
+            word = self.machine.word(event.addr)
+            history = word.last_access
+            if history is None or history[0] == event.tid:
+                history = word.last_other
+            if history is not None and history[0] != event.tid:
+                h_tid, h_write, h_stack = history
+                verb_h = "write" if h_write else "read"
+                where = str(h_stack[0]) if h_stack else "<no symbols>"
+                details["Conflicts with"] = (
+                    f"previous {verb_h} by thread {h_tid} at {where}"
+                )
+        if vm is not None:
+            block = vm.memory.find_block(event.addr)
+            if block is not None:
+                details["Address"] = block.describe(event.addr)
+        warning = Warning_(
+            kind=WarningKind.DATA_RACE,
+            message=f"Possible data race {verb} variable",
+            tid=event.tid,
+            step=event.step,
+            stack=event.stack,
+            addr=event.addr,
+            details=details,
+        )
+        self.report.add(warning)
+
+    # ------------------------------------------------------------------
+    # Client requests
+    # ------------------------------------------------------------------
+
+    def _on_client_request(self, event: ClientRequest) -> None:
+        if event.request == "hg_destruct":
+            if self.config.honor_destruct:
+                owner = (
+                    self.segments.current(event.tid).seg_id
+                    if self.config.segment_transfer
+                    else event.tid
+                )
+                self.machine.make_exclusive(event.addr, event.size, owner)
+        elif event.request == "hg_clean":
+            self.machine.on_alloc(event.addr, event.size)  # forget state
+        elif event.request == "benign_race":
+            self._benign.add(event.addr, event.addr + event.size)
+        # Unknown requests are ignored (forward compatibility, like
+        # Valgrind's handling of unrecognised client requests).
+
+    # ------------------------------------------------------------------
+
+    def _held_for(self, tid: int) -> _HeldLocks:
+        held = self._held.get(tid)
+        if held is None:
+            held = _HeldLocks()
+            self._held[tid] = held
+        return held
+
+    @property
+    def access_checks(self) -> int:
+        """Number of memory accesses inspected (performance metric)."""
+        return self._access_checks
+
+    def locks_held(self, tid: int) -> frozenset[int]:
+        """Current lock-set of ``tid`` (any mode) — for tests."""
+        return self._held_for(tid).any_
+
+
+def _describe_state(state: WordState, lockset: frozenset[int] | None) -> str:
+    """Figure-9 style "Previous state" line ("shared RO, no locks")."""
+    names = {
+        WordState.NEW: "new",
+        WordState.EXCLUSIVE: "exclusive",
+        WordState.SHARED: "shared RO",
+        WordState.SHARED_MODIFIED: "shared modified",
+        WordState.RACY: "racy",
+    }
+    text = names[state]
+    if state in (WordState.SHARED, WordState.SHARED_MODIFIED):
+        if not lockset:
+            text += ", no locks"
+        else:
+            shown = sorted("BUS" if l == BUS_LOCK_ID else f"lock{l}" for l in lockset)
+            text += ", lockset {" + ", ".join(shown) + "}"
+    return text

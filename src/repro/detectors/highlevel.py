@@ -1,0 +1,206 @@
+"""High-level data races — the paper's §2.1 limitation, made executable.
+
+§2.1 ends with a caveat about *every* access-level definition of a data
+race: a structure can reach an inconsistent state "even if every single
+access to a shared location is protected by proper synchronization",
+because the lock is released between two updates that belong together.
+The motivating example is a (date-of-birth, age) record with two
+individually-locked setters.  The paper points to Artho, Havelund &
+Biere's *high-level data races* [1] for this class; this module
+implements their **view consistency** criterion as a detector, so the
+repository can demonstrate the §2.1 example being caught by something —
+and being invisible to the lock-set algorithm, as the paper says.
+
+The criterion
+-------------
+* A **view** is the set of shared locations a thread accesses within one
+  critical section of a given lock (nested sections contribute to every
+  lock currently held).
+* A thread's **maximal views** under a lock are the ⊆-maximal elements
+  of its view set.
+* Two threads are *view-consistent* w.r.t. a lock iff for every maximal
+  view ``m`` of one thread, the intersections of ``m`` with the other
+  thread's views form a **chain** (are totally ordered by ⊆).
+
+Intuition: if thread A treats {dob, age} as one atomic unit (one view)
+while thread B updates {dob} and {age} in separate sections, B's
+intersections {dob} and {age} with A's maximal view are incomparable —
+B can interleave between them and A can observe a torn record.
+
+Like the original, this is a *heuristic*: view inconsistency flags a
+potential atomicity violation, not a guaranteed failure, and consistent
+views do not prove atomicity.  Detection is post-hoc — call
+:meth:`HighLevelRaceDetector.finalize` after the run (views only become
+comparable once both threads' sections have been observed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from repro.detectors.report import Report, Warning_
+from repro.runtime.events import (
+    CallStack,
+    Event,
+    LockAcquire,
+    LockRelease,
+    MemoryAccess,
+)
+
+__all__ = ["HighLevelRaceDetector", "ViewInconsistency"]
+
+#: Warning kind for view-consistency violations.
+HIGH_LEVEL_RACE = "high-level-data-race"
+
+
+@dataclass(slots=True)
+class _OpenSection:
+    """A critical section in progress: accumulates accessed addresses."""
+
+    lock_id: int
+    addrs: set[int] = field(default_factory=set)
+    stack: CallStack = ()
+
+
+@dataclass(frozen=True, slots=True)
+class ViewInconsistency:
+    """One violation: ``tid_a``'s maximal view vs ``tid_b``'s views."""
+
+    lock_id: int
+    tid_a: int
+    maximal_view: frozenset[int]
+    tid_b: int
+    overlap_1: frozenset[int]
+    overlap_2: frozenset[int]
+
+    def describe(self) -> str:
+        def fmt(s: frozenset[int]) -> str:
+            return "{" + ", ".join(f"{a:#x}" for a in sorted(s)) + "}"
+
+        return (
+            f"thread {self.tid_a} treats {fmt(self.maximal_view)} as one unit "
+            f"under lock{self.lock_id}, but thread {self.tid_b} accesses the "
+            f"incomparable pieces {fmt(self.overlap_1)} and {fmt(self.overlap_2)} "
+            "in separate critical sections"
+        )
+
+
+class HighLevelRaceDetector:
+    """View-consistency checker (Artho/Havelund/Biere, cited in §2.1).
+
+    Register on a VM like any detector; call :meth:`finalize` after the
+    run to perform the pairwise consistency analysis and populate
+    :attr:`report`.
+    """
+
+    def __init__(self, *, track_reads: bool = True) -> None:
+        self.report = Report()
+        self.track_reads = track_reads
+        #: (tid, lock_id) -> list of completed views (with a witness stack).
+        self._views: dict[tuple[int, int], list[tuple[frozenset[int], CallStack]]] = {}
+        #: tid -> stack of open critical sections (innermost last).
+        self._open: dict[int, list[_OpenSection]] = {}
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # Event intake
+    # ------------------------------------------------------------------
+
+    def handle(self, event: Event, vm) -> None:
+        if isinstance(event, MemoryAccess):
+            if event.is_write or self.track_reads:
+                for section in self._open.get(event.tid, ()):
+                    section.addrs.add(event.addr)
+        elif isinstance(event, LockAcquire):
+            self._open.setdefault(event.tid, []).append(
+                _OpenSection(event.lock_id, stack=event.stack)
+            )
+        elif isinstance(event, LockRelease):
+            self._close_section(event.tid, event.lock_id)
+
+    def _close_section(self, tid: int, lock_id: int) -> None:
+        sections = self._open.get(tid)
+        if not sections:
+            return
+        # Locks are usually released LIFO, but the guest may not; find
+        # the innermost matching section.
+        for i in range(len(sections) - 1, -1, -1):
+            if sections[i].lock_id == lock_id:
+                section = sections.pop(i)
+                if section.addrs:
+                    self._views.setdefault((tid, lock_id), []).append(
+                        (frozenset(section.addrs), section.stack)
+                    )
+                return
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+
+    def finalize(self) -> Report:
+        """Run the pairwise view-consistency check; idempotent."""
+        if self._finalized:
+            return self.report
+        self._finalized = True
+        for inconsistency, stack in self._find_inconsistencies():
+            self.report.add(
+                Warning_(
+                    kind=HIGH_LEVEL_RACE,
+                    message=f"Potential high-level data race on lock{inconsistency.lock_id}",
+                    tid=inconsistency.tid_b,
+                    step=0,
+                    stack=stack,
+                    addr=min(inconsistency.maximal_view) if inconsistency.maximal_view else None,
+                    details={
+                        "Views": inconsistency.describe(),
+                        "Criterion": "view consistency (Artho et al. [1], via paper §2.1)",
+                    },
+                )
+            )
+        return self.report
+
+    def _find_inconsistencies(self):
+        by_lock: dict[int, dict[int, list[tuple[frozenset[int], CallStack]]]] = {}
+        for (tid, lock_id), views in self._views.items():
+            by_lock.setdefault(lock_id, {})[tid] = views
+        for lock_id, per_thread in sorted(by_lock.items()):
+            for tid_a, tid_b in combinations(sorted(per_thread), 2):
+                yield from self._check_pair(lock_id, tid_a, tid_b, per_thread)
+                yield from self._check_pair(lock_id, tid_b, tid_a, per_thread)
+
+    def _check_pair(self, lock_id: int, tid_a: int, tid_b: int, per_thread):
+        """Check tid_a's maximal views against tid_b's view set."""
+        views_a = [v for v, _ in per_thread[tid_a]]
+        views_b = per_thread[tid_b]
+        for maximal in _maximal_views(views_a):
+            overlaps: list[tuple[frozenset[int], CallStack]] = []
+            for view_b, stack_b in views_b:
+                overlap = maximal & view_b
+                if overlap:
+                    overlaps.append((overlap, stack_b))
+            for (o1, _s1), (o2, s2) in combinations(overlaps, 2):
+                if not (o1 <= o2 or o2 <= o1):
+                    yield (
+                        ViewInconsistency(
+                            lock_id=lock_id,
+                            tid_a=tid_a,
+                            maximal_view=maximal,
+                            tid_b=tid_b,
+                            overlap_1=o1,
+                            overlap_2=o2,
+                        ),
+                        s2,
+                    )
+
+    # ------------------------------------------------------------------
+
+    def views_of(self, tid: int, lock_id: int) -> list[frozenset[int]]:
+        """The completed views of one thread under one lock (tests)."""
+        return [v for v, _ in self._views.get((tid, lock_id), [])]
+
+
+def _maximal_views(views: list[frozenset[int]]) -> list[frozenset[int]]:
+    """The ⊆-maximal elements, deduplicated."""
+    unique = set(views)
+    return [v for v in unique if not any(v < other for other in unique)]

@@ -1,0 +1,166 @@
+"""Hybrid lock-set × happens-before race detection (§2.2's [12,13]).
+
+MultiRace and the O'Callahan/Choi hybrid combine the two algorithm
+families: the lock-set rule nominates *suspicious* accesses (locking
+discipline violated), and the happens-before relation then confirms or
+vetoes them (were the conflicting accesses actually concurrent?).  The
+result keeps most of lock-set's schedule-independence while discarding
+the ownership-transfer false positives that pure lock-set produces on
+Figure 11-style hand-offs.
+
+Implementation: a :class:`~repro.detectors.lockset.LocksetMachine` (with
+the Figure 1 states and segment transfer) runs as the nominator.  In
+parallel a DJIT-style vector-clock layer timestamps the last conflicting
+access per word; a lock-set violation is reported only when the current
+access is *concurrent* with that previous access.
+
+The vocabulary of synchronisation visible to the happens-before layer is
+configurable exactly as in :class:`~repro.detectors.djit.DjitDetector`;
+by default it sees locks, threads, queues, semaphores and barriers (not
+condition variables, honouring the §2.2 soundness caveat).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.detectors.djit import DjitDetector
+from repro.detectors.helgrind import BusLockModel, HelgrindConfig, HelgrindDetector
+from repro.detectors.lockset import WordState
+from repro.detectors.report import Report, Warning_, WarningKind
+from repro.runtime.events import Event, MemoryAccess
+
+__all__ = ["HybridDetector"]
+
+
+@dataclass(slots=True)
+class _LastConflict:
+    """Per-word epoch of the most recent write and reads (for the veto)."""
+
+    write_tid: int = -1
+    write_clk: int = -1
+    write_locked: bool = False
+    reads: dict[int, tuple[int, bool]] = field(default_factory=dict)
+
+
+class HybridDetector:
+    """Lock-set nominator + happens-before confirmer.
+
+    Composes a silent :class:`HelgrindDetector` (the nominator — its own
+    report is ignored) with a silent :class:`DjitDetector` used purely
+    for its vector clocks.  Only nominations whose conflicting accesses
+    are concurrent reach :attr:`report`.
+    """
+
+    def __init__(
+        self,
+        config: HelgrindConfig | None = None,
+        *,
+        cond_hb: bool = False,
+    ) -> None:
+        self.config = config or HelgrindConfig(
+            name="hybrid", bus_lock_model=BusLockModel.RWLOCK, honor_destruct=True
+        )
+        self._lockset = HelgrindDetector(self.config)
+        self._hb = DjitDetector(cond_hb=cond_hb)
+        self.report = Report()
+        self._last: dict[int, _LastConflict] = {}
+        #: Nominations vetoed because the accesses were ordered.
+        self.vetoed = 0
+
+    def handle(self, event: Event, vm) -> None:
+        if isinstance(event, MemoryAccess):
+            self._on_access(event, vm)
+            return
+        # Non-access events drive both underlying engines' shadow state.
+        self._lockset.handle(event, vm)
+        self._hb.handle(event, vm)
+
+    # ------------------------------------------------------------------
+
+    def _on_access(self, event: MemoryAccess, vm) -> None:
+        # 1. Lock-set nomination (run the machine directly so we can see
+        #    the outcome rather than the detector's report).
+        held = self._lockset._held_for(event.tid)
+        locks_any, locks_write = self._lockset._effective_sets(held, event)
+        outcome = self._lockset.machine.access(
+            event.addr,
+            event.tid,
+            is_write=event.is_write,
+            locks_any=locks_any,
+            locks_write=locks_write,
+        )
+
+        # 2. Happens-before bookkeeping (epoch of last conflicting access).
+        vc = self._hb._clock(event.tid)
+        last = self._last.get(event.addr)
+        if last is None:
+            last = _LastConflict()
+            self._last[event.addr] = last
+
+        locked = event.bus_locked
+
+        def pair_races(other_locked: bool) -> bool:
+            # Atomic-atomic pairs are synchronisation, not data.
+            return not (locked and other_locked)
+
+        concurrent = False
+        if outcome.race:
+            if event.is_write:
+                concurrent = (
+                    last.write_tid >= 0
+                    and last.write_tid != event.tid
+                    and pair_races(last.write_locked)
+                    and not vc.covers(last.write_tid, last.write_clk)
+                ) or any(
+                    rt != event.tid and pair_races(rl) and not vc.covers(rt, rc)
+                    for rt, (rc, rl) in last.reads.items()
+                )
+            else:
+                concurrent = (
+                    last.write_tid >= 0
+                    and last.write_tid != event.tid
+                    and pair_races(last.write_locked)
+                    and not vc.covers(last.write_tid, last.write_clk)
+                )
+            if concurrent:
+                self._warn(event, vm)
+            else:
+                self.vetoed += 1
+                # Un-latch the word: the nominator parks a word in RACY
+                # after its first empty intersection, but a vetoed
+                # nomination is *not* a report — later accesses to the
+                # same word must be able to nominate again (they may be
+                # genuinely concurrent next time).
+                word = self._lockset.machine.word(event.addr)
+                word.state = WordState.SHARED_MODIFIED
+
+        # 3. Update the epoch log.
+        if event.is_write:
+            last.write_tid = event.tid
+            last.write_clk = vc.get(event.tid)
+            last.write_locked = locked
+            last.reads.clear()
+        else:
+            last.reads[event.tid] = (vc.get(event.tid), locked)
+
+    def _warn(self, event: MemoryAccess, vm) -> None:
+        verb = "writing" if event.is_write else "reading"
+        details = {
+            "Confirmed": "lock-set empty and accesses concurrent",
+        }
+        if vm is not None:
+            block = vm.memory.find_block(event.addr)
+            if block is not None:
+                details["Address"] = block.describe(event.addr)
+        self.report.add(
+            Warning_(
+                kind=WarningKind.DATA_RACE,
+                message=f"Confirmed data race {verb} variable",
+                tid=event.tid,
+                step=event.step,
+                stack=event.stack,
+                addr=event.addr,
+                details=details,
+            )
+        )

@@ -1,0 +1,281 @@
+"""The Eraser candidate-lock-set algorithm with the Figure 1 state machine.
+
+This module implements the per-word shadow state of the paper's §2.3.2:
+
+* The raw Eraser rule — ``C(v) := C(v) ∩ locks_held(t)``, warn on empty —
+  refined with read/write lock modes (reads check locks held in *any*
+  mode, writes check locks held in *write* mode),
+* the Figure 1 state machine (NEW → EXCLUSIVE → SHARED / SHARED-MODIFIED)
+  that forgives single-owner initialisation and read-only sharing, and
+* the VisualThreads thread-segment transfer rule (§2.3.2 "Thread
+  Segments"): EXCLUSIVE data touched by a *later* (happens-after)
+  segment changes owner instead of going shared.
+
+Both refinements are individually switchable so experiment E10 can
+ablate them (``use_states`` / ``segment_transfer``).
+
+The class is policy-free about what "locks are held" means: callers pass
+the effective lock-sets per access, which is where the paper's hardware
+bus-lock modelling (HWLC) plugs in — see
+:class:`repro.detectors.helgrind.HelgrindDetector`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.detectors.segments import SegmentGraph
+
+__all__ = ["WordState", "ShadowWord", "LocksetMachine", "LocksetOutcome"]
+
+
+class WordState(enum.Enum):
+    """Figure 1's states for one shadow word."""
+
+    NEW = "new"
+    EXCLUSIVE = "exclusive"
+    SHARED = "shared"            # read-only sharing ("shared RO")
+    SHARED_MODIFIED = "shared-modified"
+    #: A race was already reported here; stop tracking to avoid
+    #: cascading duplicate reports (Helgrind does the same).
+    RACY = "racy"
+
+
+@dataclass(slots=True)
+class ShadowWord:
+    """Per-word shadow state.
+
+    ``owner`` is a thread-segment id while EXCLUSIVE (or a thread id
+    when segment transfer is disabled — the ablated configuration).
+    ``lockset`` is the candidate set C(v); ``None`` until initialised,
+    which implements Eraser's *delayed lock-set initialisation* — the
+    root of the §4.3 false negatives.  ``last_access`` is the optional
+    conflict history ``(tid, was_write, stack)`` maintained when the
+    machine runs with ``access_history``.
+    """
+
+    state: WordState = WordState.NEW
+    owner: int = -1
+    lockset: frozenset[int] | None = None
+    last_access: tuple | None = None
+    #: The most recent access by a thread *other* than ``last_access``'s,
+    #: so a warning can always show the other side of the conflict even
+    #: when the racing thread's own accesses are the freshest.
+    last_other: tuple | None = None
+
+
+@dataclass(slots=True)
+class LocksetOutcome:
+    """Result of feeding one access through the machine."""
+
+    #: True if this access makes the candidate set empty in a state
+    #: where Eraser reports ("issue warning").
+    race: bool
+    #: State before the access (for the "Previous state:" report line).
+    prev_state: WordState
+    #: Candidate lock-set before the access (None = uninitialised).
+    prev_lockset: frozenset[int] | None
+    #: Candidate lock-set after the access.
+    lockset: frozenset[int] | None
+
+
+class LocksetMachine:
+    """Shadow-memory state machine over guest words.
+
+    Parameters
+    ----------
+    segments:
+        The thread-segment graph used for EXCLUSIVE ownership transfer.
+    use_states:
+        Figure 1 machine on/off.  Off = the "basic algorithm" of §2.3.2:
+        the candidate set is initialised at the *first* access and every
+        empty intersection warns — many more false positives (E10).
+    segment_transfer:
+        VisualThreads rule on/off.  Off = ownership is per *thread*;
+        any second thread moves the word to a shared state.
+    """
+
+    def __init__(
+        self,
+        segments: SegmentGraph,
+        *,
+        use_states: bool = True,
+        segment_transfer: bool = True,
+        once_per_word: bool = True,
+    ) -> None:
+        self.segments = segments
+        self.use_states = use_states
+        self.segment_transfer = segment_transfer
+        #: True = Eraser's "report the next write access that results in
+        #: an empty lock-set" (one report per word, then RACY).  False =
+        #: Helgrind's behaviour on a large application: every
+        #: empty-lock-set access keeps reporting, and the report layer
+        #: deduplicates by call stack — this is what lets one racy word
+        #: produce warnings at many distinct program locations, the way
+        #: the paper's location counts reach the hundreds.
+        self.once_per_word = once_per_word
+        #: Keep the last access (tid, was_write, stack) per word so that
+        #: warnings can show the *other* side of the conflict, the way
+        #: later Helgrind versions do with --history-level.  Off by
+        #: default: it stores a stack per shadow word.
+        self.access_history = False
+        self._words: dict[int, ShadowWord] = {}
+
+    # ------------------------------------------------------------------
+    # Shadow-memory lifecycle
+    # ------------------------------------------------------------------
+
+    def on_alloc(self, addr: int, size: int) -> None:
+        """Fresh allocation: all words (re)enter NEW."""
+        for a in range(addr, addr + size):
+            self._words.pop(a, None)
+
+    def on_free(self, addr: int, size: int) -> None:
+        """Freed at VM level: stop tracking (memcheck's jurisdiction)."""
+        for a in range(addr, addr + size):
+            self._words.pop(a, None)
+
+    def make_exclusive(self, addr: int, size: int, owner: int) -> None:
+        """Force words to EXCLUSIVE(owner) — the HG_DESTRUCT semantics.
+
+        "mark deleted memory for the race detection as exclusively owned
+        by the running thread. That way, accesses by other threads during
+        destruction are still detected." (§3.1)
+        """
+        for a in range(addr, addr + size):
+            word = self._words.get(a)
+            if word is None:
+                word = ShadowWord()
+                self._words[a] = word
+            word.state = WordState.EXCLUSIVE
+            word.owner = owner
+            word.lockset = None
+
+    def word(self, addr: int) -> ShadowWord:
+        """The shadow word at ``addr`` (created in NEW on first touch)."""
+        word = self._words.get(addr)
+        if word is None:
+            word = ShadowWord()
+            self._words[addr] = word
+        return word
+
+    def state_of(self, addr: int) -> WordState:
+        word = self._words.get(addr)
+        return word.state if word is not None else WordState.NEW
+
+    # ------------------------------------------------------------------
+    # The access rule
+    # ------------------------------------------------------------------
+
+    def access(
+        self,
+        addr: int,
+        tid: int,
+        *,
+        is_write: bool,
+        locks_any: frozenset[int],
+        locks_write: frozenset[int],
+    ) -> LocksetOutcome:
+        """Feed one access through the machine.
+
+        ``locks_any`` / ``locks_write`` are the *effective* lock-sets of
+        the accessing thread for this access — including any virtual
+        locks the caller's hardware model injects (the bus lock).
+        """
+        word = self.word(addr)
+        prev_state = word.state
+        prev_lockset = word.lockset
+        if not self.use_states:
+            return self._raw_access(
+                word, prev_state, prev_lockset, is_write, locks_any, locks_write
+            )
+
+        owner = self._owner_token(tid)
+
+        if word.state is WordState.RACY:
+            return LocksetOutcome(False, prev_state, prev_lockset, word.lockset)
+
+        if word.state is WordState.NEW:
+            # First touch: exclusively owned by the toucher (Fig 1).
+            word.state = WordState.EXCLUSIVE
+            word.owner = owner
+            return LocksetOutcome(False, prev_state, None, None)
+
+        if word.state is WordState.EXCLUSIVE:
+            if self._still_exclusive(word, tid, owner):
+                word.owner = owner
+                return LocksetOutcome(False, prev_state, None, None)
+            # Second (unordered) owner: initialise the candidate set with
+            # the locks held *now* — Eraser's delayed initialisation.
+            if is_write:
+                word.state = WordState.SHARED_MODIFIED
+                word.lockset = locks_write
+                race = not word.lockset
+            else:
+                word.state = WordState.SHARED
+                word.lockset = locks_any
+                race = False
+            if race and self.once_per_word:
+                word.state = WordState.RACY
+            return LocksetOutcome(race, prev_state, prev_lockset, word.lockset)
+
+        if word.state is WordState.SHARED:
+            if is_write:
+                word.state = WordState.SHARED_MODIFIED
+                word.lockset = word.lockset & locks_write
+                race = not word.lockset
+            else:
+                word.lockset = word.lockset & locks_any
+                race = False  # read-only sharing never warns
+            if race and self.once_per_word:
+                word.state = WordState.RACY
+            return LocksetOutcome(race, prev_state, prev_lockset, word.lockset)
+
+        # SHARED_MODIFIED: both reads and writes refine and may warn.
+        word.lockset = word.lockset & (locks_write if is_write else locks_any)
+        race = not word.lockset
+        if race and self.once_per_word:
+            word.state = WordState.RACY
+        return LocksetOutcome(race, prev_state, prev_lockset, word.lockset)
+
+    def _raw_access(
+        self, word, prev_state, prev_lockset, is_write, locks_any, locks_write
+    ) -> LocksetOutcome:
+        """§2.3.2's basic algorithm: no states, immediate checking."""
+        if word.state is WordState.RACY:
+            return LocksetOutcome(False, prev_state, prev_lockset, word.lockset)
+        held = locks_write if is_write else locks_any
+        word.lockset = held if word.lockset is None else (word.lockset & held)
+        word.state = WordState.SHARED_MODIFIED if is_write else WordState.SHARED
+        race = not word.lockset
+        if race and self.once_per_word:
+            word.state = WordState.RACY
+        return LocksetOutcome(race, prev_state, prev_lockset, word.lockset)
+
+    # ------------------------------------------------------------------
+
+    def _owner_token(self, tid: int) -> int:
+        if self.segment_transfer:
+            return self.segments.current(tid).seg_id
+        return tid
+
+    def _still_exclusive(self, word: ShadowWord, tid: int, owner: int) -> bool:
+        """Does this access keep the word EXCLUSIVE?
+
+        Same owner token always does.  With segment transfer, a later
+        segment of the owning thread, or any segment the owner
+        happens-before, takes over ownership (the VisualThreads rule).
+        """
+        if word.owner == owner:
+            return True
+        if not self.segment_transfer:
+            return False
+        owner_seg = self.segments.segment(word.owner)
+        if owner_seg.tid == tid:
+            return True  # same thread, later segment: trivially ordered
+        return self.segments.happens_before(word.owner, owner)
+
+    @property
+    def tracked_words(self) -> int:
+        return len(self._words)

@@ -1,0 +1,207 @@
+"""Warning records and report aggregation.
+
+Helgrind prints one multi-line warning per *dynamic* detection, but the
+paper's metric (Figure 6) is the number of **reported locations**: the
+distinct program points warnings point at ("483 reported possible data
+race locations").  :class:`Report` therefore deduplicates warnings by
+(kind, innermost frame) while still counting dynamic occurrences, and
+:meth:`Warning_.format` renders the Figure-9 style text block for human
+consumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.runtime.events import CallStack, Frame
+
+__all__ = ["Warning_", "Report", "WarningKind"]
+
+
+class WarningKind:
+    """String constants for warning kinds (kept open for extensions)."""
+
+    DATA_RACE = "possible-data-race"
+    LOCK_ORDER = "lock-order-violation"
+    DEADLOCK = "deadlock"
+
+
+@dataclass(slots=True)
+class Warning_:
+    """One detector warning (named with a trailing underscore to avoid
+    shadowing the built-in ``Warning``).
+
+    ``details`` carries kind-specific extras rendered verbatim in
+    :meth:`format` (previous shadow state, candidate lock-set, the
+    Figure-9 block-description line, a lock cycle, ...).
+    """
+
+    kind: str
+    message: str
+    tid: int
+    step: int
+    stack: CallStack = ()
+    addr: int | None = None
+    details: dict = field(default_factory=dict)
+
+    @property
+    def site(self) -> Frame | None:
+        """Innermost frame — the 'location' Figure 6 counts."""
+        return self.stack[0] if self.stack else None
+
+    @property
+    def location_key(self) -> tuple:
+        """Deduplication key: same kind at the same program point.
+
+        Valgrind deduplicates by the *full* call stack, so two warnings
+        at the same innermost function reached through different call
+        paths count as two locations — that is what lets the paper's
+        location counts reach the hundreds on a large application.
+        """
+        if not self.stack:
+            # No symbol information: fall back to the address, the best
+            # Helgrind itself can do without debug symbols (§3.2).
+            return (self.kind, ("<unknown>", self.addr))
+        return (self.kind, self.stack)
+
+    def format(self) -> str:
+        """Render a Valgrind-style multi-line warning block (cf. Fig 9)."""
+        lines = [f"== {self.message}"]
+        if self.addr is not None:
+            lines[0] += f" at {self.addr:#x}"
+        for i, frame in enumerate(self.stack):
+            prefix = "==    at" if i == 0 else "==    by"
+            lines.append(f"{prefix} {frame}")
+        for key, value in self.details.items():
+            lines.append(f"==  {key}: {value}")
+        lines.append(f"==  (thread {self.tid}, step {self.step})")
+        return "\n".join(lines)
+
+
+class Report:
+    """Aggregates warnings, deduplicating by location.
+
+    ``suppressions`` (a :class:`repro.detectors.suppressions.Suppressions`)
+    is consulted at :meth:`add` time, matching how Helgrind's
+    suppression files filter warnings before they reach the log.
+    """
+
+    def __init__(self, suppressions=None) -> None:
+        self.warnings: list[Warning_] = []
+        self._by_location: dict[tuple, Warning_] = {}
+        self.occurrences: dict[tuple, int] = {}
+        self.suppressed_count = 0
+        self.suppressions = suppressions
+
+    def add(self, warning: Warning_) -> bool:
+        """Record ``warning``; True if it is a *new* location."""
+        if self.suppressions is not None and self.suppressions.matches(warning):
+            self.suppressed_count += 1
+            return False
+        key = warning.location_key
+        self.occurrences[key] = self.occurrences.get(key, 0) + 1
+        if key in self._by_location:
+            return False
+        self._by_location[key] = warning
+        self.warnings.append(warning)
+        return True
+
+    # ------------------------------------------------------------------
+
+    @property
+    def location_count(self) -> int:
+        """The Figure-6 metric: distinct reported locations."""
+        return len(self.warnings)
+
+    @property
+    def dynamic_count(self) -> int:
+        """Total dynamic (non-suppressed) detections."""
+        return sum(self.occurrences.values())
+
+    def by_kind(self, kind: str) -> list[Warning_]:
+        return [w for w in self.warnings if w.kind == kind]
+
+    def locations(self) -> list[tuple]:
+        return list(self._by_location)
+
+    def format_summary(self) -> str:
+        parts = [
+            f"{self.location_count} reported locations "
+            f"({self.dynamic_count} dynamic occurrences, "
+            f"{self.suppressed_count} suppressed)"
+        ]
+        kinds: dict[str, int] = {}
+        for w in self.warnings:
+            kinds[w.kind] = kinds.get(w.kind, 0) + 1
+        for kind in sorted(kinds):
+            parts.append(f"  {kind}: {kinds[kind]}")
+        return "\n".join(parts)
+
+    def format_full(self) -> str:
+        """Every deduplicated warning, Figure-9 style, in report order."""
+        return "\n\n".join(w.format() for w in self.warnings)
+
+    # ------------------------------------------------------------------
+    # Persistence (for CI baselines and offline triage tooling)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Serialise the report (warnings + occurrence counts)."""
+        return {
+            "suppressed_count": self.suppressed_count,
+            "warnings": [
+                {
+                    "kind": w.kind,
+                    "message": w.message,
+                    "tid": w.tid,
+                    "step": w.step,
+                    "addr": w.addr,
+                    "stack": [(f.function, f.file, f.line) for f in w.stack],
+                    "details": {k: str(v) for k, v in w.details.items()},
+                    "occurrences": self.occurrences.get(w.location_key, 1),
+                }
+                for w in self.warnings
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Report":
+        """Rebuild a report saved with :meth:`to_dict`."""
+        report = cls()
+        report.suppressed_count = data.get("suppressed_count", 0)
+        for item in data["warnings"]:
+            warning = Warning_(
+                kind=item["kind"],
+                message=item["message"],
+                tid=item["tid"],
+                step=item["step"],
+                stack=tuple(Frame(fn, fi, ln) for fn, fi, ln in item["stack"]),
+                addr=item["addr"],
+                details=dict(item.get("details", {})),
+            )
+            report.add(warning)
+            report.occurrences[warning.location_key] = item.get("occurrences", 1)
+        return report
+
+    def save(self, path) -> None:
+        """Write the report as JSON."""
+        import json
+        from pathlib import Path
+
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2), encoding="utf-8"
+        )
+
+    @classmethod
+    def load(cls, path) -> "Report":
+        """Read a report written by :meth:`save`."""
+        import json
+        from pathlib import Path
+
+        return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+    def __len__(self) -> int:
+        return len(self.warnings)
+
+    def __iter__(self):
+        return iter(self.warnings)

@@ -1,0 +1,81 @@
+"""Vector clocks for happens-before detectors.
+
+Implements Lamport's partial order [7] in the vector form the DJIT
+algorithm [6] uses: one logical clock per thread, joined at
+synchronisation points.  Kept separate from the segment graph because
+the two abstractions advance at different granularities — segments split
+only at a configured set of operations, while DJIT's clocks tick at
+every release-like operation.
+"""
+
+from __future__ import annotations
+
+__all__ = ["VectorClock"]
+
+
+class VectorClock:
+    """A mutable thread→counter map with the usual lattice operations.
+
+    Missing entries read as 0 (a thread that never synchronised is at
+    its initial time frame).
+    """
+
+    __slots__ = ("_c",)
+
+    def __init__(self, initial: dict[int, int] | None = None) -> None:
+        self._c: dict[int, int] = dict(initial) if initial else {}
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self._c)
+
+    def get(self, tid: int) -> int:
+        return self._c.get(tid, 0)
+
+    def __getitem__(self, tid: int) -> int:
+        return self._c.get(tid, 0)
+
+    def tick(self, tid: int) -> None:
+        """Advance ``tid``'s component (a release-like local event)."""
+        self._c[tid] = self._c.get(tid, 0) + 1
+
+    def join(self, other: "VectorClock") -> None:
+        """In-place pointwise maximum (an acquire-like merge)."""
+        for tid, clk in other._c.items():
+            if self._c.get(tid, 0) < clk:
+                self._c[tid] = clk
+
+    def joined(self, other: "VectorClock") -> "VectorClock":
+        out = self.copy()
+        out.join(other)
+        return out
+
+    def leq(self, other: "VectorClock") -> bool:
+        """Pointwise ``self <= other`` — the happens-before-or-equal test."""
+        return all(clk <= other._c.get(tid, 0) for tid, clk in self._c.items())
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        return not self.leq(other) and not other.leq(self)
+
+    def covers(self, tid: int, clk: int) -> bool:
+        """True if this clock has seen ``tid``'s time frame ``clk``.
+
+        The FastTrack-style epoch test: an access stamped ``(tid, clk)``
+        happens-before everything whose clock satisfies ``covers``.
+        """
+        return self._c.get(tid, 0) >= clk
+
+    def as_dict(self) -> dict[int, int]:
+        return dict(self._c)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        tids = set(self._c) | set(other._c)
+        return all(self.get(t) == other.get(t) for t in tids)
+
+    def __hash__(self) -> int:  # pragma: no cover - VCs are not dict keys
+        raise TypeError("VectorClock is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"t{t}:{c}" for t, c in sorted(self._c.items()))
+        return f"VC({inner})"

@@ -1,0 +1,51 @@
+"""The experiment harness: regenerate every table and figure of §4.
+
+``repro.experiments.harness``
+    Run workloads under detector configurations, collect classified
+    reports (one :class:`~repro.experiments.harness.ExperimentRun` per
+    cell of the paper's tables).
+``repro.experiments.figures``
+    The paper's published numbers plus formatters that print our
+    measured rows next to them (Figure 6 table, Figure 5 decomposition,
+    the §4.3 false-negative study, the E10/E11 ablations).
+``repro.experiments.performance``
+    The §4.5 slowdown measurements (native vs VM vs VM+detector; trace
+    sizes for the on-the-fly vs post-mortem trade-off).
+
+See ``EXPERIMENTS.md`` for the experiment index and the paper-vs-
+measured record; ``benchmarks/`` drives everything here via
+pytest-benchmark.
+"""
+
+from repro.experiments.harness import (
+    ExperimentRun,
+    Figure6Row,
+    run_figure6,
+    run_proxy_case,
+)
+from repro.experiments.figures import (
+    PAPER_FIGURE6,
+    figure5_decomposition,
+    figure6_table,
+)
+from repro.experiments.performance import PerformanceReport, measure_performance
+from repro.experiments.studies import (
+    ablation_study,
+    baseline_study,
+    false_negative_study,
+)
+
+__all__ = [
+    "ExperimentRun",
+    "Figure6Row",
+    "PAPER_FIGURE6",
+    "PerformanceReport",
+    "ablation_study",
+    "baseline_study",
+    "false_negative_study",
+    "figure5_decomposition",
+    "figure6_table",
+    "measure_performance",
+    "run_figure6",
+    "run_proxy_case",
+]

@@ -1,0 +1,148 @@
+"""Run the proxy under detector configurations and classify the output.
+
+This is the §3.2 debugging process in executable form: *instrumentation*
+is the ``instrumented`` build switch of :class:`repro.sip.server
+.ProxyConfig`, *execution* is a VM run with the chosen detector, and
+*analysis* is the oracle join (:func:`repro.detectors.classify
+.classify_report`) standing in for the authors' manual warning triage.
+
+One :func:`run_proxy_case` call produces one cell of the paper's
+Figure 6; :func:`run_figure6` produces the whole table.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.detectors import HelgrindConfig, HelgrindDetector
+from repro.detectors.classify import ClassifiedReport, classify_report
+from repro.oracle import GroundTruth, WarningCategory
+from repro.runtime import VM, RandomScheduler
+from repro.sip.bugs import EVALUATION_BUGS
+from repro.sip.server import ProxyConfig, ProxyResult, SipProxy
+from repro.sip.workload import TestCase, evaluation_cases
+
+__all__ = ["ExperimentRun", "Figure6Row", "run_proxy_case", "run_figure6"]
+
+#: The three configurations of the paper's evaluation, in table order.
+EVAL_CONFIGS = ("original", "hwlc", "hwlc+dr")
+
+
+@dataclass(slots=True)
+class ExperimentRun:
+    """One (test case × detector configuration) measurement."""
+
+    case_id: str
+    config_name: str
+    location_count: int
+    classified: ClassifiedReport
+    proxy_result: ProxyResult
+    events: int
+    wall_seconds: float
+
+    def fp_count(self, category: WarningCategory) -> int:
+        return self.classified.count(category)
+
+
+@dataclass(slots=True)
+class Figure6Row:
+    """One row of the Figure 6 table: a test case under all configs."""
+
+    case_id: str
+    runs: dict[str, ExperimentRun] = field(default_factory=dict)
+
+    @property
+    def original(self) -> int:
+        return self.runs["original"].location_count
+
+    @property
+    def hwlc(self) -> int:
+        return self.runs["hwlc"].location_count
+
+    @property
+    def hwlc_dr(self) -> int:
+        return self.runs["hwlc+dr"].location_count
+
+    @property
+    def removal_fraction(self) -> float:
+        """Share of Original's locations removed by both improvements —
+        the paper's headline "65% to 81%" metric."""
+        if self.original == 0:
+            return 0.0
+        return (self.original - self.hwlc_dr) / self.original
+
+
+def _detector_config(name: str) -> HelgrindConfig:
+    return {
+        "original": HelgrindConfig.original,
+        "hwlc": HelgrindConfig.hwlc,
+        "hwlc+dr": HelgrindConfig.hwlc_dr,
+        "extended": HelgrindConfig.extended,
+        "raw-eraser": HelgrindConfig.raw_eraser,
+        "eraser-states": HelgrindConfig.eraser_states,
+    }[name]()
+
+
+def run_proxy_case(
+    case: TestCase,
+    config_name: str,
+    *,
+    seed: int = 42,
+    mode: str = "thread-per-request",
+    bugs: frozenset[str] = EVALUATION_BUGS,
+    detector=None,
+    step_limit: int = 10_000_000,
+) -> ExperimentRun:
+    """Run one test case under one detector configuration.
+
+    The build is instrumented exactly when the detector configuration
+    honours the annotation (the ``HWLC+DR`` column) — mirroring the
+    paper, where the third run is the one with the annotated build.
+    """
+    det_config = _detector_config(config_name)
+    truth = GroundTruth()
+    proxy = SipProxy(
+        ProxyConfig(
+            mode=mode,
+            bugs=bugs,
+            instrumented=det_config.honor_destruct,
+        ),
+        truth=truth,
+    )
+    det = detector if detector is not None else HelgrindDetector(det_config)
+    vm = VM(
+        detectors=(det,),
+        scheduler=RandomScheduler(seed),
+        step_limit=step_limit,
+    )
+    start = time.perf_counter()
+    proxy_result = vm.run(proxy.main, case.wires)
+    wall = time.perf_counter() - start
+    return ExperimentRun(
+        case_id=case.case_id,
+        config_name=config_name,
+        location_count=det.report.location_count,
+        classified=classify_report(det.report, truth),
+        proxy_result=proxy_result,
+        events=vm.stats.total_events,
+        wall_seconds=wall,
+    )
+
+
+def run_figure6(
+    cases: list[TestCase] | None = None,
+    *,
+    seed: int = 42,
+    mode: str = "thread-per-request",
+) -> list[Figure6Row]:
+    """The full evaluation: T1-T8 × {Original, HWLC, HWLC+DR}."""
+    rows: list[Figure6Row] = []
+    for case in cases if cases is not None else evaluation_cases():
+        row = Figure6Row(case.case_id)
+        for config_name in EVAL_CONFIGS:
+            row.runs[config_name] = run_proxy_case(
+                case, config_name, seed=seed, mode=mode
+            )
+        rows.append(row)
+    return rows

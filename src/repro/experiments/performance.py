@@ -1,0 +1,189 @@
+"""The §4.5 performance study: how much the VM and the analysis cost.
+
+The paper reports for its setup:
+
+* running on the Valgrind VM alone slows the program 8-10×,
+* running with Helgrind analysis slows it 20-30×,
+
+i.e. the analysis itself costs a further ~2.5-3× on top of the VM.  The
+absolute factors are properties of Valgrind's binary translation; what
+carries over to our substrate is the *decomposition*: a large constant
+VM cost plus a small multiple for on-the-fly analysis.  We therefore
+measure three tiers on one fixed workload:
+
+1. ``native`` — the same logical computation as plain Python (the
+   "program run without Helgrind" baseline),
+2. ``vm`` — the workload on the cooperative VM with no detectors,
+3. ``vm+<detector>`` — the workload with a detector attached,
+
+and report both slowdown factors.  :func:`trace_cost` additionally
+quantifies the §4.5 on-the-fly vs post-mortem trade-off: the size of
+the execution trace that offline analysis would have to store ("offline
+techniques suffer from their need for large amount of data").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.detectors import DjitDetector, HelgrindConfig, HelgrindDetector
+from repro.runtime import VM, RoundRobinScheduler
+from repro.runtime.trace import TraceRecorder, replay
+
+__all__ = ["PerformanceReport", "measure_performance", "workload_native", "workload_guest"]
+
+
+def workload_guest(api, n_threads: int = 4, iterations: int = 120):
+    """The benchmark workload: locked counters + unlocked scratch work.
+
+    Mirrors the hot loop of a server worker: take a lock, bump shared
+    counters, do some thread-local work, occasionally touch an atomic.
+    """
+    counters = api.malloc(8, tag="counters")
+    for i in range(8):
+        api.store(counters + i, 0)
+    atomic = api.malloc(1, tag="atomic")
+    api.store(atomic, 0)
+    m = api.mutex()
+
+    def worker(a, k):
+        scratch = a.malloc(4, tag="scratch")
+        for i in range(4):
+            a.store(scratch + i, 0)
+        for i in range(iterations):
+            a.lock(m)
+            slot = counters + (i % 8)
+            a.store(slot, a.load(slot) + 1)
+            a.unlock(m)
+            a.store(scratch + (i % 4), a.load(scratch + (i % 4)) + k)
+            if i % 16 == 0:
+                a.atomic_add(atomic, 1)
+        a.free(scratch)
+
+    threads = [api.spawn(worker, k) for k in range(n_threads)]
+    for t in threads:
+        api.join(t)
+    return api.load(counters)
+
+
+def workload_native(n_threads: int = 4, iterations: int = 120):
+    """The same computation as plain Python — the 'no Valgrind' tier.
+
+    Sequentialised (the guest work is serialised anyway), using plain
+    dicts for memory so the comparison isolates the VM's trap cost.
+    """
+    counters = [0] * 8
+    atomic = [0]
+    for k in range(n_threads):
+        scratch = [0] * 4
+        for i in range(iterations):
+            counters[i % 8] += 1
+            scratch[i % 4] += k
+            if i % 16 == 0:
+                atomic[0] += 1
+    return counters[0]
+
+
+@dataclass(slots=True)
+class PerformanceReport:
+    """Wall-clock results of one measurement sweep."""
+
+    native_seconds: float
+    vm_seconds: float
+    detector_seconds: dict[str, float] = field(default_factory=dict)
+    events: int = 0
+
+    @property
+    def vm_slowdown(self) -> float:
+        """VM-only / native — the paper's "8-10×" analogue."""
+        return self.vm_seconds / self.native_seconds
+
+    def total_slowdown(self, detector: str) -> float:
+        """VM+detector / native — the paper's "20-30×" analogue."""
+        return self.detector_seconds[detector] / self.native_seconds
+
+    def analysis_overhead(self, detector: str) -> float:
+        """VM+detector / VM-only — the paper's ~2.5-3× analysis cost."""
+        return self.detector_seconds[detector] / self.vm_seconds
+
+    def format(self) -> str:
+        lines = [
+            "Performance (§4.5) — wall-clock slowdown factors",
+            f"  native:            {self.native_seconds * 1e3:8.2f} ms  (1.0x)",
+            f"  VM only:           {self.vm_seconds * 1e3:8.2f} ms  "
+            f"({self.vm_slowdown:.1f}x native)   [paper: 8-10x]",
+        ]
+        for name, seconds in self.detector_seconds.items():
+            lines.append(
+                f"  VM + {name:13s} {seconds * 1e3:8.2f} ms  "
+                f"({self.total_slowdown(name):.1f}x native, "
+                f"{self.analysis_overhead(name):.2f}x VM)   "
+                "[paper: 20-30x native, ~2.5-3x VM]"
+            )
+        lines.append(f"  events per run:    {self.events}")
+        return "\n".join(lines)
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_performance(
+    *,
+    n_threads: int = 4,
+    iterations: int = 120,
+    repeats: int = 3,
+    detectors: tuple[str, ...] = ("helgrind", "djit"),
+) -> PerformanceReport:
+    """Measure all tiers; returns best-of-``repeats`` per tier."""
+    native = _best_of(lambda: workload_native(n_threads, iterations), repeats)
+
+    events = 0
+
+    def run_vm(make_detector=None):
+        nonlocal events
+        hooks = (make_detector(),) if make_detector else ()
+        vm = VM(scheduler=RoundRobinScheduler(), detectors=hooks)
+        vm.run(workload_guest, n_threads, iterations)
+        events = vm.stats.total_events
+
+    vm_only = _best_of(lambda: run_vm(), repeats)
+    factories = {
+        "helgrind": lambda: HelgrindDetector(HelgrindConfig.hwlc_dr()),
+        "helgrind-orig": lambda: HelgrindDetector(HelgrindConfig.original()),
+        "djit": DjitDetector,
+    }
+    detector_seconds = {}
+    for name in detectors:
+        detector_seconds[name] = _best_of(lambda: run_vm(factories[name]), repeats)
+    return PerformanceReport(
+        native_seconds=native,
+        vm_seconds=vm_only,
+        detector_seconds=detector_seconds,
+        events=events,
+    )
+
+
+def trace_cost(*, n_threads: int = 4, iterations: int = 120) -> dict[str, float]:
+    """Quantify the §4.5 offline-analysis trade-off on the workload.
+
+    Returns the trace length, its estimated serialized size, and the
+    wall-clock for post-mortem replay through a Helgrind detector.
+    """
+    recorder = TraceRecorder()
+    vm = VM(detectors=(recorder,))
+    vm.run(workload_guest, n_threads, iterations)
+    start = time.perf_counter()
+    replay(recorder.events, HelgrindDetector(HelgrindConfig.hwlc_dr()))
+    replay_seconds = time.perf_counter() - start
+    return {
+        "events": float(len(recorder)),
+        "estimated_bytes": float(recorder.estimated_bytes),
+        "replay_seconds": replay_seconds,
+    }

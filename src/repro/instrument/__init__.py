@@ -1,0 +1,54 @@
+"""The source-instrumentation front-end (the paper's ELSA analogue).
+
+§3.1/§3.3 of the paper: the improvement that kills the destructor false
+positives is *automatic, build-integrated* source annotation — every
+``delete`` site is rewritten (Figure 4) to pass its operand through a
+helper that announces the imminent destruction to the race detector,
+"transparent to the build tools and the programmer".  The authors used
+the ELSA GLR C++ parser; parsing real C++ is out of scope here (and the
+paper itself laments that "no parser is freely available that is able to
+generate an abstract syntax tree for the full ISO C++ language"), so we
+define **MiniCxx**, a small C++-flavoured language that is rich enough
+to express the paper's programs — classes with single inheritance and
+virtual methods, ``new``/``delete``, threads, mutexes, queues — and
+rebuild the full three-stage pipeline on it:
+
+1. :mod:`repro.instrument.preprocess` — ``#include`` / ``#define`` /
+   ``#ifdef`` textual preprocessing (stage one of §3.3: "the GNU
+   compiler is used to preprocess the source file").
+2. :mod:`repro.instrument.annotate` — the AST pass that rewrites
+   ``delete e`` into ``delete __ca_deletor_single(e)`` and injects the
+   Figure 4 helper (stage two: "the parser reads the preprocessed source
+   file and generates the annotated source file").
+3. :mod:`repro.instrument.compiler` — lowers the AST to an executable
+   guest program over :class:`repro.runtime.vm.GuestAPI` (stage three:
+   "the compiler generates object code from the annotated source").
+
+:class:`repro.instrument.pipeline.BuildPipeline` chains the stages
+behind a single compiler-wrapper-style call, with instrumentation a
+boolean build switch — exactly the shell-script-replaces-compiler
+arrangement of §3.3.
+"""
+
+from repro.instrument.annotate import annotate_module
+from repro.instrument.ast_nodes import Module
+from repro.instrument.compiler import CompiledProgram, compile_module
+from repro.instrument.lexer import Token, tokenize
+from repro.instrument.parser import parse
+from repro.instrument.pipeline import BuildPipeline, BuildOptions
+from repro.instrument.preprocess import preprocess
+from repro.instrument.render import render_module
+
+__all__ = [
+    "BuildOptions",
+    "BuildPipeline",
+    "CompiledProgram",
+    "Module",
+    "Token",
+    "annotate_module",
+    "compile_module",
+    "parse",
+    "preprocess",
+    "render_module",
+    "tokenize",
+]

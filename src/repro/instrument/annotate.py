@@ -1,0 +1,107 @@
+"""The delete-site annotation pass — the paper's Figure 4, as an AST pass.
+
+The original (C++)::
+
+    void g(char * p) { delete p; }
+
+becomes::
+
+    template <class Type>
+    inline Type * ca_deletor_single(Type * object) {
+        VALGRIND_HG_DESTRUCT(object, sizeof(Type));
+        return object;
+    }
+    void g(char * p) { delete ca_deletor_single(p); }
+
+Here the same transformation on the MiniCxx AST: every ``delete e``
+becomes ``delete __ca_deletor_single(e)``, and the helper —
+
+::
+
+    fn __ca_deletor_single(object) {
+        hg_destruct(object);
+        return object;
+    }
+
+— is injected once per module (``hg_destruct`` is the MiniCxx builtin
+for the client request; the object's size is recovered from its class,
+playing the role of ``sizeof(Type)``).
+
+Properties the paper calls out, preserved here:
+
+* **Idempotent and non-invasive**: the pass produces a *new* module; the
+  input AST (the programmer's source) is never modified, and running the
+  pass twice annotates nothing twice.
+* **No-op without the tool**: ``hg_destruct`` compiles to a client
+  request that costs nothing when no detector is registered.
+* **Partial coverage degrades gracefully**: un-annotated modules still
+  run and still get checked — they just keep their destructor FPs
+  (experiment E12 sweeps this).
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.instrument import ast_nodes as A
+
+__all__ = ["annotate_module", "HELPER_NAME", "count_delete_sites"]
+
+HELPER_NAME = "__ca_deletor_single"
+
+
+def annotate_module(module: A.Module) -> A.Module:
+    """Return an annotated copy of ``module`` (input left untouched)."""
+    out = copy.deepcopy(module)
+    sites = _rewrite_deletes(out)
+    if sites and not _has_helper(out):
+        out.functions.insert(0, _make_helper())
+    return out
+
+
+def count_delete_sites(module: A.Module, *, annotated: bool | None = None) -> int:
+    """Count ``delete`` statements; filter by annotation state if given."""
+    count = 0
+    for node in A.walk(module):
+        if isinstance(node, A.Delete):
+            is_annotated = _is_annotated(node)
+            if annotated is None or is_annotated == annotated:
+                count += 1
+    return count
+
+
+# ----------------------------------------------------------------------
+
+
+def _rewrite_deletes(module: A.Module) -> int:
+    sites = 0
+    for node in A.walk(module):
+        if isinstance(node, A.Delete) and not _is_annotated(node):
+            node.operand = A.Call(
+                line=node.line, func=HELPER_NAME, args=[node.operand]
+            )
+            sites += 1
+    return sites
+
+
+def _is_annotated(node: A.Delete) -> bool:
+    return isinstance(node.operand, A.Call) and node.operand.func == HELPER_NAME
+
+
+def _has_helper(module: A.Module) -> bool:
+    return any(f.name == HELPER_NAME for f in module.functions)
+
+
+def _make_helper() -> A.FunctionDecl:
+    """Synthesise the Figure 4 helper function."""
+    body = A.Block(
+        line=0,
+        body=[
+            A.ExprStmt(
+                line=0,
+                expr=A.Call(line=0, func="hg_destruct", args=[A.Name(line=0, ident="object")]),
+            ),
+            A.Return(line=0, value=A.Name(line=0, ident="object")),
+        ],
+    )
+    return A.FunctionDecl(HELPER_NAME, ["object"], body, line=0, synthetic=True)

@@ -1,0 +1,324 @@
+"""MiniCxx abstract syntax tree.
+
+Plain dataclasses; every node carries its source line for diagnostics,
+the annotation pass and compiled-code stack frames.  The tree is what
+the paper calls "an abstract syntax tree that is used for source code
+analysis and annotation" (§3.3, speaking of ELSA).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    # module structure
+    "Module",
+    "ClassDecl",
+    "FieldDecl",
+    "MethodDecl",
+    "FunctionDecl",
+    "GlobalDecl",
+    # statements
+    "Stmt",
+    "VarDecl",
+    "Assign",
+    "ExprStmt",
+    "If",
+    "While",
+    "Return",
+    "Delete",
+    "Join",
+    "Block",
+    # expressions
+    "Expr",
+    "IntLit",
+    "StrLit",
+    "BoolLit",
+    "NullLit",
+    "Name",
+    "Member",
+    "Unary",
+    "Binary",
+    "Call",
+    "MethodCall",
+    "New",
+    "Spawn",
+    "walk",
+]
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    line: int = 0
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class StrLit(Expr):
+    value: str = ""
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool = False
+
+
+@dataclass
+class NullLit(Expr):
+    pass
+
+
+@dataclass
+class Name(Expr):
+    """A variable reference (local, parameter, global or function)."""
+
+    ident: str = ""
+
+
+@dataclass
+class Member(Expr):
+    """``obj.field`` — a guest-memory field read (or write target)."""
+
+    obj: Expr = None
+    field_name: str = ""
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""
+    operand: Expr = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Expr = None
+    right: Expr = None
+
+
+@dataclass
+class Call(Expr):
+    """Free-function or builtin call ``f(a, b)``."""
+
+    func: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class MethodCall(Expr):
+    """``obj.m(a, b)`` — virtual dispatch through the vptr."""
+
+    obj: Expr = None
+    method: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class New(Expr):
+    """``new ClassName`` — heap allocation + constructor chain."""
+
+    class_name: str = ""
+
+
+@dataclass
+class Spawn(Expr):
+    """``spawn f(a, b)`` — pthread_create; evaluates to a thread handle."""
+
+    func: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class Block(Stmt):
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str = ""
+    init: Expr = None
+
+
+@dataclass
+class Assign(Stmt):
+    """``target = value`` where target is a Name or Member."""
+
+    target: Expr = None
+    value: Expr = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr = None
+    then: Block = None
+    otherwise: Block | None = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr = None
+    body: Block = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None = None
+
+
+@dataclass
+class Delete(Stmt):
+    """``delete expr`` — the annotation pass rewrites this node's operand."""
+
+    operand: Expr = None
+
+
+@dataclass
+class Join(Stmt):
+    """``join expr`` — pthread_join on a thread handle."""
+
+    operand: Expr = None
+
+
+# ----------------------------------------------------------------------
+# Module structure
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class FieldDecl:
+    name: str
+    line: int = 0
+
+
+@dataclass
+class MethodDecl:
+    name: str
+    params: list[str]
+    body: Block
+    line: int = 0
+
+
+@dataclass
+class ClassDecl:
+    name: str
+    base: str | None
+    fields: list[FieldDecl]
+    methods: list[MethodDecl]
+    dtor: Block | None = None
+    line: int = 0
+
+
+@dataclass
+class FunctionDecl:
+    name: str
+    params: list[str]
+    body: Block
+    line: int = 0
+    #: Set by the annotation pass on synthesised helpers so that a
+    #: second annotation run does not re-annotate them.
+    synthetic: bool = False
+
+
+@dataclass
+class GlobalDecl:
+    """``global name = expr;`` — one shared guest word, initialised
+    before ``main`` runs (so globals participate in race detection)."""
+
+    name: str
+    init: Expr | None
+    line: int = 0
+
+
+@dataclass
+class Module:
+    classes: list[ClassDecl] = field(default_factory=list)
+    functions: list[FunctionDecl] = field(default_factory=list)
+    globals: list[GlobalDecl] = field(default_factory=list)
+    source_name: str = "<minicxx>"
+
+    def function(self, name: str) -> FunctionDecl:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(f"no function {name!r} in module")
+
+    def cls(self, name: str) -> ClassDecl:
+        for c in self.classes:
+            if c.name == name:
+                return c
+        raise KeyError(f"no class {name!r} in module")
+
+
+# ----------------------------------------------------------------------
+# Generic traversal
+# ----------------------------------------------------------------------
+
+
+def walk(node):
+    """Yield ``node`` and every AST descendant (module/stmt/expr)."""
+    yield node
+    if isinstance(node, Module):
+        children = (
+            [m.body for c in node.classes for m in c.methods]
+            + [c.dtor for c in node.classes if c.dtor is not None]
+            + [f.body for f in node.functions]
+            + [g.init for g in node.globals if g.init is not None]
+        )
+    elif isinstance(node, Block):
+        children = list(node.body)
+    elif isinstance(node, VarDecl):
+        children = [node.init] if node.init is not None else []
+    elif isinstance(node, Assign):
+        children = [node.target, node.value]
+    elif isinstance(node, ExprStmt):
+        children = [node.expr]
+    elif isinstance(node, If):
+        children = [node.cond, node.then] + (
+            [node.otherwise] if node.otherwise is not None else []
+        )
+    elif isinstance(node, While):
+        children = [node.cond, node.body]
+    elif isinstance(node, Return):
+        children = [node.value] if node.value is not None else []
+    elif isinstance(node, (Delete, Join)):
+        children = [node.operand]
+    elif isinstance(node, Member):
+        children = [node.obj]
+    elif isinstance(node, Unary):
+        children = [node.operand]
+    elif isinstance(node, Binary):
+        children = [node.left, node.right]
+    elif isinstance(node, Call):
+        children = list(node.args)
+    elif isinstance(node, MethodCall):
+        children = [node.obj] + list(node.args)
+    elif isinstance(node, Spawn):
+        children = list(node.args)
+    else:
+        children = []
+    for child in children:
+        yield from walk(child)

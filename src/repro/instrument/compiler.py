@@ -1,0 +1,614 @@
+"""MiniCxx → guest-program compiler (stage three of the §3.3 pipeline).
+
+Lowers a parsed (and possibly annotated) :class:`Module` into a
+:class:`CompiledProgram` whose :meth:`CompiledProgram.main` runs on the
+VM.  The mapping onto the simulated machine:
+
+* **Globals** live in guest memory (one word each, allocated before
+  ``main`` runs) — so global accesses are shared-memory accesses the
+  detectors see, like the data/bss of a real binary.
+* **Locals and parameters** are host-level (registers/stack) — invisible
+  to the detectors, like compiler-allocated temporaries.
+* **Objects** are :class:`repro.cxx.object_model.CxxObject` instances:
+  ``new`` runs the constructor chain (vptr writes!), ``delete`` the
+  destructor chain, field access loads/stores guest words, method calls
+  dispatch through the vptr.  Allocation goes through the configured
+  :class:`repro.cxx.allocator.CxxAllocator`.
+* **Builtins** map one-to-one onto :class:`repro.runtime.vm.GuestAPI`
+  operations (mutexes, rw-locks, queues, semaphores, condvars, sleep,
+  client requests) plus the :mod:`repro.cxx` library (COW strings,
+  libc's ``localtime``).
+
+Execution is a tree-walking interpreter: MiniCxx programs are small and
+every interesting cost is a guest *trap* anyway, so interpreter overhead
+is irrelevant next to the detector work it triggers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cxx.allocator import AllocStrategy, CxxAllocator
+from repro.cxx.libc import LibC
+from repro.cxx.object_model import CxxClass, CxxObject, delete_object, new_object
+from repro.cxx.string import CowString
+from repro.errors import CompileError, GuestFault
+from repro.instrument import ast_nodes as A
+from repro.oracle import GroundTruth
+
+__all__ = ["CompiledProgram", "compile_module"]
+
+
+class _Return(Exception):
+    """Internal non-error control flow for ``return``."""
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+
+@dataclass
+class _Env:
+    """One activation record: locals over a shared runtime."""
+
+    rt: "_Runtime"
+    locals: dict[str, object] = field(default_factory=dict)
+
+
+class _Runtime:
+    """Per-run state shared by all threads of the compiled program."""
+
+    def __init__(self, program: "CompiledProgram", api) -> None:
+        self.program = program
+        self.truth = program.truth
+        self.allocator = CxxAllocator(
+            api,
+            strategy=program.alloc_strategy,
+            truth=program.truth,
+            announce=program.announce_reuse,
+        )
+        self.libc = LibC(truth=program.truth)
+        self.globals: dict[str, int] = {}
+        self.output: list[object] = []
+
+
+class CompiledProgram:
+    """An executable MiniCxx module.
+
+    Run it with ``VM().run(program.main)``; after the run,
+    :attr:`last_output` holds everything the program ``print``-ed.
+    """
+
+    def __init__(
+        self,
+        module: A.Module,
+        *,
+        truth: GroundTruth | None = None,
+        alloc_strategy: AllocStrategy = AllocStrategy.POOL,
+        announce_reuse: bool = False,
+        entry: str = "main",
+    ) -> None:
+        self.module = module
+        self.truth = truth
+        self.alloc_strategy = alloc_strategy
+        self.announce_reuse = announce_reuse
+        self.entry = entry
+        self.classes: dict[str, CxxClass] = {}
+        self.functions: dict[str, A.FunctionDecl] = {}
+        self.last_output: list[object] = []
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Static build
+    # ------------------------------------------------------------------
+
+    def _build(self) -> None:
+        module = self.module
+        for fn in module.functions:
+            if fn.name in self.functions:
+                raise CompileError(f"duplicate function {fn.name!r}")
+            self.functions[fn.name] = fn
+        for cls in module.classes:
+            if cls.name in self.classes:
+                raise CompileError(f"duplicate class {cls.name!r}")
+            base = None
+            if cls.base is not None:
+                base = self.classes.get(cls.base)
+                if base is None:
+                    raise CompileError(
+                        f"class {cls.name!r}: unknown base {cls.base!r} "
+                        "(bases must be declared first)"
+                    )
+            methods = {}
+            for m in cls.methods:
+                methods[m.name] = self._make_method(m)
+            if cls.dtor is not None:
+                methods["~"] = self._make_dtor(cls)
+            self.classes[cls.name] = CxxClass(
+                name=cls.name,
+                base=base,
+                fields=tuple(f.name for f in cls.fields),
+                methods=methods,
+                file=module.source_name,
+                line=cls.line,
+            )
+        if self.entry not in self.functions:
+            raise CompileError(f"module has no {self.entry!r} function")
+        self._check_references()
+
+    def _check_references(self) -> None:
+        for node in A.walk(self.module):
+            if isinstance(node, A.New) and node.class_name not in self.classes:
+                raise CompileError(
+                    f"new of unknown class {node.class_name!r} (line {node.line})"
+                )
+            if isinstance(node, (A.Call, A.Spawn)):
+                name = node.func
+                if name not in self.functions and name not in _BUILTIN_NAMES:
+                    raise CompileError(
+                        f"call to unknown function {name!r} (line {node.line})"
+                    )
+
+    def _make_method(self, decl: A.MethodDecl):
+        program = self
+
+        def impl(api, obj, *args, __decl=decl):
+            if len(args) != len(__decl.params):
+                raise GuestFault(
+                    f"method {__decl.name} expects {len(__decl.params)} args, "
+                    f"got {len(args)}",
+                    tid=api.tid,
+                )
+            rt = program._runtime_of(api)
+            env = _Env(rt)
+            env.locals["this"] = obj
+            env.locals.update(zip(__decl.params, args))
+            with api.frame(
+                f"{obj.cls.name}::{__decl.name}", program.module.source_name, __decl.line
+            ):
+                try:
+                    program._exec_block(api, env, __decl.body)
+                except _Return as r:
+                    return r.value
+            return None
+
+        return impl
+
+    def _make_dtor(self, decl: A.ClassDecl):
+        program = self
+
+        def impl(api, obj, *, __decl=decl):
+            rt = program._runtime_of(api)
+            env = _Env(rt)
+            env.locals["this"] = obj
+            try:
+                program._exec_block(api, env, __decl.dtor)
+            except _Return:
+                pass
+
+        return impl
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def main(self, api, *args):
+        """VM entry point: allocate globals, run initialisers, call main."""
+        rt = _Runtime(self, api)
+        self._rt_by_vm = getattr(self, "_rt_by_vm", {})
+        self._rt_by_vm[id(api.vm)] = rt
+        if self.module.globals:
+            base = api.malloc(len(self.module.globals), tag="globals")
+            for i, g in enumerate(self.module.globals):
+                rt.globals[g.name] = base + i
+            env = _Env(rt)
+            for g in self.module.globals:
+                value = (
+                    self._eval(api, env, g.init) if g.init is not None else 0
+                )
+                api.store(rt.globals[g.name], value)
+        result = self._call_function(api, rt, self.functions[self.entry], list(args))
+        self.last_output = rt.output
+        return result
+
+    def _runtime_of(self, api) -> _Runtime:
+        return self._rt_by_vm[id(api.vm)]
+
+    # ------------------------------------------------------------------
+    # Interpreter
+    # ------------------------------------------------------------------
+
+    def _call_function(self, api, rt: _Runtime, decl: A.FunctionDecl, args: list):
+        if len(args) != len(decl.params):
+            raise GuestFault(
+                f"function {decl.name} expects {len(decl.params)} args, got {len(args)}",
+                tid=api.tid,
+            )
+        env = _Env(rt)
+        env.locals.update(zip(decl.params, args))
+        with api.frame(decl.name, self.module.source_name, decl.line):
+            try:
+                self._exec_block(api, env, decl.body)
+            except _Return as r:
+                return r.value
+        return None
+
+    def _exec_block(self, api, env: _Env, block: A.Block) -> None:
+        for stmt in block.body:
+            self._exec_stmt(api, env, stmt)
+
+    def _exec_stmt(self, api, env: _Env, stmt: A.Stmt) -> None:
+        api.at(stmt.line)
+        if isinstance(stmt, A.VarDecl):
+            env.locals[stmt.name] = self._eval(api, env, stmt.init)
+        elif isinstance(stmt, A.Assign):
+            value = self._eval(api, env, stmt.value)
+            self._assign(api, env, stmt.target, value)
+        elif isinstance(stmt, A.ExprStmt):
+            self._eval(api, env, stmt.expr)
+        elif isinstance(stmt, A.If):
+            if self._truthy(self._eval(api, env, stmt.cond)):
+                self._exec_block(api, env, stmt.then)
+            elif stmt.otherwise is not None:
+                self._exec_block(api, env, stmt.otherwise)
+        elif isinstance(stmt, A.While):
+            while self._truthy(self._eval(api, env, stmt.cond)):
+                self._exec_block(api, env, stmt.body)
+        elif isinstance(stmt, A.Return):
+            value = self._eval(api, env, stmt.value) if stmt.value is not None else None
+            raise _Return(value)
+        elif isinstance(stmt, A.Delete):
+            obj = self._eval(api, env, stmt.operand)
+            if not isinstance(obj, CxxObject):
+                raise GuestFault(
+                    f"delete of non-object {obj!r} (line {stmt.line})", tid=api.tid
+                )
+            # NOTE: annotation happens *in source* (the rewritten operand
+            # already emitted hg_destruct via the helper), so the runtime
+            # delete itself never annotates — faithful to Figure 4.
+            delete_object(
+                api, obj, env.rt.allocator, annotate=False, truth=env.rt.truth
+            )
+        elif isinstance(stmt, A.Join):
+            handle = self._eval(api, env, stmt.operand)
+            api.join(handle)
+        elif isinstance(stmt, A.Block):
+            self._exec_block(api, env, stmt)
+        else:  # pragma: no cover - parser produces no other nodes
+            raise CompileError(f"unknown statement {stmt!r}")
+
+    def _assign(self, api, env: _Env, target: A.Expr, value) -> None:
+        if isinstance(target, A.Name):
+            name = target.ident
+            if name in env.locals:
+                env.locals[name] = value
+            elif name in env.rt.globals:
+                api.store(env.rt.globals[name], value)
+            else:
+                env.locals[name] = value
+        elif isinstance(target, A.Member):
+            obj = self._eval(api, env, target.obj)
+            self._require_object(api, obj, target)
+            obj.set(api, target.field_name, value)
+        else:  # pragma: no cover - parser enforces lvalues
+            raise CompileError("bad assignment target")
+
+    # -- expressions -----------------------------------------------------
+
+    def _eval(self, api, env: _Env, expr: A.Expr):
+        if isinstance(expr, A.IntLit):
+            return expr.value
+        if isinstance(expr, A.StrLit):
+            return expr.value
+        if isinstance(expr, A.BoolLit):
+            return expr.value
+        if isinstance(expr, A.NullLit):
+            return None
+        if isinstance(expr, A.Name):
+            return self._lookup(api, env, expr)
+        if isinstance(expr, A.Member):
+            obj = self._eval(api, env, expr.obj)
+            self._require_object(api, obj, expr)
+            return obj.get(api, expr.field_name)
+        if isinstance(expr, A.Unary):
+            operand = self._eval(api, env, expr.operand)
+            if expr.op == "-":
+                return -operand
+            return not self._truthy(operand)
+        if isinstance(expr, A.Binary):
+            return self._binary(api, env, expr)
+        if isinstance(expr, A.Call):
+            return self._call(api, env, expr)
+        if isinstance(expr, A.MethodCall):
+            obj = self._eval(api, env, expr.obj)
+            self._require_object(api, obj, expr)
+            args = [self._eval(api, env, a) for a in expr.args]
+            return obj.vcall(api, expr.method, *args)
+        if isinstance(expr, A.New):
+            cls = self.classes[expr.class_name]
+            return new_object(api, cls, env.rt.allocator)
+        if isinstance(expr, A.Spawn):
+            return self._spawn(api, env, expr)
+        raise CompileError(f"unknown expression {expr!r}")  # pragma: no cover
+
+    def _lookup(self, api, env: _Env, expr: A.Name):
+        name = expr.ident
+        if name in env.locals:
+            return env.locals[name]
+        if name in env.rt.globals:
+            return api.load(env.rt.globals[name])
+        raise GuestFault(f"undefined variable {name!r} (line {expr.line})", tid=api.tid)
+
+    def _binary(self, api, env: _Env, expr: A.Binary):
+        op = expr.op
+        if op == "&&":
+            return self._truthy(self._eval(api, env, expr.left)) and self._truthy(
+                self._eval(api, env, expr.right)
+            )
+        if op == "||":
+            return self._truthy(self._eval(api, env, expr.left)) or self._truthy(
+                self._eval(api, env, expr.right)
+            )
+        left = self._eval(api, env, expr.left)
+        right = self._eval(api, env, expr.right)
+        try:
+            if op == "+":
+                return left + right
+            if op == "-":
+                return left - right
+            if op == "*":
+                return left * right
+            if op == "/":
+                return left // right
+            if op == "%":
+                return left % right
+            if op == "==":
+                return left == right
+            if op == "!=":
+                return left != right
+            if op == "<":
+                return left < right
+            if op == ">":
+                return left > right
+            if op == "<=":
+                return left <= right
+            if op == ">=":
+                return left >= right
+        except (TypeError, ZeroDivisionError) as exc:
+            raise GuestFault(
+                f"arithmetic fault {left!r} {op} {right!r}: {exc} (line {expr.line})",
+                tid=api.tid,
+            ) from None
+        raise CompileError(f"unknown operator {op!r}")  # pragma: no cover
+
+    def _call(self, api, env: _Env, expr: A.Call):
+        args = [self._eval(api, env, a) for a in expr.args]
+        decl = self.functions.get(expr.func)
+        if decl is not None:
+            return self._call_function(api, env.rt, decl, args)
+        builtin = _BUILTINS.get(expr.func)
+        if builtin is None:  # pragma: no cover - compile-time checked
+            raise CompileError(f"unknown function {expr.func!r}")
+        return builtin(api, env, args, expr)
+
+    def _spawn(self, api, env: _Env, expr: A.Spawn):
+        decl = self.functions.get(expr.func)
+        if decl is None:
+            raise CompileError(f"spawn of unknown function {expr.func!r}")
+        args = [self._eval(api, env, a) for a in expr.args]
+        rt = env.rt
+        program = self
+
+        def thread_main(child_api):
+            return program._call_function(child_api, rt, decl, args)
+
+        return api.spawn(thread_main, name=expr.func)
+
+    @staticmethod
+    def _truthy(value) -> bool:
+        return bool(value)
+
+    @staticmethod
+    def _require_object(api, obj, expr) -> None:
+        if not isinstance(obj, CxxObject):
+            raise GuestFault(
+                f"member access on non-object {obj!r} (line {expr.line})",
+                tid=api.tid,
+            )
+
+
+# ----------------------------------------------------------------------
+# Builtins
+# ----------------------------------------------------------------------
+
+
+def _need(args, n, expr):
+    if len(args) != n:
+        raise GuestFault(
+            f"builtin {expr.func} expects {n} args, got {len(args)} (line {expr.line})"
+        )
+
+
+def _bi_mutex(api, env, args, expr):
+    return api.mutex()
+
+
+def _bi_rwlock(api, env, args, expr):
+    return api.rwlock()
+
+
+def _bi_lock(api, env, args, expr):
+    _need(args, 1, expr)
+    api.lock(args[0])
+
+
+def _bi_unlock(api, env, args, expr):
+    _need(args, 1, expr)
+    api.unlock(args[0])
+
+
+def _bi_rdlock(api, env, args, expr):
+    _need(args, 1, expr)
+    api.rdlock(args[0])
+
+
+def _bi_wrlock(api, env, args, expr):
+    _need(args, 1, expr)
+    api.wrlock(args[0])
+
+
+def _bi_rwunlock(api, env, args, expr):
+    _need(args, 1, expr)
+    api.rw_unlock(args[0])
+
+
+def _bi_queue(api, env, args, expr):
+    return api.queue(maxsize=args[0] if args else None)
+
+
+def _bi_put(api, env, args, expr):
+    _need(args, 2, expr)
+    api.put(args[0], args[1])
+
+
+def _bi_take(api, env, args, expr):
+    _need(args, 1, expr)
+    return api.get(args[0])
+
+
+def _bi_sem(api, env, args, expr):
+    return api.semaphore(args[0] if args else 0)
+
+
+def _bi_sem_post(api, env, args, expr):
+    _need(args, 1, expr)
+    api.sem_post(args[0])
+
+
+def _bi_sem_wait(api, env, args, expr):
+    _need(args, 1, expr)
+    api.sem_wait(args[0])
+
+
+def _bi_condvar(api, env, args, expr):
+    return api.condvar()
+
+
+def _bi_cond_wait(api, env, args, expr):
+    _need(args, 2, expr)
+    api.cond_wait(args[0], args[1])
+
+
+def _bi_cond_signal(api, env, args, expr):
+    _need(args, 1, expr)
+    api.cond_signal(args[0])
+
+
+def _bi_cond_broadcast(api, env, args, expr):
+    _need(args, 1, expr)
+    api.cond_broadcast(args[0])
+
+
+def _bi_yield(api, env, args, expr):
+    api.yield_()
+
+
+def _bi_sleep(api, env, args, expr):
+    _need(args, 1, expr)
+    api.sleep(args[0])
+
+
+def _bi_print(api, env, args, expr):
+    env.rt.output.extend(args)
+
+
+def _bi_hg_destruct(api, env, args, expr):
+    _need(args, 1, expr)
+    obj = args[0]
+    if not isinstance(obj, CxxObject):
+        raise GuestFault(
+            f"hg_destruct of non-object {obj!r} (line {expr.line})", tid=api.tid
+        )
+    api.hg_destruct(obj.addr, obj.cls.size)
+    return obj
+
+
+def _bi_string(api, env, args, expr):
+    _need(args, 1, expr)
+    return CowString.create(api, args[0], env.rt.allocator, truth=env.rt.truth)
+
+
+def _bi_scopy(api, env, args, expr):
+    _need(args, 1, expr)
+    return args[0].copy(api)
+
+
+def _bi_svalue(api, env, args, expr):
+    _need(args, 1, expr)
+    return args[0].value(api)
+
+
+def _bi_sdispose(api, env, args, expr):
+    _need(args, 1, expr)
+    args[0].dispose(api)
+
+
+def _bi_localtime(api, env, args, expr):
+    _need(args, 1, expr)
+    return env.rt.libc.localtime(api, args[0])
+
+
+def _bi_assert(api, env, args, expr):
+    _need(args, 1, expr)
+    if not args[0]:
+        raise GuestFault(f"assertion failed (line {expr.line})", tid=api.tid)
+
+
+_BUILTINS = {
+    "mutex": _bi_mutex,
+    "rwlock": _bi_rwlock,
+    "lock": _bi_lock,
+    "unlock": _bi_unlock,
+    "rdlock": _bi_rdlock,
+    "wrlock": _bi_wrlock,
+    "rwunlock": _bi_rwunlock,
+    "queue": _bi_queue,
+    "put": _bi_put,
+    "take": _bi_take,
+    "sem": _bi_sem,
+    "sem_post": _bi_sem_post,
+    "sem_wait": _bi_sem_wait,
+    "condvar": _bi_condvar,
+    "cond_wait": _bi_cond_wait,
+    "cond_signal": _bi_cond_signal,
+    "cond_broadcast": _bi_cond_broadcast,
+    "yield": _bi_yield,
+    "sleep": _bi_sleep,
+    "print": _bi_print,
+    "hg_destruct": _bi_hg_destruct,
+    "string": _bi_string,
+    "scopy": _bi_scopy,
+    "svalue": _bi_svalue,
+    "sdispose": _bi_sdispose,
+    "localtime": _bi_localtime,
+    "assert": _bi_assert,
+}
+
+_BUILTIN_NAMES = frozenset(_BUILTINS)
+
+
+def compile_module(
+    module: A.Module,
+    *,
+    truth: GroundTruth | None = None,
+    alloc_strategy: AllocStrategy = AllocStrategy.POOL,
+    announce_reuse: bool = False,
+    entry: str = "main",
+) -> CompiledProgram:
+    """Compile ``module``; see :class:`CompiledProgram`."""
+    return CompiledProgram(
+        module,
+        truth=truth,
+        alloc_strategy=alloc_strategy,
+        announce_reuse=announce_reuse,
+        entry=entry,
+    )

@@ -1,0 +1,155 @@
+"""MiniCxx lexer.
+
+Hand-rolled scanner producing a flat token list.  Tokens carry source
+positions so that parse errors, the annotation pass and compiled stack
+frames can all point back at the original line — the "debug symbols"
+Helgrind wants (§3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LexError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    {
+        "class",
+        "field",
+        "method",
+        "dtor",
+        "fn",
+        "var",
+        "global",
+        "if",
+        "else",
+        "while",
+        "return",
+        "new",
+        "delete",
+        "spawn",
+        "join",
+        "true",
+        "false",
+        "null",
+    }
+)
+
+_TWO_CHAR_OPS = ("==", "!=", "<=", ">=", "&&", "||")
+_ONE_CHAR_OPS = "+-*/%<>=!(){},;.:&|"
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexical token: ``kind`` is 'ident', 'int', 'string', 'kw',
+    'op' or 'eof'; ``value`` the lexeme (or decoded value)."""
+
+    kind: str
+    value: object
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Scan ``source`` into tokens (with a trailing ``eof`` token)."""
+    tokens: list[Token] = []
+    line = 1
+    col = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        # Whitespace / newlines --------------------------------------
+        if ch == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        # Comments ----------------------------------------------------
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise LexError("unterminated block comment", line, col)
+            skipped = source[i : end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                col = len(skipped) - skipped.rfind("\n")
+            else:
+                col += len(skipped)
+            i = end + 2
+            continue
+        # String literals ----------------------------------------------
+        if ch == '"':
+            j = i + 1
+            buf = []
+            while j < n and source[j] != '"':
+                if source[j] == "\n":
+                    raise LexError("newline in string literal", line, col)
+                if source[j] == "\\" and j + 1 < n:
+                    esc = source[j + 1]
+                    buf.append({"n": "\n", "t": "\t", '"': '"', "\\": "\\"}.get(esc, esc))
+                    j += 2
+                else:
+                    buf.append(source[j])
+                    j += 1
+            if j >= n:
+                raise LexError("unterminated string literal", line, col)
+            tokens.append(Token("string", "".join(buf), line, col))
+            col += j + 1 - i
+            i = j + 1
+            continue
+        # Numbers -------------------------------------------------------
+        # ASCII digits only: str.isdigit() accepts characters like '²'
+        # that int() rejects, so the checks must be explicit.
+        if "0" <= ch <= "9":
+            j = i
+            while j < n and "0" <= source[j] <= "9":
+                j += 1
+            tokens.append(Token("int", int(source[i:j]), line, col))
+            col += j - i
+            i = j
+            continue
+        # Identifiers / keywords (ASCII only — MiniCxx is C++-flavoured)
+        if "a" <= ch <= "z" or "A" <= ch <= "Z" or ch == "_":
+            j = i
+            while j < n and (
+                "a" <= source[j] <= "z"
+                or "A" <= source[j] <= "Z"
+                or "0" <= source[j] <= "9"
+                or source[j] == "_"
+            ):
+                j += 1
+            word = source[i:j]
+            kind = "kw" if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, line, col))
+            col += j - i
+            i = j
+            continue
+        # Operators ----------------------------------------------------
+        two = source[i : i + 2]
+        if two in _TWO_CHAR_OPS:
+            tokens.append(Token("op", two, line, col))
+            i += 2
+            col += 2
+            continue
+        if ch in _ONE_CHAR_OPS:
+            tokens.append(Token("op", ch, line, col))
+            i += 1
+            col += 1
+            continue
+        raise LexError(f"unexpected character {ch!r}", line, col)
+    tokens.append(Token("eof", None, line, col))
+    return tokens

@@ -1,0 +1,321 @@
+"""MiniCxx recursive-descent parser.
+
+Grammar (EBNF, ``{}`` = repetition, ``[]`` = option)::
+
+    module      := { class_decl | fn_decl | global_decl }
+    class_decl  := "class" IDENT [":" IDENT] "{" { member } "}" ";"
+    member      := "field" IDENT ";"
+                 | "method" IDENT "(" params ")" block
+                 | "dtor" block
+    fn_decl     := "fn" IDENT "(" params ")" block
+    global_decl := "global" IDENT ["=" expr] ";"
+    params      := [ IDENT { "," IDENT } ]
+    block       := "{" { stmt } "}"
+    stmt        := "var" IDENT "=" expr ";"
+                 | "if" "(" expr ")" block [ "else" block ]
+                 | "while" "(" expr ")" block
+                 | "return" [expr] ";"
+                 | "delete" expr ";"
+                 | "join" expr ";"
+                 | assign_or_expr ";"
+    assign_or_expr := expr [ "=" expr ]      -- lhs must be Name/Member
+    expr        := or_expr
+    or_expr     := and_expr { "||" and_expr }
+    and_expr    := cmp_expr { "&&" cmp_expr }
+    cmp_expr    := add_expr { ("=="|"!="|"<"|">"|"<="|">=") add_expr }
+    add_expr    := mul_expr { ("+"|"-") mul_expr }
+    mul_expr    := unary { ("*"|"/"|"%") unary }
+    unary       := ("-"|"!") unary | postfix
+    postfix     := primary { "." IDENT [ "(" args ")" ] }
+    primary     := INT | STRING | "true" | "false" | "null"
+                 | "new" IDENT | "spawn" IDENT "(" args ")"
+                 | IDENT [ "(" args ")" ] | "(" expr ")"
+
+The parser is deliberately a plain LL(1)-with-peeking descent — the GLR
+power of ELSA is only needed for real C++'s ambiguities, which MiniCxx
+does not have.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.instrument import ast_nodes as A
+from repro.instrument.lexer import Token, tokenize
+
+__all__ = ["parse"]
+
+
+def parse(source: str, *, source_name: str = "<minicxx>") -> A.Module:
+    """Parse MiniCxx source text into a :class:`Module`."""
+    return _Parser(tokenize(source), source_name).module()
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], source_name: str) -> None:
+        self._tokens = tokens
+        self._pos = 0
+        self._source_name = source_name
+
+    # -- token plumbing -------------------------------------------------
+
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        tok = self._cur
+        if tok.kind != "eof":
+            self._pos += 1
+        return tok
+
+    def _check(self, kind: str, value=None) -> bool:
+        tok = self._cur
+        return tok.kind == kind and (value is None or tok.value == value)
+
+    def _accept(self, kind: str, value=None) -> Token | None:
+        if self._check(kind, value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, value=None) -> Token:
+        tok = self._cur
+        if not self._check(kind, value):
+            want = value if value is not None else kind
+            raise ParseError(
+                f"expected {want!r}, got {tok.value!r}", tok.line, tok.column
+            )
+        return self._advance()
+
+    # -- module ----------------------------------------------------------
+
+    def module(self) -> A.Module:
+        mod = A.Module(source_name=self._source_name)
+        while not self._check("eof"):
+            if self._check("kw", "class"):
+                mod.classes.append(self._class_decl())
+            elif self._check("kw", "fn"):
+                mod.functions.append(self._fn_decl())
+            elif self._check("kw", "global"):
+                mod.globals.append(self._global_decl())
+            else:
+                tok = self._cur
+                raise ParseError(
+                    f"expected 'class', 'fn' or 'global' at top level, got {tok.value!r}",
+                    tok.line,
+                    tok.column,
+                )
+        return mod
+
+    def _class_decl(self) -> A.ClassDecl:
+        kw = self._expect("kw", "class")
+        name = self._expect("ident").value
+        base = None
+        if self._accept("op", ":"):
+            base = self._expect("ident").value
+        self._expect("op", "{")
+        fields: list[A.FieldDecl] = []
+        methods: list[A.MethodDecl] = []
+        dtor: A.Block | None = None
+        while not self._accept("op", "}"):
+            if self._check("kw", "field"):
+                f = self._advance()
+                fname = self._expect("ident").value
+                self._expect("op", ";")
+                fields.append(A.FieldDecl(fname, line=f.line))
+            elif self._check("kw", "method"):
+                m = self._advance()
+                mname = self._expect("ident").value
+                params = self._params()
+                body = self._block()
+                methods.append(A.MethodDecl(mname, params, body, line=m.line))
+            elif self._check("kw", "dtor"):
+                d = self._advance()
+                if dtor is not None:
+                    raise ParseError("duplicate dtor", d.line, d.column)
+                dtor = self._block()
+            else:
+                tok = self._cur
+                raise ParseError(
+                    f"expected class member, got {tok.value!r}", tok.line, tok.column
+                )
+        self._expect("op", ";")
+        return A.ClassDecl(name, base, fields, methods, dtor, line=kw.line)
+
+    def _fn_decl(self) -> A.FunctionDecl:
+        kw = self._expect("kw", "fn")
+        name = self._expect("ident").value
+        params = self._params()
+        body = self._block()
+        return A.FunctionDecl(name, params, body, line=kw.line)
+
+    def _global_decl(self) -> A.GlobalDecl:
+        kw = self._expect("kw", "global")
+        name = self._expect("ident").value
+        init = None
+        if self._accept("op", "="):
+            init = self._expr()
+        self._expect("op", ";")
+        return A.GlobalDecl(name, init, line=kw.line)
+
+    def _params(self) -> list[str]:
+        self._expect("op", "(")
+        params: list[str] = []
+        if not self._check("op", ")"):
+            params.append(self._expect("ident").value)
+            while self._accept("op", ","):
+                params.append(self._expect("ident").value)
+        self._expect("op", ")")
+        return params
+
+    # -- statements --------------------------------------------------------
+
+    def _block(self) -> A.Block:
+        brace = self._expect("op", "{")
+        body: list[A.Stmt] = []
+        while not self._accept("op", "}"):
+            body.append(self._stmt())
+        return A.Block(line=brace.line, body=body)
+
+    def _stmt(self) -> A.Stmt:
+        tok = self._cur
+        if self._accept("kw", "var"):
+            name = self._expect("ident").value
+            self._expect("op", "=")
+            init = self._expr()
+            self._expect("op", ";")
+            return A.VarDecl(line=tok.line, name=name, init=init)
+        if self._accept("kw", "if"):
+            self._expect("op", "(")
+            cond = self._expr()
+            self._expect("op", ")")
+            then = self._block()
+            otherwise = None
+            if self._accept("kw", "else"):
+                otherwise = self._block()
+            return A.If(line=tok.line, cond=cond, then=then, otherwise=otherwise)
+        if self._accept("kw", "while"):
+            self._expect("op", "(")
+            cond = self._expr()
+            self._expect("op", ")")
+            body = self._block()
+            return A.While(line=tok.line, cond=cond, body=body)
+        if self._accept("kw", "return"):
+            value = None
+            if not self._check("op", ";"):
+                value = self._expr()
+            self._expect("op", ";")
+            return A.Return(line=tok.line, value=value)
+        if self._accept("kw", "delete"):
+            operand = self._expr()
+            self._expect("op", ";")
+            return A.Delete(line=tok.line, operand=operand)
+        if self._accept("kw", "join"):
+            operand = self._expr()
+            self._expect("op", ";")
+            return A.Join(line=tok.line, operand=operand)
+        # assignment or expression statement
+        expr = self._expr()
+        if self._accept("op", "="):
+            if not isinstance(expr, (A.Name, A.Member)):
+                raise ParseError(
+                    "assignment target must be a variable or member",
+                    tok.line,
+                    tok.column,
+                )
+            value = self._expr()
+            self._expect("op", ";")
+            return A.Assign(line=tok.line, target=expr, value=value)
+        self._expect("op", ";")
+        return A.ExprStmt(line=tok.line, expr=expr)
+
+    # -- expressions ---------------------------------------------------------
+
+    def _expr(self) -> A.Expr:
+        return self._or()
+
+    def _binary_level(self, sub, ops) -> A.Expr:
+        left = sub()
+        while self._cur.kind == "op" and self._cur.value in ops:
+            op = self._advance()
+            right = sub()
+            left = A.Binary(line=op.line, op=op.value, left=left, right=right)
+        return left
+
+    def _or(self) -> A.Expr:
+        return self._binary_level(self._and, ("||",))
+
+    def _and(self) -> A.Expr:
+        return self._binary_level(self._cmp, ("&&",))
+
+    def _cmp(self) -> A.Expr:
+        return self._binary_level(self._add, ("==", "!=", "<", ">", "<=", ">="))
+
+    def _add(self) -> A.Expr:
+        return self._binary_level(self._mul, ("+", "-"))
+
+    def _mul(self) -> A.Expr:
+        return self._binary_level(self._unary, ("*", "/", "%"))
+
+    def _unary(self) -> A.Expr:
+        if self._cur.kind == "op" and self._cur.value in ("-", "!"):
+            op = self._advance()
+            return A.Unary(line=op.line, op=op.value, operand=self._unary())
+        return self._postfix()
+
+    def _postfix(self) -> A.Expr:
+        expr = self._primary()
+        while self._accept("op", "."):
+            name_tok = self._expect("ident")
+            if self._check("op", "("):
+                args = self._args()
+                expr = A.MethodCall(
+                    line=name_tok.line, obj=expr, method=name_tok.value, args=args
+                )
+            else:
+                expr = A.Member(
+                    line=name_tok.line, obj=expr, field_name=name_tok.value
+                )
+        return expr
+
+    def _args(self) -> list[A.Expr]:
+        self._expect("op", "(")
+        args: list[A.Expr] = []
+        if not self._check("op", ")"):
+            args.append(self._expr())
+            while self._accept("op", ","):
+                args.append(self._expr())
+        self._expect("op", ")")
+        return args
+
+    def _primary(self) -> A.Expr:
+        tok = self._cur
+        if tok.kind == "int":
+            self._advance()
+            return A.IntLit(line=tok.line, value=tok.value)
+        if tok.kind == "string":
+            self._advance()
+            return A.StrLit(line=tok.line, value=tok.value)
+        if self._accept("kw", "true"):
+            return A.BoolLit(line=tok.line, value=True)
+        if self._accept("kw", "false"):
+            return A.BoolLit(line=tok.line, value=False)
+        if self._accept("kw", "null"):
+            return A.NullLit(line=tok.line)
+        if self._accept("kw", "new"):
+            cls = self._expect("ident").value
+            return A.New(line=tok.line, class_name=cls)
+        if self._accept("kw", "spawn"):
+            fname = self._expect("ident").value
+            args = self._args()
+            return A.Spawn(line=tok.line, func=fname, args=args)
+        if tok.kind == "ident":
+            self._advance()
+            if self._check("op", "("):
+                args = self._args()
+                return A.Call(line=tok.line, func=tok.value, args=args)
+            return A.Name(line=tok.line, ident=tok.value)
+        if self._accept("op", "("):
+            inner = self._expr()
+            self._expect("op", ")")
+            return inner
+        raise ParseError(f"unexpected token {tok.value!r}", tok.line, tok.column)

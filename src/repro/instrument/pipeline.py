@@ -1,0 +1,124 @@
+"""The three-stage build pipeline behind a compiler-wrapper façade.
+
+§3.3: *"the instrumentation and compilation process has three stages.
+First, the GNU compiler is used to preprocess the source file.  Then the
+parser reads the preprocessed source file and generates the annotated
+source file.  In the third and last step, the compiler generates object
+code from the annotated source file.  This can be done in a shell script
+that replaces the compiler call during the build process, making the
+instrumentation transparent to the build tools and the programmer."*
+
+:class:`BuildPipeline` is that shell script: call :meth:`build` with
+source text and you get an executable program back.  Whether the
+annotation stage runs is a single :class:`BuildOptions` switch — "in
+most cases only a configuration switch for the build process has to be
+set" (§5) — and the intermediate artefacts (preprocessed source,
+annotated source) are kept for inspection, because the paper's whole
+point is that a developer can diff them (Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cxx.allocator import AllocStrategy
+from repro.instrument.annotate import annotate_module, count_delete_sites
+from repro.instrument.compiler import CompiledProgram, compile_module
+from repro.instrument.parser import parse
+from repro.instrument.preprocess import preprocess
+from repro.instrument.render import render_module
+from repro.oracle import GroundTruth
+
+__all__ = ["BuildOptions", "BuildArtifacts", "BuildPipeline"]
+
+
+@dataclass(frozen=True, slots=True)
+class BuildOptions:
+    """Build-time configuration (the Makefile variables).
+
+    ``instrument`` is *the* switch of the paper: stage two on or off.
+    ``force_new_allocator`` models the ``GLIBCPP_FORCE_NEW`` environment
+    variable the paper says must be set "prior to calling Helgrind".
+    """
+
+    instrument: bool = True
+    force_new_allocator: bool = False
+    announce_pool_reuse: bool = False
+    defines: dict[str, str] = field(default_factory=dict)
+    entry: str = "main"
+
+    def __hash__(self) -> int:  # dict field blocks the generated hash
+        return hash((self.instrument, self.force_new_allocator, self.entry))
+
+
+@dataclass(slots=True)
+class BuildArtifacts:
+    """Everything a build produces, intermediate stages included."""
+
+    source: str
+    preprocessed: str
+    annotated_source: str
+    program: CompiledProgram
+    delete_sites: int
+    annotated_sites: int
+
+
+class BuildPipeline:
+    """Preprocess → (annotate) → compile, like the §3.3 wrapper script."""
+
+    def __init__(
+        self,
+        *,
+        includes: dict[str, str] | None = None,
+        truth: GroundTruth | None = None,
+    ) -> None:
+        self.includes = dict(includes or {})
+        self.truth = truth
+
+    def add_header(self, name: str, text: str) -> None:
+        """Register a header for ``#include`` resolution."""
+        self.includes[name] = text
+
+    def build(
+        self,
+        source: str,
+        options: BuildOptions | None = None,
+        *,
+        source_name: str = "<minicxx>",
+    ) -> BuildArtifacts:
+        """Run the full pipeline on one translation unit."""
+        options = options or BuildOptions()
+        # Stage 1: preprocess (paper: "the GNU compiler is used to
+        # preprocess the source file").
+        preprocessed = preprocess(
+            source, includes=self.includes, defines=options.defines
+        )
+        module = parse(preprocessed, source_name=source_name)
+        total_sites = count_delete_sites(module)
+        # Stage 2: annotate (paper: "the parser reads the preprocessed
+        # source file and generates the annotated source file").
+        if options.instrument:
+            module = annotate_module(module)
+        annotated_source = render_module(module)
+        annotated_sites = count_delete_sites(module, annotated=True)
+        # Stage 3: compile (paper: "the compiler generates object code
+        # from the annotated source file").
+        program = compile_module(
+            module,
+            truth=self.truth,
+            alloc_strategy=(
+                AllocStrategy.FORCE_NEW
+                if options.force_new_allocator
+                else AllocStrategy.POOL
+            ),
+            announce_reuse=options.announce_pool_reuse,
+            entry=options.entry,
+        )
+        return BuildArtifacts(
+            source=source,
+            preprocessed=preprocessed,
+            annotated_source=annotated_source,
+            program=program,
+            delete_sites=total_sites,
+            annotated_sites=annotated_sites,
+        )

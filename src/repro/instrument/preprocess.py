@@ -1,0 +1,147 @@
+"""MiniCxx preprocessor — stage one of the §3.3 pipeline.
+
+The paper: *"The input for the parser must be preprocessed, because
+external files are not read by the parser and the parser requires all
+information to be included in the source file."*  Exactly so here: the
+parser sees one flat translation unit; this stage resolves
+
+* ``#include "name"`` — textual inclusion from an in-memory header map
+  (the build system's ``-I`` path), with double-inclusion protection via
+  an include stack (cycles are an error, repeats are allowed once each
+  per site, like plain C headers without guards — use ``#ifndef``
+  guards in headers, like real code does);
+* ``#define NAME replacement`` — object-like macros, substituted on
+  word boundaries for the rest of the unit;
+* ``#undef NAME``;
+* ``#ifdef NAME`` / ``#ifndef NAME`` / ``#else`` / ``#endif`` —
+  conditional sections (nestable).  This is how a build flags code in or
+  out — e.g. a debug-only section — without touching the source.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import InstrumentError
+
+__all__ = ["preprocess"]
+
+_WORD = re.compile(r"\b[A-Za-z_][A-Za-z0-9_]*\b")
+
+
+def preprocess(
+    source: str,
+    *,
+    includes: dict[str, str] | None = None,
+    defines: dict[str, str] | None = None,
+    _stack: tuple[str, ...] = (),
+    _macros: dict[str, str] | None = None,
+) -> str:
+    """Expand directives; returns the flat translation unit.
+
+    ``includes`` maps header names to their text; ``defines`` seeds the
+    macro table (the ``-D`` command-line flags).  ``_macros`` is the
+    live macro table threaded through ``#include`` recursion so that a
+    ``#define`` made inside a header (an include guard!) is visible to
+    the rest of the translation unit.
+    """
+    includes = includes or {}
+    macros: dict[str, str] = _macros if _macros is not None else dict(defines or {})
+    out: list[str] = []
+    #: Condition stack: each entry is (taking_this_branch, any_branch_taken).
+    conds: list[list[bool]] = []
+
+    def active() -> bool:
+        return all(frame[0] for frame in conds)
+
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        stripped = line.strip()
+        if stripped.startswith("#"):
+            parts = stripped[1:].split(None, 2)
+            directive = parts[0] if parts else ""
+            if directive == "include":
+                if not active():
+                    continue
+                name = _include_name(stripped, lineno)
+                if name in _stack:
+                    raise InstrumentError(
+                        f"circular #include of {name!r} (line {lineno})"
+                    )
+                try:
+                    header = includes[name]
+                except KeyError:
+                    raise InstrumentError(
+                        f"#include {name!r} not found (line {lineno})"
+                    ) from None
+                expanded = preprocess(
+                    header,
+                    includes=includes,
+                    _stack=_stack + (name,),
+                    _macros=macros,
+                )
+                out.append(expanded)
+            elif directive == "define":
+                if not active():
+                    continue
+                if len(parts) < 2:
+                    raise InstrumentError(f"#define needs a name (line {lineno})")
+                macros[parts[1]] = parts[2] if len(parts) > 2 else "1"
+            elif directive == "undef":
+                if not active():
+                    continue
+                if len(parts) < 2:
+                    raise InstrumentError(f"#undef needs a name (line {lineno})")
+                macros.pop(parts[1], None)
+            elif directive in ("ifdef", "ifndef"):
+                if len(parts) < 2:
+                    raise InstrumentError(f"#{directive} needs a name (line {lineno})")
+                defined = parts[1] in macros
+                take = defined if directive == "ifdef" else not defined
+                take = take and active()
+                conds.append([take, take])
+            elif directive == "else":
+                if not conds:
+                    raise InstrumentError(f"#else without #ifdef (line {lineno})")
+                frame = conds[-1]
+                parent_active = all(f[0] for f in conds[:-1])
+                frame[0] = parent_active and not frame[1]
+                frame[1] = frame[1] or frame[0]
+            elif directive == "endif":
+                if not conds:
+                    raise InstrumentError(f"#endif without #ifdef (line {lineno})")
+                conds.pop()
+            else:
+                raise InstrumentError(
+                    f"unknown preprocessor directive #{directive} (line {lineno})"
+                )
+            # Directives keep line numbering roughly aligned by leaving
+            # a blank line behind.
+            out.append("")
+            continue
+        if not active():
+            out.append("")
+            continue
+        out.append(_substitute(line, macros))
+    if conds:
+        raise InstrumentError("unterminated #ifdef block")
+    return "\n".join(out)
+
+
+def _include_name(line: str, lineno: int) -> str:
+    match = re.search(r'#\s*include\s+"([^"]+)"', line)
+    if match is None:
+        raise InstrumentError(f'malformed #include, expected "name" (line {lineno})')
+    return match.group(1)
+
+
+def _substitute(line: str, macros: dict[str, str]) -> str:
+    """Word-boundary macro substitution, iterated to a fixed point
+    (bounded to avoid self-referential explosions)."""
+    if not macros:
+        return line
+    for _ in range(8):
+        replaced = _WORD.sub(lambda m: macros.get(m.group(0), m.group(0)), line)
+        if replaced == line:
+            return line
+        line = replaced
+    return line

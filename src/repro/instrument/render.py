@@ -1,0 +1,123 @@
+"""AST → MiniCxx source rendering (pretty-printer).
+
+Stage two of the paper's pipeline emits an *annotated source file* that
+then goes to the ordinary compiler — the artefact a developer can read
+to see what the instrumentation did (the right-hand side of Figure 4).
+``render_module`` produces that artefact; round-tripping
+``parse(render_module(m))`` yields an equivalent module, which the tests
+verify.
+"""
+
+from __future__ import annotations
+
+from repro.instrument import ast_nodes as A
+
+__all__ = ["render_module"]
+
+_IND = "    "
+
+
+def render_module(module: A.Module) -> str:
+    parts: list[str] = []
+    for g in module.globals:
+        init = f" = {_expr(g.init)}" if g.init is not None else ""
+        parts.append(f"global {g.name}{init};")
+    if module.globals:
+        parts.append("")
+    for c in module.classes:
+        parts.append(_class(c))
+        parts.append("")
+    for f in module.functions:
+        parts.append(_function(f))
+        parts.append("")
+    return "\n".join(parts).rstrip() + "\n"
+
+
+def _class(c: A.ClassDecl) -> str:
+    head = f"class {c.name}"
+    if c.base:
+        head += f" : {c.base}"
+    lines = [head + " {"]
+    for f in c.fields:
+        lines.append(f"{_IND}field {f.name};")
+    if c.dtor is not None:
+        lines.append(f"{_IND}dtor " + _block(c.dtor, 1).lstrip())
+    for m in c.methods:
+        params = ", ".join(m.params)
+        lines.append(f"{_IND}method {m.name}({params}) " + _block(m.body, 1).lstrip())
+    lines.append("};")
+    return "\n".join(lines)
+
+
+def _function(f: A.FunctionDecl) -> str:
+    params = ", ".join(f.params)
+    return f"fn {f.name}({params}) " + _block(f.body, 0).lstrip()
+
+
+def _block(block: A.Block, depth: int) -> str:
+    ind = _IND * depth
+    inner = _IND * (depth + 1)
+    lines = [ind + "{"]
+    for stmt in block.body:
+        lines.append(inner + _stmt(stmt, depth + 1))
+    lines.append(ind + "}")
+    return "\n".join(lines)
+
+
+def _stmt(s: A.Stmt, depth: int) -> str:
+    if isinstance(s, A.VarDecl):
+        return f"var {s.name} = {_expr(s.init)};"
+    if isinstance(s, A.Assign):
+        return f"{_expr(s.target)} = {_expr(s.value)};"
+    if isinstance(s, A.ExprStmt):
+        return f"{_expr(s.expr)};"
+    if isinstance(s, A.If):
+        text = f"if ({_expr(s.cond)}) " + _block(s.then, depth).lstrip()
+        if s.otherwise is not None:
+            text += " else " + _block(s.otherwise, depth).lstrip()
+        return text
+    if isinstance(s, A.While):
+        return f"while ({_expr(s.cond)}) " + _block(s.body, depth).lstrip()
+    if isinstance(s, A.Return):
+        return "return;" if s.value is None else f"return {_expr(s.value)};"
+    if isinstance(s, A.Delete):
+        return f"delete {_expr(s.operand)};"
+    if isinstance(s, A.Join):
+        return f"join {_expr(s.operand)};"
+    raise TypeError(f"unknown statement {s!r}")  # pragma: no cover
+
+
+def _expr(e: A.Expr) -> str:
+    if isinstance(e, A.IntLit):
+        return str(e.value)
+    if isinstance(e, A.StrLit):
+        escaped = e.value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+        return f'"{escaped}"'
+    if isinstance(e, A.BoolLit):
+        return "true" if e.value else "false"
+    if isinstance(e, A.NullLit):
+        return "null"
+    if isinstance(e, A.Name):
+        return e.ident
+    if isinstance(e, A.Member):
+        return f"{_expr(e.obj)}.{e.field_name}"
+    if isinstance(e, A.Unary):
+        return f"{e.op}{_paren(e.operand)}"
+    if isinstance(e, A.Binary):
+        return f"{_paren(e.left)} {e.op} {_paren(e.right)}"
+    if isinstance(e, A.Call):
+        return f"{e.func}({', '.join(_expr(a) for a in e.args)})"
+    if isinstance(e, A.MethodCall):
+        return f"{_expr(e.obj)}.{e.method}({', '.join(_expr(a) for a in e.args)})"
+    if isinstance(e, A.New):
+        return f"new {e.class_name}"
+    if isinstance(e, A.Spawn):
+        return f"spawn {e.func}({', '.join(_expr(a) for a in e.args)})"
+    raise TypeError(f"unknown expression {e!r}")  # pragma: no cover
+
+
+def _paren(e: A.Expr) -> str:
+    text = _expr(e)
+    if isinstance(e, (A.Binary, A.Unary)):
+        return f"({text})"
+    return text

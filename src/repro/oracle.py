@@ -1,0 +1,126 @@
+"""The ground-truth oracle: what each warning *actually* is.
+
+The paper's results (Figures 5 and 6) are counts of warning locations
+triaged **by hand** into true positives and false-positive categories
+("After inspecting individual warnings, it was clear that most of the
+warnings are false positives resulting from ...").  We replace the
+authors' manual inspection with an explicit oracle: the guest-level
+libraries (:mod:`repro.cxx`) and the application (:mod:`repro.sip`)
+*know* which memory they make intentionally racy-looking — string
+reference counters, object headers rewritten during destruction, pool-
+recycled ranges, queue-transferred messages, injected real bugs — and
+register those ranges here as they allocate them.
+
+:mod:`repro.detectors.classify` then joins a detector's report against
+this oracle to produce exactly the decomposition of the paper's
+Figure 5.
+
+This module is deliberately free of detector and runtime imports so any
+layer may depend on it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro._util.intervals import IntervalMap
+
+__all__ = ["WarningCategory", "GroundTruthEntry", "GroundTruth"]
+
+
+class WarningCategory(enum.Enum):
+    """The paper's triage buckets for reported warning locations."""
+
+    #: A real synchronisation failure (§4.1 — the bugs worth finding).
+    TRUE_RACE = "true-race"
+    #: §4.2.2 / Figure 8: plain reads of a bus-lock-protected word; the
+    #: original mutex model of the LOCK prefix empties the lock-set.
+    FP_HW_LOCK = "fp-hardware-lock"
+    #: §4.2.1: vptr/header writes in base-class destructors of derived
+    #: classes ("Destructor of Derived Classes").
+    FP_DESTRUCTOR = "fp-destructor"
+    #: §4.2.3 / Figure 11: ownership handed over through a message
+    #: queue; the lock-set algorithm is unaware of the post/wait order.
+    FP_OWNERSHIP = "fp-ownership-transfer"
+    #: §4: memory recycled inside the guest allocator pool without the
+    #: detector learning about the free/alloc boundary.
+    FP_ALLOC_REUSE = "fp-allocator-reuse"
+    #: A race that exists but is harmless by design (the paper's
+    #: "benign race" bucket in §4.1's triage vocabulary).
+    BENIGN = "benign"
+    #: The oracle has no claim registered for this address.
+    UNKNOWN = "unknown"
+
+    @property
+    def is_false_positive(self) -> bool:
+        return self in (
+            WarningCategory.FP_HW_LOCK,
+            WarningCategory.FP_DESTRUCTOR,
+            WarningCategory.FP_OWNERSHIP,
+            WarningCategory.FP_ALLOC_REUSE,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class GroundTruthEntry:
+    """One oracle claim: ``[start, end)`` is ``category`` because ``note``.
+
+    ``bug_id`` links a TRUE_RACE claim back to the injected fault in the
+    :mod:`repro.sip.bugs` registry, so experiments can check that every
+    *enabled* bug was actually reported (E9).
+    """
+
+    start: int
+    end: int
+    category: WarningCategory
+    note: str = ""
+    bug_id: str = ""
+
+
+class GroundTruth:
+    """Address-range claims registered by guest code as it allocates.
+
+    The newest claim covering an address wins — memory reused for a new
+    object carries the new object's category.
+    """
+
+    def __init__(self) -> None:
+        self._map = IntervalMap()
+        self._entries: list[GroundTruthEntry] = []
+
+    def claim(
+        self,
+        start: int,
+        size: int,
+        category: WarningCategory,
+        *,
+        note: str = "",
+        bug_id: str = "",
+    ) -> GroundTruthEntry:
+        """Register ``[start, start+size)`` as ``category``."""
+        entry = GroundTruthEntry(start, start + size, category, note, bug_id)
+        self._map.add(entry.start, entry.end, entry)
+        self._entries.append(entry)
+        return entry
+
+    def category_of(self, addr: int) -> WarningCategory:
+        entry = self.entry_for(addr)
+        return entry.category if entry is not None else WarningCategory.UNKNOWN
+
+    def entry_for(self, addr: int) -> GroundTruthEntry | None:
+        """The newest claim covering ``addr``, or ``None``."""
+        payload = self._map.lookup(addr)
+        return payload  # type: ignore[return-value]
+
+    def entries(self, category: WarningCategory | None = None) -> list[GroundTruthEntry]:
+        if category is None:
+            return list(self._entries)
+        return [e for e in self._entries if e.category == category]
+
+    def bug_ids(self) -> set[str]:
+        """All bug ids with at least one TRUE_RACE claim."""
+        return {e.bug_id for e in self._entries if e.bug_id}
+
+    def __len__(self) -> int:
+        return len(self._entries)

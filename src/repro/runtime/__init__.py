@@ -1,0 +1,114 @@
+"""The deterministic cooperative virtual machine (the "Valgrind" substrate).
+
+The paper runs the application under test on Valgrind, a binary
+instrumentation VM that (a) serialises all guest threads onto a single
+carrier thread and (b) traps every memory access, synchronisation
+operation and allocation so that a *tool* (Helgrind) can observe them.
+
+:mod:`repro.runtime` rebuilds exactly that observation layer in Python:
+
+* Guest programs are plain Python callables written against
+  :class:`~repro.runtime.vm.GuestAPI`.
+* Every guest-visible operation is a *trap*: it emits a typed
+  :mod:`event <repro.runtime.events>` to the registered detector hooks and
+  then hands control to a seeded :mod:`scheduler
+  <repro.runtime.scheduler>`, which picks the next guest thread to run.
+* Exactly one guest thread executes at any instant, so detectors observe
+  a single serial event stream — the same vantage point Helgrind has —
+  and a fixed seed reproduces the interleaving bit-for-bit.  This is the
+  GIL-proof substitution called out in ``DESIGN.md``: interleaving is a
+  property of the scheduler, not of the host's thread timing.
+
+Public surface
+--------------
+:class:`~repro.runtime.vm.VM`, :class:`~repro.runtime.vm.GuestAPI`,
+the event types in :mod:`repro.runtime.events`, the schedulers in
+:mod:`repro.runtime.scheduler`, and the synchronisation objects in
+:mod:`repro.runtime.sync`.
+"""
+
+from repro.runtime.addrspace import AddressSpace, MemoryBlock
+from repro.runtime.explore import ExplorationResult, ScheduleOutcome, explore
+from repro.runtime.events import (
+    AccessKind,
+    BarrierWait,
+    ClientRequest,
+    CondSignal,
+    CondWait,
+    Event,
+    Frame,
+    LockAcquire,
+    LockMode,
+    LockRelease,
+    MemAlloc,
+    MemFree,
+    MemoryAccess,
+    QueueGet,
+    QueuePut,
+    SemPost,
+    SemWait,
+    ThreadCreate,
+    ThreadFinish,
+    ThreadJoin,
+)
+from repro.runtime.scheduler import (
+    FixedOrderScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    StickyScheduler,
+)
+from repro.runtime.sync import (
+    SimBarrier,
+    SimCondVar,
+    SimMutex,
+    SimQueue,
+    SimRWLock,
+    SimSemaphore,
+)
+from repro.runtime.thread import SimThread, ThreadState
+from repro.runtime.vm import VM, GuestAPI, VMStats
+
+__all__ = [
+    "AccessKind",
+    "AddressSpace",
+    "BarrierWait",
+    "ClientRequest",
+    "CondSignal",
+    "CondWait",
+    "Event",
+    "ExplorationResult",
+    "ScheduleOutcome",
+    "explore",
+    "FixedOrderScheduler",
+    "Frame",
+    "GuestAPI",
+    "LockAcquire",
+    "LockMode",
+    "LockRelease",
+    "MemAlloc",
+    "MemFree",
+    "MemoryAccess",
+    "MemoryBlock",
+    "QueueGet",
+    "QueuePut",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "SemPost",
+    "SemWait",
+    "SimBarrier",
+    "SimCondVar",
+    "SimMutex",
+    "SimQueue",
+    "SimRWLock",
+    "SimSemaphore",
+    "SimThread",
+    "StickyScheduler",
+    "ThreadCreate",
+    "ThreadFinish",
+    "ThreadJoin",
+    "ThreadState",
+    "VM",
+    "VMStats",
+]

@@ -1,0 +1,221 @@
+"""Simulated POSIX-style synchronisation objects.
+
+These are the guest-visible counterparts of ``pthread_mutex_t``,
+``pthread_rwlock_t``, ``pthread_cond_t``, POSIX semaphores, barriers and
+a message queue (the higher-level primitive of the paper's Figure 11).
+
+The objects here are *state only*: who holds what, who is waiting.  The
+operational protocol — blocking, waking, event emission, fault checks —
+lives in :class:`repro.runtime.vm.GuestAPI` so that every trap follows
+one code path.  This mirrors the real split: ``pthread_mutex_t`` is a
+dumb struct; the semantics live in the library calls that Helgrind
+intercepts.
+
+Waiting uses Mesa semantics throughout: wakers mark waiters runnable and
+the waiters re-check their predicate when scheduled.  Combined with the
+deterministic scheduler this yields reproducible (and explorable)
+wake-up orders.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.runtime.thread import SimThread
+
+__all__ = [
+    "SimMutex",
+    "SimRWLock",
+    "SimCondVar",
+    "SimSemaphore",
+    "SimBarrier",
+    "SimQueue",
+]
+
+
+class _Waitable:
+    """Shared wait-queue bookkeeping."""
+
+    def __init__(self) -> None:
+        #: Threads blocked on this object, in arrival order.
+        self.waiters: list["SimThread"] = []
+
+    def add_waiter(self, thread: "SimThread") -> None:
+        self.waiters.append(thread)
+
+    def remove_waiter(self, thread: "SimThread") -> None:
+        try:
+            self.waiters.remove(thread)
+        except ValueError:  # pragma: no cover - defensive; double-remove is a bug
+            pass
+
+
+class SimMutex(_Waitable):
+    """A non-recursive mutual-exclusion lock (``pthread_mutex_t``)."""
+
+    def __init__(self, lock_id: int, name: str = "") -> None:
+        super().__init__()
+        self.lock_id = lock_id
+        self.name = name or f"m{lock_id}"
+        #: tid of the holder, or ``None`` when free.
+        self.owner_tid: int | None = None
+        #: Number of successful acquisitions (statistics only).
+        self.acquisitions = 0
+
+    @property
+    def held(self) -> bool:
+        return self.owner_tid is not None
+
+    def __repr__(self) -> str:
+        owner = f"t{self.owner_tid}" if self.held else "free"
+        return f"SimMutex({self.name}, {owner})"
+
+
+class SimRWLock(_Waitable):
+    """A read-write lock (``pthread_rwlock_t``).
+
+    Many readers or one writer.  The paper's HWLC improvement required
+    adding exactly this object to Helgrind ("This required the
+    implementation of read-write locks in Helgrind. ... As a benefit,
+    support for the corresponding POSIX API could be added easily.").
+    """
+
+    def __init__(self, lock_id: int, name: str = "") -> None:
+        super().__init__()
+        self.lock_id = lock_id
+        self.name = name or f"rw{lock_id}"
+        #: tids currently holding the lock in read mode.
+        self.reader_tids: set[int] = set()
+        #: tid of the writer, or ``None``.
+        self.writer_tid: int | None = None
+
+    @property
+    def held(self) -> bool:
+        return self.writer_tid is not None or bool(self.reader_tids)
+
+    def can_read(self) -> bool:
+        return self.writer_tid is None
+
+    def can_write(self) -> bool:
+        return self.writer_tid is None and not self.reader_tids
+
+    def mode_held_by(self, tid: int) -> str | None:
+        """``'read'``, ``'write'`` or ``None`` for the given thread."""
+        if self.writer_tid == tid:
+            return "write"
+        if tid in self.reader_tids:
+            return "read"
+        return None
+
+    def __repr__(self) -> str:
+        if self.writer_tid is not None:
+            state = f"writer=t{self.writer_tid}"
+        elif self.reader_tids:
+            state = f"readers={sorted(self.reader_tids)}"
+        else:
+            state = "free"
+        return f"SimRWLock({self.name}, {state})"
+
+
+class SimCondVar(_Waitable):
+    """A condition variable (``pthread_cond_t``).
+
+    ``waiters`` here are threads inside ``cond_wait`` that have released
+    the mutex and not yet been signalled; once signalled they move on to
+    re-acquire the mutex (queueing on the mutex like anyone else).
+    """
+
+    def __init__(self, cond_id: int, name: str = "") -> None:
+        super().__init__()
+        self.cond_id = cond_id
+        self.name = name or f"cv{cond_id}"
+        #: tids whose wait has been signalled but who have not yet woken.
+        self.signalled: set[int] = set()
+
+    def __repr__(self) -> str:
+        return f"SimCondVar({self.name}, waiters={len(self.waiters)})"
+
+
+class SimSemaphore(_Waitable):
+    """A counting semaphore (``sem_t``)."""
+
+    def __init__(self, sem_id: int, initial: int = 0, name: str = "") -> None:
+        super().__init__()
+        if initial < 0:
+            raise ValueError(f"semaphore initial count must be >= 0, got {initial}")
+        self.sem_id = sem_id
+        self.name = name or f"sem{sem_id}"
+        self.count = initial
+
+    def __repr__(self) -> str:
+        return f"SimSemaphore({self.name}, count={self.count})"
+
+
+class SimBarrier(_Waitable):
+    """A cyclic barrier for ``parties`` threads (``pthread_barrier_t``)."""
+
+    def __init__(self, barrier_id: int, parties: int, name: str = "") -> None:
+        super().__init__()
+        if parties < 1:
+            raise ValueError(f"barrier needs >= 1 parties, got {parties}")
+        self.barrier_id = barrier_id
+        self.name = name or f"bar{barrier_id}"
+        self.parties = parties
+        #: Threads arrived in the current cycle.
+        self.arrived = 0
+        #: Completed barrier cycles.
+        self.generation = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"SimBarrier({self.name}, {self.arrived}/{self.parties}, "
+            f"gen={self.generation})"
+        )
+
+
+class SimQueue(_Waitable):
+    """A FIFO message queue with optional capacity bound.
+
+    This is the thread-pool hand-off primitive of the paper's Figure 11:
+    producers ``put`` work items, pool workers ``get`` them.  Each message
+    carries a queue-unique ``msg_id`` so detectors that *do* understand
+    queues (the future-work configuration) can pair the put with its get.
+    """
+
+    def __init__(self, queue_id: int, maxsize: int | None = None, name: str = "") -> None:
+        super().__init__()
+        if maxsize is not None and maxsize < 1:
+            raise ValueError(f"queue maxsize must be >= 1 or None, got {maxsize}")
+        self.queue_id = queue_id
+        self.name = name or f"q{queue_id}"
+        self.maxsize = maxsize
+        self._items: deque[tuple[int, object]] = deque()
+        self._next_msg_id = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return self.maxsize is not None and len(self._items) >= self.maxsize
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    def push(self, payload: object) -> int:
+        """Append ``payload``; returns the message id (internal use)."""
+        msg_id = self._next_msg_id
+        self._next_msg_id += 1
+        self._items.append((msg_id, payload))
+        return msg_id
+
+    def pop(self) -> tuple[int, object]:
+        """Remove and return ``(msg_id, payload)`` (internal use)."""
+        return self._items.popleft()
+
+    def __repr__(self) -> str:
+        bound = "" if self.maxsize is None else f"/{self.maxsize}"
+        return f"SimQueue({self.name}, {len(self._items)}{bound} items)"

@@ -1,0 +1,99 @@
+"""Guest thread objects.
+
+A :class:`SimThread` is the VM-level identity of one guest thread: its
+tid, lifecycle state, start routine and bookkeeping for blocking and
+joining.  The *carrier* (the host ``threading.Thread`` that actually
+executes the guest Python code) is owned by the VM; only one carrier is
+ever released at a time, so guest threads are concurrent in the
+simulated world but strictly serial on the host — the same arrangement
+Valgrind uses ("the virtual machine in itself is single-threaded",
+paper §3.3).
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.runtime.events import CallStack
+
+__all__ = ["ThreadState", "SimThread"]
+
+
+class ThreadState(enum.Enum):
+    """Lifecycle of a guest thread."""
+
+    #: Created, never scheduled yet.
+    NEW = "new"
+    #: Eligible to run.
+    RUNNABLE = "runnable"
+    #: Waiting for a lock / condition / join / queue message.
+    BLOCKED = "blocked"
+    #: Start routine returned normally.
+    FINISHED = "finished"
+    #: Start routine raised (guest fault or Python error).
+    FAULTED = "faulted"
+
+
+class SimThread:
+    """One guest thread.
+
+    Guest code never touches these fields directly — it goes through
+    :class:`repro.runtime.vm.GuestAPI`.  Detectors receive the tid in
+    every event and may look threads up on the VM for reporting.
+    """
+
+    def __init__(
+        self,
+        tid: int,
+        name: str,
+        target: Callable,
+        args: tuple,
+        parent_tid: int | None,
+    ) -> None:
+        self.tid = tid
+        self.name = name
+        self.target = target
+        self.args = args
+        self.parent_tid = parent_tid
+        self.state = ThreadState.NEW
+
+        #: What the thread is blocked on — human-readable, used in
+        #: deadlock reports ("t3 waiting on mutex m1").
+        self.blocked_on: str = ""
+        #: Threads blocked in ``join`` on this thread.
+        self.join_waiters: list["SimThread"] = []
+        #: Return value of the start routine (after FINISHED).
+        self.result: object = None
+        #: Exception that killed the thread (after FAULTED).
+        self.error: BaseException | None = None
+
+        #: Guest call stack, innermost last (reversed on snapshot).
+        self.frames: list = []
+        #: Number of traps this thread has performed.
+        self.steps = 0
+
+        # --- carrier plumbing (owned by the VM) -----------------------
+        self.carrier: threading.Thread | None = None
+        #: Set by the VM to release this thread's carrier for one step.
+        self.resume = threading.Event()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        """True while the guest thread has not terminated."""
+        return self.state not in (ThreadState.FINISHED, ThreadState.FAULTED)
+
+    @property
+    def runnable(self) -> bool:
+        return self.state is ThreadState.RUNNABLE
+
+    def snapshot_stack(self) -> "CallStack":
+        """Immutable copy of the guest call stack, innermost frame first."""
+        return tuple(reversed(self.frames))
+
+    def __repr__(self) -> str:
+        return f"SimThread(tid={self.tid}, name={self.name!r}, state={self.state.value})"

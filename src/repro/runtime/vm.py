@@ -1,0 +1,1035 @@
+"""The cooperative virtual machine and the guest programming API.
+
+This module is the substitution for Valgrind described in ``DESIGN.md``:
+a serialising VM that traps every guest-visible operation, shows it to
+the registered detector hooks, and then lets a seeded scheduler decide
+which guest thread runs next.
+
+Execution model
+---------------
+* Guest programs are Python callables ``fn(api, *args)`` receiving a
+  :class:`GuestAPI`.  All interaction with the simulated world — memory,
+  locks, threads, client requests — goes through the API.
+* Each guest thread runs on its own host ``threading.Thread`` (the
+  *carrier*), but a token-passing protocol guarantees **exactly one
+  carrier executes at any instant**.  The host GIL therefore never
+  influences interleaving; only the scheduler does.  This is the same
+  arrangement as Valgrind's single-threaded core (paper §3.3: "the
+  virtual machine in itself is single-threaded. Hence, adding more
+  processors also will not help.").
+* Every trap is a potential preemption point, so the scheduler can
+  interleave guest threads at single-access granularity — finer than the
+  real OS, which is what lets seed sweeps expose the §4.3 schedule-
+  dependent false negatives on demand.
+
+Races are *real* here: two guest threads doing ``load``/``store``
+increments on the same word genuinely lose updates under the right
+schedule, so tests can demonstrate the failure an undetected race causes,
+not just the warning.
+
+Detectors
+---------
+A detector is any object with ``handle(event, vm)``.  Detectors run
+synchronously inside the trap (on-the-fly checking); recording the event
+stream for later replay (post-mortem checking, §4.5) is just a detector
+that appends to a list — see :mod:`repro.runtime.trace`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro._util.ids import IdAllocator
+from repro.errors import DeadlockError, GuestFault, StepLimitExceeded, VMError
+from repro.runtime.addrspace import AddressSpace
+from repro.runtime.events import (
+    AccessKind,
+    BarrierWait,
+    CallStack,
+    ClientRequest,
+    CondSignal,
+    CondWait,
+    Event,
+    Frame,
+    LockAcquire,
+    LockMode,
+    LockRelease,
+    MemAlloc,
+    MemFree,
+    MemoryAccess,
+    QueueGet,
+    QueuePut,
+    SemPost,
+    SemWait,
+    ThreadCreate,
+    ThreadFinish,
+    ThreadJoin,
+)
+from repro.runtime.scheduler import RoundRobinScheduler, Scheduler
+from repro.runtime.sync import (
+    SimBarrier,
+    SimCondVar,
+    SimMutex,
+    SimQueue,
+    SimRWLock,
+    SimSemaphore,
+    _Waitable,
+)
+from repro.runtime.thread import SimThread, ThreadState
+
+__all__ = ["VM", "GuestAPI", "VMStats"]
+
+
+class _GuestAbort(BaseException):
+    """Internal: unwinds a carrier when the VM aborts the run.
+
+    Derives from ``BaseException`` so ordinary ``except Exception`` in
+    guest code cannot swallow it.  Guest code must never catch
+    ``BaseException``.
+    """
+
+
+@dataclass
+class VMStats:
+    """Run statistics, cheap enough to always collect.
+
+    ``events`` counts emitted events by type name; ``switches`` counts
+    *actual* carrier hand-offs (the expensive part — the VM skips the
+    hand-off when no other thread is runnable); ``traps`` counts
+    scheduling opportunities.
+    """
+
+    events: dict[str, int] = field(default_factory=dict)
+    traps: int = 0
+    switches: int = 0
+    threads_created: int = 0
+    max_live_threads: int = 0
+
+    def count(self, event: Event) -> None:
+        name = type(event).__name__
+        self.events[name] = self.events.get(name, 0) + 1
+
+    @property
+    def total_events(self) -> int:
+        return sum(self.events.values())
+
+
+class VM:
+    """The cooperative virtual machine.
+
+    Parameters
+    ----------
+    scheduler:
+        Interleaving policy; defaults to :class:`RoundRobinScheduler`.
+    step_limit:
+        Abort the run with :class:`StepLimitExceeded` after this many
+        emitted events (a livelock backstop).
+    detectors:
+        Initial detector hooks; more can be added with
+        :meth:`add_detector` before :meth:`run`.
+
+    A ``VM`` instance performs exactly one :meth:`run`.
+    """
+
+    def __init__(
+        self,
+        *,
+        scheduler: Scheduler | None = None,
+        step_limit: int = 2_000_000,
+        detectors: tuple = (),
+    ) -> None:
+        self.scheduler = scheduler or RoundRobinScheduler()
+        self.step_limit = step_limit
+        self.memory = AddressSpace()
+        self.stats = VMStats()
+        #: Logical clock: one tick per emitted event.
+        self.clock = 0
+        self.threads: dict[int, SimThread] = {}
+
+        self._hooks: list = list(detectors)
+        self._tid_ids = IdAllocator()
+        self._lock_ids = IdAllocator()
+        self._cond_ids = IdAllocator()
+        self._sem_ids = IdAllocator()
+        self._barrier_ids = IdAllocator()
+        self._queue_ids = IdAllocator()
+
+        self._control = threading.Event()
+        #: Index of currently-runnable threads (tid -> thread).  The
+        #: scheduler loop and the _switch fast path consult this instead
+        #: of scanning every thread ever created — on a server workload
+        #: most threads are finished workers, so the index keeps each
+        #: trap O(live runnable) instead of O(all threads).
+        self._runnable: dict[int, SimThread] = {}
+        self._current: SimThread | None = None
+        self._aborting = False
+        self._started = False
+        self._finished = False
+        self._pending_error: BaseException | None = None
+
+    # ------------------------------------------------------------------
+    # Public surface
+    # ------------------------------------------------------------------
+
+    def add_detector(self, hook) -> None:
+        """Register a detector (any object with ``handle(event, vm)``)."""
+        if self._started:
+            raise VMError("cannot add detectors after the run started")
+        self._hooks.append(hook)
+
+    def run(self, main: Callable, *args, main_name: str = "main"):
+        """Execute ``main(api, *args)`` to completion and return its result.
+
+        Returns when *every* guest thread has finished (threads not
+        joined by the guest keep running after ``main`` returns, like a
+        process whose initial thread called ``pthread_exit``).
+
+        Raises
+        ------
+        GuestFault
+            A guest thread performed an illegal operation.
+        DeadlockError
+            All live guest threads are blocked.
+        StepLimitExceeded
+            The event budget ran out.
+        """
+        if self._started:
+            raise VMError("a VM instance can only run once")
+        self._started = True
+        main_thread = self._make_thread(main, args, name=main_name, parent=None)
+        self._set_runnable(main_thread)
+        self._start_carrier(main_thread)
+        try:
+            self._scheduler_loop()
+        finally:
+            self._reap_carriers()
+        self._finished = True
+        if main_thread.error is not None:  # pragma: no cover - re-raise path
+            raise main_thread.error
+        return main_thread.result
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    def live_threads(self) -> list[SimThread]:
+        return [t for t in self.threads.values() if t.alive]
+
+    # ------------------------------------------------------------------
+    # Event emission
+    # ------------------------------------------------------------------
+
+    def emit(self, event: Event) -> None:
+        """Show ``event`` to every detector hook and advance the clock."""
+        self.clock += 1
+        self.stats.count(event)
+        for hook in self._hooks:
+            hook.handle(event, self)
+        if self.clock >= self.step_limit:
+            raise StepLimitExceeded(self.step_limit)
+
+    # ------------------------------------------------------------------
+    # Scheduler loop (runs on the host thread that called run())
+    # ------------------------------------------------------------------
+
+    def _scheduler_loop(self) -> None:
+        """Quiescence handler.
+
+        Carriers hand control *directly* to each other (one Event
+        operation per switch); this host-side loop only runs when the
+        guest world goes quiet — at start, when the last runnable thread
+        blocked or finished, and when a carrier reports an error — so it
+        can dispatch, detect deadlock, or propagate the failure.
+        """
+        while True:
+            if self._pending_error is not None:
+                error = self._pending_error
+                self._pending_error = None
+                self._abort_carriers()
+                raise error
+            if not self._runnable:
+                blocked = [t for t in self.threads.values() if t.state is ThreadState.BLOCKED]
+                if blocked:
+                    self._abort_carriers()
+                    raise DeadlockError([(t.tid, t.blocked_on) for t in blocked])
+                return  # all threads finished
+            chosen = self._choose(None)
+            self.stats.switches += 1
+            self._current = chosen
+            self._control.clear()
+            chosen.resume.set()
+            self._control.wait()
+
+    def _choose(self, current: SimThread | None) -> SimThread:
+        """Consult the scheduling policy over the runnable set."""
+        runnable = sorted(self._runnable.values(), key=lambda t: t.tid)
+        return self.scheduler.pick(runnable, current)
+
+    def _abort_carriers(self) -> None:
+        """Wake every live carrier so it unwinds via :class:`_GuestAbort`."""
+        self._aborting = True
+        for thread in self.threads.values():
+            if thread.alive:
+                thread.resume.set()
+        self._reap_carriers()
+
+    def _reap_carriers(self) -> None:
+        for thread in self.threads.values():
+            carrier = thread.carrier
+            if carrier is not None and carrier.is_alive():
+                carrier.join(timeout=5.0)
+
+    # ------------------------------------------------------------------
+    # Thread plumbing (called from carriers via GuestAPI)
+    # ------------------------------------------------------------------
+
+    def _make_thread(
+        self, target: Callable, args: tuple, *, name: str | None, parent: int | None
+    ) -> SimThread:
+        tid = self._tid_ids.next()
+        thread = SimThread(
+            tid=tid,
+            name=name or f"thread-{tid}",
+            target=target,
+            args=args,
+            parent_tid=parent,
+        )
+        self.threads[tid] = thread
+        self.stats.threads_created += 1
+        live = sum(1 for t in self.threads.values() if t.alive)
+        self.stats.max_live_threads = max(self.stats.max_live_threads, live)
+        return thread
+
+    def _start_carrier(self, thread: SimThread) -> None:
+        carrier = threading.Thread(
+            target=self._carrier_main,
+            args=(thread,),
+            name=f"carrier-{thread.tid}-{thread.name}",
+            daemon=True,
+        )
+        thread.carrier = carrier
+        carrier.start()
+
+    def _carrier_main(self, thread: SimThread) -> None:
+        api = GuestAPI(self, thread)
+        try:
+            self._wait_turn(thread)  # block until first scheduled
+            thread.result = thread.target(api, *thread.args)
+            self._set_not_runnable(thread, ThreadState.FINISHED)
+            api._emit(ThreadFinish(self.clock, thread.tid, stack=thread.snapshot_stack()))
+        except _GuestAbort:
+            return  # VM is tearing down; exit silently, do not touch control
+        except BaseException as exc:  # noqa: BLE001 - any guest failure halts the VM
+            self._set_not_runnable(thread, ThreadState.FAULTED)
+            thread.error = exc
+            self._pending_error = exc
+            self._wake_joiners(thread)
+            self._control.set()  # the loop aborts every carrier and re-raises
+            return
+        self._wake_joiners(thread)
+        # Hand control onward: directly to a runnable carrier, or to the
+        # quiescence loop if the guest world just went quiet.
+        if self._runnable:
+            chosen = self._choose(None)
+            self.stats.switches += 1
+            self._current = chosen
+            chosen.resume.set()
+        else:
+            self._control.set()
+
+    def _wake_joiners(self, thread: SimThread) -> None:
+        for waiter in thread.join_waiters:
+            self._wake(waiter)
+        thread.join_waiters.clear()
+
+    def _wait_turn(self, thread: SimThread) -> None:
+        """Block this carrier until the scheduler picks ``thread``."""
+        thread.resume.wait()
+        thread.resume.clear()
+        if self._aborting:
+            raise _GuestAbort()
+
+    def _set_runnable(self, thread: SimThread) -> None:
+        thread.state = ThreadState.RUNNABLE
+        self._runnable[thread.tid] = thread
+
+    def _set_not_runnable(self, thread: SimThread, state: ThreadState) -> None:
+        thread.state = state
+        self._runnable.pop(thread.tid, None)
+
+    def _switch(self, thread: SimThread) -> None:
+        """Scheduling decision point for a still-runnable thread."""
+        self.stats.traps += 1
+        # Fast path: if no other thread could run, a hand-off would be a
+        # no-op round trip through the host scheduler — skip it.  Blocked
+        # threads only become runnable through actions of *running*
+        # threads, so skipping cannot starve anyone.
+        runnable = self._runnable
+        if len(runnable) == 1 and thread.tid in runnable:
+            return
+        chosen = self._choose(thread)
+        if chosen is thread:
+            return  # the policy kept us running: no host switch at all
+        self.stats.switches += 1
+        self._current = chosen
+        chosen.resume.set()
+        self._wait_turn(thread)
+
+    def _park_and_dispatch(self, thread: SimThread) -> None:
+        """``thread`` just became non-runnable: hand control onward.
+
+        Directly to another runnable carrier if one exists, otherwise to
+        the quiescence loop (which will detect deadlock or completion).
+        """
+        if self._runnable:
+            chosen = self._choose(thread)
+            self.stats.switches += 1
+            self._current = chosen
+            chosen.resume.set()
+        else:
+            self._control.set()
+        self._wait_turn(thread)
+
+    def _block(self, thread: SimThread, reason: str, waitable: _Waitable) -> None:
+        """Park ``thread`` on ``waitable`` until another thread wakes it."""
+        self._set_not_runnable(thread, ThreadState.BLOCKED)
+        thread.blocked_on = reason
+        waitable.add_waiter(thread)
+        self.stats.traps += 1
+        self._park_and_dispatch(thread)
+
+    def _wake(self, thread: SimThread) -> None:
+        """Mark a blocked thread runnable (the scheduler resumes it later)."""
+        if thread.state is ThreadState.BLOCKED:
+            self._set_runnable(thread)
+            thread.blocked_on = ""
+
+    def _wake_all(self, waitable: _Waitable) -> None:
+        """Wake every waiter on ``waitable`` (Mesa semantics: they re-check)."""
+        waiters, waitable.waiters = waitable.waiters, []
+        for waiter in waiters:
+            self._wake(waiter)
+
+
+class GuestAPI:
+    """The system-call surface of the simulated world, bound to one thread.
+
+    Every method that touches shared state emits events and offers the
+    scheduler a preemption point, so any two API calls by different
+    threads may interleave — except the ``atomic_*`` operations, whose
+    read and write are emitted back-to-back with no scheduling point
+    between them (that is what the bus lock buys the real hardware).
+    """
+
+    __slots__ = ("vm", "thread", "_stack_cache")
+
+    def __init__(self, vm: VM, thread: SimThread) -> None:
+        self.vm = vm
+        self.thread = thread
+        self._stack_cache: CallStack | None = ()
+
+    # ------------------------------------------------------------------
+    # Identity & call stack
+    # ------------------------------------------------------------------
+
+    @property
+    def tid(self) -> int:
+        return self.thread.tid
+
+    def frame(self, function: str, file: str = "<guest>", line: int = 0) -> "_FrameCtx":
+        """Context manager pushing a guest stack frame.
+
+        Warnings report the frame stack active at the access, so guest
+        code wraps logical functions in ``with api.frame(...):`` blocks —
+        the analogue of the debug symbols the paper says Helgrind needs
+        "for convenience" (§3.2).
+        """
+        return _FrameCtx(self, function, file, line)
+
+    def at(self, line: int) -> None:
+        """Set the innermost frame's current line (a cheap site marker)."""
+        frames = self.thread.frames
+        if frames:
+            frames[-1][2] = line
+            self._stack_cache = None
+
+    def _snap(self) -> CallStack:
+        cache = self._stack_cache
+        if cache is None:
+            cache = tuple(
+                Frame(fn, fi, ln) for fn, fi, ln in reversed(self.thread.frames)
+            )
+            self._stack_cache = cache
+        return cache
+
+    # ------------------------------------------------------------------
+    # Internal emission helpers
+    # ------------------------------------------------------------------
+
+    def _emit(self, event: Event) -> None:
+        self.thread.steps += 1
+        self.vm.emit(event)
+
+    def _emit_and_switch(self, event: Event) -> None:
+        self._emit(event)
+        self.vm._switch(self.thread)
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+
+    def malloc(self, size: int, tag: str = "") -> int:
+        """Allocate ``size`` words; returns the base address."""
+        vm = self.vm
+        block = vm.memory.alloc(
+            size, tag=tag, tid=self.tid, step=vm.clock, stack=self._snap()
+        )
+        self._emit_and_switch(
+            MemAlloc(
+                vm.clock,
+                self.tid,
+                stack=self._snap(),
+                addr=block.base,
+                size=size,
+                block_id=block.block_id,
+                tag=tag,
+            )
+        )
+        return block.base
+
+    def free(self, addr: int) -> None:
+        """Release the block at ``addr`` (must be the allocation base)."""
+        vm = self.vm
+        block = vm.memory.free(addr, tid=self.tid, step=vm.clock, stack=self._snap())
+        self._emit_and_switch(
+            MemFree(
+                vm.clock,
+                self.tid,
+                stack=self._snap(),
+                addr=addr,
+                size=block.size,
+                block_id=block.block_id,
+            )
+        )
+
+    def load(self, addr: int, *, locked: bool = False) -> object:
+        """Load one word.  ``locked`` marks a ``LOCK``-prefixed read."""
+        vm = self.vm
+        value = vm.memory.load(addr, tid=self.tid)
+        block = vm.memory.find_block(addr)
+        self._emit_and_switch(
+            MemoryAccess(
+                vm.clock,
+                self.tid,
+                stack=self._snap(),
+                addr=addr,
+                kind=AccessKind.READ,
+                bus_locked=locked,
+                block_id=block.block_id if block else -1,
+            )
+        )
+        return value
+
+    def store(self, addr: int, value: object, *, locked: bool = False) -> None:
+        """Store one word.  ``locked`` marks a ``LOCK``-prefixed write."""
+        vm = self.vm
+        vm.memory.store(addr, value, tid=self.tid)
+        block = vm.memory.find_block(addr)
+        self._emit_and_switch(
+            MemoryAccess(
+                vm.clock,
+                self.tid,
+                stack=self._snap(),
+                addr=addr,
+                kind=AccessKind.WRITE,
+                bus_locked=locked,
+                block_id=block.block_id if block else -1,
+            )
+        )
+
+    def atomic_add(self, addr: int, delta: int) -> int:
+        """Bus-locked fetch-and-add; returns the *old* value.
+
+        Emits a locked read then a locked write with **no** scheduling
+        point in between — the pair is indivisible, exactly like an x86
+        ``lock add``.  This is the operation behind libstdc++'s string
+        reference counter (paper Figure 8).
+        """
+        vm = self.vm
+        old = vm.memory.load(addr, tid=self.tid)
+        if not isinstance(old, int):
+            raise GuestFault(
+                f"atomic_add on non-integer word at {addr:#x} ({old!r})", tid=self.tid
+            )
+        block = vm.memory.find_block(addr)
+        block_id = block.block_id if block else -1
+        stack = self._snap()
+        self._emit(
+            MemoryAccess(
+                vm.clock, self.tid, stack=stack, addr=addr,
+                kind=AccessKind.READ, bus_locked=True, block_id=block_id,
+            )
+        )
+        vm.memory.store(addr, old + delta, tid=self.tid)
+        self._emit_and_switch(
+            MemoryAccess(
+                vm.clock, self.tid, stack=stack, addr=addr,
+                kind=AccessKind.WRITE, bus_locked=True, block_id=block_id,
+            )
+        )
+        return old
+
+    def atomic_cas(self, addr: int, expected: object, new: object) -> bool:
+        """Bus-locked compare-and-swap; returns True on success.
+
+        A failed CAS emits only the locked read (no write happened).
+        """
+        vm = self.vm
+        current = vm.memory.load(addr, tid=self.tid)
+        block = vm.memory.find_block(addr)
+        block_id = block.block_id if block else -1
+        stack = self._snap()
+        self._emit(
+            MemoryAccess(
+                vm.clock, self.tid, stack=stack, addr=addr,
+                kind=AccessKind.READ, bus_locked=True, block_id=block_id,
+            )
+        )
+        if current != expected:
+            self.vm._switch(self.thread)
+            return False
+        vm.memory.store(addr, new, tid=self.tid)
+        self._emit_and_switch(
+            MemoryAccess(
+                vm.clock, self.tid, stack=stack, addr=addr,
+                kind=AccessKind.WRITE, bus_locked=True, block_id=block_id,
+            )
+        )
+        return True
+
+    # ------------------------------------------------------------------
+    # Object factories
+    # ------------------------------------------------------------------
+
+    def mutex(self, name: str = "") -> SimMutex:
+        return SimMutex(self.vm._lock_ids.next(), name)
+
+    def rwlock(self, name: str = "") -> SimRWLock:
+        return SimRWLock(self.vm._lock_ids.next(), name)
+
+    def condvar(self, name: str = "") -> SimCondVar:
+        return SimCondVar(self.vm._cond_ids.next(), name)
+
+    def semaphore(self, initial: int = 0, name: str = "") -> SimSemaphore:
+        return SimSemaphore(self.vm._sem_ids.next(), initial, name)
+
+    def barrier(self, parties: int, name: str = "") -> SimBarrier:
+        return SimBarrier(self.vm._barrier_ids.next(), parties, name)
+
+    def queue(self, maxsize: int | None = None, name: str = "") -> SimQueue:
+        return SimQueue(self.vm._queue_ids.next(), maxsize, name)
+
+    # ------------------------------------------------------------------
+    # Mutex
+    # ------------------------------------------------------------------
+
+    def lock(self, mutex: SimMutex) -> None:
+        """``pthread_mutex_lock``; blocks while another thread holds it."""
+        thread = self.thread
+        if mutex.owner_tid == thread.tid:
+            raise GuestFault(f"relock of non-recursive mutex {mutex.name}", tid=self.tid)
+        contended = False
+        while mutex.held:
+            contended = True
+            self.vm._block(thread, f"mutex {mutex.name}", mutex)
+        mutex.owner_tid = thread.tid
+        mutex.acquisitions += 1
+        self._emit_and_switch(
+            LockAcquire(
+                self.vm.clock, self.tid, stack=self._snap(),
+                lock_id=mutex.lock_id, mode=LockMode.EXCLUSIVE, contended=contended,
+            )
+        )
+
+    def trylock(self, mutex: SimMutex) -> bool:
+        """``pthread_mutex_trylock``; never blocks."""
+        if mutex.held:
+            self.vm._switch(self.thread)
+            return False
+        mutex.owner_tid = self.tid
+        mutex.acquisitions += 1
+        self._emit_and_switch(
+            LockAcquire(
+                self.vm.clock, self.tid, stack=self._snap(),
+                lock_id=mutex.lock_id, mode=LockMode.EXCLUSIVE,
+            )
+        )
+        return True
+
+    def unlock(self, mutex: SimMutex) -> None:
+        """``pthread_mutex_unlock``; faults if this thread is not the owner."""
+        if mutex.owner_tid != self.tid:
+            holder = f"t{mutex.owner_tid}" if mutex.held else "nobody"
+            raise GuestFault(
+                f"unlock of mutex {mutex.name} held by {holder}", tid=self.tid
+            )
+        mutex.owner_tid = None
+        self.vm._wake_all(mutex)
+        self._emit_and_switch(
+            LockRelease(
+                self.vm.clock, self.tid, stack=self._snap(),
+                lock_id=mutex.lock_id, mode=LockMode.EXCLUSIVE,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Read-write lock
+    # ------------------------------------------------------------------
+
+    def rdlock(self, rw: SimRWLock) -> None:
+        """``pthread_rwlock_rdlock``."""
+        thread = self.thread
+        if rw.mode_held_by(self.tid) is not None:
+            raise GuestFault(f"re-acquire of rwlock {rw.name}", tid=self.tid)
+        contended = False
+        while not rw.can_read():
+            contended = True
+            self.vm._block(thread, f"rwlock {rw.name} (read)", rw)
+        rw.reader_tids.add(self.tid)
+        self._emit_and_switch(
+            LockAcquire(
+                self.vm.clock, self.tid, stack=self._snap(),
+                lock_id=rw.lock_id, mode=LockMode.READ, contended=contended,
+            )
+        )
+
+    def wrlock(self, rw: SimRWLock) -> None:
+        """``pthread_rwlock_wrlock``."""
+        thread = self.thread
+        if rw.mode_held_by(self.tid) is not None:
+            raise GuestFault(f"re-acquire of rwlock {rw.name}", tid=self.tid)
+        contended = False
+        while not rw.can_write():
+            contended = True
+            self.vm._block(thread, f"rwlock {rw.name} (write)", rw)
+        rw.writer_tid = self.tid
+        self._emit_and_switch(
+            LockAcquire(
+                self.vm.clock, self.tid, stack=self._snap(),
+                lock_id=rw.lock_id, mode=LockMode.WRITE, contended=contended,
+            )
+        )
+
+    def rw_unlock(self, rw: SimRWLock) -> None:
+        """``pthread_rwlock_unlock`` (whichever mode this thread holds)."""
+        mode = rw.mode_held_by(self.tid)
+        if mode is None:
+            raise GuestFault(f"unlock of rwlock {rw.name} not held", tid=self.tid)
+        if mode == "write":
+            rw.writer_tid = None
+            released = LockMode.WRITE
+        else:
+            rw.reader_tids.discard(self.tid)
+            released = LockMode.READ
+        self.vm._wake_all(rw)
+        self._emit_and_switch(
+            LockRelease(
+                self.vm.clock, self.tid, stack=self._snap(),
+                lock_id=rw.lock_id, mode=released,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Condition variables
+    # ------------------------------------------------------------------
+
+    def cond_wait(self, cond: SimCondVar, mutex: SimMutex) -> None:
+        """``pthread_cond_wait``: release, sleep until signalled, reacquire.
+
+        The mutex release and reacquisition emit ordinary lock events —
+        that is all the lock-set algorithm ever sees of a wait, which is
+        why Figure 11's post/wait ordering is invisible to it.
+        """
+        thread = self.thread
+        if mutex.owner_tid != self.tid:
+            raise GuestFault(
+                f"cond_wait on {cond.name} without holding {mutex.name}", tid=self.tid
+            )
+        self._emit(
+            CondWait(
+                self.vm.clock, self.tid, stack=self._snap(),
+                cond_id=cond.cond_id, mutex_id=mutex.lock_id, phase="enter",
+            )
+        )
+        # Atomically (w.r.t. guest interleaving) release the mutex and
+        # register on the condition before any other thread can run.
+        mutex.owner_tid = None
+        self.vm._wake_all(mutex)
+        self._emit(
+            LockRelease(
+                self.vm.clock, self.tid, stack=self._snap(),
+                lock_id=mutex.lock_id, mode=LockMode.EXCLUSIVE,
+            )
+        )
+        self.vm._block(thread, f"condvar {cond.name}", cond)
+        cond.signalled.discard(self.tid)
+        # Reacquire (contending like any other locker).
+        contended = False
+        while mutex.held:
+            contended = True
+            self.vm._block(thread, f"mutex {mutex.name}", mutex)
+        mutex.owner_tid = self.tid
+        mutex.acquisitions += 1
+        self._emit(
+            LockAcquire(
+                self.vm.clock, self.tid, stack=self._snap(),
+                lock_id=mutex.lock_id, mode=LockMode.EXCLUSIVE, contended=contended,
+            )
+        )
+        self._emit_and_switch(
+            CondWait(
+                self.vm.clock, self.tid, stack=self._snap(),
+                cond_id=cond.cond_id, mutex_id=mutex.lock_id, phase="leave",
+            )
+        )
+
+    def cond_signal(self, cond: SimCondVar) -> None:
+        """``pthread_cond_signal``: wake one waiter (lost if none)."""
+        self._signal(cond, broadcast=False)
+
+    def cond_broadcast(self, cond: SimCondVar) -> None:
+        """``pthread_cond_broadcast``: wake every waiter."""
+        self._signal(cond, broadcast=True)
+
+    def _signal(self, cond: SimCondVar, *, broadcast: bool) -> None:
+        woken = cond.waiters if broadcast else cond.waiters[:1]
+        for waiter in list(woken):
+            cond.remove_waiter(waiter)
+            cond.signalled.add(waiter.tid)
+            self.vm._wake(waiter)
+        self._emit_and_switch(
+            CondSignal(
+                self.vm.clock, self.tid, stack=self._snap(),
+                cond_id=cond.cond_id, broadcast=broadcast,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Semaphores
+    # ------------------------------------------------------------------
+
+    def sem_post(self, sem: SimSemaphore) -> None:
+        """``sem_post`` (V)."""
+        sem.count += 1
+        self.vm._wake_all(sem)
+        self._emit_and_switch(
+            SemPost(self.vm.clock, self.tid, stack=self._snap(), sem_id=sem.sem_id)
+        )
+
+    def sem_wait(self, sem: SimSemaphore) -> None:
+        """``sem_wait`` (P); blocks while the count is zero."""
+        thread = self.thread
+        while sem.count == 0:
+            self.vm._block(thread, f"semaphore {sem.name}", sem)
+        sem.count -= 1
+        self._emit_and_switch(
+            SemWait(self.vm.clock, self.tid, stack=self._snap(), sem_id=sem.sem_id)
+        )
+
+    # ------------------------------------------------------------------
+    # Barrier
+    # ------------------------------------------------------------------
+
+    def barrier_wait(self, barrier: SimBarrier) -> bool:
+        """``pthread_barrier_wait``; True for the releasing arrival."""
+        thread = self.thread
+        barrier.arrived += 1
+        generation = barrier.generation
+        self._emit(
+            BarrierWait(
+                self.vm.clock, self.tid, stack=self._snap(),
+                barrier_id=barrier.barrier_id, generation=generation,
+                phase="arrive",
+            )
+        )
+        releaser = barrier.arrived == barrier.parties
+        if releaser:
+            barrier.arrived = 0
+            barrier.generation += 1
+            self.vm._wake_all(barrier)
+        else:
+            while barrier.generation == generation:
+                self.vm._block(thread, f"barrier {barrier.name}", barrier)
+        self._emit_and_switch(
+            BarrierWait(
+                self.vm.clock, self.tid, stack=self._snap(),
+                barrier_id=barrier.barrier_id, generation=generation,
+                phase="leave",
+            )
+        )
+        return releaser
+
+    # ------------------------------------------------------------------
+    # Message queue (the Figure-11 hand-off primitive)
+    # ------------------------------------------------------------------
+
+    def put(self, queue: SimQueue, payload: object) -> int:
+        """Deposit ``payload``; blocks while a bounded queue is full.
+
+        Returns the message id pairing this put with its eventual get.
+        """
+        thread = self.thread
+        while queue.full:
+            self.vm._block(thread, f"queue {queue.name} (full)", queue)
+        msg_id = queue.push(payload)
+        self.vm._wake_all(queue)
+        self._emit_and_switch(
+            QueuePut(
+                self.vm.clock, self.tid, stack=self._snap(),
+                queue_id=queue.queue_id, msg_id=msg_id,
+            )
+        )
+        return msg_id
+
+    def get(self, queue: SimQueue) -> object:
+        """Remove and return the oldest message; blocks while empty."""
+        thread = self.thread
+        while queue.empty:
+            self.vm._block(thread, f"queue {queue.name} (empty)", queue)
+        msg_id, payload = queue.pop()
+        self.vm._wake_all(queue)
+        self._emit_and_switch(
+            QueueGet(
+                self.vm.clock, self.tid, stack=self._snap(),
+                queue_id=queue.queue_id, msg_id=msg_id,
+            )
+        )
+        return payload
+
+    # ------------------------------------------------------------------
+    # Threads
+    # ------------------------------------------------------------------
+
+    def spawn(self, fn: Callable, *args, name: str | None = None) -> SimThread:
+        """``pthread_create``: start ``fn(api, *args)`` on a new guest thread."""
+        vm = self.vm
+        child = vm._make_thread(fn, args, name=name, parent=self.tid)
+        vm._set_runnable(child)
+        vm._start_carrier(child)
+        self._emit_and_switch(
+            ThreadCreate(
+                vm.clock, self.tid, stack=self._snap(), child_tid=child.tid
+            )
+        )
+        return child
+
+    def join(self, target: SimThread) -> object:
+        """``pthread_join``: wait for ``target`` and return its result."""
+        thread = self.thread
+        if target is thread:
+            raise GuestFault("thread join on itself", tid=self.tid)
+        while target.alive:
+            self.vm._set_not_runnable(thread, ThreadState.BLOCKED)
+            thread.blocked_on = f"join t{target.tid}"
+            target.join_waiters.append(thread)
+            self.vm.stats.traps += 1
+            self.vm._park_and_dispatch(thread)
+        self._emit_and_switch(
+            ThreadJoin(
+                self.vm.clock, self.tid, stack=self._snap(), joined_tid=target.tid
+            )
+        )
+        return target.result
+
+    def yield_(self) -> None:
+        """Voluntary preemption point (``sched_yield``)."""
+        self.vm._switch(self.thread)
+
+    def sleep(self, ticks: int) -> None:
+        """Yield ``ticks`` times (there is no wall clock in the guest)."""
+        for _ in range(ticks):
+            self.vm._switch(self.thread)
+
+    # ------------------------------------------------------------------
+    # Client requests (Valgrind's guest → tool channel)
+    # ------------------------------------------------------------------
+
+    def hg_destruct(self, addr: int, size: int) -> None:
+        """``VALGRIND_HG_DESTRUCT(addr, size)`` — Figure 4's annotation.
+
+        Tells race detectors the range is about to be destroyed and is
+        now exclusively owned by the calling thread.  A no-op when no
+        detector is registered (cheap enough for production builds).
+        """
+        self._client_request("hg_destruct", addr, size)
+
+    def hg_clean(self, addr: int, size: int) -> None:
+        """Forget all detector state for the range (allocator recycling)."""
+        self._client_request("hg_clean", addr, size)
+
+    def benign_race(self, addr: int, size: int) -> None:
+        """Mark the range as intentionally racy; suppress reports on it."""
+        self._client_request("benign_race", addr, size)
+
+    def atomic_region(self, name: str = "atomic") -> "_AtomicRegionCtx":
+        """Declare that the enclosed block is intended to be atomic.
+
+        The Atomizer-style checker (:mod:`repro.detectors.atomizer`)
+        verifies the intent via Lipton reduction; every other detector
+        ignores the markers.  No-op without detectors, like all client
+        requests.
+        """
+        return _AtomicRegionCtx(self, name)
+
+    def _client_request(self, request: str, addr: int, size: int) -> None:
+        if size <= 0:
+            raise GuestFault(
+                f"client request {request} with non-positive size {size}", tid=self.tid
+            )
+        self._emit_and_switch(
+            ClientRequest(
+                self.vm.clock, self.tid, stack=self._snap(),
+                request=request, addr=addr, size=size,
+            )
+        )
+
+
+class _AtomicRegionCtx:
+    """Context manager for :meth:`GuestAPI.atomic_region`."""
+
+    __slots__ = ("_api", "_frame")
+
+    def __init__(self, api: GuestAPI, name: str) -> None:
+        self._api = api
+        self._frame = _FrameCtx(api, f"atomic:{name}", "<atomic-region>", 0)
+
+    def __enter__(self) -> None:
+        self._frame.__enter__()
+        self._api._client_request("atomic_begin", 0, 1)
+
+    def __exit__(self, *exc) -> None:
+        self._api._client_request("atomic_end", 0, 1)
+        self._frame.__exit__(*exc)
+        return None
+
+
+class _FrameCtx:
+    """Context manager for :meth:`GuestAPI.frame`."""
+
+    __slots__ = ("_api", "_entry")
+
+    def __init__(self, api: GuestAPI, function: str, file: str, line: int) -> None:
+        self._api = api
+        self._entry = [function, file, line]
+
+    def __enter__(self) -> None:
+        self._api.thread.frames.append(self._entry)
+        self._api._stack_cache = None
+
+    def __exit__(self, *exc) -> None:
+        popped = self._api.thread.frames.pop()
+        assert popped is self._entry, "unbalanced guest frame push/pop"
+        self._api._stack_cache = None
+        return None

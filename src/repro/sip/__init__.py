@@ -1,0 +1,52 @@
+"""The application under test: a simulated SIP proxy server.
+
+The paper's subject is "a signaling server application for the Session
+Initiation Protocol (SIP) that is used for Voice-over-IP (VoIP) phone
+networks", ~500 kLOC of C++, thread-per-request, POSIX threads (§3.3).
+This package rebuilds the parts of such a server that the evaluation
+depends on:
+
+``repro.sip.message`` / ``repro.sip.parser``
+    SIP requests/responses, their headers, and a wire-format parser.
+``repro.sip.transaction``
+    RFC 3261-flavoured transaction state machines (INVITE and
+    non-INVITE) — the polymorphic object hierarchy whose destruction
+    produces the §4.2.1 warnings.
+``repro.sip.bugs``
+    The registry of *injected real bugs*, one per §4.1 class: the racy
+    home-grown deadlock detector, initialisation- and shutdown-order
+    races, the ``getDomainData`` return-of-reference (Figure 7), unsafe
+    ``localtime``, and unlocked statistics counters.  Each bug is
+    toggleable so experiments can run the buggy and the fixed proxy.
+``repro.sip.server``
+    The proxy itself, written against the guest API: thread-per-request
+    or thread-pool dispatch, a locked transaction table, registrar and
+    domain-data services, COW-string header handling, annotated or
+    un-annotated ``delete`` sites (the §3.3 build switch).
+``repro.sip.workload``
+    The SIPp analogue: scenario generators and the eight test cases
+    T1-T8 of the evaluation.
+"""
+
+from repro.sip.bugs import BUGS, Bug
+from repro.sip.message import Header, SipMessage
+from repro.sip.parser import parse_message, serialize_message
+from repro.sip.server import ProxyConfig, ProxyResult, SipProxy
+from repro.sip.transaction import TransactionState
+from repro.sip.workload import TestCase, scenario_calls, evaluation_cases
+
+__all__ = [
+    "BUGS",
+    "Bug",
+    "Header",
+    "ProxyConfig",
+    "ProxyResult",
+    "SipMessage",
+    "SipProxy",
+    "TestCase",
+    "TransactionState",
+    "parse_message",
+    "scenario_calls",
+    "serialize_message",
+    "evaluation_cases",
+]

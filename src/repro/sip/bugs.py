@@ -1,0 +1,143 @@
+"""The injected real-bug registry — §4.1's true-positive classes.
+
+The paper's evaluation found genuine synchronisation failures in the
+proxy; each class it documents is reproduced here as a *toggleable*
+fault so experiments can run the buggy server (the paper's subject) or
+the fixed one (the regression check).  The server consults
+``bug_enabled(config, id)``; when a bug is off, the correct code path
+(locking, reentrant API, proper ordering) runs instead.
+
+Bug ids and their §4.1 provenance:
+
+``deadlock-detector``
+    "One of the first reported data races was in the application's
+    deadlock detection code."  The proxy's home-grown lock wrapper
+    records who is waiting for which lock in unprotected bookkeeping
+    words so a watchdog can time out — the bookkeeping itself races.
+``init-order``
+    §4.1.1: "a thread is started before parts of the data structures it
+    uses are initialized ... In the 'usual' environment, the fault would
+    not occur often enough to attract attention."  The statistics
+    flusher thread starts before the statistics configuration words are
+    written.
+``shutdown-order``
+    §4.1.1: "On program shutdown, another data-race occurred, because a
+    data structure was destroyed before a thread using it terminated."
+``return-reference``
+    §4.1.2 / Figure 7: ``getDomainData()`` takes the guard mutex but
+    returns a *reference* to the protected map, so every caller touches
+    the map unprotected.
+``unsafe-localtime``
+    §4.1.3: logging uses ``localtime()`` whose static buffer is shared
+    by all threads.
+``unlocked-stats``
+    The "groups [of faults] that stem from the same origin" catch-all:
+    per-request statistics counters incremented without the lock from
+    many handler sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Bug", "BUGS", "ALL_BUG_IDS", "DEFAULT_BUGS"]
+
+
+@dataclass(frozen=True, slots=True)
+class Bug:
+    """One injectable fault."""
+
+    bug_id: str
+    title: str
+    paper_ref: str
+    description: str
+    fix: str
+    #: Detectable by a race detector directly (False for init-order,
+    #: which the paper says was found via the changed schedule, not a
+    #: warning at the bug site... it *is* also a race, so True here
+    #: means "some detector configuration reports a location for it").
+    race_detectable: bool = True
+
+
+BUGS: dict[str, Bug] = {
+    bug.bug_id: bug
+    for bug in (
+        Bug(
+            bug_id="deadlock-detector",
+            title="Race in the application's own deadlock detection",
+            paper_ref="§4.1 (first reported data race)",
+            description=(
+                "The AppMutex wrapper records the waiting thread and a "
+                "wait-start tick in shared bookkeeping words without any "
+                "protection, so concurrent lock() calls race on them."
+            ),
+            fix="Guard the bookkeeping with its own mutex (or drop it, "
+            "as the authors did: 'it was disabled for further "
+            "experiments').",
+        ),
+        Bug(
+            bug_id="init-order",
+            title="Thread started before its data is initialised",
+            paper_ref="§4.1.1",
+            description=(
+                "The statistics flusher thread is spawned before the "
+                "reporting interval and enable flag are stored; under an "
+                "unlucky schedule it reads defaults and misbehaves."
+            ),
+            fix="Initialise the configuration before spawning the thread.",
+        ),
+        Bug(
+            bug_id="shutdown-order",
+            title="Data structure destroyed before its user terminates",
+            paper_ref="§4.1.1",
+            description=(
+                "Shutdown tears down the statistics block while the "
+                "flusher thread may still read it."
+            ),
+            fix="Join the flusher before destroying shared structures.",
+        ),
+        Bug(
+            bug_id="return-reference",
+            title="getDomainData() returns a reference to guarded data",
+            paper_ref="§4.1.2, Figure 7",
+            description=(
+                "The accessor locks the guard mutex but returns the map "
+                "itself; callers then read and write it unprotected."
+            ),
+            fix="Return a copy, or change the signature so callers hold "
+            "the lock across their use (the paper notes this forces all "
+            "call sites to change).",
+        ),
+        Bug(
+            bug_id="unsafe-localtime",
+            title="localtime() static buffer shared across threads",
+            paper_ref="§4.1.3",
+            description=(
+                "Request logging formats timestamps with localtime(), "
+                "whose result lives in one static buffer."
+            ),
+            fix="Use localtime_r() with a per-call buffer.",
+        ),
+        Bug(
+            bug_id="unlocked-stats",
+            title="Statistics counters incremented without the lock",
+            paper_ref="§4.1 (fault groups with a common origin)",
+            description=(
+                "Per-method request counters are bumped from every "
+                "handler without taking the statistics mutex."
+            ),
+            fix="Take the statistics mutex (or use atomic increments).",
+        ),
+    )
+}
+
+ALL_BUG_IDS = frozenset(BUGS)
+
+#: What the paper's subject looked like: everything broken.
+DEFAULT_BUGS = ALL_BUG_IDS
+
+#: The configuration of the measured experiments.  §4.1: the race in the
+#: application's own deadlock-detection code "was not easy to change in
+#: order to remove the race condition.  Therefore, it was disabled for
+#: further experiments" — so the Figure 5/6 runs exclude it.
+EVALUATION_BUGS = ALL_BUG_IDS - {"deadlock-detector"}

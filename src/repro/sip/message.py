@@ -1,0 +1,223 @@
+"""SIP message model (RFC 3261 subset).
+
+Host-level value objects for SIP requests and responses — the *wire*
+representation.  The proxy re-materialises the interesting parts in
+guest memory (COW strings, transaction objects); these classes are what
+the workload generator produces and the parser/serializer round-trip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Header", "SipMessage", "METHODS", "RESPONSE_PHRASES"]
+
+#: The request methods the proxy understands.
+METHODS = (
+    "INVITE",
+    "ACK",
+    "BYE",
+    "CANCEL",
+    "REGISTER",
+    "OPTIONS",
+    "SUBSCRIBE",
+    "NOTIFY",
+    "INFO",
+)
+
+RESPONSE_PHRASES = {
+    100: "Trying",
+    180: "Ringing",
+    200: "OK",
+    202: "Accepted",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    481: "Call/Transaction Does Not Exist",
+    483: "Too Many Hops",
+    486: "Busy Here",
+    500: "Server Internal Error",
+    603: "Decline",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Header:
+    """One SIP header field."""
+
+    name: str
+    value: str
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.value}"
+
+
+@dataclass(slots=True)
+class SipMessage:
+    """A SIP request (``method`` set) or response (``status`` set)."""
+
+    method: str | None = None
+    request_uri: str = ""
+    status: int | None = None
+    reason: str = ""
+    headers: list[Header] = field(default_factory=list)
+    body: str = ""
+
+    # ------------------------------------------------------------------
+
+    @property
+    def is_request(self) -> bool:
+        return self.method is not None
+
+    @property
+    def is_response(self) -> bool:
+        return self.status is not None
+
+    def header(self, name: str) -> str | None:
+        """First header value with the given (case-insensitive) name."""
+        wanted = name.lower()
+        for h in self.headers:
+            if h.name.lower() == wanted:
+                return h.value
+        return None
+
+    def all_headers(self, name: str) -> list[str]:
+        wanted = name.lower()
+        return [h.value for h in self.headers if h.name.lower() == wanted]
+
+    def with_header(self, name: str, value: str) -> "SipMessage":
+        """Copy with one header prepended (proxies prepend Via)."""
+        return SipMessage(
+            method=self.method,
+            request_uri=self.request_uri,
+            status=self.status,
+            reason=self.reason,
+            headers=[Header(name, value)] + list(self.headers),
+            body=self.body,
+        )
+
+    def without_top_header(self, name: str) -> "SipMessage":
+        """Copy with the first header of that name removed (Via pop)."""
+        wanted = name.lower()
+        headers = list(self.headers)
+        for i, h in enumerate(headers):
+            if h.name.lower() == wanted:
+                del headers[i]
+                break
+        return SipMessage(
+            method=self.method,
+            request_uri=self.request_uri,
+            status=self.status,
+            reason=self.reason,
+            headers=headers,
+            body=self.body,
+        )
+
+    # -- the fields the proxy routes on --------------------------------
+
+    @property
+    def call_id(self) -> str:
+        return self.header("Call-ID") or ""
+
+    @property
+    def cseq(self) -> tuple[int, str]:
+        """(sequence number, method) from the CSeq header."""
+        raw = self.header("CSeq") or "0 UNKNOWN"
+        parts = raw.split(None, 1)
+        try:
+            number = int(parts[0])
+        except (ValueError, IndexError):
+            number = 0
+        method = parts[1].strip() if len(parts) > 1 else "UNKNOWN"
+        return number, method
+
+    @property
+    def from_uri(self) -> str:
+        return self.header("From") or ""
+
+    @property
+    def to_uri(self) -> str:
+        return self.header("To") or ""
+
+    @property
+    def max_forwards(self) -> int:
+        raw = self.header("Max-Forwards")
+        try:
+            return int(raw) if raw is not None else 70
+        except ValueError:
+            return 70
+
+    @property
+    def domain(self) -> str:
+        """Domain part of the request URI (``sip:user@domain``)."""
+        uri = self.request_uri or self.to_uri
+        if "@" in uri:
+            uri = uri.rsplit("@", 1)[1]
+        for stop in (";", ">", ":5060"):
+            if stop in uri:
+                uri = uri.split(stop, 1)[0]
+        return uri.removeprefix("sip:").strip()
+
+    @property
+    def transaction_key(self) -> str:
+        """Call-ID + CSeq method: the key the proxy's table uses.
+
+        (Real RFC 3261 matching also involves the Via branch; Call-ID +
+        CSeq is enough for our scenarios and keeps keys readable.)
+        """
+        _, cseq_method = self.cseq
+        method = cseq_method if cseq_method != "UNKNOWN" else (self.method or "")
+        # ACK and CANCEL address the INVITE transaction.
+        if method in ("ACK", "CANCEL"):
+            method = "INVITE"
+        return f"{self.call_id}/{method}"
+
+    def describe(self) -> str:
+        if self.is_request:
+            return f"{self.method} {self.request_uri}"
+        return f"{self.status} {self.reason}"
+
+    @staticmethod
+    def request(
+        method: str,
+        uri: str,
+        *,
+        call_id: str,
+        cseq: int,
+        from_uri: str,
+        to_uri: str,
+        via: str = "SIP/2.0/UDP client.example.com",
+        max_forwards: int = 70,
+        extra: list[Header] | None = None,
+        body: str = "",
+    ) -> "SipMessage":
+        """Convenience constructor used by the workload generator."""
+        headers = [
+            Header("Via", via),
+            Header("Max-Forwards", str(max_forwards)),
+            Header("From", from_uri),
+            Header("To", to_uri),
+            Header("Call-ID", call_id),
+            Header("CSeq", f"{cseq} {method}"),
+        ]
+        if extra:
+            headers.extend(extra)
+        if body:
+            headers.append(Header("Content-Length", str(len(body))))
+        return SipMessage(
+            method=method, request_uri=uri, headers=headers, body=body
+        )
+
+    @staticmethod
+    def response_to(
+        request: "SipMessage", status: int, *, reason: str | None = None
+    ) -> "SipMessage":
+        """Build a response echoing the request's dialog headers."""
+        if reason is None:
+            reason = RESPONSE_PHRASES.get(status, "Unknown")
+        echoed = [
+            Header(h.name, h.value)
+            for h in request.headers
+            if h.name.lower() in ("via", "from", "to", "call-id", "cseq")
+        ]
+        return SipMessage(status=status, reason=reason, headers=echoed)

@@ -1,0 +1,364 @@
+"""SIP transaction state machines (RFC 3261 §17, simplified).
+
+The proxy keeps one transaction object per ``Call-ID``/method pair; the
+object hierarchy is deliberately polymorphic —
+
+::
+
+    SipTransaction                (base: key, state, cseq, dialog data)
+     ├── InviteTransaction        (INVITE/ACK/CANCEL lifecycle)
+     └── NonInviteTransaction     (REGISTER/OPTIONS/BYE/... lifecycle)
+
+— because *derived* classes with compiler-generated destructors are
+exactly what produces the §4.2.1 false positives when the proxy deletes
+a terminated transaction.  The state machines themselves are the
+host-level logic (:class:`TransactionState`, :func:`invite_event`,
+:func:`non_invite_event`); the guest-memory objects are built by the
+server from :data:`TRANSACTION_CLASSES`.
+
+Simplifications relative to RFC 3261: no timers (the VM has no wall
+clock; timeouts are modelled as explicit events), no unreliable
+transport retransmission logic beyond idempotent re-delivery, and ACK
+matching by Call-ID rather than Via branch.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.cxx.object_model import CxxClass
+
+__all__ = [
+    "TransactionError",
+    "TransactionState",
+    "invite_event",
+    "non_invite_event",
+    "TRANSACTION_CLASSES",
+    "REGISTRATION_BINDING",
+    "transaction_class_for",
+]
+
+
+class TransactionState(enum.Enum):
+    """Server-transaction states (union of the two RFC machines)."""
+
+    TRYING = "trying"
+    PROCEEDING = "proceeding"
+    COMPLETED = "completed"
+    CONFIRMED = "confirmed"
+    TERMINATED = "terminated"
+
+
+class TransactionError(Exception):
+    """An event arrived that the state machine cannot accept."""
+
+
+def invite_event(state: TransactionState, event: str) -> tuple[TransactionState, int | None]:
+    """INVITE server transaction (RFC 3261 §17.2.1, timer-free).
+
+    ``event`` is one of ``invite``, ``retransmit``, ``provisional``,
+    ``final``, ``ack``, ``cancel``, ``timeout``.  Returns the new state
+    and an optional response status the proxy should send.
+    """
+    S = TransactionState
+    if state is S.TRYING:
+        if event == "invite":
+            return S.PROCEEDING, 100  # send Trying immediately
+        raise TransactionError(f"INVITE machine in TRYING got {event!r}")
+    if state is S.PROCEEDING:
+        if event == "retransmit":
+            return S.PROCEEDING, 100  # re-send last provisional
+        if event == "provisional":
+            return S.PROCEEDING, 180
+        if event == "final":
+            return S.COMPLETED, 200
+        if event == "cancel":
+            return S.COMPLETED, 487
+        if event == "timeout":
+            return S.TERMINATED, 408
+        raise TransactionError(f"INVITE machine in PROCEEDING got {event!r}")
+    if state is S.COMPLETED:
+        if event == "ack":
+            return S.CONFIRMED, None
+        if event == "retransmit":
+            return S.COMPLETED, 200  # re-send final
+        if event == "timeout":
+            return S.TERMINATED, None
+        raise TransactionError(f"INVITE machine in COMPLETED got {event!r}")
+    if state is S.CONFIRMED:
+        if event in ("timeout", "bye"):
+            return S.TERMINATED, None
+        if event == "ack":
+            return S.CONFIRMED, None  # absorbed
+        raise TransactionError(f"INVITE machine in CONFIRMED got {event!r}")
+    raise TransactionError(f"event {event!r} on TERMINATED transaction")
+
+
+def non_invite_event(
+    state: TransactionState, event: str
+) -> tuple[TransactionState, int | None]:
+    """Non-INVITE server transaction (RFC 3261 §17.2.2, timer-free).
+
+    Events: ``request``, ``retransmit``, ``final``, ``timeout``.
+    """
+    S = TransactionState
+    if state is S.TRYING:
+        if event == "request":
+            return S.PROCEEDING, None
+        raise TransactionError(f"non-INVITE machine in TRYING got {event!r}")
+    if state is S.PROCEEDING:
+        if event == "final":
+            return S.COMPLETED, 200
+        if event == "retransmit":
+            return S.PROCEEDING, None
+        if event == "timeout":
+            return S.TERMINATED, 408
+        raise TransactionError(f"non-INVITE machine in PROCEEDING got {event!r}")
+    if state is S.COMPLETED:
+        if event == "retransmit":
+            return S.COMPLETED, 200
+        if event == "timeout":
+            return S.TERMINATED, None
+        raise TransactionError(f"non-INVITE machine in COMPLETED got {event!r}")
+    raise TransactionError(f"event {event!r} on TERMINATED transaction")
+
+
+# ----------------------------------------------------------------------
+# Guest-memory object hierarchy
+# ----------------------------------------------------------------------
+#
+# A transaction is not one object: like the real server's C++, it *owns*
+# a small tree of polymorphic parts (a header table, a dialog-state
+# record, a body object), cascade-deleted from the transaction's
+# destructor body.  Every owned part has a base class, so destroying one
+# transaction produces a whole family of compiler-generated vptr
+# rewrites at distinct program locations -- this is how a single delete
+# site fans out into the many Sec. 4.2.1 warning locations the paper
+# counts.
+#
+# The destructor bodies need run-time context (the allocator, the
+# build's annotate switch, the oracle), so the class objects are built
+# per proxy instance by :func:`build_transaction_classes` around a
+# :class:`TransactionContext`.
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class TransactionContext:
+    """Run-time services the destructor bodies need."""
+
+    allocator: object
+    annotate: bool
+    truth: object | None = None
+
+
+def _get_state(api, obj):
+    return obj.get(api, "state")
+
+
+def _set_state(api, obj, value):
+    obj.set(api, "state", value)
+
+
+def _describe(api, obj):
+    return f"{obj.cls.name}({obj.get(api, 'key')})"
+
+
+def _touch_binding(api, obj):
+    """Virtual 'freshness' probe: reads the expiry field."""
+    return obj.get(api, "expires")
+
+
+#: Owned-part classes (shared, context-free: their destructor bodies are
+#: empty -- the compiler-generated header rewrites alone warn).  All are
+#: three levels deep, so each part's destruction rewrites the vptr twice
+#: at two distinct frames -- multiplying warning locations the way the
+#: real server's wide class forest did.
+_COLLECTION = CxxClass(name="Collection", fields=("count",), file="collection.cpp", line=12)
+_HEADER_LIST = CxxClass(
+    name="HeaderList", base=_COLLECTION, fields=("first",), file="headers.cpp", line=14
+)
+HEADER_TABLE = CxxClass(
+    name="HeaderTable",
+    base=_HEADER_LIST,
+    fields=("via", "callid", "cseq_hdr"),
+    file="headers.cpp",
+    line=30,
+)
+VIA_LIST = CxxClass(
+    name="ViaList", base=_HEADER_LIST, fields=("top_via",), file="headers.cpp", line=62
+)
+CONTACT_LIST = CxxClass(
+    name="ContactList", base=_HEADER_LIST, fields=("primary",), file="headers.cpp", line=90
+)
+_STATE_OBJECT = CxxClass(name="StateObject", fields=("phase",), file="state.cpp", line=8)
+_CALL_STATE = CxxClass(
+    name="CallState", base=_STATE_OBJECT, fields=("leg",), file="state.cpp", line=20
+)
+DIALOG_STATE = CxxClass(
+    name="DialogState",
+    base=_CALL_STATE,
+    fields=("route", "remote_tag"),
+    file="dialog.cpp",
+    line=25,
+)
+_MESSAGE_BODY = CxxClass(name="MessageBody", fields=("length",), file="body.cpp", line=10)
+_TEXT_BODY = CxxClass(
+    name="TextBody", base=_MESSAGE_BODY, fields=("encoding",), file="body.cpp", line=22
+)
+SDP_BODY = CxxClass(
+    name="SdpBody",
+    base=_TEXT_BODY,
+    fields=("media",),
+    file="body.cpp",
+    line=44,
+)
+_RECORD = CxxClass(name="Record", fields=("id_tag",), file="record.cpp", line=6)
+_SECURITY_RECORD = CxxClass(
+    name="SecurityRecord", base=_RECORD, fields=("realm",), file="auth.cpp", line=15
+)
+AUTH_STATE = CxxClass(
+    name="AuthState",
+    base=_SECURITY_RECORD,
+    fields=("nonce",),
+    file="auth.cpp",
+    line=40,
+)
+
+#: Field names of the owned parts, deleted in this order by the
+#: transaction destructor.
+OWNED_PARTS = ("hdr_table", "via_list", "contact_list", "dlg_state", "body_obj", "auth_state")
+
+#: The classes each owned-part field holds.
+PART_CLASSES = {
+    "hdr_table": HEADER_TABLE,
+    "via_list": VIA_LIST,
+    "contact_list": CONTACT_LIST,
+    "dlg_state": DIALOG_STATE,
+    "body_obj": SDP_BODY,
+    "auth_state": AUTH_STATE,
+}
+
+
+def build_transaction_classes(ctx: TransactionContext) -> dict[str, CxxClass]:
+    """Construct the transaction hierarchy bound to ``ctx``.
+
+    Returns a map with keys ``"INVITE"``, ``"default"`` and
+    ``"binding"`` (the registrar's record class).
+
+    Hierarchy (3 levels, so destruction rewrites the vptr twice)::
+
+        PoolObject -> SipTransaction -> {Invite,NonInvite}Transaction
+
+    ``refs``/``zombie`` implement the table's reference-counted lifetime
+    protocol: a handler that *finds* a transaction holds a reference
+    until it is done, the terminating handler marks the object zombie,
+    and whoever drops the last reference runs the destructor -- the
+    lifetime discipline a real server uses so a worker never destroys an
+    object a peer still holds.
+    """
+    from repro.cxx.object_model import delete_object  # cycle-free local import
+
+    def txn_dtor(api, obj):
+        """~SipTransaction: cascade-delete the owned parts, null fields."""
+        for i, field_name in enumerate(OWNED_PARTS):
+            api.at(60 + 2 * i)
+            part = obj.get(api, field_name)
+            if part is not None:
+                delete_object(
+                    api, part, ctx.allocator, annotate=ctx.annotate, truth=ctx.truth
+                )
+            api.at(61 + 2 * i)
+            obj.set(api, field_name, None)
+
+    pool_object = CxxClass(
+        name="PoolObject",
+        fields=("pool_tag",),
+        file="poolobject.cpp",
+        line=18,
+    )
+    sip_transaction = CxxClass(
+        name="SipTransaction",
+        base=pool_object,
+        fields=("key", "state", "cseq", "events", "branch", "refs", "zombie")
+        + OWNED_PARTS,
+        methods={
+            "get_state": _get_state,
+            "set_state": _set_state,
+            "describe": _describe,
+            "~": txn_dtor,
+        },
+        file="transaction.cpp",
+        line=40,
+    )
+    invite_transaction = CxxClass(
+        name="InviteTransaction",
+        base=sip_transaction,
+        fields=("sdp", "ringing"),
+        file="transaction.cpp",
+        line=120,
+    )
+    non_invite_transaction = CxxClass(
+        name="NonInviteTransaction",
+        base=sip_transaction,
+        fields=("final_status",),
+        file="transaction.cpp",
+        line=200,
+    )
+
+    def binding_dtor(api, obj):
+        """~RegistrationBinding: drop the contact string reference."""
+        from repro.cxx.string import CowString
+
+        api.at(70)
+        rep = obj.get(api, "contact")
+        if rep is not None and ctx.allocator is not None:
+            CowString.from_rep(rep, ctx.allocator, ctx.truth).dispose(api)
+        api.at(71)
+        obj.set(api, "contact", None)
+
+    location_record = CxxClass(
+        name="LocationRecord", fields=("user",), file="registrar.cpp", line=15
+    )
+    aor_record = CxxClass(
+        name="AorRecord",
+        base=location_record,
+        fields=("aor",),
+        file="registrar.cpp",
+        line=32,
+    )
+    registration_binding = CxxClass(
+        name="RegistrationBinding",
+        base=aor_record,
+        fields=("contact", "expires", "refs", "zombie"),
+        methods={"touch": _touch_binding, "~": binding_dtor},
+        file="registrar.cpp",
+        line=55,
+    )
+    return {
+        "INVITE": invite_transaction,
+        "default": non_invite_transaction,
+        "binding": registration_binding,
+    }
+
+
+# Context-free default classes (handy for tests that only need layout).
+_DEFAULT_CLASSES = build_transaction_classes(
+    TransactionContext(allocator=None, annotate=False)
+)
+SIP_TRANSACTION = _DEFAULT_CLASSES["INVITE"].base
+INVITE_TRANSACTION = _DEFAULT_CLASSES["INVITE"]
+NON_INVITE_TRANSACTION = _DEFAULT_CLASSES["default"]
+REGISTRATION_BINDING = _DEFAULT_CLASSES["binding"]
+
+TRANSACTION_CLASSES = {
+    "INVITE": INVITE_TRANSACTION,
+    "default": NON_INVITE_TRANSACTION,
+}
+
+
+def transaction_class_for(method: str, classes: dict[str, CxxClass] | None = None) -> CxxClass:
+    """The concrete transaction class the proxy instantiates."""
+    table = classes or _DEFAULT_CLASSES
+    return table.get(method, table["default"])

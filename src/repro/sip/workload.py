@@ -1,0 +1,398 @@
+"""SIPp-style workload generation — the test bed of §3.3.
+
+The paper drives the proxy with "an automated test suite.  The main
+utility of this test suite is SIPp, a tool for SIP load testing", and
+evaluates on eight test cases T1-T8.  The paper never specifies what
+each case contains (they are the vendor's regression scenarios), so the
+cases here are *constructed* to span the proxy's feature surface the
+way a real suite would — registrations, call setup/teardown, presence,
+retransmissions, mixed load — with volumes chosen so the warning-count
+profile has the Figure 5/6 shape (see EXPERIMENTS.md for the
+paper-vs-measured comparison).
+
+Everything is generated from a seed: the same test case id always
+yields the same message sequence, so detector runs are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util.rng import SplitMix64
+from repro.sip.message import Header, SipMessage
+from repro.sip.parser import serialize_message
+
+__all__ = ["TestCase", "evaluation_cases", "scenario_calls", "CallScenario"]
+
+_DOMAINS = ("example.com", "biloxi.example.com", "atlanta.example.com")
+_USERS = ("alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi")
+
+
+@dataclass(slots=True)
+class TestCase:
+    """One SIPp scenario: an ordered stream of wire messages."""
+
+    #: Not a pytest class, despite the (domain-accurate) name.
+    __test__ = False
+
+    case_id: str
+    name: str
+    description: str
+    wires: list[str] = field(default_factory=list)
+
+    @property
+    def message_count(self) -> int:
+        return len(self.wires)
+
+    def __repr__(self) -> str:
+        return f"TestCase({self.case_id}: {self.name}, {len(self.wires)} msgs)"
+
+
+@dataclass(slots=True)
+class CallScenario:
+    """Message sequences for one dialog (kept in protocol order)."""
+
+    call_id: str
+    messages: list[SipMessage] = field(default_factory=list)
+
+
+class _Builder:
+    """Stateful generator with seeded randomness."""
+
+    def __init__(self, seed: int) -> None:
+        self.rng = SplitMix64(seed)
+        self._call_counter = 0
+
+    def _next_call_id(self, tag: str) -> str:
+        self._call_counter += 1
+        return f"{tag}-{self._call_counter:04d}@test.invalid"
+
+    def _user(self, domain: str | None = None) -> str:
+        name = self.rng.choice(_USERS)
+        domain = domain or self.rng.choice(_DOMAINS)
+        return f"sip:{name}@{domain}"
+
+    # -- scenario primitives -------------------------------------------
+
+    def register(self, user: str | None = None, *, renew: bool = False) -> CallScenario:
+        """REGISTER (optionally a renewal: two registrations, same user
+        — the second deletes the first binding, a §4.2.1 site)."""
+        user = user or self._user()
+        scenario = CallScenario(self._next_call_id("reg"))
+        count = 2 if renew else 1
+        for cseq in range(1, count + 1):
+            scenario.messages.append(
+                SipMessage.request(
+                    "REGISTER",
+                    f"sip:{user.split('@', 1)[1]}",
+                    call_id=scenario.call_id,
+                    cseq=cseq,
+                    from_uri=user,
+                    to_uri=user,
+                    extra=[Header("Contact", f"{user};transport=udp")],
+                )
+            )
+        return scenario
+
+    def call(
+        self,
+        caller: str | None = None,
+        callee: str | None = None,
+        *,
+        with_info: bool = False,
+        cancelled: bool = False,
+        retransmit: bool = False,
+    ) -> CallScenario:
+        """A full dialog: INVITE [retrans] [INFO] (CANCEL | ACK BYE)."""
+        caller = caller or self._user()
+        callee = callee or self._user()
+        scenario = CallScenario(self._next_call_id("call"))
+        invite = SipMessage.request(
+            "INVITE",
+            callee,
+            call_id=scenario.call_id,
+            cseq=1,
+            from_uri=caller,
+            to_uri=callee,
+            body="v=0 o=- s=call c=IN IP4 10.0.0.1 m=audio 49170 RTP/AVP 0",
+        )
+        scenario.messages.append(invite)
+        if retransmit:
+            scenario.messages.append(invite)
+        if cancelled:
+            scenario.messages.append(
+                SipMessage.request(
+                    "CANCEL",
+                    callee,
+                    call_id=scenario.call_id,
+                    cseq=1,
+                    from_uri=caller,
+                    to_uri=callee,
+                )
+            )
+            return scenario
+        scenario.messages.append(
+            SipMessage.request(
+                "ACK",
+                callee,
+                call_id=scenario.call_id,
+                cseq=1,
+                from_uri=caller,
+                to_uri=callee,
+            )
+        )
+        if with_info:
+            scenario.messages.append(
+                SipMessage.request(
+                    "INFO",
+                    callee,
+                    call_id=scenario.call_id,
+                    cseq=2,
+                    from_uri=caller,
+                    to_uri=callee,
+                    body="Signal=5",
+                )
+            )
+        scenario.messages.append(
+            SipMessage.request(
+                "BYE",
+                callee,
+                call_id=scenario.call_id,
+                cseq=3,
+                from_uri=caller,
+                to_uri=callee,
+            )
+        )
+        return scenario
+
+    def presence(self, watcher: str | None = None, target: str | None = None) -> CallScenario:
+        """SUBSCRIBE followed by a NOTIFY for the same subscription."""
+        watcher = watcher or self._user()
+        target = target or self._user()
+        scenario = CallScenario(self._next_call_id("sub"))
+        scenario.messages.append(
+            SipMessage.request(
+                "SUBSCRIBE",
+                target,
+                call_id=scenario.call_id,
+                cseq=1,
+                from_uri=watcher,
+                to_uri=target,
+                extra=[Header("Event", "presence"), Header("Expires", "3600")],
+            )
+        )
+        scenario.messages.append(
+            SipMessage.request(
+                "NOTIFY",
+                watcher,
+                call_id=scenario.call_id,
+                cseq=2,
+                from_uri=target,
+                to_uri=watcher,
+                extra=[Header("Event", "presence")],
+                body="status=open",
+            )
+        )
+        return scenario
+
+    def abandoned_call(self, caller: str | None = None, callee: str | None = None) -> CallScenario:
+        """An INVITE that is never ACKed or torn down.
+
+        The caller vanished (crashed client, lost network): the proxy's
+        transaction sits in COMPLETED until something expires it — the
+        workload that exercises the RFC 3261 timeout transitions and the
+        server's reaper.
+        """
+        caller = caller or self._user()
+        callee = callee or self._user()
+        scenario = CallScenario(self._next_call_id("lost"))
+        scenario.messages.append(
+            SipMessage.request(
+                "INVITE",
+                callee,
+                call_id=scenario.call_id,
+                cseq=1,
+                from_uri=caller,
+                to_uri=callee,
+                body="v=0 o=- s=lost",
+            )
+        )
+        return scenario
+
+    def options(self) -> CallScenario:
+        user = self._user()
+        scenario = CallScenario(self._next_call_id("opt"))
+        scenario.messages.append(
+            SipMessage.request(
+                "OPTIONS",
+                f"sip:{self.rng.choice(_DOMAINS)}",
+                call_id=scenario.call_id,
+                cseq=1,
+                from_uri=user,
+                to_uri=f"sip:{self.rng.choice(_DOMAINS)}",
+            )
+        )
+        return scenario
+
+    # -- weaving ----------------------------------------------------------
+
+    def weave(self, scenarios: list[CallScenario]) -> list[str]:
+        """Interleave dialogs into one arrival stream.
+
+        Each step picks a random live dialog and emits its next message,
+        so dialogs overlap the way concurrent callers do, while each
+        dialog's internal order is preserved.
+        """
+        cursors = [0] * len(scenarios)
+        wires: list[str] = []
+        live = [i for i, s in enumerate(scenarios) if s.messages]
+        while live:
+            idx = self.rng.choice(live)
+            scenario = scenarios[idx]
+            wires.append(serialize_message(scenario.messages[cursors[idx]]))
+            cursors[idx] += 1
+            if cursors[idx] >= len(scenario.messages):
+                live.remove(idx)
+        return wires
+
+
+def scenario_calls(seed: int, n_calls: int) -> list[str]:
+    """Convenience: ``n_calls`` interleaved complete dialogs."""
+    builder = _Builder(seed)
+    return builder.weave([builder.call() for _ in range(n_calls)])
+
+
+# ----------------------------------------------------------------------
+# The eight evaluation test cases
+# ----------------------------------------------------------------------
+
+
+def evaluation_cases(*, seed: int = 2007) -> list[TestCase]:
+    """T1-T8, deterministic in ``seed`` (default: the publication year)."""
+    return [
+        _t1(seed),
+        _t2(seed),
+        _t3(seed),
+        _t4(seed),
+        _t5(seed),
+        _t6(seed),
+        _t7(seed),
+        _t8(seed),
+    ]
+
+
+def _t1(seed: int) -> TestCase:
+    """Registration churn + first calls: broad handler coverage."""
+    b = _Builder(seed ^ 0x51)
+    scenarios = []
+    for i, user in enumerate(_USERS[:6]):
+        scenarios.append(b.register(f"sip:{user}@{_DOMAINS[i % 3]}", renew=i % 2 == 0))
+    scenarios += [b.call(with_info=True) for _ in range(4)]
+    scenarios += [b.options() for _ in range(2)]
+    scenarios += [b.presence() for _ in range(2)]
+    return TestCase(
+        "T1",
+        "registration-and-calls",
+        "six registrations (half renewing), four calls with INFO, "
+        "options pings and two presence dialogs",
+        b.weave(scenarios),
+    )
+
+
+def _t2(seed: int) -> TestCase:
+    """Pure call setup/teardown."""
+    b = _Builder(seed ^ 0x52)
+    scenarios = [b.call() for _ in range(6)]
+    return TestCase(
+        "T2",
+        "call-setup",
+        "six interleaved INVITE/ACK/BYE dialogs",
+        b.weave(scenarios),
+    )
+
+
+def _t3(seed: int) -> TestCase:
+    """Keep-alive and registration-refresh traffic: the smallest case."""
+    b = _Builder(seed ^ 0x53)
+    scenarios = [b.options() for _ in range(5)]
+    scenarios += [b.register(renew=True) for _ in range(3)]
+    scenarios += [b.call() for _ in range(2)]
+    return TestCase(
+        "T3",
+        "keepalive-audit",
+        "five OPTIONS pings, three renewing registrations and two calls",
+        b.weave(scenarios),
+    )
+
+
+def _t4(seed: int) -> TestCase:
+    """Mixed load."""
+    b = _Builder(seed ^ 0x54)
+    scenarios = [b.register(renew=True) for _ in range(4)]
+    scenarios += [b.call(with_info=True) for _ in range(5)]
+    scenarios += [b.presence() for _ in range(3)]
+    scenarios += [b.options() for _ in range(2)]
+    return TestCase(
+        "T4",
+        "mixed-load",
+        "renewing registrations, five calls with INFO, presence and pings",
+        b.weave(scenarios),
+    )
+
+
+def _t5(seed: int) -> TestCase:
+    """Busy hour: highest volume, with INVITE retransmissions."""
+    b = _Builder(seed ^ 0x55)
+    scenarios = [b.register(renew=i % 3 == 0) for i in range(5)]
+    scenarios += [b.call(retransmit=i % 2 == 0, with_info=True) for i in range(6)]
+    scenarios += [b.presence() for _ in range(3)]
+    return TestCase(
+        "T5",
+        "busy-hour",
+        "heavy mixed load with INVITE retransmissions",
+        b.weave(scenarios),
+    )
+
+
+def _t6(seed: int) -> TestCase:
+    """Presence storm: subscription churn dominates."""
+    b = _Builder(seed ^ 0x56)
+    scenarios = [b.presence() for _ in range(7)]
+    scenarios += [b.register(renew=True) for _ in range(4)]
+    scenarios += [b.call() for _ in range(3)]
+    return TestCase(
+        "T6",
+        "presence-storm",
+        "seven subscriptions with notifies, renewing registrations, calls",
+        b.weave(scenarios),
+    )
+
+
+def _t7(seed: int) -> TestCase:
+    """Redial patterns: cancelled calls followed by successful ones."""
+    b = _Builder(seed ^ 0x57)
+    scenarios = []
+    for _ in range(4):
+        caller, callee = b._user(), b._user()
+        scenarios.append(b.call(caller, callee, cancelled=True))
+        scenarios.append(b.call(caller, callee))
+    return TestCase(
+        "T7",
+        "redial",
+        "four cancel-then-redial caller pairs",
+        b.weave(scenarios),
+    )
+
+
+def _t8(seed: int) -> TestCase:
+    """Maintenance window: registrations and audits, few calls."""
+    b = _Builder(seed ^ 0x58)
+    scenarios = [b.register(renew=i % 2 == 1) for i in range(5)]
+    scenarios += [b.options() for _ in range(4)]
+    scenarios += [b.call() for _ in range(2)]
+    return TestCase(
+        "T8",
+        "maintenance",
+        "registration refresh sweep with audits and two calls",
+        b.weave(scenarios),
+    )

@@ -1,0 +1,32 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import VM, RoundRobinScheduler
+from repro.runtime.trace import TraceRecorder
+
+
+def run_program(program, *args, scheduler=None, detectors=(), step_limit=2_000_000):
+    """Run ``program`` on a fresh VM and return ``(result, vm)``."""
+    vm = VM(
+        scheduler=scheduler or RoundRobinScheduler(),
+        detectors=tuple(detectors),
+        step_limit=step_limit,
+    )
+    result = vm.run(program, *args)
+    return result, vm
+
+
+def record_trace(program, *args, scheduler=None):
+    """Run ``program`` and return the recorded event list."""
+    recorder = TraceRecorder()
+    _, vm = run_program(program, *args, scheduler=scheduler, detectors=(recorder,))
+    return recorder.events, vm
+
+
+@pytest.fixture
+def vm():
+    """A fresh VM with the default round-robin scheduler."""
+    return VM()

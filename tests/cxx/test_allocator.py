@@ -1,0 +1,149 @@
+"""Tests for the pooled C++ allocator and its detector-visible effects."""
+
+from __future__ import annotations
+
+from repro.cxx.allocator import AllocStrategy, CxxAllocator
+from repro.detectors import HelgrindConfig, HelgrindDetector
+from repro.oracle import GroundTruth, WarningCategory
+from repro.runtime import VM
+
+
+def run(program, detectors=()):
+    vm = VM(detectors=tuple(detectors))
+    result = vm.run(program)
+    return result, vm
+
+
+class TestPoolMechanics:
+    def test_pool_reuses_addresses(self):
+        addrs = []
+
+        def prog(api):
+            alloc = CxxAllocator(api)
+            a = alloc.allocate(api, 4, tag="x")
+            api.store(a, 1)
+            alloc.deallocate(api, a, 4)
+            b = alloc.allocate(api, 4, tag="y")
+            addrs.extend([a, b])
+
+        run(prog)
+        assert addrs[0] == addrs[1]
+
+    def test_force_new_never_reuses(self):
+        addrs = []
+
+        def prog(api):
+            alloc = CxxAllocator(api, strategy=AllocStrategy.FORCE_NEW)
+            a = alloc.allocate(api, 4, tag="x")
+            api.store(a, 1)
+            alloc.deallocate(api, a, 4)
+            b = alloc.allocate(api, 4, tag="y")
+            addrs.extend([a, b])
+
+        run(prog)
+        assert addrs[0] != addrs[1]
+
+    def test_large_allocations_bypass_pool(self):
+        def prog(api):
+            alloc = CxxAllocator(api)
+            a = alloc.allocate(api, 100, tag="big")
+            alloc.deallocate(api, a, 100)
+            return alloc.stats()
+
+        stats, _ = run(prog)
+        assert stats["direct_allocs"] == 1
+        assert stats["pool_hits"] == 0
+
+    def test_size_class_rounding(self):
+        """A 3-word request and a 4-word request share a size class."""
+        addrs = []
+
+        def prog(api):
+            alloc = CxxAllocator(api)
+            a = alloc.allocate(api, 3, tag="x")
+            alloc.deallocate(api, a, 3)
+            b = alloc.allocate(api, 4, tag="y")
+            addrs.extend([a, b])
+
+        run(prog)
+        assert addrs[0] == addrs[1]
+
+    def test_reuse_count(self):
+        def prog(api):
+            alloc = CxxAllocator(api)
+            for _ in range(5):
+                a = alloc.allocate(api, 2)
+                alloc.deallocate(api, a, 2)
+            return alloc.reuse_count
+
+        count, _ = run(prog)
+        assert count == 4  # first is fresh, rest recycled
+
+    def test_distinct_live_allocations_disjoint(self):
+        def prog(api):
+            alloc = CxxAllocator(api)
+            a = alloc.allocate(api, 4)
+            b = alloc.allocate(api, 4)
+            assert a != b
+            api.store(a, 1)
+            api.store(b, 2)
+            return api.load(a), api.load(b)
+
+        result, _ = run(prog)
+        assert result == (1, 2)
+
+
+class TestDetectorInteraction:
+    def _churn(self, strategy, announce=False):
+        """Two *concurrent* worker threads use successive objects that the
+        pool carves from the same range.  The free/alloc boundary between
+        the epochs is invisible to the detector (no VM events), and the
+        workers share no create/join ordering, so the second epoch's
+        accesses look like unsynchronised touches of the first epoch's
+        memory — the §4 reuse false positive."""
+        truth = GroundTruth()
+
+        def prog(api):
+            alloc = CxxAllocator(api, strategy=strategy, truth=truth, announce=announce)
+            turn = api.semaphore(0)  # sequences the epochs in *time* only
+
+            def first_user(a):
+                x = alloc.allocate(a, 4, tag="obj1")
+                with a.frame("first_user", "churn.cpp", 5):
+                    a.store(x, 1)
+                    a.load(x)
+                alloc.deallocate(a, x, 4)
+                a.sem_post(turn)
+                a.sleep(10)  # stays alive: no join edge to the second user
+
+            def second_user(a):
+                a.sem_wait(turn)
+                y = alloc.allocate(a, 4, tag="obj2")
+                with a.frame("second_user", "churn.cpp", 15):
+                    a.store(y, 2)
+
+            t1 = api.spawn(first_user)
+            t2 = api.spawn(second_user)
+            api.join(t1)
+            api.join(t2)
+
+        det = HelgrindDetector(HelgrindConfig.hwlc_dr())
+        run(prog, detectors=(det,))
+        return det, truth
+
+    def test_pool_reuse_confuses_detector(self):
+        det, truth = self._churn(AllocStrategy.POOL)
+        # Reuse leaves stale shadow state: warnings on recycled words.
+        assert det.report.location_count >= 1
+        entry = truth.entry_for(det.report.warnings[0].addr)
+        assert entry is not None
+        assert entry.category is WarningCategory.FP_ALLOC_REUSE
+
+    def test_force_new_is_clean(self):
+        det, _ = self._churn(AllocStrategy.FORCE_NEW)
+        assert det.report.location_count == 0
+
+    def test_announcing_pool_is_clean(self):
+        """hg_clean on reissue fixes the pool without disabling it."""
+        det, _ = self._churn(AllocStrategy.POOL, announce=True)
+        assert det.report.location_count == 0

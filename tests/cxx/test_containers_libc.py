@@ -1,0 +1,300 @@
+"""Tests for STL-style containers and the libc model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cxx import CxxAllocator, CxxMap, CxxVector, LibC
+from repro.cxx.allocator import AllocStrategy
+from repro.cxx.libc import TM_SIZE
+from repro.detectors import DjitDetector, HelgrindConfig, HelgrindDetector
+from repro.errors import GuestFault
+from repro.oracle import GroundTruth, WarningCategory
+from repro.runtime import VM
+
+
+class TestVector:
+    def test_push_and_get(self):
+        def prog(api):
+            v = CxxVector(api, CxxAllocator(api))
+            for i in range(10):
+                v.push_back(api, i * i)
+            return [v.get(api, i) for i in range(10)], v.size(api)
+
+        values, size = VM().run(prog)
+        assert values == [i * i for i in range(10)]
+        assert size == 10
+
+    def test_growth_preserves_contents(self):
+        def prog(api):
+            v = CxxVector(api, CxxAllocator(api), capacity=2)
+            for i in range(20):
+                v.push_back(api, i)
+            return [v.get(api, i) for i in range(20)]
+
+        assert VM().run(prog) == list(range(20))
+
+    def test_growth_recycles_old_buffer(self):
+        def prog(api):
+            alloc = CxxAllocator(api)
+            v = CxxVector(api, alloc, capacity=2)
+            for i in range(10):
+                v.push_back(api, i)
+            return alloc.stats()["pool_hits"] + len(alloc._free[2])
+
+        assert VM().run(prog) >= 1  # old buffers returned to the pool
+
+    def test_out_of_range_faults(self):
+        def prog(api):
+            v = CxxVector(api, CxxAllocator(api))
+            v.push_back(api, 1)
+            v.get(api, 5)
+
+        with pytest.raises(GuestFault, match="out of range"):
+            VM().run(prog)
+
+    def test_pop_back(self):
+        def prog(api):
+            v = CxxVector(api, CxxAllocator(api))
+            v.push_back(api, "a")
+            v.push_back(api, "b")
+            return v.pop_back(api), v.size(api)
+
+        assert VM().run(prog) == ("b", 1)
+
+    def test_pop_empty_faults(self):
+        def prog(api):
+            CxxVector(api, CxxAllocator(api)).pop_back(api)
+
+        with pytest.raises(GuestFault, match="empty"):
+            VM().run(prog)
+
+    def test_destroy_releases(self):
+        def prog(api):
+            alloc = CxxAllocator(api, strategy=AllocStrategy.FORCE_NEW)
+            v = CxxVector(api, alloc)
+            v.push_back(api, 1)
+            v.destroy(api)
+            return len(VMHOLE := []) == 0
+
+        assert VM().run(prog)
+
+
+class TestMap:
+    def test_insert_get(self):
+        def prog(api):
+            m = CxxMap(api, CxxAllocator(api))
+            m.insert(api, "alice", 30)
+            m.insert(api, "bob", 25)
+            return m.get(api, "alice"), m.get(api, "bob"), m.get(api, "eve")
+
+        assert VM().run(prog) == (30, 25, None)
+
+    def test_insert_does_not_overwrite(self):
+        def prog(api):
+            m = CxxMap(api, CxxAllocator(api))
+            first = m.insert(api, "k", 1)
+            second = m.insert(api, "k", 2)
+            return first, second, m.get(api, "k")
+
+        assert VM().run(prog) == (True, False, 1)
+
+    def test_set_overwrites(self):
+        def prog(api):
+            m = CxxMap(api, CxxAllocator(api))
+            m.set(api, "k", 1)
+            m.set(api, "k", 2)
+            return m.get(api, "k"), m.size(api)
+
+        assert VM().run(prog) == (2, 1)
+
+    def test_subscript_inserts_default(self):
+        def prog(api):
+            m = CxxMap(api, CxxAllocator(api))
+            v = m.subscript(api, "fresh")
+            return v, m.contains(api, "fresh")
+
+        assert VM().run(prog) == (0, True)
+
+    def test_keys_sorted(self):
+        def prog(api):
+            m = CxxMap(api, CxxAllocator(api))
+            for k in ("delta", "alpha", "charlie", "bravo"):
+                m.set(api, k, 1)
+            return m.keys(api)
+
+        assert VM().run(prog) == ["alpha", "bravo", "charlie", "delta"]
+
+    def test_many_entries(self):
+        def prog(api):
+            m = CxxMap(api, CxxAllocator(api))
+            for i in range(30):
+                m.set(api, f"key{i:02d}", i)
+            return [m.get(api, f"key{i:02d}") for i in range(30)]
+
+        assert VM().run(prog) == list(range(30))
+
+    def test_unsynchronised_concurrent_use_is_detectably_racy(self):
+        """The Figure 7 precondition: maps are not internally locked."""
+
+        def prog(api):
+            m = CxxMap(api, CxxAllocator(api))
+            m.set(api, "seed", 0)
+
+            def w(a, k):
+                m.set(a, k, 1)
+
+            t1, t2 = api.spawn(w, "a"), api.spawn(w, "b")
+            api.join(t1)
+            api.join(t2)
+
+        det = HelgrindDetector(HelgrindConfig.hwlc())
+        VM(detectors=(det,)).run(prog)
+        assert det.report.location_count >= 1
+
+
+class TestLibC:
+    def test_localtime_fills_static_buffer(self):
+        def prog(api):
+            libc = LibC()
+            buf = libc.localtime(api, 3600 * 5)
+            return [api.load(buf + i) for i in range(TM_SIZE)]
+
+        fields = VM().run(prog)
+        assert fields[2] == 5  # hour
+
+    def test_same_static_buffer_every_call(self):
+        def prog(api):
+            libc = LibC()
+            return libc.localtime(api, 1), libc.localtime(api, 2)
+
+        a, b = VM().run(prog)
+        assert a == b
+
+    def test_concurrent_localtime_is_a_true_race(self):
+        truth = GroundTruth()
+
+        def prog(api):
+            libc = LibC(truth=truth)
+            libc.localtime(api, 0)  # allocate+claim the static buffer
+
+            def caller(a, ts):
+                with a.frame("log_request", "proxy.cpp", 300):
+                    buf = libc.localtime(a, ts)
+                    a.load(buf + 2)
+
+            t1, t2 = api.spawn(caller, 1000), api.spawn(caller, 2000)
+            api.join(t1)
+            api.join(t2)
+
+        det = HelgrindDetector(HelgrindConfig.hwlc_dr())
+        djit = DjitDetector()
+        VM(detectors=(det, djit)).run(prog)
+        assert det.report.location_count >= 1
+        assert truth.category_of(det.report.warnings[0].addr) is WarningCategory.TRUE_RACE
+        # It is an *apparent* race too (HB agrees):
+        assert djit.report.location_count >= 1
+
+    def test_localtime_r_is_clean(self):
+        def prog(api):
+            libc = LibC()
+
+            def caller(a, ts):
+                buf = a.malloc(TM_SIZE, tag="tm.local")
+                libc.localtime_r(a, ts, buf)
+                a.load(buf + 2)
+
+            t1, t2 = api.spawn(caller, 1000), api.spawn(caller, 2000)
+            api.join(t1)
+            api.join(t2)
+
+        det = HelgrindDetector(HelgrindConfig.hwlc_dr())
+        VM(detectors=(det,)).run(prog)
+        assert det.report.location_count == 0
+
+    def test_strtok_static_cursor(self):
+        def prog(api):
+            libc = LibC()
+            text = api.malloc(1, tag="line")
+            api.store(text, "a,b,c")
+            toks = [libc.strtok(api, text, ",")]
+            toks.append(libc.strtok(api, None, ","))
+            toks.append(libc.strtok(api, None, ","))
+            toks.append(libc.strtok(api, None, ","))
+            return toks
+
+        assert VM().run(prog) == ["a", "b", "c", None]
+
+    def test_ctime_and_asctime(self):
+        def prog(api):
+            libc = LibC()
+            c = api.load(libc.ctime(api, 42))
+            tm = libc.gmtime(api, 42)
+            a = api.load(libc.asctime(api, tm))
+            return c, a.startswith("tm:")
+
+        c, ok = VM().run(prog)
+        assert "42" in c
+        assert ok
+
+    def test_call_counters(self):
+        def prog(api):
+            libc = LibC()
+            libc.localtime(api, 1)
+            libc.localtime(api, 2)
+            libc.gmtime(api, 3)
+            return dict(libc.calls)
+
+        calls = VM().run(prog)
+        assert calls == {"localtime": 2, "gmtime": 1}
+
+
+class TestMapEdgeCases:
+    def test_set_value_none_acts_as_removal(self):
+        """The proxy 'removes' table entries by nulling the value."""
+
+        def prog(api):
+            m = CxxMap(api, CxxAllocator(api))
+            m.set(api, "k", "v")
+            m.set(api, "k", None)
+            return m.get(api, "k"), m.contains(api, "k")
+
+        value, contains = VM().run(prog)
+        assert value is None
+        assert contains  # the key slot survives; the value is gone
+
+    def test_map_destroy_releases_storage(self):
+        def prog(api):
+            alloc = CxxAllocator(api, strategy=AllocStrategy.FORCE_NEW)
+            m = CxxMap(api, alloc)
+            m.set(api, "a", 1)
+            m.destroy(api)
+
+        vm = VM()
+        vm.run(prog)
+        assert vm.memory.live_blocks() == []
+
+    def test_storage_peek_matches_traced_state(self):
+        def prog(api):
+            m = CxxMap(api, CxxAllocator(api))
+            for i in range(6):
+                m.set(api, f"k{i}", i)
+            return m
+
+        vm = VM()
+        m = vm.run(prog)
+        buf, cap = m.storage_peek(vm)
+        assert cap >= 12  # six (key, value) pairs
+        assert vm.memory.find_block(buf) is not None
+
+
+class TestCompiledProgramReuse:
+    def test_program_object_survives_multiple_runs(self):
+        from repro.instrument import compile_module, parse
+
+        program = compile_module(
+            parse('global n = 0; fn main() { n = n + 1; print(n); return n; }')
+        )
+        assert VM().run(program.main) == 1
+        assert VM().run(program.main) == 1  # fresh globals per run
+        assert program.last_output == [1]

@@ -1,0 +1,263 @@
+"""Tests for the C++ object model (vptr writes, ctor/dtor chains)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cxx import CxxAllocator, CxxClass, delete_object, new_object
+from repro.detectors import HelgrindConfig, HelgrindDetector
+from repro.errors import GuestFault
+from repro.oracle import GroundTruth, WarningCategory
+from repro.runtime import VM
+from repro.runtime.events import MemoryAccess
+from repro.runtime.trace import TraceRecorder
+
+
+BASE = CxxClass("Message", fields=("refcount", "length"), file="msg.h", line=10)
+DERIVED = CxxClass("SipRequest", base=BASE, fields=("method", "uri"), file="sip.h", line=30)
+DEEP = CxxClass("InviteRequest", base=DERIVED, fields=("sdp",), file="sip.h", line=80)
+
+
+class TestLayout:
+    def test_size_includes_header_and_bases(self):
+        assert BASE.size == 3
+        assert DERIVED.size == 5
+        assert DEEP.size == 6
+
+    def test_field_offsets_base_first(self):
+        assert DERIVED.field_offset("refcount") == 1
+        assert DERIVED.field_offset("length") == 2
+        assert DERIVED.field_offset("method") == 3
+        assert DERIVED.field_offset("uri") == 4
+
+    def test_unknown_field_raises(self):
+        with pytest.raises(KeyError):
+            DERIVED.field_offset("nope")
+
+    def test_mro_base_to_derived(self):
+        assert [c.name for c in DEEP.mro()] == ["Message", "SipRequest", "InviteRequest"]
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(ValueError):
+            CxxClass("Bad", base=BASE, fields=("refcount",))
+
+    def test_all_fields(self):
+        assert DEEP.all_fields() == ["refcount", "length", "method", "uri", "sdp"]
+
+
+class TestConstruction:
+    def test_new_object_initialises_fields(self):
+        def prog(api):
+            alloc = CxxAllocator(api)
+            obj = new_object(api, DERIVED, alloc, init={"method": "INVITE"})
+            return obj.get(api, "method"), obj.get(api, "refcount")
+
+        assert VM().run(prog) == ("INVITE", 0)
+
+    def test_ctor_chain_writes_vptr_per_class(self):
+        recorder = TraceRecorder()
+
+        def prog(api):
+            alloc = CxxAllocator(api)
+            new_object(api, DEEP, alloc)
+
+        VM(detectors=(recorder,)).run(prog)
+        header_writes = [
+            e
+            for e in recorder.events
+            if isinstance(e, MemoryAccess) and e.is_write and e.site
+            and "::" in e.site.function and "~" not in e.site.function
+            and e.addr == min(
+                ev.addr for ev in recorder.events if isinstance(ev, MemoryAccess)
+            )
+        ]
+        # Three constructors, three vptr stores, base first.
+        ctor_frames = [e.site.function for e in header_writes]
+        assert ctor_frames == [
+            "Message::Message",
+            "SipRequest::SipRequest",
+            "InviteRequest::InviteRequest",
+        ]
+
+    def test_final_vptr_is_most_derived(self):
+        def prog(api):
+            alloc = CxxAllocator(api)
+            obj = new_object(api, DEEP, alloc)
+            return api.load(obj.header_addr)
+
+        assert VM().run(prog) == "vtbl:InviteRequest"
+
+
+class TestVirtualDispatch:
+    def test_vcall_reads_vptr_and_dispatches(self):
+        base = CxxClass(
+            "Animal",
+            fields=("legs",),
+            methods={"speak": lambda api, obj: "..."},
+        )
+        derived = CxxClass(
+            "Dog",
+            base=base,
+            methods={"speak": lambda api, obj: "woof"},
+        )
+
+        def prog(api):
+            alloc = CxxAllocator(api)
+            a = new_object(api, base, alloc)
+            d = new_object(api, derived, alloc)
+            return a.vcall(api, "speak"), d.vcall(api, "speak")
+
+        assert VM().run(prog) == ("...", "woof")
+
+    def test_vcall_on_corrupt_object_faults(self):
+        def prog(api):
+            alloc = CxxAllocator(api)
+            obj = new_object(api, BASE, alloc)
+            api.store(obj.header_addr, 12345)  # smash the vptr
+            obj.vcall(api, "anything")
+
+        with pytest.raises(GuestFault, match="corrupt"):
+            VM().run(prog)
+
+    def test_missing_method_raises(self):
+        def prog(api):
+            alloc = CxxAllocator(api)
+            obj = new_object(api, BASE, alloc)
+            obj.vcall(api, "no_such")
+
+        with pytest.raises(KeyError):
+            VM().run(prog)
+
+
+class TestDestruction:
+    def test_dtor_chain_rewrites_vptr_derived_to_base(self):
+        recorder = TraceRecorder()
+
+        def prog(api):
+            alloc = CxxAllocator(api)
+            obj = new_object(api, DEEP, alloc)
+            header = obj.header_addr
+            delete_object(api, obj, alloc, annotate=False)
+            return header
+
+        vm = VM(detectors=(recorder,))
+        header = vm.run(prog)
+        dtor_writes = [
+            e
+            for e in recorder.events
+            if isinstance(e, MemoryAccess)
+            and e.is_write
+            and e.addr == header
+            and e.site
+            and "~" in e.site.function
+        ]
+        # Three classes deep: the two *base* destructor entries rewrite.
+        assert [e.site.function for e in dtor_writes] == [
+            "SipRequest::~SipRequest",
+            "Message::~Message",
+        ]
+
+    def test_plain_class_destructor_writes_nothing(self):
+        """Non-derived classes never rewrite the vptr (§4.2.1: the FPs
+        'all belong to derived classes')."""
+        recorder = TraceRecorder()
+
+        def prog(api):
+            alloc = CxxAllocator(api)
+            obj = new_object(api, BASE, alloc)
+            header = obj.header_addr
+            delete_object(api, obj, alloc, annotate=False)
+            return header
+
+        header = VM(detectors=(recorder,)).run(prog)
+        dtor_writes = [
+            e
+            for e in recorder.events
+            if isinstance(e, MemoryAccess)
+            and e.is_write
+            and e.addr == header
+            and e.site
+            and "~" in e.site.function
+        ]
+        assert dtor_writes == []
+
+    def test_annotate_emits_hg_destruct(self):
+        from repro.runtime.events import ClientRequest
+
+        recorder = TraceRecorder()
+
+        def prog(api):
+            alloc = CxxAllocator(api)
+            obj = new_object(api, DERIVED, alloc)
+            delete_object(api, obj, alloc, annotate=True)
+
+        VM(detectors=(recorder,)).run(prog)
+        reqs = [e for e in recorder.events if isinstance(e, ClientRequest)]
+        assert len(reqs) == 1
+        assert reqs[0].request == "hg_destruct"
+        assert reqs[0].size == DERIVED.size
+
+    def test_dtor_bodies_run_derived_first(self):
+        order = []
+        base = CxxClass("B", methods={"~": lambda api, obj: order.append("B")})
+        derived = CxxClass(
+            "D", base=base, methods={"~": lambda api, obj: order.append("D")}
+        )
+
+        def prog(api):
+            alloc = CxxAllocator(api)
+            obj = new_object(api, derived, alloc)
+            delete_object(api, obj, alloc, annotate=False)
+
+        VM().run(prog)
+        assert order == ["D", "B"]
+
+    def test_truth_claim_registered(self):
+        truth = GroundTruth()
+
+        def prog(api):
+            alloc = CxxAllocator(api)
+            obj = new_object(api, DERIVED, alloc)
+            header = obj.header_addr
+            delete_object(api, obj, alloc, annotate=False, truth=truth)
+            return header
+
+        header = VM().run(prog)
+        assert truth.category_of(header) is WarningCategory.FP_DESTRUCTOR
+
+
+class TestEndToEndDestructorFP:
+    """The full §4.2.1 story on real objects."""
+
+    def _scenario(self, api, annotate):
+        alloc = CxxAllocator(api)
+        truth = GroundTruth()
+        obj = new_object(api, DERIVED, alloc, init={"method": "INVITE"})
+        m = api.mutex()
+
+        def user(a):
+            a.lock(m)
+            obj.vcall(api=a, method="handle") if False else a.load(obj.header_addr)
+            a.load(obj.field_addr("method"))
+            a.unlock(m)
+            a.sleep(20)  # stays alive
+
+        api.spawn(user)
+        api.spawn(user)
+        api.sleep(8)
+        delete_object(api, obj, alloc, annotate=annotate, truth=truth)
+        return truth
+
+    def test_unannotated_derived_delete_warns(self):
+        det = HelgrindDetector(HelgrindConfig.hwlc())
+        truth_box = []
+        VM(detectors=(det,)).run(lambda api: truth_box.append(self._scenario(api, False)))
+        assert det.report.location_count >= 1
+        w = det.report.warnings[0]
+        assert "~" in w.site.function
+        assert truth_box[0].category_of(w.addr) is WarningCategory.FP_DESTRUCTOR
+
+    def test_annotated_derived_delete_is_silent(self):
+        det = HelgrindDetector(HelgrindConfig.hwlc_dr())
+        VM(detectors=(det,)).run(lambda api: self._scenario(api, True))
+        assert det.report.location_count == 0

@@ -1,0 +1,199 @@
+"""Tests for the copy-on-write string — the Figure 8/9 reproduction."""
+
+from __future__ import annotations
+
+from repro.cxx import CowString, CxxAllocator
+from repro.cxx.allocator import AllocStrategy
+from repro.detectors import HelgrindConfig, HelgrindDetector
+from repro.oracle import GroundTruth, WarningCategory
+from repro.runtime import VM
+
+
+def fresh(api, text="contents", truth=None):
+    alloc = CxxAllocator(api, strategy=AllocStrategy.FORCE_NEW, truth=truth)
+    return CowString.create(api, text, alloc, truth=truth)
+
+
+class TestCowSemantics:
+    def test_create_and_read(self):
+        def prog(api):
+            s = fresh(api, "hello")
+            return s.value(api), s.length(api), s.refcount(api)
+
+        assert VM().run(prog) == ("hello", 5, 1)
+
+    def test_copy_shares_rep(self):
+        def prog(api):
+            s = fresh(api)
+            t = s.copy(api)
+            return s.rep == t.rep, s.refcount(api)
+
+        assert VM().run(prog) == (True, 2)
+
+    def test_dispose_frees_last_reference(self):
+        def prog(api):
+            s = fresh(api)
+            t = s.copy(api)
+            t.dispose(api)
+            still = s.value(api)  # rep must still be alive
+            s.dispose(api)
+            return still
+
+        result, = (VM().run(prog),)
+        assert result == "contents"
+
+    def test_dispose_last_actually_frees(self):
+        from repro.errors import GuestFault
+
+        import pytest
+
+        def prog(api):
+            s = fresh(api)
+            s.dispose(api)
+            s.value(api)  # use after free
+
+        with pytest.raises(GuestFault, match="freed"):
+            VM().run(prog)
+
+    def test_mutate_unshares(self):
+        def prog(api):
+            s = fresh(api, "orig")
+            t = s.copy(api)
+            t2 = t.mutate(api, "changed")
+            return s.value(api), t2.value(api), t2.rep != s.rep
+
+        assert VM().run(prog) == ("orig", "changed", True)
+
+    def test_mutate_in_place_when_unshared(self):
+        def prog(api):
+            s = fresh(api, "orig")
+            s2 = s.mutate(api, "new")
+            return s2.rep == s.rep, s2.value(api)
+
+        assert VM().run(prog) == (True, "new")
+
+
+class TestFigure8:
+    """The stringtest.cpp scenario, line for line.
+
+    main() constructs a string, spawns a worker that copies it, then
+    copies it itself (Figure 8 line 22 — the reported conflict).
+    """
+
+    def _stringtest(self, api, truth):
+        alloc = CxxAllocator(api, strategy=AllocStrategy.FORCE_NEW, truth=truth)
+        with api.frame("main", "stringtest.cpp", 16):
+            text = CowString.create(api, "contents", alloc, truth=truth)
+
+        def worker_thread(a):
+            with a.frame("workerThread", "stringtest.cpp", 10):
+                local = text.copy(a)
+                local.dispose(a)
+
+        t = api.spawn(worker_thread)
+        api.sleep(3)  # the sleep(1) of line 21
+        with api.frame("main", "stringtest.cpp", 22):
+            text_copy = text.copy(api)  # <- reported conflict
+        api.join(t)
+        text_copy.dispose(api)
+        text.dispose(api)
+
+    def test_original_helgrind_reports_m_grab(self):
+        truth = GroundTruth()
+        det = HelgrindDetector(HelgrindConfig.original())
+        VM(detectors=(det,)).run(lambda api: self._stringtest(api, truth))
+        # Every warning is a refcount write inside the libstdc++ string
+        # internals (_M_grab's increments, _M_dispose's decrements); the
+        # main-thread copy of line 22 (Figure 8's "reported conflict")
+        # is among the reported locations.
+        assert det.report.location_count >= 1
+        for w in det.report.warnings:
+            assert w.site.function in ("_M_grab", "_M_dispose")
+            assert truth.category_of(w.addr) is WarningCategory.FP_HW_LOCK
+        assert any("writing" in w.message for w in det.report.warnings)
+        assert any(
+            any(f.file == "stringtest.cpp" and f.line == 22 for f in w.stack)
+            for w in det.report.warnings
+        )
+
+    def test_corrected_bus_lock_is_silent(self):
+        """The paper: 'we implemented this correction successfully'."""
+        det = HelgrindDetector(HelgrindConfig.hwlc())
+        VM(detectors=(det,)).run(lambda api: self._stringtest(api, GroundTruth()))
+        assert det.report.location_count == 0
+
+    def test_warning_text_matches_figure9_shape(self):
+        truth = GroundTruth()
+        det = HelgrindDetector(HelgrindConfig.original())
+        vm = VM(detectors=(det,))
+        vm.run(lambda api: self._stringtest(api, truth))
+        text = det.report.warnings[0].format()
+        assert "Possible data race writing variable" in text
+        assert "_M_grab (basic_string.h:" in text
+        assert "words inside a block of size" in text  # the alloc'd line
+        assert "Previous state" in text
+
+
+class TestConcurrentCopies:
+    def test_many_concurrent_copies_keep_refcount_consistent(self):
+        """The bus lock makes refcounting correct — only the *detector's
+        model* of it was wrong.  N copies + N disposes -> refcount 1."""
+
+        def prog(api):
+            s = fresh(api)
+
+            def copier(a):
+                local = s.copy(a)
+                a.yield_()
+                local.dispose(a)
+
+            ts = [api.spawn(copier) for _ in range(8)]
+            for t in ts:
+                api.join(t)
+            return s.refcount(api)
+
+        from repro.runtime import RandomScheduler
+
+        for seed in range(3):
+            vm = VM(scheduler=RandomScheduler(seed))
+            assert vm.run(prog) == 1
+
+
+class TestMutateUnderDetection:
+    def test_private_mutation_never_warns(self):
+        from repro.detectors import HelgrindConfig, HelgrindDetector
+
+        def prog(api):
+            s = fresh(api, "orig")
+            s2 = s.mutate(api, "new")
+            s2.dispose(api)
+
+        det = HelgrindDetector(HelgrindConfig.hwlc())
+        VM(detectors=(det,)).run(prog)
+        assert det.report.location_count == 0
+
+    def test_cow_unshare_under_concurrent_readers(self):
+        """A writer unshares before mutating; readers keep the old rep."""
+
+        def prog(api):
+            s = fresh(api, "shared-text")
+            observed = []
+
+            def reader(a):
+                local = s.copy(a)
+                a.yield_()
+                observed.append(local.value(a))
+                local.dispose(a)
+
+            t1, t2 = api.spawn(reader), api.spawn(reader)
+            api.sleep(2)
+            s_new = s.mutate(api, "changed")
+            api.join(t1)
+            api.join(t2)
+            final = s_new.value(api)
+            s_new.dispose(api)
+            return observed, final
+
+        (observed, final), = (VM().run(prog),)
+        assert final == "changed"
+        assert all(v == "shared-text" for v in observed)

@@ -1,0 +1,222 @@
+"""Tests for the Atomizer-style atomicity checker (paper ref [4])."""
+
+from __future__ import annotations
+
+from repro.detectors import HelgrindConfig, HelgrindDetector
+from repro.detectors.atomizer import AtomizerDetector
+from repro.runtime import VM
+
+
+def run_atomizer(program):
+    det = AtomizerDetector()
+    VM(detectors=(det,)).run(program)
+    return det
+
+
+class TestReducibleBlocks:
+    def test_single_critical_section_is_atomic(self):
+        """lock; reads/writes; unlock — R (B*) L: reducible."""
+
+        def prog(api):
+            addr = api.malloc(2)
+            api.store(addr, 0)
+            api.store(addr + 1, 0)
+            m = api.mutex()
+
+            def worker(a):
+                with a.atomic_region("update"):
+                    a.lock(m)
+                    a.store(addr, a.load(addr) + 1)
+                    a.store(addr + 1, a.load(addr + 1) + 1)
+                    a.unlock(m)
+
+            t1, t2 = api.spawn(worker), api.spawn(worker)
+            api.join(t1)
+            api.join(t2)
+
+        det = run_atomizer(prog)
+        assert det.regions_checked == 2
+        assert det.report.location_count == 0
+
+    def test_nested_locks_in_order_are_atomic(self):
+        """R R (B*) L L is still reducible."""
+
+        def prog(api):
+            a_addr = api.malloc(1)
+            b_addr = api.malloc(1)
+            api.store(a_addr, 0)
+            api.store(b_addr, 0)
+            m1, m2 = api.mutex(), api.mutex()
+
+            def worker(a):
+                with a.atomic_region("transfer"):
+                    a.lock(m1)
+                    a.lock(m2)
+                    a.store(a_addr, a.load(a_addr) - 1)
+                    a.store(b_addr, a.load(b_addr) + 1)
+                    a.unlock(m2)
+                    a.unlock(m1)
+
+            t1, t2 = api.spawn(worker), api.spawn(worker)
+            api.join(t1)
+            api.join(t2)
+
+        det = run_atomizer(prog)
+        assert det.report.location_count == 0
+
+    def test_thread_local_work_is_atomic(self):
+        def prog(api):
+            def worker(a):
+                scratch = a.malloc(2)
+                with a.atomic_region("local"):
+                    a.store(scratch, 1)
+                    a.store(scratch + 1, a.load(scratch) + 1)
+
+            t = api.spawn(worker)
+            api.join(t)
+
+        det = run_atomizer(prog)
+        assert det.report.location_count == 0
+
+    def test_code_outside_regions_is_never_checked(self):
+        def prog(api):
+            addr = api.malloc(1)
+            api.store(addr, 0)
+            m = api.mutex()
+
+            def worker(a):
+                # Blatant lock-release-lock, but no atomicity intent.
+                a.lock(m)
+                a.store(addr, a.load(addr) + 1)
+                a.unlock(m)
+                a.lock(m)
+                a.store(addr, a.load(addr) + 1)
+                a.unlock(m)
+
+            t1, t2 = api.spawn(worker), api.spawn(worker)
+            api.join(t1)
+            api.join(t2)
+
+        det = run_atomizer(prog)
+        assert det.regions_checked == 0
+        assert det.report.location_count == 0
+
+
+class TestViolations:
+    def test_lock_released_and_retaken_violates(self):
+        """The §2.1 date-of-birth/age writer, declared atomic: the lock
+        drops between the two dependent writes — R B L *R* → violation.
+        Atomizer is the paper's second cited answer (after view
+        consistency) to this exact example."""
+
+        def prog(api):
+            dob = api.malloc(1)
+            age = api.malloc(1)
+            api.store(dob, 1970)
+            api.store(age, 37)
+            m = api.mutex()
+
+            def update_person(a):
+                with a.atomic_region("update_person"):
+                    a.lock(m)
+                    a.store(dob, 1980)
+                    a.unlock(m)
+                    a.lock(m)  # <- right-mover after a left-mover
+                    a.store(age, 27)
+                    a.unlock(m)
+
+            def reader(a):
+                a.lock(m)
+                a.load(dob)
+                a.load(age)
+                a.unlock(m)
+
+            t1, t2 = api.spawn(update_person), api.spawn(reader)
+            api.join(t1)
+            api.join(t2)
+
+        det = run_atomizer(prog)
+        assert det.report.location_count == 1
+        warning = det.report.warnings[0]
+        assert warning.kind == "atomicity-violation"
+        assert "update_person" in warning.message
+        assert "left-mover" in warning.details["Reduction"]
+
+    def test_two_unprotected_commit_points_violate(self):
+        def prog(api):
+            addr = api.malloc(1)
+            api.store(addr, 0)
+
+            def racer(a):
+                with a.atomic_region("double-touch"):
+                    a.store(addr, a.load(addr) + 1)  # racy read + write
+                    a.store(addr, a.load(addr) + 1)
+
+            t1, t2 = api.spawn(racer), api.spawn(racer)
+            api.join(t1)
+            api.join(t2)
+
+        det = run_atomizer(prog)
+        assert det.report.location_count >= 1
+        assert any(
+            "commit point" in w.details["Reduction"] for w in det.report.warnings
+        )
+
+    def test_violation_reported_once_per_region_instance_location(self):
+        def prog(api):
+            addr = api.malloc(1)
+            api.store(addr, 0)
+            m = api.mutex()
+
+            def worker(a):
+                for _ in range(3):
+                    with a.atomic_region("loop-body"):
+                        a.lock(m)
+                        a.store(addr, a.load(addr) + 1)
+                        a.unlock(m)
+                        a.lock(m)
+                        a.store(addr, a.load(addr) + 1)
+                        a.unlock(m)
+
+            t1, t2 = api.spawn(worker), api.spawn(worker)
+            api.join(t1)
+            api.join(t2)
+
+        det = run_atomizer(prog)
+        # Report layer dedups by stack: one location despite 6 regions.
+        assert det.report.location_count == 1
+        assert det.report.dynamic_count >= 2
+
+
+class TestComposition:
+    def test_atomizer_and_helgrind_coexist(self):
+        """The markers are invisible to the race detector and vice versa."""
+
+        def prog(api):
+            addr = api.malloc(1)
+            api.store(addr, 0)
+            m = api.mutex()
+
+            def worker(a):
+                with a.atomic_region("ok"):
+                    a.lock(m)
+                    a.store(addr, a.load(addr) + 1)
+                    a.unlock(m)
+
+            t1, t2 = api.spawn(worker), api.spawn(worker)
+            api.join(t1)
+            api.join(t2)
+
+        atomizer = AtomizerDetector()
+        helgrind = HelgrindDetector(HelgrindConfig.hwlc_dr())
+        VM(detectors=(atomizer, helgrind)).run(prog)
+        assert atomizer.report.location_count == 0
+        assert helgrind.report.location_count == 0
+
+    def test_markers_are_noops_without_detectors(self):
+        def prog(api):
+            with api.atomic_region("nothing"):
+                return 5
+            return None
+
+        assert VM().run(prog) == 5

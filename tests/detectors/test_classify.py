@@ -1,0 +1,109 @@
+"""Tests for warning classification against the ground-truth oracle."""
+
+from __future__ import annotations
+
+from repro.detectors.classify import classify_report
+from repro.detectors.report import Report, Warning_, WarningKind
+from repro.oracle import GroundTruth, WarningCategory
+from repro.runtime.events import Frame
+
+
+def warning_at(addr, fn="f"):
+    return Warning_(
+        kind=WarningKind.DATA_RACE,
+        message="m",
+        tid=0,
+        step=1,
+        stack=(Frame(fn, "a.cpp", 1),),
+        addr=addr,
+    )
+
+
+class TestGroundTruth:
+    def test_claim_and_lookup(self):
+        truth = GroundTruth()
+        truth.claim(100, 4, WarningCategory.FP_HW_LOCK, note="refcount")
+        assert truth.category_of(102) is WarningCategory.FP_HW_LOCK
+        assert truth.category_of(104) is WarningCategory.UNKNOWN
+
+    def test_newest_claim_wins(self):
+        truth = GroundTruth()
+        truth.claim(100, 10, WarningCategory.FP_ALLOC_REUSE)
+        truth.claim(100, 4, WarningCategory.TRUE_RACE, bug_id="B1")
+        assert truth.category_of(101) is WarningCategory.TRUE_RACE
+        assert truth.category_of(108) is WarningCategory.FP_ALLOC_REUSE
+
+    def test_bug_ids(self):
+        truth = GroundTruth()
+        truth.claim(0, 1, WarningCategory.TRUE_RACE, bug_id="B1")
+        truth.claim(5, 1, WarningCategory.TRUE_RACE, bug_id="B2")
+        truth.claim(9, 1, WarningCategory.FP_HW_LOCK)
+        assert truth.bug_ids() == {"B1", "B2"}
+
+    def test_entries_filter(self):
+        truth = GroundTruth()
+        truth.claim(0, 1, WarningCategory.BENIGN)
+        truth.claim(5, 1, WarningCategory.TRUE_RACE)
+        assert len(truth.entries()) == 2
+        assert len(truth.entries(WarningCategory.BENIGN)) == 1
+
+    def test_category_fp_property(self):
+        assert WarningCategory.FP_HW_LOCK.is_false_positive
+        assert WarningCategory.FP_DESTRUCTOR.is_false_positive
+        assert not WarningCategory.TRUE_RACE.is_false_positive
+        assert not WarningCategory.BENIGN.is_false_positive
+
+
+class TestClassification:
+    def test_oracle_claim_wins(self):
+        truth = GroundTruth()
+        truth.claim(100, 1, WarningCategory.TRUE_RACE, bug_id="B7", note="stat ctr")
+        report = Report()
+        report.add(warning_at(100))
+        classified = classify_report(report, truth)
+        assert classified.total == 1
+        item = classified.items[0]
+        assert item.category is WarningCategory.TRUE_RACE
+        assert item.bug_id == "B7"
+        assert item.note == "stat ctr"
+
+    def test_destructor_stack_heuristic(self):
+        truth = GroundTruth()
+        report = Report()
+        report.add(warning_at(500, fn="Derived::~Derived"))
+        classified = classify_report(report, truth)
+        assert classified.items[0].category is WarningCategory.FP_DESTRUCTOR
+
+    def test_unknown_fallback(self):
+        classified = classify_report(
+            _single_report(warning_at(500, fn="mystery")), GroundTruth()
+        )
+        assert classified.items[0].category is WarningCategory.UNKNOWN
+
+    def test_counts_and_helpers(self):
+        truth = GroundTruth()
+        truth.claim(1, 1, WarningCategory.TRUE_RACE, bug_id="B1")
+        truth.claim(2, 1, WarningCategory.FP_HW_LOCK)
+        truth.claim(3, 1, WarningCategory.FP_HW_LOCK)
+        report = Report()
+        report.add(warning_at(1, fn="a"))
+        report.add(warning_at(2, fn="b"))
+        report.add(warning_at(3, fn="c"))
+        classified = classify_report(report, truth)
+        assert classified.true_races == 1
+        assert classified.false_positives == 2
+        assert classified.count(WarningCategory.FP_HW_LOCK) == 2
+        assert classified.bug_ids_found() == {"B1"}
+        assert len(classified.of(WarningCategory.FP_HW_LOCK)) == 2
+        assert "fp-hardware-lock" in classified.format_summary()
+
+    def test_empty_report(self):
+        classified = classify_report(Report(), GroundTruth())
+        assert classified.total == 0
+        assert classified.counts == {}
+
+
+def _single_report(warning):
+    report = Report()
+    report.add(warning)
+    return report

@@ -1,0 +1,220 @@
+"""Tests for the lock-order-graph deadlock detector."""
+
+from __future__ import annotations
+
+from repro.detectors import LockGraphDetector
+from repro.runtime import VM
+
+
+def run_lg(program):
+    det = LockGraphDetector()
+    VM(detectors=(det,)).run(program)
+    return det
+
+
+class TestLockOrder:
+    def test_consistent_order_is_silent(self):
+        def prog(api):
+            m1, m2 = api.mutex("A"), api.mutex("B")
+
+            def w(a):
+                for _ in range(3):
+                    a.lock(m1)
+                    a.lock(m2)
+                    a.unlock(m2)
+                    a.unlock(m1)
+
+            t1, t2 = api.spawn(w), api.spawn(w)
+            api.join(t1)
+            api.join(t2)
+
+        det = run_lg(prog)
+        assert det.cycles_found == 0
+
+    def test_inversion_reported_even_without_deadlock(self):
+        """The run survives (sequential), but the order cycle is real."""
+
+        def prog(api):
+            m1, m2 = api.mutex("A"), api.mutex("B")
+            api.lock(m1)
+            api.lock(m2)
+            api.unlock(m2)
+            api.unlock(m1)
+            api.lock(m2)
+            api.lock(m1)
+            api.unlock(m1)
+            api.unlock(m2)
+
+        det = run_lg(prog)
+        assert det.cycles_found == 1
+        w = det.report.warnings[0]
+        assert w.kind == "lock-order-violation"
+        assert "cycle" in w.message
+
+    def test_cycle_reported_once(self):
+        def prog(api):
+            m1, m2 = api.mutex(), api.mutex()
+            for _ in range(3):
+                api.lock(m1)
+                api.lock(m2)
+                api.unlock(m2)
+                api.unlock(m1)
+                api.lock(m2)
+                api.lock(m1)
+                api.unlock(m1)
+                api.unlock(m2)
+
+        det = run_lg(prog)
+        assert det.cycles_found == 1
+
+    def test_three_lock_cycle(self):
+        def prog(api):
+            a_, b_, c_ = api.mutex("A"), api.mutex("B"), api.mutex("C")
+            for first, second in ((a_, b_), (b_, c_), (c_, a_)):
+                api.lock(first)
+                api.lock(second)
+                api.unlock(second)
+                api.unlock(first)
+
+        det = run_lg(prog)
+        assert det.cycles_found == 1
+        assert "lock0" in det.report.warnings[0].details["Cycle"]
+
+    def test_nested_consistent_hierarchy_many_locks(self):
+        def prog(api):
+            locks = [api.mutex(f"L{i}") for i in range(5)]
+
+            def w(a):
+                for m in locks:
+                    a.lock(m)
+                for m in reversed(locks):
+                    a.unlock(m)
+
+            t1, t2 = api.spawn(w), api.spawn(w)
+            api.join(t1)
+            api.join(t2)
+
+        det = run_lg(prog)
+        assert det.cycles_found == 0
+
+    def test_held_by_tracks_acquisition_stack(self):
+        captured = []
+
+        class Probe:
+            def __init__(self, det):
+                self.det = det
+
+            def handle(self, event, vm):
+                from repro.runtime.events import MemoryAccess
+
+                if isinstance(event, MemoryAccess):
+                    captured.append(self.det.held_by(event.tid))
+
+        det = LockGraphDetector()
+        probe = Probe(det)
+
+        def prog(api):
+            m1, m2 = api.mutex(), api.mutex()
+            addr = api.malloc(1)
+            api.lock(m1)
+            api.lock(m2)
+            api.store(addr, 1)
+            api.unlock(m2)
+            api.unlock(m1)
+
+        VM(detectors=(det, probe)).run(prog)
+        assert captured[-1] == [m1_id := 0, 1]
+
+    def test_rwlocks_participate(self):
+        def prog(api):
+            rw = api.rwlock("R")
+            m = api.mutex("M")
+            api.rdlock(rw)
+            api.lock(m)
+            api.unlock(m)
+            api.rw_unlock(rw)
+            api.lock(m)
+            api.wrlock(rw)
+            api.rw_unlock(rw)
+            api.unlock(m)
+
+        det = run_lg(prog)
+        assert det.cycles_found == 1
+
+
+class TestGateLockFilter:
+    """The gate-lock refinement: a common third lock excuses the cycle."""
+
+    def _gated_program(self, api):
+        gate = api.mutex("GATE")
+        m1, m2 = api.mutex("A"), api.mutex("B")
+        for first, second in ((m1, m2), (m2, m1)):
+            api.lock(gate)
+            api.lock(first)
+            api.lock(second)
+            api.unlock(second)
+            api.unlock(first)
+            api.unlock(gate)
+
+    def test_gated_inversion_not_reported(self):
+        det = LockGraphDetector()
+        VM(detectors=(det,)).run(self._gated_program)
+        assert det.cycles_found == 0
+        assert det.gated_cycles == 1
+
+    def test_filter_can_be_disabled(self):
+        det = LockGraphDetector(gate_lock_filter=False)
+        VM(detectors=(det,)).run(self._gated_program)
+        assert det.cycles_found == 1
+
+    def test_gate_must_guard_every_traversal(self):
+        """If one traversal of an edge skipped the gate, the cycle can
+        really deadlock and must be reported."""
+
+        def prog(api):
+            gate = api.mutex("GATE")
+            m1, m2 = api.mutex("A"), api.mutex("B")
+            # A -> B under the gate ...
+            api.lock(gate)
+            api.lock(m1)
+            api.lock(m2)
+            api.unlock(m2)
+            api.unlock(m1)
+            api.unlock(gate)
+            # ... and A -> B again WITHOUT it: the gate no longer covers
+            # the edge, so the later B -> A inversion is dangerous.
+            api.lock(m1)
+            api.lock(m2)
+            api.unlock(m2)
+            api.unlock(m1)
+            api.lock(gate)
+            api.lock(m2)
+            api.lock(m1)
+            api.unlock(m1)
+            api.unlock(m2)
+            api.unlock(gate)
+
+        det = LockGraphDetector()
+        VM(detectors=(det,)).run(prog)
+        assert det.cycles_found == 1
+
+    def test_partial_gate_does_not_excuse(self):
+        """Gate held on one edge direction only: still reported."""
+
+        def prog(api):
+            gate = api.mutex("GATE")
+            m1, m2 = api.mutex("A"), api.mutex("B")
+            api.lock(gate)
+            api.lock(m1)
+            api.lock(m2)
+            api.unlock(m2)
+            api.unlock(m1)
+            api.unlock(gate)
+            api.lock(m2)  # no gate here
+            api.lock(m1)
+            api.unlock(m1)
+            api.unlock(m2)
+
+        det = LockGraphDetector()
+        VM(detectors=(det,)).run(prog)
+        assert det.cycles_found == 1

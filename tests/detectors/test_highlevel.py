@@ -1,0 +1,222 @@
+"""Tests for the high-level (view-consistency) race detector."""
+
+from __future__ import annotations
+
+from repro.detectors import HelgrindConfig, HelgrindDetector
+from repro.detectors.highlevel import HighLevelRaceDetector, _maximal_views
+from repro.runtime import VM
+
+
+def person_record_program(api, *, atomic_writer: bool):
+    """§2.1's motivating example: a (date-of-birth, age) record.
+
+    The reader always takes both fields in one critical section.  The
+    writer updates them in one section (atomic_writer=True, consistent)
+    or in two separate sections (False — the high-level race: the
+    reader can observe a new dob with a stale age).
+    """
+    dob = api.malloc(1, tag="person.dob")
+    age = api.malloc(1, tag="person.age")
+    api.store(dob, 1970)
+    api.store(age, 37)
+    m = api.mutex("person-guard")
+
+    def writer(a):
+        with a.frame("update_person", "person.cpp", 20):
+            if atomic_writer:
+                a.lock(m)
+                a.store(dob, 1980)
+                a.store(age, 27)
+                a.unlock(m)
+            else:
+                a.lock(m)
+                a.store(dob, 1980)  # setDateOfBirth
+                a.unlock(m)
+                a.yield_()
+                a.lock(m)
+                a.store(age, 27)  # setAge
+                a.unlock(m)
+
+    def reader(a):
+        with a.frame("read_person", "person.cpp", 40):
+            a.lock(m)
+            a.load(dob)
+            a.load(age)
+            a.unlock(m)
+
+    t1, t2 = api.spawn(writer), api.spawn(reader)
+    api.join(t1)
+    api.join(t2)
+
+
+def run_highlevel(program, **kw):
+    det = HighLevelRaceDetector()
+    VM(detectors=(det,)).run(lambda api: program(api, **kw))
+    return det.finalize()
+
+
+class TestPersonRecordExample:
+    def test_split_writer_is_inconsistent(self):
+        """The §2.1 example is flagged as a high-level race."""
+        report = run_highlevel(person_record_program, atomic_writer=False)
+        assert report.location_count >= 1
+        warning = report.warnings[0]
+        assert warning.kind == "high-level-data-race"
+        assert "incomparable pieces" in warning.details["Views"]
+
+    def test_atomic_writer_is_consistent(self):
+        report = run_highlevel(person_record_program, atomic_writer=True)
+        assert report.location_count == 0
+
+    def test_lockset_detector_is_blind_to_it(self):
+        """§2.1: every single access IS properly protected, so the
+        lock-set algorithm (rightly, by its definition) stays silent —
+        the whole point of the high-level-race notion."""
+        det = HelgrindDetector(HelgrindConfig.hwlc_dr())
+        VM(detectors=(det,)).run(
+            lambda api: person_record_program(api, atomic_writer=False)
+        )
+        assert det.report.location_count == 0
+
+
+class TestViewMechanics:
+    def test_views_recorded_per_section(self):
+        def program(api):
+            a_addr = api.malloc(1)
+            b_addr = api.malloc(1)
+            api.store(a_addr, 0)
+            api.store(b_addr, 0)
+            m = api.mutex()
+
+            def worker(a):
+                a.lock(m)
+                a.store(a_addr, 1)
+                a.unlock(m)
+                a.lock(m)
+                a.store(b_addr, 1)
+                a.unlock(m)
+
+            t = api.spawn(worker)
+            api.join(t)
+            return a_addr, b_addr
+
+        det = HighLevelRaceDetector()
+        vm = VM(detectors=(det,))
+        a_addr, b_addr = vm.run(program)
+        worker_tid = 1
+        views = det.views_of(worker_tid, 0)
+        assert frozenset({a_addr}) in views
+        assert frozenset({b_addr}) in views
+
+    def test_nested_locks_contribute_to_both_views(self):
+        def program(api):
+            addr = api.malloc(1)
+            api.store(addr, 0)
+            outer, inner = api.mutex(), api.mutex()
+            api.lock(outer)
+            api.lock(inner)
+            api.load(addr)
+            api.unlock(inner)
+            api.unlock(outer)
+            return addr
+
+        det = HighLevelRaceDetector()
+        vm = VM(detectors=(det,))
+        addr = vm.run(program)
+        assert det.views_of(0, 0) == [frozenset({addr})]
+        assert det.views_of(0, 1) == [frozenset({addr})]
+
+    def test_empty_sections_ignored(self):
+        def program(api):
+            m = api.mutex()
+            api.lock(m)
+            api.unlock(m)
+
+        det = HighLevelRaceDetector()
+        VM(detectors=(det,)).run(program)
+        assert det.views_of(0, 0) == []
+
+    def test_single_thread_never_inconsistent(self):
+        def program(api):
+            x, y = api.malloc(1), api.malloc(1)
+            api.store(x, 0)
+            api.store(y, 0)
+            m = api.mutex()
+            api.lock(m)
+            api.load(x)
+            api.load(y)
+            api.unlock(m)
+            api.lock(m)
+            api.load(x)
+            api.unlock(m)
+            api.lock(m)
+            api.load(y)
+            api.unlock(m)
+
+        det = HighLevelRaceDetector()
+        VM(detectors=(det,)).run(program)
+        assert det.finalize().location_count == 0
+
+    def test_chain_overlaps_are_consistent(self):
+        """Subsets forming a chain ({x} ⊆ {x,y}) are fine."""
+
+        def program(api):
+            x, y = api.malloc(1), api.malloc(1)
+            api.store(x, 0)
+            api.store(y, 0)
+            m = api.mutex()
+
+            def both(a):
+                a.lock(m)
+                a.load(x)
+                a.load(y)
+                a.unlock(m)
+
+            def just_x(a):
+                a.lock(m)
+                a.load(x)
+                a.unlock(m)
+
+            t1, t2 = api.spawn(both), api.spawn(just_x)
+            api.join(t1)
+            api.join(t2)
+
+        det = HighLevelRaceDetector()
+        VM(detectors=(det,)).run(program)
+        assert det.finalize().location_count == 0
+
+    def test_finalize_idempotent(self):
+        report = run_highlevel(person_record_program, atomic_writer=False)
+        det = HighLevelRaceDetector()
+        det._finalized = True
+        assert det.finalize().location_count == 0
+        # and re-finalizing the populated one does not duplicate:
+        n = report.location_count
+        assert n == len(report.warnings)
+
+    def test_write_only_tracking(self):
+        """track_reads=False restricts views to written locations."""
+
+        def program(api):
+            x = api.malloc(1)
+            api.store(x, 0)
+            m = api.mutex()
+            api.lock(m)
+            api.load(x)
+            api.unlock(m)
+            return x
+
+        det = HighLevelRaceDetector(track_reads=False)
+        VM(detectors=(det,)).run(program)
+        assert det.views_of(0, 0) == []
+
+
+class TestMaximalViews:
+    def test_maximal_selection(self):
+        views = [frozenset({1}), frozenset({1, 2}), frozenset({3})]
+        maximal = set(_maximal_views(views))
+        assert maximal == {frozenset({1, 2}), frozenset({3})}
+
+    def test_duplicates_collapse(self):
+        views = [frozenset({1}), frozenset({1})]
+        assert _maximal_views(views) == [frozenset({1})]

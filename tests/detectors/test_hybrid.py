@@ -1,0 +1,165 @@
+"""Tests for the hybrid lock-set × happens-before detector."""
+
+from __future__ import annotations
+
+from repro.detectors import HelgrindConfig, HelgrindDetector, HybridDetector
+from repro.runtime import VM, RandomScheduler
+
+
+def run_hybrid(program, **kw):
+    det = HybridDetector(**kw)
+    VM(detectors=(det,)).run(program)
+    return det
+
+
+class TestConfirmation:
+    def test_concurrent_unlocked_writes_confirmed(self):
+        def prog(api):
+            addr = api.malloc(1)
+            api.store(addr, 0)
+
+            def w(a):
+                with a.frame("inc", "x.cpp", 1):
+                    a.store(addr, a.load(addr) + 1)
+
+            t1, t2 = api.spawn(w), api.spawn(w)
+            api.join(t1)
+            api.join(t2)
+
+        det = run_hybrid(prog)
+        assert det.report.location_count >= 1
+        assert "Confirmed" in det.report.warnings[0].details
+
+    def test_mutex_protected_silent(self):
+        def prog(api):
+            addr = api.malloc(1)
+            api.store(addr, 0)
+            m = api.mutex()
+
+            def w(a):
+                a.lock(m)
+                a.store(addr, a.load(addr) + 1)
+                a.unlock(m)
+
+            ts = [api.spawn(w) for _ in range(3)]
+            for t in ts:
+                api.join(t)
+
+        det = run_hybrid(prog)
+        assert det.report.location_count == 0
+
+
+class TestVeto:
+    def test_ordered_discipline_violation_vetoed(self):
+        """Lock-set nominates, HB vetoes: accesses were semaphore-ordered."""
+
+        def prog(api):
+            addr = api.malloc(1)
+            api.store(addr, 0)
+            sem = api.semaphore(0)
+
+            def w(a):
+                a.store(addr, 1)  # unlocked
+                a.sem_post(sem)
+
+            t = api.spawn(w)
+            api.sem_wait(sem)
+            api.store(addr, 2)  # unlocked but ordered
+            api.join(t)
+
+        det = run_hybrid(prog)
+        assert det.report.location_count == 0
+        assert det.vetoed >= 1
+
+    def test_thread_pool_handoff_vetoed(self):
+        """Figure 11: hybrid kills the ownership-transfer FP class."""
+
+        def prog(api):
+            q = api.queue()
+
+            def worker(a):
+                while True:
+                    msg = a.get(q)
+                    if msg is None:
+                        break
+                    a.store(msg, a.load(msg) + 1)
+
+            t = api.spawn(worker)
+            for i in range(3):
+                data = api.malloc(1)
+                api.store(data, i)
+                api.put(q, data)
+            api.put(q, None)
+            api.join(t)
+
+        det = run_hybrid(prog)
+        assert det.report.location_count == 0
+
+    def test_unlatch_allows_later_confirmation(self):
+        """A vetoed word must still be reportable when a genuinely
+        concurrent access arrives later."""
+
+        def prog(api):
+            addr = api.malloc(1)
+            api.store(addr, 0)
+            sem = api.semaphore(0)
+
+            def ordered_writer(a):
+                a.store(addr, 1)
+                a.sem_post(sem)
+
+            t = api.spawn(ordered_writer)
+            api.sem_wait(sem)
+            api.store(addr, 2)  # nominated, vetoed (ordered)
+            api.join(t)
+
+            def racer(a):
+                with a.frame("racer", "x.cpp", 9):
+                    a.store(addr, 3)
+
+            r1, r2 = api.spawn(racer), api.spawn(racer)
+            api.join(r1)
+            api.join(r2)
+
+        det = run_hybrid(prog)
+        assert det.report.location_count >= 1
+
+
+class TestComparisonWithPureLockset:
+    def test_hybrid_reports_subset_of_lockset(self):
+        def prog(api):
+            # Mix: one true race, one ordered discipline violation.
+            racy = api.malloc(1, tag="racy")
+            api.store(racy, 0)
+            ordered = api.malloc(1, tag="ordered")
+            api.store(ordered, 0)
+            sem = api.semaphore(0)
+
+            def racer(a):
+                with a.frame("racer", "a.cpp", 1):
+                    a.store(racy, a.load(racy) + 1)
+
+            def ow(a):
+                with a.frame("ordered_writer", "b.cpp", 1):
+                    a.store(ordered, 1)
+                a.sem_post(sem)
+
+            t1, t2, t3 = api.spawn(racer), api.spawn(racer), api.spawn(ow)
+            api.sem_wait(sem)
+            with api.frame("ordered_writer_main", "b.cpp", 9):
+                api.store(ordered, 2)
+            api.join(t1)
+            api.join(t2)
+            api.join(t3)
+
+        hybrid = HybridDetector()
+        lockset = HelgrindDetector(HelgrindConfig.hwlc())
+        VM(detectors=(hybrid, lockset)).run(prog)
+        hybrid_addrs = {w.addr for w in hybrid.report}
+        lockset_addrs = {w.addr for w in lockset.report}
+        assert hybrid_addrs <= lockset_addrs
+        assert len(lockset_addrs) > len(hybrid_addrs)  # the vetoed one
+
+    def test_custom_config_accepted(self):
+        det = HybridDetector(HelgrindConfig.original().with_(name="hyb"))
+        assert det.config.name == "hyb"

@@ -1,0 +1,287 @@
+"""Tests for the Eraser lock-set state machine (paper Figure 1, §2.3.2)."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.detectors.lockset import LocksetMachine, WordState
+from repro.detectors.segments import SegmentGraph
+
+L1 = frozenset({1})
+L2 = frozenset({2})
+L12 = frozenset({1, 2})
+NONE = frozenset()
+
+
+def machine(**kw) -> LocksetMachine:
+    return LocksetMachine(SegmentGraph(), **kw)
+
+
+def touch(m, addr, tid, write, any_=NONE, wr=None):
+    return m.access(
+        addr, tid, is_write=write, locks_any=any_, locks_write=wr if wr is not None else any_
+    )
+
+
+class TestFigure1States:
+    def test_new_to_exclusive_on_first_touch(self):
+        m = machine()
+        assert m.state_of(100) is WordState.NEW
+        out = touch(m, 100, 0, write=True)
+        assert not out.race
+        assert m.state_of(100) is WordState.EXCLUSIVE
+
+    def test_owner_can_init_without_locks(self):
+        """Initialisation by the allocating thread never warns."""
+        m = machine()
+        for _ in range(10):
+            assert not touch(m, 100, 0, write=True).race
+        assert m.state_of(100) is WordState.EXCLUSIVE
+
+    def test_second_thread_read_enters_shared(self):
+        m = machine()
+        touch(m, 100, 0, write=True)
+        out = touch(m, 100, 1, write=False)
+        assert not out.race
+        assert m.state_of(100) is WordState.SHARED
+
+    def test_read_shared_never_warns(self):
+        """Init-once, read-by-everyone data needs no locks (Fig 1)."""
+        m = machine()
+        touch(m, 100, 0, write=True)  # init
+        for tid in range(1, 6):
+            assert not touch(m, 100, tid, write=False).race
+        assert m.state_of(100) is WordState.SHARED
+
+    def test_unlocked_write_after_sharing_warns(self):
+        m = machine()
+        touch(m, 100, 0, write=True)
+        touch(m, 100, 1, write=False)
+        out = touch(m, 100, 2, write=True)
+        assert out.race
+        assert m.state_of(100) is WordState.RACY
+
+    def test_locked_discipline_never_warns(self):
+        m = machine()
+        for tid in (0, 1, 0, 1, 2):
+            assert not touch(m, 100, tid, write=True, any_=L1).race
+        assert m.state_of(100) is WordState.SHARED_MODIFIED
+
+    def test_lockset_is_intersection(self):
+        m = machine()
+        touch(m, 100, 0, write=True, any_=L12)
+        out1 = touch(m, 100, 1, write=True, any_=L12)
+        assert out1.lockset == L12
+        out2 = touch(m, 100, 2, write=True, any_=L1)
+        assert out2.lockset == L1
+        out3 = touch(m, 100, 1, write=True, any_=L2)
+        assert out3.race  # {1} ∩ {2} = {}
+
+    def test_read_in_shared_modified_warns_on_empty(self):
+        m = machine()
+        touch(m, 100, 0, write=True)
+        touch(m, 100, 1, write=True, any_=L1)  # SHARED_MODIFIED, C={1}
+        out = touch(m, 100, 2, write=False, any_=NONE)
+        assert out.race
+
+    def test_racy_word_reports_once(self):
+        m = machine()
+        touch(m, 100, 0, write=True)
+        touch(m, 100, 1, write=True)  # race
+        out = touch(m, 100, 2, write=True)
+        assert not out.race  # RACY latch
+
+    def test_prev_state_reported(self):
+        m = machine()
+        touch(m, 100, 0, write=False)
+        out = touch(m, 100, 1, write=False)
+        assert out.prev_state is WordState.EXCLUSIVE
+
+
+class TestReadWriteModes:
+    """Eraser's rw refinement: reads check any-mode, writes write-mode."""
+
+    def test_rwlock_readers_plus_locked_writer_ok(self):
+        m = machine()
+        # Writer holds lock 1 in write mode; readers in read mode.
+        touch(m, 100, 0, write=True, any_=L1, wr=L1)
+        assert not touch(m, 100, 1, write=False, any_=L1, wr=NONE).race
+        assert not touch(m, 100, 0, write=True, any_=L1, wr=L1).race
+
+    def test_write_under_read_mode_only_warns(self):
+        """Holding the rwlock only for reading does not license writes."""
+        m = machine()
+        touch(m, 100, 0, write=True, any_=L1, wr=L1)
+        touch(m, 100, 1, write=False, any_=L1, wr=NONE)
+        out = touch(m, 100, 1, write=True, any_=L1, wr=NONE)
+        assert out.race
+
+
+class TestDelayedInitialisation:
+    """§4.3: the lock-set starts only when sharing starts — the false-
+    negative mechanism the paper documents."""
+
+    def test_unlocked_first_writer_hidden_by_locked_second(self):
+        m = machine()
+        touch(m, 100, 0, write=True, any_=NONE)  # unlocked write (EXCLUSIVE)
+        out = touch(m, 100, 1, write=True, any_=L1)  # locked write initialises C={1}
+        assert not out.race  # the earlier unlocked write is forgotten
+
+    def test_opposite_order_is_caught(self):
+        m = machine()
+        touch(m, 100, 1, write=True, any_=L1)
+        out = touch(m, 100, 0, write=True, any_=NONE)
+        assert out.race  # C = {1} ∩ {} = {}
+
+
+class TestSegmentTransfer:
+    def test_create_handoff_stays_exclusive(self):
+        """Figure 10: parent inits, worker uses — no sharing."""
+        g = SegmentGraph()
+        m = LocksetMachine(g)
+        g.current(0)
+        m.access(100, 0, is_write=True, locks_any=NONE, locks_write=NONE)
+        g.on_create(0, 1)
+        out = m.access(100, 1, is_write=True, locks_any=NONE, locks_write=NONE)
+        assert not out.race
+        assert m.state_of(100) is WordState.EXCLUSIVE
+
+    def test_join_handoff_back_to_parent(self):
+        g = SegmentGraph()
+        m = LocksetMachine(g)
+        g.current(0)
+        m.access(100, 0, is_write=True, locks_any=NONE, locks_write=NONE)
+        g.on_create(0, 1)
+        m.access(100, 1, is_write=True, locks_any=NONE, locks_write=NONE)
+        g.on_finish(1)
+        g.on_join(0, 1)
+        out = m.access(100, 0, is_write=True, locks_any=NONE, locks_write=NONE)
+        assert not out.race
+        assert m.state_of(100) is WordState.EXCLUSIVE
+
+    def test_concurrent_segment_does_share(self):
+        g = SegmentGraph()
+        m = LocksetMachine(g)
+        g.current(0)
+        m.access(100, 0, is_write=True, locks_any=NONE, locks_write=NONE)
+        g.on_create(0, 1)
+        # Parent writes again (post-create segment) then child touches:
+        # the child is ordered after the *pre*-create segment only.
+        m.access(100, 0, is_write=True, locks_any=NONE, locks_write=NONE)
+        out = m.access(100, 1, is_write=True, locks_any=NONE, locks_write=NONE)
+        assert out.race  # concurrent unlocked writes
+
+    def test_disabled_transfer_shares_on_second_thread(self):
+        g = SegmentGraph()
+        m = LocksetMachine(g, segment_transfer=False)
+        g.current(0)
+        m.access(100, 0, is_write=True, locks_any=NONE, locks_write=NONE)
+        g.on_create(0, 1)
+        out = m.access(100, 1, is_write=False, locks_any=NONE, locks_write=NONE)
+        assert m.state_of(100) is WordState.SHARED
+        assert not out.race
+
+    def test_same_thread_across_segments_keeps_exclusive(self):
+        g = SegmentGraph()
+        m = LocksetMachine(g)
+        g.current(0)
+        m.access(100, 0, is_write=True, locks_any=NONE, locks_write=NONE)
+        g.on_create(0, 1)  # thread 0 gets a new segment
+        out = m.access(100, 0, is_write=True, locks_any=NONE, locks_write=NONE)
+        assert not out.race
+        assert m.state_of(100) is WordState.EXCLUSIVE
+
+
+class TestRawEraser:
+    """§2.3.2's basic algorithm (the E10 ablation)."""
+
+    def test_single_thread_init_warns(self):
+        """Without states, even single-owner unlocked writes warn."""
+        m = machine(use_states=False)
+        out1 = touch(m, 100, 0, write=True, any_=NONE)
+        assert out1.race  # C initialised to {} at first unlocked write
+
+    def test_locked_discipline_still_fine(self):
+        m = machine(use_states=False)
+        for tid in (0, 1, 0):
+            assert not touch(m, 100, tid, write=True, any_=L1).race
+
+    def test_read_only_sharing_warns_if_unlocked_write_arrives(self):
+        m = machine(use_states=False)
+        touch(m, 100, 0, write=False, any_=L1)
+        out = touch(m, 100, 1, write=True, any_=NONE)
+        assert out.race
+
+
+class TestClientSupport:
+    def test_make_exclusive_resets_ownership(self):
+        m = machine()
+        touch(m, 100, 0, write=True)
+        touch(m, 100, 1, write=False)  # SHARED
+        m.make_exclusive(100, 1, owner=m.segments.current(1).seg_id)
+        # The destructing thread's header writes no longer warn...
+        assert not touch(m, 100, 1, write=True).race
+        # ...but another thread touching during destruction still does.
+        out = touch(m, 100, 2, write=True)
+        assert out.race
+
+    def test_make_exclusive_recovers_racy_words(self):
+        m = machine()
+        touch(m, 100, 0, write=True)
+        touch(m, 100, 1, write=True)  # RACY
+        m.make_exclusive(100, 1, owner=m.segments.current(1).seg_id)
+        assert m.state_of(100) is WordState.EXCLUSIVE
+
+    def test_alloc_resets_words(self):
+        m = machine()
+        touch(m, 100, 0, write=True)
+        touch(m, 100, 1, write=True)  # RACY
+        m.on_alloc(100, 1)
+        assert m.state_of(100) is WordState.NEW
+        assert not touch(m, 100, 2, write=True).race
+
+    def test_free_stops_tracking(self):
+        m = machine()
+        touch(m, 100, 0, write=True)
+        m.on_free(100, 1)
+        assert m.tracked_words == 0
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 3),          # tid
+            st.booleans(),              # write?
+            st.booleans(),              # hold the lock?
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_property_candidate_set_shrinks_monotonically(ops):
+    """C(v) only ever shrinks once initialised (Eraser's invariant)."""
+    m = machine()
+    prev: frozenset | None = None
+    for tid, write, locked in ops:
+        held = L1 if locked else NONE
+        out = touch(m, 50, tid, write=write, any_=held)
+        if out.lockset is not None and prev is not None:
+            assert out.lockset <= prev
+        if out.lockset is not None:
+            prev = out.lockset
+        if m.state_of(50) is WordState.RACY:
+            break
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 3), st.booleans()),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_property_consistent_single_lock_never_races(ops):
+    """Any access pattern fully protected by one lock is race-free."""
+    m = machine()
+    for tid, write in ops:
+        assert not touch(m, 50, tid, write=write, any_=L1).race

@@ -1,0 +1,250 @@
+"""Tests for the RaceTrack-style adaptive detector (paper ref [16])."""
+
+from __future__ import annotations
+
+from repro.detectors import HelgrindConfig, HelgrindDetector
+from repro.detectors.racetrack import RaceTrackDetector
+from repro.runtime import VM, RandomScheduler
+
+
+def run_rt(program, **kw):
+    det = RaceTrackDetector(**kw)
+    VM(detectors=(det,)).run(program)
+    return det
+
+
+def plain_race(api):
+    addr = api.malloc(1)
+    api.store(addr, 0)
+
+    def w(a):
+        with a.frame("inc", "x.cpp", 1):
+            a.store(addr, a.load(addr) + 1)
+
+    t1, t2 = api.spawn(w), api.spawn(w)
+    api.join(t1)
+    api.join(t2)
+
+
+class TestDetection:
+    def test_plain_race_reported(self):
+        det = run_rt(plain_race)
+        assert det.report.location_count >= 1
+        assert "Threadset" in det.report.warnings[0].details
+
+    def test_locked_discipline_silent(self):
+        def prog(api):
+            addr = api.malloc(1)
+            api.store(addr, 0)
+            m = api.mutex()
+
+            def w(a):
+                for _ in range(4):
+                    a.lock(m)
+                    a.store(addr, a.load(addr) + 1)
+                    a.unlock(m)
+
+            ts = [api.spawn(w) for _ in range(3)]
+            for t in ts:
+                api.join(t)
+
+        det = run_rt(prog)
+        assert det.report.location_count == 0
+
+    def test_read_only_sharing_silent(self):
+        def prog(api):
+            addr = api.malloc(1)
+            api.store(addr, 7)
+
+            def reader(a):
+                a.load(addr)
+                a.load(addr)
+
+            ts = [api.spawn(reader) for _ in range(3)]
+            for t in ts:
+                api.join(t)
+
+        det = run_rt(prog)
+        assert det.report.location_count == 0
+
+    def test_atomic_counter_silent_by_default(self):
+        def prog(api):
+            counter = api.malloc(1)
+            api.store(counter, 0)
+
+            def bump(a):
+                a.atomic_add(counter, 1)
+
+            t1, t2 = api.spawn(bump), api.spawn(bump)
+            api.join(t1)
+            api.join(t2)
+
+        assert run_rt(prog).report.location_count == 0
+        assert run_rt(prog, atomic_aware=False).report.location_count >= 1
+
+
+class TestAdaptiveOwnership:
+    """The feature RaceTrack exists for: hand-offs without segments."""
+
+    def test_fork_join_handoff_silent(self):
+        def prog(api):
+            for _ in range(4):
+                data = api.malloc(2, tag="req")
+                api.store(data, 1)
+                api.store(data + 1, 2)
+
+                def worker(a, base=data):
+                    a.store(base, a.load(base) * 2)
+
+                t = api.spawn(worker)
+                api.join(t)
+                api.load(data)
+                api.free(data)
+
+        det = run_rt(prog)
+        assert det.report.location_count == 0
+
+    def test_queue_handoff_silent(self):
+        """Figure 11's pattern, clean with no segment machinery at all."""
+
+        def prog(api):
+            q = api.queue()
+
+            def worker(a):
+                while True:
+                    msg = a.get(q)
+                    if msg is None:
+                        return
+                    a.store(msg, a.load(msg) + 1)
+
+            t = api.spawn(worker)
+            for i in range(3):
+                data = api.malloc(1)
+                api.store(data, i)
+                api.put(q, data)
+            api.put(q, None)
+            api.join(t)
+
+        det = run_rt(prog)
+        assert det.report.location_count == 0
+
+    def test_privatisation_resets_the_lockset(self):
+        """Shared-then-private-then-shared: Eraser keeps the drained
+        candidate set forever; RaceTrack re-owns and starts afresh."""
+
+        def prog(api):
+            addr = api.malloc(1, tag="recycled")
+            api.store(addr, 0)
+            m = api.mutex()
+
+            # Epoch 1: genuinely shared, properly locked.
+            def locked_worker(a):
+                a.lock(m)
+                a.store(addr, a.load(addr) + 1)
+                a.unlock(m)
+
+            t = api.spawn(locked_worker)
+            api.join(t)
+            # Privatised: main owns it again; unlocked use is fine now.
+            api.store(addr, 0)
+            api.store(addr, 1)
+            # Epoch 2: shared again, properly locked again.
+            t2 = api.spawn(locked_worker)
+            api.lock(m)
+            api.store(addr, api.load(addr) + 1)
+            api.unlock(m)
+            api.join(t2)
+
+        det = run_rt(prog)
+        assert det.report.location_count == 0
+
+    def test_eraser_vs_racetrack_on_the_same_handoff(self):
+        """Head-to-head: segment-less Eraser warns, RaceTrack does not."""
+
+        def prog(api):
+            data = api.malloc(1)
+            api.store(data, 0)
+
+            def worker(a):
+                a.store(data, a.load(data) + 1)
+
+            t = api.spawn(worker)
+            api.join(t)
+            api.store(data, api.load(data) + 1)
+
+        racetrack = RaceTrackDetector()
+        eraser = HelgrindDetector(HelgrindConfig.eraser_states())
+        VM(detectors=(racetrack, eraser)).run(prog)
+        assert eraser.report.location_count > 0
+        assert racetrack.report.location_count == 0
+
+
+class TestThreadsetMechanics:
+    def test_pruning_on_join(self):
+        def prog(api):
+            addr = api.malloc(1)
+            api.store(addr, 0)
+
+            def worker(a):
+                a.store(addr, 1)
+
+            t = api.spawn(worker)
+            api.join(t)
+            api.load(addr)
+            return addr
+
+        det = RaceTrackDetector()
+        vm = VM(detectors=(det,))
+        addr = vm.run(prog)
+        # After the join-ordered read, only main remains in the set.
+        assert set(det.threadset_of(addr)) == {0}
+
+    def test_concurrent_accessors_accumulate(self):
+        def prog(api):
+            addr = api.malloc(1)
+            api.store(addr, 0)
+            m = api.mutex()
+
+            def worker(a):
+                a.lock(m)
+                a.store(addr, a.load(addr) + 1)
+                a.unlock(m)
+                a.sleep(10)  # stays alive: cannot be pruned
+
+            ts = [api.spawn(worker) for _ in range(3)]
+            for t in ts:
+                api.join(t)
+            return addr
+
+        det = RaceTrackDetector()
+        vm = VM(detectors=(det,), scheduler=RandomScheduler(5))
+        addr = vm.run(prog)
+        assert len(det.threadset_of(addr)) >= 1
+
+    def test_full_proxy_run_reports_only_real_issues(self):
+        """On the buggy proxy, RaceTrack's findings stay within the
+        lock-set detector's block set (consistency with §2.2's framing)."""
+        from repro.oracle import GroundTruth
+        from repro.sip.bugs import EVALUATION_BUGS
+        from repro.sip.server import ProxyConfig, SipProxy
+        from repro.sip.workload import evaluation_cases
+
+        racetrack = RaceTrackDetector()
+        lockset = HelgrindDetector(HelgrindConfig.original())
+        proxy = SipProxy(ProxyConfig(bugs=EVALUATION_BUGS), truth=GroundTruth())
+        vm = VM(
+            detectors=(racetrack, lockset),
+            scheduler=RandomScheduler(42),
+            step_limit=10_000_000,
+        )
+        vm.run(proxy.main, evaluation_cases()[1].wires)
+
+        def blocks(report):
+            out = set()
+            for w in report:
+                if w.addr is not None:
+                    block = vm.memory.find_block(w.addr)
+                    out.add(block.block_id if block else w.addr)
+            return out
+
+        assert blocks(racetrack.report) <= blocks(lockset.report)

@@ -1,0 +1,259 @@
+"""Tests for warning reports, deduplication and suppression files."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.detectors.report import Report, Warning_, WarningKind
+from repro.detectors.suppressions import Suppressions
+from repro.errors import SuppressionSyntaxError
+from repro.runtime.events import Frame
+
+
+def make_warning(fn="f", file="a.cpp", line=1, kind=WarningKind.DATA_RACE, addr=100):
+    return Warning_(
+        kind=kind,
+        message="Possible data race writing variable",
+        tid=1,
+        step=10,
+        stack=(Frame(fn, file, line), Frame("caller", file, 99), Frame("main", file, 1)),
+        addr=addr,
+    )
+
+
+class TestReport:
+    def test_dedup_by_location(self):
+        report = Report()
+        assert report.add(make_warning(line=5))
+        assert not report.add(make_warning(line=5))
+        assert report.add(make_warning(line=6))
+        assert report.location_count == 2
+        assert report.dynamic_count == 3
+
+    def test_kind_distinguishes_locations(self):
+        report = Report()
+        report.add(make_warning(kind=WarningKind.DATA_RACE))
+        report.add(make_warning(kind=WarningKind.LOCK_ORDER))
+        assert report.location_count == 2
+
+    def test_stackless_warning_dedups_by_addr(self):
+        report = Report()
+        w1 = Warning_(WarningKind.DATA_RACE, "m", 0, 1, stack=(), addr=5)
+        w2 = Warning_(WarningKind.DATA_RACE, "m", 0, 2, stack=(), addr=5)
+        w3 = Warning_(WarningKind.DATA_RACE, "m", 0, 3, stack=(), addr=6)
+        report.add(w1)
+        report.add(w2)
+        report.add(w3)
+        assert report.location_count == 2
+
+    def test_by_kind_and_iteration(self):
+        report = Report()
+        report.add(make_warning())
+        assert len(report.by_kind(WarningKind.DATA_RACE)) == 1
+        assert len(report.by_kind(WarningKind.LOCK_ORDER)) == 0
+        assert len(list(report)) == 1
+
+    def test_format_summary(self):
+        report = Report()
+        report.add(make_warning())
+        text = report.format_summary()
+        assert "1 reported locations" in text
+        assert "possible-data-race: 1" in text
+
+    def test_format_full_contains_stack(self):
+        report = Report()
+        report.add(make_warning(fn="_M_grab", file="basic_string.h", line=183))
+        text = report.format_full()
+        assert "_M_grab (basic_string.h:183)" in text
+        assert "by caller" in text
+
+
+SUPP = """
+# stringtest known-FP
+{
+   string-refcount
+   possible-data-race
+   fun:_M_grab
+   ...
+   fun:main
+}
+{
+   any-third-party
+   possible-data-race
+   file:vendor/*
+}
+"""
+
+
+class TestSuppressions:
+    def test_parse(self):
+        supp = Suppressions.parse(SUPP)
+        assert len(supp) == 2
+        assert supp.entries[0].name == "string-refcount"
+        assert supp.entries[0].kind == "possible-data-race"
+
+    def test_match_with_ellipsis(self):
+        supp = Suppressions.parse(SUPP)
+        w = Warning_(
+            WarningKind.DATA_RACE,
+            "m",
+            0,
+            1,
+            stack=(
+                Frame("_M_grab", "basic_string.h", 1),
+                Frame("string::string", "basic_string.h", 2),
+                Frame("main", "test.cpp", 3),
+            ),
+        )
+        assert supp.matches(w)
+        assert supp.entries[0].hits == 1
+
+    def test_no_match_wrong_innermost(self):
+        supp = Suppressions.parse(SUPP)
+        w = make_warning(fn="other")
+        assert not supp.matches(w)
+
+    def test_file_glob(self):
+        supp = Suppressions.parse(SUPP)
+        w = Warning_(
+            WarningKind.DATA_RACE,
+            "m",
+            0,
+            1,
+            stack=(Frame("anything", "vendor/zlib.c", 5),),
+        )
+        assert supp.matches(w)
+
+    def test_kind_must_match(self):
+        supp = Suppressions.parse(SUPP)
+        w = Warning_(
+            WarningKind.LOCK_ORDER,
+            "m",
+            0,
+            1,
+            stack=(Frame("anything", "vendor/zlib.c", 5),),
+        )
+        assert not supp.matches(w)
+
+    def test_prefix_semantics(self):
+        """Pattern lines are a prefix: deeper stacks still match."""
+        supp = Suppressions.parse(
+            "{\n  e\n  possible-data-race\n  fun:inner\n}\n"
+        )
+        w = Warning_(
+            WarningKind.DATA_RACE,
+            "m",
+            0,
+            1,
+            stack=(Frame("inner", "x", 1), Frame("outer", "x", 2)),
+        )
+        assert supp.matches(w)
+
+    def test_fun_glob(self):
+        supp = Suppressions.parse(
+            "{\n  e\n  possible-data-race\n  fun:std::*\n}\n"
+        )
+        w = make_warning(fn="std::string::assign")
+        assert supp.matches(w)
+
+    def test_report_integration(self):
+        supp = Suppressions.parse(SUPP)
+        report = Report(suppressions=supp)
+        assert not report.add(make_warning(fn="_M_grab"))
+        assert report.location_count == 0
+        assert report.suppressed_count == 1
+        assert report.add(make_warning(fn="not_suppressed"))
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "x.supp"
+        path.write_text(SUPP, encoding="utf-8")
+        assert len(Suppressions.load(path)) == 2
+
+    def test_format_stats(self):
+        supp = Suppressions.parse(SUPP)
+        supp.matches(make_warning(fn="_M_grab"))
+        stats = supp.format_stats()
+        assert "1  string-refcount" in stats
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "not-a-brace\n",
+            "{\n  only-name\n}\n",
+            "{\n  name\n  kind\n  weird:line\n}\n",
+            "{\n  name\n  kind\n",  # unterminated
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(SuppressionSyntaxError):
+            Suppressions.parse(bad)
+
+    def test_empty_file_ok(self):
+        assert len(Suppressions.parse("")) == 0
+        assert len(Suppressions.parse("# just a comment\n")) == 0
+
+
+class TestReportPersistence:
+    def _populated(self):
+        report = Report()
+        report.add(make_warning(fn="a", line=1))
+        report.add(make_warning(fn="a", line=1))  # second occurrence
+        report.add(make_warning(fn="b", line=9, kind=WarningKind.LOCK_ORDER, addr=None))
+        return report
+
+    def test_roundtrip(self, tmp_path):
+        report = self._populated()
+        path = tmp_path / "report.json"
+        report.save(path)
+        loaded = Report.load(path)
+        assert loaded.location_count == report.location_count
+        assert loaded.locations() == report.locations()
+        assert loaded.dynamic_count == report.dynamic_count
+        assert loaded.warnings[0].stack == report.warnings[0].stack
+
+    def test_details_preserved(self, tmp_path):
+        report = Report()
+        w = make_warning()
+        w.details["Previous state"] = "shared RO, no locks"
+        report.add(w)
+        path = tmp_path / "r.json"
+        report.save(path)
+        loaded = Report.load(path)
+        assert loaded.warnings[0].details["Previous state"] == "shared RO, no locks"
+
+    def test_ci_baseline_workflow(self, tmp_path):
+        """The intended use: diff a new run against a saved baseline."""
+        baseline = self._populated()
+        baseline.save(tmp_path / "baseline.json")
+        new_run = self._populated()
+        new_run.add(make_warning(fn="freshly_introduced", line=77))
+        old = set(Report.load(tmp_path / "baseline.json").locations())
+        regressions = [w for w in new_run if w.location_key not in old]
+        assert len(regressions) == 1
+        assert regressions[0].site.function == "freshly_introduced"
+
+
+class TestLockCycleWitness:
+    def test_cycle_report_names_both_edges(self):
+        from repro.detectors import LockGraphDetector
+        from repro.runtime import VM
+
+        def prog(api):
+            m1, m2 = api.mutex("A"), api.mutex("B")
+            with api.frame("forward_path", "bank.cpp", 10):
+                api.lock(m1)
+                api.lock(m2)
+                api.unlock(m2)
+                api.unlock(m1)
+            with api.frame("reverse_path", "bank.cpp", 50):
+                api.lock(m2)
+                api.lock(m1)
+                api.unlock(m1)
+                api.unlock(m2)
+
+        det = LockGraphDetector()
+        VM(detectors=(det,)).run(prog)
+        (warning,) = det.report.warnings
+        text = warning.format()
+        assert "forward_path" in text
+        assert "reverse_path" in text

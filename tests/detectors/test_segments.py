@@ -1,0 +1,185 @@
+"""Tests for the thread-segment happens-before graph (paper Figure 2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.detectors.segments import SegmentGraph
+
+
+class TestLifecycle:
+    def test_root_thread_first_segment(self):
+        g = SegmentGraph()
+        seg = g.start_thread(0)
+        assert seg.tid == 0
+        assert g.current(0) is seg
+
+    def test_double_start_rejected(self):
+        g = SegmentGraph()
+        g.start_thread(0)
+        with pytest.raises(ValueError):
+            g.start_thread(0)
+
+    def test_lazy_current_starts_thread(self):
+        g = SegmentGraph()
+        seg = g.current(7)
+        assert seg.tid == 7
+
+    def test_create_splits_parent(self):
+        g = SegmentGraph()
+        p0 = g.current(0)
+        child = g.on_create(0, 1)
+        p1 = g.current(0)
+        assert p0 is not p1
+        assert child.tid == 1
+        assert g.segment_count == 3
+
+
+class TestHappensBefore:
+    def test_create_edge(self):
+        """Figure 2: TS(parent, pre-create) → TS(child)."""
+        g = SegmentGraph()
+        p0 = g.current(0)
+        child = g.on_create(0, 1)
+        assert g.happens_before(p0, child)
+        assert not g.happens_before(child, p0)
+
+    def test_parent_post_create_concurrent_with_child(self):
+        g = SegmentGraph()
+        g.current(0)
+        child = g.on_create(0, 1)
+        p1 = g.current(0)
+        assert not g.ordered(p1, child)
+
+    def test_join_edge(self):
+        """Figure 2: TS(child, final) → TS(parent, post-join)."""
+        g = SegmentGraph()
+        g.current(0)
+        child = g.on_create(0, 1)
+        g.on_finish(1)
+        post_join = g.on_join(0, 1)
+        assert g.happens_before(child, post_join)
+
+    def test_same_thread_segments_ordered(self):
+        g = SegmentGraph()
+        s0 = g.current(0)
+        g.on_create(0, 1)
+        s1 = g.current(0)
+        g.on_create(0, 2)
+        s2 = g.current(0)
+        assert g.happens_before(s0, s1)
+        assert g.happens_before(s1, s2)
+        assert g.happens_before(s0, s2)  # transitivity
+        assert not g.happens_before(s2, s0)
+
+    def test_happens_before_is_irreflexive(self):
+        g = SegmentGraph()
+        s = g.current(0)
+        assert not g.happens_before(s, s)
+        assert g.ordered(s, s)
+
+    def test_figure2_scenario(self):
+        """The exact Figure 2 shape: T1 creates T2 and T3, joins both.
+
+        TS1(T1) → TS1(T2); TS2(T1) → TS1(T3); TS1(T3) ends → TS3(T1);
+        TS1(T2) ends → TS4(T1).  Non-overlapping segments stay exclusive.
+        """
+        g = SegmentGraph()
+        ts1_t1 = g.current(1)
+        ts1_t2 = g.on_create(1, 2)
+        ts2_t1 = g.current(1)
+        ts1_t3 = g.on_create(1, 3)
+        ts3_t1_pre = g.current(1)
+        g.on_finish(3)
+        ts3_t1 = g.on_join(1, 3)
+        g.on_finish(2)
+        ts4_t1 = g.on_join(1, 2)
+
+        # Creates order the creator's earlier segment before the child.
+        assert g.happens_before(ts1_t1, ts1_t2)
+        assert g.happens_before(ts2_t1, ts1_t3)
+        # Joins order the child before the joiner's later segment.
+        assert g.happens_before(ts1_t3, ts3_t1)
+        assert g.happens_before(ts1_t2, ts4_t1)
+        # T2 and T3 are concurrent with each other.
+        assert not g.ordered(ts1_t2, ts1_t3)
+        # T2 is concurrent with T1's middle segments.
+        assert not g.ordered(ts1_t2, ts2_t1)
+        assert not g.ordered(ts1_t2, ts3_t1_pre)
+
+    def test_join_before_finish_event_falls_back(self):
+        g = SegmentGraph()
+        g.current(0)
+        child = g.on_create(0, 1)
+        # No on_finish observed (malformed stream); join still orders.
+        post = g.on_join(0, 1)
+        assert g.happens_before(child, post)
+
+
+class TestPostReceive:
+    def test_post_receive_orders_across_threads(self):
+        g = SegmentGraph()
+        a0 = g.current(0)
+        _ = g.current(1)
+        token = g.post(0)
+        b1 = g.receive(1, token)
+        assert g.happens_before(a0, b1)
+
+    def test_poster_work_after_post_not_ordered(self):
+        g = SegmentGraph()
+        g.current(0)
+        g.current(1)
+        token = g.post(0)
+        a_after = g.current(0)
+        b1 = g.receive(1, token)
+        assert not g.ordered(a_after, b1)
+
+    def test_chained_posts_transitive(self):
+        g = SegmentGraph()
+        a0 = g.current(0)
+        g.current(1)
+        g.current(2)
+        t1 = g.post(0)
+        g.receive(1, t1)
+        t2 = g.post(1)
+        c = g.receive(2, t2)
+        assert g.happens_before(a0, c)
+
+
+@given(st.lists(st.sampled_from(["create", "join", "post"]), max_size=30))
+def test_property_happens_before_is_a_strict_partial_order(ops):
+    """Irreflexive + asymmetric + transitive over a random create/join DAG."""
+    g = SegmentGraph()
+    g.current(0)
+    alive = [0]
+    finished: list[int] = []
+    next_tid = 1
+    tokens = []
+    for op in ops:
+        actor = alive[0]
+        if op == "create":
+            g.on_create(actor, next_tid)
+            alive.append(next_tid)
+            next_tid += 1
+        elif op == "join" and len(alive) > 1:
+            target = alive.pop()
+            g.on_finish(target)
+            finished.append(target)
+            g.on_join(actor, target)
+        elif op == "post":
+            tokens.append(g.post(actor))
+            if tokens and len(alive) > 1:
+                g.receive(alive[-1], tokens.pop(0))
+    segs = [g.segment(i) for i in range(g.segment_count)]
+    for a in segs:
+        assert not g.happens_before(a, a)
+    import itertools
+
+    sample = segs[:12]
+    for a, b in itertools.permutations(sample, 2):
+        if g.happens_before(a, b):
+            assert not g.happens_before(b, a)
+    for a, b, c in itertools.permutations(sample[:8], 3):
+        if g.happens_before(a, b) and g.happens_before(b, c):
+            assert g.happens_before(a, c)

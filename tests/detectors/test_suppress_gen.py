@@ -1,0 +1,94 @@
+"""Tests for suppression-file generation — the §2.3.1 triage loop."""
+
+from __future__ import annotations
+
+from repro.detectors import HelgrindConfig, HelgrindDetector
+from repro.detectors.classify import classify_report
+from repro.detectors.suppress_gen import (
+    generate_suppressions,
+    suppression_entry_text,
+    suppressions_for,
+)
+from repro.detectors.suppressions import Suppressions
+from repro.oracle import GroundTruth, WarningCategory
+from repro.runtime import VM, RandomScheduler
+from repro.sip.bugs import EVALUATION_BUGS
+from repro.sip.server import ProxyConfig, SipProxy
+from repro.sip.workload import evaluation_cases
+
+
+def run_case(suppressions=None, *, seed=42):
+    truth = GroundTruth()
+    proxy = SipProxy(ProxyConfig(bugs=EVALUATION_BUGS), truth=truth)
+    det = HelgrindDetector(HelgrindConfig.original(), suppressions=suppressions)
+    vm = VM(detectors=(det,), scheduler=RandomScheduler(seed), step_limit=10_000_000)
+    vm.run(proxy.main, evaluation_cases()[0].wires)
+    return det, classify_report(det.report, truth)
+
+
+class TestGeneration:
+    def test_entries_parse_back(self):
+        _, classified = run_case()
+        text = generate_suppressions(classified)
+        supp = Suppressions.parse(text)
+        assert len(supp) == classified.false_positives + classified.count(
+            WarningCategory.BENIGN
+        )
+
+    def test_entry_shape(self):
+        _, classified = run_case()
+        fp = next(i for i in classified.items if i.category.is_false_positive)
+        text = suppression_entry_text(fp.warning, "entry-1", note="why")
+        assert text.startswith("{")
+        assert "# why" in text
+        assert f"   {fp.warning.kind}" in text
+        assert "fun:" in text
+
+    def test_category_filter(self):
+        _, classified = run_case()
+        only_hw = generate_suppressions(
+            classified, categories=(WarningCategory.FP_HW_LOCK,)
+        )
+        supp = Suppressions.parse(only_hw)
+        assert len(supp) == classified.count(WarningCategory.FP_HW_LOCK)
+
+    def test_true_races_never_suppressed(self):
+        _, classified = run_case()
+        text = generate_suppressions(classified)
+        for item in classified.items:
+            if item.category is WarningCategory.TRUE_RACE:
+                # None of the entry names reference true-race items.
+                assert "true-race" not in text
+
+
+class TestRoundTrip:
+    def test_rerun_with_generated_suppressions(self):
+        """The §2.3.1 loop: triage once, suppress, re-run — only the
+        true races remain, every one of them."""
+        _, classified = run_case()
+        supp = suppressions_for(classified)
+        det2, classified2 = run_case(suppressions=supp, seed=42)
+
+        assert classified2.false_positives == 0
+        assert classified2.true_races == classified.true_races
+        assert det2.report.suppressed_count > 0
+        # The suppression hit statistics account for every eaten warning.
+        assert sum(e.hits for e in supp.entries) == det2.report.suppressed_count
+
+    def test_suppressions_are_config_specific(self):
+        """Suppressions triaged under Original still apply under any
+        config (they match stacks), they just have nothing to eat once
+        the algorithmic fixes removed those classes."""
+        _, classified = run_case()
+        supp = suppressions_for(classified)
+
+        truth = GroundTruth()
+        proxy = SipProxy(
+            ProxyConfig(bugs=EVALUATION_BUGS, instrumented=True), truth=truth
+        )
+        det = HelgrindDetector(HelgrindConfig.hwlc_dr(), suppressions=supp)
+        vm = VM(detectors=(det,), scheduler=RandomScheduler(42), step_limit=10_000_000)
+        vm.run(proxy.main, evaluation_cases()[0].wires)
+        classified_dr = classify_report(det.report, truth)
+        assert classified_dr.false_positives == 0
+        assert classified_dr.true_races > 0

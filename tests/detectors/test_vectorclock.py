@@ -1,0 +1,119 @@
+"""Property and unit tests for vector clocks."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.detectors.vectorclock import VectorClock
+
+clock_dicts = st.dictionaries(st.integers(0, 5), st.integers(0, 20), max_size=6)
+
+
+class TestBasics:
+    def test_missing_entries_read_zero(self):
+        vc = VectorClock()
+        assert vc[3] == 0
+        assert vc.get(3) == 0
+
+    def test_tick(self):
+        vc = VectorClock()
+        vc.tick(1)
+        vc.tick(1)
+        assert vc[1] == 2
+
+    def test_join_pointwise_max(self):
+        a = VectorClock({0: 3, 1: 1})
+        b = VectorClock({1: 5, 2: 2})
+        a.join(b)
+        assert a.as_dict() == {0: 3, 1: 5, 2: 2}
+
+    def test_joined_does_not_mutate(self):
+        a = VectorClock({0: 1})
+        b = VectorClock({1: 1})
+        c = a.joined(b)
+        assert a.as_dict() == {0: 1}
+        assert c.as_dict() == {0: 1, 1: 1}
+
+    def test_copy_is_independent(self):
+        a = VectorClock({0: 1})
+        b = a.copy()
+        b.tick(0)
+        assert a[0] == 1
+        assert b[0] == 2
+
+    def test_equality_ignores_zero_entries(self):
+        assert VectorClock({0: 1, 1: 0}) == VectorClock({0: 1})
+
+    def test_covers(self):
+        vc = VectorClock({2: 7})
+        assert vc.covers(2, 7)
+        assert vc.covers(2, 3)
+        assert not vc.covers(2, 8)
+        assert vc.covers(9, 0)
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(VectorClock())
+
+
+class TestOrder:
+    def test_leq_reflexive(self):
+        vc = VectorClock({0: 2, 1: 3})
+        assert vc.leq(vc)
+
+    def test_leq_examples(self):
+        a = VectorClock({0: 1})
+        b = VectorClock({0: 2, 1: 1})
+        assert a.leq(b)
+        assert not b.leq(a)
+
+    def test_concurrent(self):
+        a = VectorClock({0: 1})
+        b = VectorClock({1: 1})
+        assert a.concurrent_with(b)
+        assert b.concurrent_with(a)
+
+    def test_not_concurrent_when_ordered(self):
+        a = VectorClock({0: 1})
+        b = VectorClock({0: 1, 1: 1})
+        assert not a.concurrent_with(b)
+
+
+@given(clock_dicts, clock_dicts)
+def test_property_join_is_least_upper_bound(da, db):
+    a, b = VectorClock(da), VectorClock(db)
+    j = a.joined(b)
+    assert a.leq(j) and b.leq(j)
+    # Least: any other upper bound dominates j.
+    tids = set(da) | set(db)
+    for t in tids:
+        assert j[t] == max(a[t], b[t])
+
+
+@given(clock_dicts, clock_dicts)
+def test_property_join_commutative(da, db):
+    assert VectorClock(da).joined(VectorClock(db)) == VectorClock(db).joined(
+        VectorClock(da)
+    )
+
+
+@given(clock_dicts, clock_dicts, clock_dicts)
+def test_property_join_associative(da, db, dc):
+    a1 = VectorClock(da).joined(VectorClock(db)).joined(VectorClock(dc))
+    a2 = VectorClock(da).joined(VectorClock(db).joined(VectorClock(dc)))
+    assert a1 == a2
+
+
+@given(clock_dicts, clock_dicts)
+def test_property_leq_antisymmetric(da, db):
+    a, b = VectorClock(da), VectorClock(db)
+    if a.leq(b) and b.leq(a):
+        assert a == b
+
+
+@given(clock_dicts, clock_dicts, clock_dicts)
+def test_property_leq_transitive(da, db, dc):
+    a, b, c = VectorClock(da), VectorClock(db), VectorClock(dc)
+    if a.leq(b) and b.leq(c):
+        assert a.leq(c)

@@ -1,0 +1,79 @@
+"""Unit tests for the figure formatters and shape checks (synthetic data)."""
+
+from __future__ import annotations
+
+from repro.detectors.classify import ClassifiedReport
+from repro.experiments.figures import (
+    PAPER_FIGURE6,
+    figure6_table,
+    shape_violations,
+)
+from repro.experiments.harness import ExperimentRun, Figure6Row
+from repro.sip.server import ProxyResult
+
+
+def synthetic_row(case_id: str, original: int, hwlc: int, hwlc_dr: int) -> Figure6Row:
+    row = Figure6Row(case_id)
+    for name, count in (
+        ("original", original),
+        ("hwlc", hwlc),
+        ("hwlc+dr", hwlc_dr),
+    ):
+        row.runs[name] = ExperimentRun(
+            case_id=case_id,
+            config_name=name,
+            location_count=count,
+            classified=ClassifiedReport(),
+            proxy_result=ProxyResult(),
+            events=100,
+            wall_seconds=0.01,
+        )
+    return row
+
+
+class TestShapeViolations:
+    def test_clean_rows_pass(self):
+        rows = [synthetic_row("T1", 100, 80, 25), synthetic_row("T2", 60, 50, 20)]
+        assert shape_violations(rows) == []
+
+    def test_non_monotone_flagged(self):
+        rows = [synthetic_row("T1", 80, 100, 25)]
+        problems = shape_violations(rows)
+        assert any("not monotone" in p for p in problems)
+
+    def test_weak_annotation_flagged(self):
+        rows = [synthetic_row("T1", 100, 80, 60)]  # 60 >= 80/2
+        problems = shape_violations(rows)
+        assert any("less than half" in p for p in problems)
+
+    def test_out_of_band_removal_flagged(self):
+        rows = [synthetic_row("T1", 100, 99, 98)]  # 2% removal
+        problems = shape_violations(rows)
+        assert any("65%-81%" in p for p in problems)
+
+    def test_empty_rows(self):
+        assert shape_violations([]) == []
+
+
+class TestFigure6Table:
+    def test_includes_paper_reference_columns(self):
+        rows = [synthetic_row("T1", 100, 80, 25)]
+        table = figure6_table(rows)
+        assert "483/448/120" in table  # the paper's T1
+        assert "75%" in table  # the paper's T1 removal
+
+    def test_unknown_case_renders_zeros(self):
+        rows = [synthetic_row("T9", 10, 8, 3)]
+        table = figure6_table(rows)
+        assert "0/0/0" in table
+
+    def test_removal_fraction(self):
+        row = synthetic_row("T1", 100, 80, 25)
+        assert row.removal_fraction == 0.75
+        empty = synthetic_row("T1", 0, 0, 0)
+        assert empty.removal_fraction == 0.0
+
+    def test_paper_constants_sane(self):
+        for case, (o, h, d) in PAPER_FIGURE6.items():
+            assert o >= h >= d > 0, case
+            assert d < h / 2 + 1, case  # "more than a half in all cases"

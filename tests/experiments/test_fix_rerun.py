@@ -1,0 +1,58 @@
+"""§4's debugging-loop property: fixing a defect and re-running.
+
+"it is generally a good idea to rerun the test suite after fixing a
+problem.  Then, all warnings related to the corrected defect will
+disappear and do not have to be considered again."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.detectors import HelgrindConfig, HelgrindDetector
+from repro.detectors.classify import classify_report
+from repro.oracle import GroundTruth
+from repro.runtime import VM, RandomScheduler
+from repro.sip.bugs import EVALUATION_BUGS
+from repro.sip.server import ProxyConfig, SipProxy
+from repro.sip.workload import evaluation_cases
+
+
+def triage(bugs, *, seed=42):
+    truth = GroundTruth()
+    proxy = SipProxy(ProxyConfig(bugs=bugs, instrumented=True), truth=truth)
+    det = HelgrindDetector(HelgrindConfig.hwlc_dr())
+    vm = VM(detectors=(det,), scheduler=RandomScheduler(seed), step_limit=10_000_000)
+    vm.run(proxy.main, evaluation_cases()[3].wires)
+    return classify_report(det.report, truth)
+
+
+@pytest.mark.slow
+class TestFixAndRerun:
+    def test_fixing_one_bug_removes_exactly_its_warnings(self):
+        before = triage(EVALUATION_BUGS)
+        assert "unlocked-stats" in before.bug_ids_found()
+
+        after = triage(EVALUATION_BUGS - {"unlocked-stats"})
+        # The corrected defect's warnings disappear...
+        assert "unlocked-stats" not in after.bug_ids_found()
+        # ...and the other defects' findings survive the fix.
+        assert before.bug_ids_found() - {"unlocked-stats"} <= after.bug_ids_found()
+
+    def test_fixing_everything_empties_the_worklist(self):
+        fixed = triage(frozenset())
+        assert fixed.true_races == 0
+
+    def test_fix_loop_terminates(self):
+        """Iteratively fix the first reported bug until none remain —
+        the analyst's §4 workflow converges."""
+        remaining = EVALUATION_BUGS
+        for _ in range(len(EVALUATION_BUGS) + 1):
+            classified = triage(remaining)
+            found = classified.bug_ids_found()
+            if not found:
+                break
+            remaining = remaining - {sorted(found)[0]}
+        else:  # pragma: no cover - would mean divergence
+            raise AssertionError("fix loop did not converge")
+        assert triage(remaining).true_races == 0

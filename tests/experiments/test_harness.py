@@ -1,0 +1,117 @@
+"""Tests for the experiment harness — the paper's qualitative claims.
+
+The full Figure 6 sweep runs once (module-scoped fixture) and every
+claim the paper makes about its own numbers is asserted against our
+measured rows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import (
+    PAPER_FIGURE6,
+    figure5_decomposition,
+    figure6_table,
+    shape_violations,
+)
+from repro.experiments.harness import run_figure6, run_proxy_case
+from repro.oracle import WarningCategory
+from repro.sip.workload import evaluation_cases
+
+
+@pytest.fixture(scope="module")
+def figure6_rows():
+    return run_figure6()
+
+
+class TestFigure6Shape:
+    def test_eight_rows(self, figure6_rows):
+        assert [r.case_id for r in figure6_rows] == [f"T{i}" for i in range(1, 9)]
+        assert set(PAPER_FIGURE6) == {r.case_id for r in figure6_rows}
+
+    def test_monotone_in_every_case(self, figure6_rows):
+        for row in figure6_rows:
+            assert row.original > row.hwlc > row.hwlc_dr, row.case_id
+
+    def test_annotation_removes_more_than_half(self, figure6_rows):
+        """'This further reduces the amount of reported possible data
+        races by more than a half in all cases.'"""
+        for row in figure6_rows:
+            assert row.hwlc_dr < row.hwlc / 2, row.case_id
+
+    def test_total_removal_near_paper_band(self, figure6_rows):
+        """'in the range of 65% to 81% of the total number of warnings'
+        (we allow a modest widening for the smaller subject)."""
+        for row in figure6_rows:
+            assert 0.55 <= row.removal_fraction <= 0.90, (
+                row.case_id,
+                row.removal_fraction,
+            )
+
+    def test_no_shape_violations(self, figure6_rows):
+        assert shape_violations(figure6_rows) == []
+
+    def test_remaining_warnings_are_mostly_real(self, figure6_rows):
+        """§4: 'the number of reported data races is significant and
+        most of them are real synchronization failures.'"""
+        for row in figure6_rows:
+            final = row.runs["hwlc+dr"].classified
+            assert final.true_races >= final.false_positives, row.case_id
+
+    def test_decompositions_agree(self, figure6_rows):
+        """The config-diff decomposition (how the paper derives Figure 5)
+        matches the oracle's classification of the Original run."""
+        for row in figure6_rows:
+            original = row.runs["original"]
+            assert row.original - row.hwlc == original.fp_count(
+                WarningCategory.FP_HW_LOCK
+            ), row.case_id
+            assert row.hwlc - row.hwlc_dr == original.fp_count(
+                WarningCategory.FP_DESTRUCTOR
+            ), row.case_id
+
+    def test_destructor_fps_dominate(self, figure6_rows):
+        """Figure 5: 'the smaller (top) part counts warnings due to
+        misinterpretation of the hardware bus lock, the bigger part due
+        to accesses in the destructor'."""
+        for row in figure6_rows:
+            original = row.runs["original"]
+            assert original.fp_count(WarningCategory.FP_DESTRUCTOR) > original.fp_count(
+                WarningCategory.FP_HW_LOCK
+            ), row.case_id
+
+    def test_tables_render(self, figure6_rows):
+        table = figure6_table(figure6_rows)
+        assert "T1" in table and "HWLC+DR" in table and "483/448/120" in table
+        decomposition = figure5_decomposition(figure6_rows)
+        assert "FP dtor" in decomposition
+
+
+class TestRunProxyCase:
+    def test_single_cell(self):
+        case = evaluation_cases()[2]
+        run = run_proxy_case(case, "hwlc")
+        assert run.case_id == "T3"
+        assert run.config_name == "hwlc"
+        assert run.location_count > 0
+        assert run.events > 0
+        assert run.wall_seconds > 0
+        assert run.proxy_result.handled > 0
+
+    def test_determinism_same_seed(self):
+        case = evaluation_cases()[2]
+        a = run_proxy_case(case, "original", seed=5)
+        b = run_proxy_case(case, "original", seed=5)
+        assert a.location_count == b.location_count
+        assert a.events == b.events
+
+    def test_thread_pool_mode(self):
+        case = evaluation_cases()[1]
+        run = run_proxy_case(case, "hwlc+dr", mode="thread-pool")
+        assert run.fp_count(WarningCategory.FP_OWNERSHIP) > 0
+
+    def test_extended_config_clears_pool_fps(self):
+        case = evaluation_cases()[1]
+        run = run_proxy_case(case, "extended", mode="thread-pool")
+        assert run.fp_count(WarningCategory.FP_OWNERSHIP) == 0

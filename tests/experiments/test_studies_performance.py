@@ -1,0 +1,94 @@
+"""Tests for the §4.3/§4.5 studies and the performance harness."""
+
+from __future__ import annotations
+
+from repro.experiments.performance import (
+    measure_performance,
+    trace_cost,
+    workload_guest,
+    workload_native,
+)
+from repro.experiments.studies import (
+    ablation_study,
+    baseline_study,
+    false_negative_study,
+)
+from repro.runtime import VM
+
+
+class TestFalseNegativeStudy:
+    def test_both_outcomes_occur(self):
+        """§4.3: the race is found under some schedules and missed under
+        others — neither always nor never."""
+        study = false_negative_study(seeds=range(24))
+        assert study.seeds_detected, "never detected: sweep too narrow"
+        assert study.seeds_missed, "always detected: delayed init not modelled"
+        assert study.total == 24
+
+    def test_format(self):
+        text = false_negative_study(seeds=range(6)).format()
+        assert "schedules probed" in text
+
+
+class TestAblationStudy:
+    def test_each_refinement_reduces_warnings(self):
+        study = ablation_study()
+        for workload, row in study.counts.items():
+            assert row["raw-eraser"] >= row["eraser-states"] >= row["helgrind"], workload
+
+    def test_states_forgive_init_then_share(self):
+        study = ablation_study()
+        row = study.counts["init-then-share"]
+        assert row["raw-eraser"] > 0
+        assert row["eraser-states"] == 0
+
+    def test_segments_forgive_create_join_handoff(self):
+        study = ablation_study()
+        row = study.counts["create-join-handoff"]
+        assert row["eraser-states"] > 0
+        assert row["helgrind"] == 0
+
+    def test_format(self):
+        assert "raw Eraser" in ablation_study().format()
+
+
+class TestBaselineStudy:
+    def test_djit_subset_of_lockset(self):
+        study = baseline_study()
+        assert study.djit_addrs <= study.lockset_addrs
+        assert study.djit_addrs < study.lockset_addrs  # strictly fewer
+
+    def test_hybrid_between(self):
+        study = baseline_study()
+        assert study.hybrid_addrs <= study.lockset_addrs
+
+    def test_all_find_the_true_race(self):
+        study = baseline_study()
+        assert study.lockset_addrs & study.djit_addrs & study.hybrid_addrs
+
+
+class TestPerformance:
+    def test_workloads_agree(self):
+        """The native and guest workloads compute the same answer."""
+        native = workload_native(n_threads=2, iterations=32)
+        guest = VM().run(workload_guest, 2, 32)
+        assert native == guest
+
+    def test_tiers_ordered(self):
+        report = measure_performance(n_threads=2, iterations=40, repeats=2)
+        assert report.native_seconds < report.vm_seconds
+        for name in report.detector_seconds:
+            # Analysis is never (much) cheaper than no analysis; the
+            # slack absorbs host-timer noise on this tiny workload.
+            assert report.analysis_overhead(name) >= 0.7
+
+    def test_report_format(self):
+        report = measure_performance(n_threads=2, iterations=30, repeats=1)
+        text = report.format()
+        assert "VM only" in text and "paper: 8-10x" in text
+
+    def test_trace_cost(self):
+        cost = trace_cost(n_threads=2, iterations=40)
+        assert cost["events"] > 0
+        assert cost["estimated_bytes"] > cost["events"]  # >1 byte/event
+        assert cost["replay_seconds"] > 0

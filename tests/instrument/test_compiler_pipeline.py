@@ -1,0 +1,400 @@
+"""Tests for the MiniCxx compiler and the full build pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cxx.allocator import AllocStrategy
+from repro.detectors import HelgrindConfig, HelgrindDetector
+from repro.errors import CompileError, DeadlockError, GuestFault
+from repro.instrument import BuildOptions, BuildPipeline, compile_module, parse
+from repro.oracle import GroundTruth
+from repro.runtime import VM
+
+
+def run_src(src, *, detectors=(), **compile_kw):
+    program = compile_module(parse(src), **compile_kw)
+    vm = VM(detectors=tuple(detectors))
+    result = vm.run(program.main)
+    return result, program
+
+
+class TestBasicExecution:
+    def test_return_value(self):
+        result, _ = run_src("fn main() { return 6 * 7; }")
+        assert result == 42
+
+    def test_arithmetic_and_logic(self):
+        src = """
+        fn main() {
+            var a = 10 % 3;
+            var b = 7 / 2;
+            var c = (a == 1) && (b == 3);
+            var d = !c || false;
+            if (c) { return b - a; }
+            return d;
+        }
+        """
+        result, _ = run_src(src)
+        assert result == 2
+
+    def test_while_loop(self):
+        src = """
+        fn main() {
+            var total = 0;
+            var i = 1;
+            while (i <= 10) { total = total + i; i = i + 1; }
+            return total;
+        }
+        """
+        assert run_src(src)[0] == 55
+
+    def test_function_calls_and_recursion(self):
+        src = """
+        fn fib(n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        fn main() { return fib(10); }
+        """
+        assert run_src(src)[0] == 55
+
+    def test_print_collects_output(self):
+        _, program = run_src('fn main() { print("a"); print(1 + 2); }')
+        assert program.last_output == ["a", 3]
+
+    def test_string_builtins(self):
+        src = """
+        fn main() {
+            var s = string("hello");
+            var t = scopy(s);
+            var v = svalue(t);
+            sdispose(t);
+            sdispose(s);
+            return v;
+        }
+        """
+        assert run_src(src)[0] == "hello"
+
+    def test_division_by_zero_faults(self):
+        with pytest.raises(GuestFault, match="arithmetic"):
+            run_src("fn main() { return 1 / 0; }")
+
+    def test_undefined_variable_faults(self):
+        with pytest.raises(GuestFault, match="undefined variable"):
+            run_src("fn main() { return nope; }")
+
+    def test_assert_builtin(self):
+        run_src("fn main() { assert(1 + 1 == 2); }")
+        with pytest.raises(GuestFault, match="assertion failed"):
+            run_src("fn main() { assert(false); }")
+
+
+class TestObjects:
+    SRC = """
+    class Animal {
+        field legs;
+        method speak() { return "..."; }
+        method count() { return this.legs; }
+    };
+    class Dog : Animal {
+        field name;
+        method speak() { return "woof"; }
+    };
+    fn main() {
+        var d = new Dog;
+        d.legs = 4;
+        d.name = "rex";
+        var noise = d.speak();
+        var legs = d.count();
+        delete d;
+        return noise + ":" + "legs";
+    }
+    """
+
+    def test_virtual_dispatch_and_fields(self):
+        result, _ = run_src(self.SRC)
+        assert result == "woof:legs"
+
+    def test_inherited_method_sees_this(self):
+        src = """
+        class A { field x; method get() { return this.x; } };
+        class B : A { field y; };
+        fn main() { var b = new B; b.x = 9; return b.get(); }
+        """
+        assert run_src(src)[0] == 9
+
+    def test_dtor_body_runs(self):
+        src = """
+        class C { field x; dtor { print("dtor-ran"); } };
+        fn main() { var c = new C; delete c; }
+        """
+        _, program = run_src(src)
+        assert program.last_output == ["dtor-ran"]
+
+    def test_delete_non_object_faults(self):
+        with pytest.raises(GuestFault, match="non-object"):
+            run_src("fn main() { delete 5; }")
+
+    def test_member_on_non_object_faults(self):
+        with pytest.raises(GuestFault, match="non-object"):
+            run_src("fn main() { var x = 5; return x.field_name; }")
+
+
+class TestGlobalsAndThreads:
+    def test_globals_live_in_guest_memory(self):
+        src = """
+        global counter = 100;
+        fn main() { counter = counter + 1; return counter; }
+        """
+        result, _ = run_src(src)
+        assert result == 101
+
+    def test_global_race_is_detectable(self):
+        src = """
+        global counter = 0;
+        fn worker() {
+            var i = 0;
+            while (i < 5) { counter = counter + 1; i = i + 1; }
+        }
+        fn main() {
+            var t1 = spawn worker();
+            var t2 = spawn worker();
+            join t1;
+            join t2;
+            return counter;
+        }
+        """
+        det = HelgrindDetector(HelgrindConfig.hwlc())
+        result, _ = run_src(src, detectors=(det,))
+        assert det.report.location_count >= 1
+
+    def test_mutex_protected_global_is_clean(self):
+        src = """
+        global counter = 0;
+        global g_lock = 0;
+        fn worker(m) {
+            var i = 0;
+            while (i < 5) {
+                lock(m);
+                counter = counter + 1;
+                unlock(m);
+                i = i + 1;
+            }
+        }
+        fn main() {
+            var m = mutex();
+            var t1 = spawn worker(m);
+            var t2 = spawn worker(m);
+            join t1;
+            join t2;
+            lock(m);
+            var result = counter;
+            unlock(m);
+            return result;
+        }
+        """
+        det = HelgrindDetector(HelgrindConfig.hwlc())
+        result, _ = run_src(src, detectors=(det,))
+        assert result == 10
+        assert det.report.location_count == 0
+
+    def test_join_ordered_unlocked_read_still_warns(self):
+        """A classic lock-set false positive the paper leaves standing:
+        reading a previously lock-protected global without the lock —
+        even after joining every writer — empties the candidate set
+        (SHARED-MODIFIED never reverts to EXCLUSIVE in Figure 1)."""
+        src = """
+        global counter = 0;
+        fn worker(m) {
+            lock(m);
+            counter = counter + 1;
+            unlock(m);
+        }
+        fn main() {
+            var m = mutex();
+            var t1 = spawn worker(m);
+            var t2 = spawn worker(m);
+            join t1;
+            join t2;
+            return counter;
+        }
+        """
+        det = HelgrindDetector(HelgrindConfig.hwlc())
+        result, _ = run_src(src, detectors=(det,))
+        assert result == 2
+        assert det.report.location_count == 1
+
+    def test_queue_between_threads(self):
+        src = """
+        fn worker(q, out) {
+            var total = 0;
+            var v = take(q);
+            while (v != null) {
+                total = total + v;
+                v = take(q);
+            }
+            put(out, total);
+        }
+        fn main() {
+            var q = queue();
+            var out = queue();
+            var t = spawn worker(q, out);
+            var i = 1;
+            while (i <= 4) { put(q, i); i = i + 1; }
+            put(q, null);
+            var result = take(out);
+            join t;
+            return result;
+        }
+        """
+        assert run_src(src)[0] == 10
+
+    def test_semaphores_and_condvars(self):
+        src = """
+        global flag = 0;
+        fn waiter(m, cv, s) {
+            lock(m);
+            while (flag == 0) { cond_wait(cv, m); }
+            unlock(m);
+            sem_post(s);
+        }
+        fn main() {
+            var m = mutex();
+            var cv = condvar();
+            var s = sem(0);
+            var t = spawn waiter(m, cv, s);
+            sleep(5);
+            lock(m);
+            flag = 1;
+            cond_signal(cv);
+            unlock(m);
+            sem_wait(s);
+            join t;
+            return flag;
+        }
+        """
+        assert run_src(src)[0] == 1
+
+    def test_guest_deadlock_detected(self):
+        src = """
+        fn main() {
+            var m = mutex();
+            lock(m);
+            lock(m);
+        }
+        """
+        with pytest.raises((DeadlockError, GuestFault)):
+            run_src(src)
+
+
+class TestCompileErrors:
+    @pytest.mark.parametrize(
+        "src, match",
+        [
+            ("fn f() { }", "no 'main'"),
+            ("fn main() { } fn main() { }", "duplicate function"),
+            ("class C { }; class C { }; fn main() { }", "duplicate class"),
+            ("class D : Missing { }; fn main() { }", "unknown base"),
+            ("fn main() { var x = new Nope; }", "unknown class"),
+            ("fn main() { frobnicate(); }", "unknown function"),
+            ("fn main() { var t = spawn nada(); }", "unknown function"),
+        ],
+    )
+    def test_static_errors(self, src, match):
+        with pytest.raises(CompileError, match=match):
+            compile_module(parse(src))
+
+    def test_custom_entry(self):
+        program = compile_module(parse("fn start() { return 7; }"), entry="start")
+        assert VM().run(program.main) == 7
+
+
+DERIVED_DELETE = """
+class Base {
+    field x;
+    method get() { return this.x; }
+};
+class Derived : Base { field y; };
+
+fn main() {
+    var m = mutex();
+    var obj = new Derived;
+    obj.x = 1;
+    var t1 = spawn reader(obj, m);
+    var t2 = spawn reader(obj, m);
+    sleep(8);
+    delete obj;
+    join t1;
+    join t2;
+}
+
+fn reader(obj, m) {
+    lock(m);
+    var v = obj.get();
+    unlock(m);
+    sleep(20);
+}
+"""
+
+
+class TestPipeline:
+    def test_uninstrumented_build_warns_on_destructor(self):
+        pipe = BuildPipeline()
+        art = pipe.build(DERIVED_DELETE, BuildOptions(instrument=False))
+        det = HelgrindDetector(HelgrindConfig.hwlc_dr())
+        VM(detectors=(det,)).run(art.program.main)
+        assert art.annotated_sites == 0
+        assert det.report.location_count >= 1
+        assert any("~" in w.site.function for w in det.report.warnings)
+
+    def test_instrumented_build_is_clean(self):
+        pipe = BuildPipeline()
+        art = pipe.build(DERIVED_DELETE, BuildOptions(instrument=True))
+        det = HelgrindDetector(HelgrindConfig.hwlc_dr())
+        VM(detectors=(det,)).run(art.program.main)
+        assert art.annotated_sites == art.delete_sites == 1
+        assert det.report.location_count == 0
+
+    def test_instrumentation_noop_without_detector(self):
+        """§3.1: annotations 'could be inserted into production code'."""
+        pipe = BuildPipeline()
+        plain = pipe.build(DERIVED_DELETE, BuildOptions(instrument=False))
+        annotated = pipe.build(DERIVED_DELETE, BuildOptions(instrument=True))
+        r1 = VM().run(plain.program.main)
+        r2 = VM().run(annotated.program.main)
+        assert r1 == r2  # identical observable behaviour
+
+    def test_headers_and_defines(self):
+        pipe = BuildPipeline(includes={"config.h": "#define WORKERS 3\n"})
+        src = """
+        #include "config.h"
+        global done = 0;
+        fn main() { return WORKERS; }
+        """
+        art = pipe.build(src)
+        assert VM().run(art.program.main) == 3
+
+    def test_force_new_option_changes_allocator(self):
+        pipe = BuildPipeline()
+        art = pipe.build(
+            "class C { field x; }; fn main() { var c = new C; delete c; }",
+            BuildOptions(instrument=True, force_new_allocator=True),
+        )
+        assert art.program.alloc_strategy is AllocStrategy.FORCE_NEW
+
+    def test_truth_threading(self):
+        truth = GroundTruth()
+        pipe = BuildPipeline(truth=truth)
+        art = pipe.build(
+            'fn main() { var s = string("x"); sdispose(s); }',
+            BuildOptions(instrument=True),
+        )
+        VM().run(art.program.main)
+        assert len(truth) >= 1  # the string refcount claim
+
+    def test_artifacts_expose_intermediate_stages(self):
+        pipe = BuildPipeline()
+        art = pipe.build(DERIVED_DELETE, BuildOptions(instrument=True))
+        assert "delete __ca_deletor_single(obj);" in art.annotated_source
+        assert art.preprocessed  # flat translation unit retained

@@ -1,0 +1,225 @@
+"""Tests for the MiniCxx lexer and parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LexError, ParseError
+from repro.instrument import ast_nodes as A
+from repro.instrument.lexer import Token, tokenize
+from repro.instrument.parser import parse
+
+
+class TestLexer:
+    def test_idents_keywords_ints(self):
+        toks = tokenize("fn main() { var x = 42; }")
+        kinds = [(t.kind, t.value) for t in toks[:5]]
+        assert kinds == [
+            ("kw", "fn"),
+            ("ident", "main"),
+            ("op", "("),
+            ("op", ")"),
+            ("op", "{"),
+        ]
+        assert ("int", 42) in [(t.kind, t.value) for t in toks]
+
+    def test_strings_with_escapes(self):
+        toks = tokenize('"a\\nb\\"c"')
+        assert toks[0].kind == "string"
+        assert toks[0].value == 'a\nb"c'
+
+    def test_two_char_operators(self):
+        toks = tokenize("a == b != c <= d >= e && f || g")
+        ops = [t.value for t in toks if t.kind == "op"]
+        assert ops == ["==", "!=", "<=", ">=", "&&", "||"]
+
+    def test_line_and_column_tracking(self):
+        toks = tokenize("a\n  bb\n    c")
+        positions = [(t.line, t.column) for t in toks if t.kind == "ident"]
+        assert positions == [(1, 1), (2, 3), (3, 5)]
+
+    def test_line_comments_skipped(self):
+        toks = tokenize("a // comment with var fn class\nb")
+        assert [t.value for t in toks if t.kind == "ident"] == ["a", "b"]
+
+    def test_block_comments_skipped_with_newlines(self):
+        toks = tokenize("a /* multi\nline */ b")
+        idents = [t for t in toks if t.kind == "ident"]
+        assert [t.value for t in idents] == ["a", "b"]
+        assert idents[1].line == 2
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError, match="unterminated string"):
+            tokenize('"abc')
+
+    def test_newline_in_string_raises(self):
+        with pytest.raises(LexError, match="newline in string"):
+            tokenize('"ab\ncd"')
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError, match="unterminated block"):
+            tokenize("/* never ends")
+
+    def test_bad_character_raises(self):
+        with pytest.raises(LexError, match="unexpected character"):
+            tokenize("a @ b")
+
+    def test_eof_token_terminates(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind == "eof"
+
+
+class TestParserStructure:
+    def test_empty_module(self):
+        mod = parse("")
+        assert mod.classes == [] and mod.functions == [] and mod.globals == []
+
+    def test_function_decl(self):
+        mod = parse("fn add(a, b) { return a + b; }")
+        fn = mod.function("add")
+        assert fn.params == ["a", "b"]
+        assert isinstance(fn.body.body[0], A.Return)
+
+    def test_class_with_everything(self):
+        mod = parse(
+            """
+            class Req : Base {
+                field sip_method;
+                field uri;
+                dtor { print("bye"); }
+                method describe(prefix) { return prefix; }
+            };
+            """
+        )
+        cls = mod.cls("Req")
+        assert cls.base == "Base"
+        assert [f.name for f in cls.fields] == ["sip_method", "uri"]
+        assert cls.dtor is not None
+        assert cls.methods[0].name == "describe"
+
+    def test_globals(self):
+        mod = parse("global counter = 0;\nglobal uninitialised;")
+        assert mod.globals[0].name == "counter"
+        assert isinstance(mod.globals[0].init, A.IntLit)
+        assert mod.globals[1].init is None
+
+    def test_missing_function_keyerror(self):
+        with pytest.raises(KeyError):
+            parse("").function("nope")
+
+
+class TestParserStatements:
+    def _body(self, code):
+        return parse(f"fn f() {{ {code} }}").function("f").body.body
+
+    def test_var_decl(self):
+        (stmt,) = self._body("var x = 1;")
+        assert isinstance(stmt, A.VarDecl)
+        assert stmt.name == "x"
+
+    def test_if_else(self):
+        (stmt,) = self._body("if (x > 0) { y = 1; } else { y = 2; }")
+        assert isinstance(stmt, A.If)
+        assert stmt.otherwise is not None
+
+    def test_while(self):
+        (stmt,) = self._body("while (i < 10) { i = i + 1; }")
+        assert isinstance(stmt, A.While)
+
+    def test_delete_and_join(self):
+        stmts = self._body("delete p; join t;")
+        assert isinstance(stmts[0], A.Delete)
+        assert isinstance(stmts[1], A.Join)
+
+    def test_member_assignment(self):
+        (stmt,) = self._body("obj.x = 5;")
+        assert isinstance(stmt, A.Assign)
+        assert isinstance(stmt.target, A.Member)
+
+    def test_assignment_to_literal_rejected(self):
+        with pytest.raises(ParseError, match="assignment target"):
+            self._body("5 = x;")
+
+    def test_return_void(self):
+        (stmt,) = self._body("return;")
+        assert stmt.value is None
+
+
+class TestParserExpressions:
+    def _expr(self, code):
+        (stmt,) = parse(f"fn f() {{ var r = {code}; }}").function("f").body.body
+        return stmt.init
+
+    def test_precedence_mul_over_add(self):
+        e = self._expr("1 + 2 * 3")
+        assert isinstance(e, A.Binary) and e.op == "+"
+        assert isinstance(e.right, A.Binary) and e.right.op == "*"
+
+    def test_precedence_cmp_over_and(self):
+        e = self._expr("a < b && c > d")
+        assert e.op == "&&"
+        assert e.left.op == "<" and e.right.op == ">"
+
+    def test_parentheses_override(self):
+        e = self._expr("(1 + 2) * 3")
+        assert e.op == "*"
+        assert e.left.op == "+"
+
+    def test_unary(self):
+        e = self._expr("-x")
+        assert isinstance(e, A.Unary) and e.op == "-"
+        e = self._expr("!done")
+        assert isinstance(e, A.Unary) and e.op == "!"
+
+    def test_chained_member_access(self):
+        e = self._expr("a.b.c")
+        assert isinstance(e, A.Member) and e.field_name == "c"
+        assert isinstance(e.obj, A.Member) and e.obj.field_name == "b"
+
+    def test_method_call(self):
+        e = self._expr("obj.run(1, 2)")
+        assert isinstance(e, A.MethodCall)
+        assert e.method == "run" and len(e.args) == 2
+
+    def test_new_and_spawn(self):
+        assert isinstance(self._expr("new Widget"), A.New)
+        sp = self._expr("spawn worker(q, 5)")
+        assert isinstance(sp, A.Spawn)
+        assert sp.func == "worker" and len(sp.args) == 2
+
+    def test_literals(self):
+        assert self._expr("true").value is True
+        assert self._expr("false").value is False
+        assert isinstance(self._expr("null"), A.NullLit)
+        assert self._expr('"hi"').value == "hi"
+
+    def test_call_no_args(self):
+        e = self._expr("mutex()")
+        assert isinstance(e, A.Call) and e.args == []
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "fn f( { }",  # bad params
+            "class C { field; };",  # missing field name
+            "fn f() { var = 3; }",  # missing var name
+            "fn f() { if x { } }",  # missing parens
+            "garbage at top level",
+            "fn f() { x + ; }",
+            "class C { dtor {} dtor {} };",  # duplicate dtor
+        ],
+    )
+    def test_bad_inputs_raise_parse_error(self, bad):
+        with pytest.raises(ParseError):
+            parse(bad)
+
+    def test_error_carries_position(self):
+        try:
+            parse("fn f() {\n  var = 3;\n}")
+        except ParseError as e:
+            assert e.line == 2
+        else:  # pragma: no cover
+            raise AssertionError("expected ParseError")

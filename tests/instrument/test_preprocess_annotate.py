@@ -1,0 +1,198 @@
+"""Tests for the preprocessor, the annotation pass, and rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InstrumentError
+from repro.instrument import ast_nodes as A
+from repro.instrument.annotate import HELPER_NAME, annotate_module, count_delete_sites
+from repro.instrument.parser import parse
+from repro.instrument.preprocess import preprocess
+from repro.instrument.render import render_module
+
+
+class TestPreprocess:
+    def test_passthrough(self):
+        assert preprocess("fn main() { }") == "fn main() { }"
+
+    def test_include(self):
+        out = preprocess(
+            '#include "defs.h"\nfn main() { }',
+            includes={"defs.h": "global g = 1;"},
+        )
+        assert "global g = 1;" in out
+        assert "fn main" in out
+
+    def test_nested_includes(self):
+        out = preprocess(
+            '#include "a.h"',
+            includes={"a.h": '#include "b.h"\nglobal a = 1;', "b.h": "global b = 2;"},
+        )
+        assert "global b = 2;" in out
+        assert "global a = 1;" in out
+
+    def test_missing_include_raises(self):
+        with pytest.raises(InstrumentError, match="not found"):
+            preprocess('#include "nope.h"')
+
+    def test_circular_include_raises(self):
+        with pytest.raises(InstrumentError, match="circular"):
+            preprocess(
+                '#include "a.h"',
+                includes={"a.h": '#include "b.h"', "b.h": '#include "a.h"'},
+            )
+
+    def test_define_substitution(self):
+        out = preprocess("#define MAX 10\nvar x = MAX;")
+        assert "var x = 10;" in out
+
+    def test_define_word_boundaries(self):
+        out = preprocess("#define N 3\nvar NN = N;")
+        assert "var NN = 3;" in out  # NN untouched, N replaced
+
+    def test_undef(self):
+        out = preprocess("#define X 1\n#undef X\nvar y = X;")
+        assert "var y = X;" in out
+
+    def test_ifdef_taken(self):
+        out = preprocess("#define DEBUG\n#ifdef DEBUG\nvar d = 1;\n#endif\nvar e = 2;")
+        assert "var d = 1;" in out and "var e = 2;" in out
+
+    def test_ifdef_skipped(self):
+        out = preprocess("#ifdef DEBUG\nvar d = 1;\n#endif\nvar e = 2;")
+        assert "var d = 1;" not in out and "var e = 2;" in out
+
+    def test_ifndef_and_else(self):
+        out = preprocess("#ifndef X\nvar a = 1;\n#else\nvar b = 2;\n#endif")
+        assert "var a = 1;" in out and "var b = 2;" not in out
+        out2 = preprocess(
+            "#ifdef X\nvar a = 1;\n#else\nvar b = 2;\n#endif", defines={"X": "1"}
+        )
+        assert "var a = 1;" in out2 and "var b = 2;" not in out2
+
+    def test_nested_conditionals(self):
+        src = "#ifdef A\n#ifdef B\nvar ab = 1;\n#endif\nvar a = 1;\n#endif"
+        out = preprocess(src, defines={"A": "1"})
+        assert "var a = 1;" in out and "var ab" not in out
+        out2 = preprocess(src, defines={"A": "1", "B": "1"})
+        assert "var ab = 1;" in out2
+
+    def test_include_guards_work(self):
+        header = "#ifndef GUARD\n#define GUARD\nglobal once = 1;\n#endif"
+        out = preprocess(
+            '#include "h.h"\n#include "h.h"', includes={"h.h": header}
+        )
+        assert out.count("global once = 1;") == 1
+
+    def test_unterminated_ifdef_raises(self):
+        with pytest.raises(InstrumentError, match="unterminated"):
+            preprocess("#ifdef X\nvar a = 1;")
+
+    def test_unknown_directive_raises(self):
+        with pytest.raises(InstrumentError, match="unknown preprocessor"):
+            preprocess("#pragma once")
+
+    def test_command_line_defines(self):
+        out = preprocess("var x = LIMIT;", defines={"LIMIT": "99"})
+        assert "var x = 99;" in out
+
+    def test_line_count_preserved(self):
+        src = "#define A 1\nfn main() {\nvar x = A;\n}"
+        out = preprocess(src)
+        assert len(out.splitlines()) == len(src.splitlines())
+
+
+DELETE_SRC = """
+class Obj { field x; };
+fn g(p) { delete p; }
+fn h(p) {
+    if (p.x > 0) { delete p; } else { delete p; }
+}
+fn main() { var o = new Obj; g(o); }
+"""
+
+
+class TestAnnotate:
+    def test_counts_sites(self):
+        mod = parse(DELETE_SRC)
+        assert count_delete_sites(mod) == 3
+        assert count_delete_sites(mod, annotated=True) == 0
+
+    def test_annotation_wraps_every_site(self):
+        mod = annotate_module(parse(DELETE_SRC))
+        assert count_delete_sites(mod, annotated=True) == 3
+        assert count_delete_sites(mod, annotated=False) == 0
+
+    def test_helper_injected_once(self):
+        mod = annotate_module(parse(DELETE_SRC))
+        helpers = [f for f in mod.functions if f.name == HELPER_NAME]
+        assert len(helpers) == 1
+        assert helpers[0].synthetic
+
+    def test_idempotent(self):
+        once = annotate_module(parse(DELETE_SRC))
+        twice = annotate_module(once)
+        assert count_delete_sites(twice, annotated=True) == 3
+        assert len([f for f in twice.functions if f.name == HELPER_NAME]) == 1
+        # No double wrapping: delete __ca(__ca(p)) would show as a Call
+        # whose argument is another helper Call.
+        for node in A.walk(twice):
+            if isinstance(node, A.Call) and node.func == HELPER_NAME:
+                assert not (
+                    isinstance(node.args[0], A.Call)
+                    and node.args[0].func == HELPER_NAME
+                )
+
+    def test_input_module_untouched(self):
+        mod = parse(DELETE_SRC)
+        annotate_module(mod)
+        assert count_delete_sites(mod, annotated=True) == 0
+        assert all(f.name != HELPER_NAME for f in mod.functions)
+
+    def test_no_deletes_no_helper(self):
+        mod = annotate_module(parse("fn main() { var x = 1; }"))
+        assert all(f.name != HELPER_NAME for f in mod.functions)
+
+
+class TestRender:
+    def test_roundtrip_parses(self):
+        mod = parse(DELETE_SRC)
+        text = render_module(mod)
+        reparsed = parse(text)
+        assert [c.name for c in reparsed.classes] == ["Obj"]
+        assert {f.name for f in reparsed.functions} == {"g", "h", "main"}
+
+    def test_annotated_source_shows_figure4_shape(self):
+        mod = annotate_module(parse(DELETE_SRC))
+        text = render_module(mod)
+        assert f"fn {HELPER_NAME}(object)" in text
+        assert f"delete {HELPER_NAME}(p);" in text
+        assert "hg_destruct(object);" in text
+        assert "return object;" in text
+
+    def test_roundtrip_preserves_semantics(self):
+        """render → parse → render is a fixed point."""
+        mod = annotate_module(parse(DELETE_SRC))
+        text1 = render_module(mod)
+        text2 = render_module(parse(text1))
+        assert text1 == text2
+
+    def test_renders_all_constructs(self):
+        src = """
+        global g = 5;
+        class A { field f; method m(x) { return x; } dtor { print("d"); } };
+        fn main() {
+            var v = -g;
+            var s = "str";
+            var t = spawn main();
+            if (v < 0 && true) { v = v * 2; } else { v = 0; }
+            while (v != 0) { v = v - 1; }
+            join t;
+            return null;
+        }
+        """
+        text = render_module(parse(src))
+        reparsed = parse(text)
+        assert reparsed.cls("A").methods[0].name == "m"
+        assert render_module(reparsed) == text

@@ -1,0 +1,195 @@
+"""Tests for the guest address space."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GuestFault
+from repro.runtime.addrspace import AddressSpace
+
+
+class TestAllocation:
+    def test_alloc_returns_disjoint_blocks(self):
+        mem = AddressSpace()
+        a = mem.alloc(10, tag="a")
+        b = mem.alloc(10, tag="b")
+        assert a.end <= b.base  # monotone, never overlapping
+
+    def test_alloc_never_reuses_addresses(self):
+        mem = AddressSpace()
+        a = mem.alloc(4)
+        mem.free(a.base)
+        b = mem.alloc(4)
+        assert b.base != a.base
+
+    def test_zero_size_faults(self):
+        with pytest.raises(GuestFault):
+            AddressSpace().alloc(0)
+
+    def test_negative_size_faults(self):
+        with pytest.raises(GuestFault):
+            AddressSpace().alloc(-1)
+
+    def test_block_metadata(self):
+        mem = AddressSpace()
+        blk = mem.alloc(8, tag="SipMessage", tid=3, step=99)
+        assert blk.tag == "SipMessage"
+        assert blk.alloc_tid == 3
+        assert blk.alloc_step == 99
+        assert blk.size == 8
+        assert not blk.freed
+
+    def test_null_address_is_unmapped(self):
+        mem = AddressSpace()
+        assert mem.find_block(0) is None
+
+
+class TestLoadStore:
+    def test_store_then_load(self):
+        mem = AddressSpace()
+        blk = mem.alloc(4)
+        mem.store(blk.base + 2, "hello")
+        assert mem.load(blk.base + 2) == "hello"
+
+    def test_uninitialised_load_faults(self):
+        mem = AddressSpace()
+        blk = mem.alloc(4)
+        with pytest.raises(GuestFault, match="uninitialised"):
+            mem.load(blk.base)
+
+    def test_wild_store_faults(self):
+        mem = AddressSpace()
+        with pytest.raises(GuestFault, match="wild"):
+            mem.store(0xDEAD, 1)
+
+    def test_out_of_bounds_faults(self):
+        mem = AddressSpace()
+        blk = mem.alloc(4)
+        with pytest.raises(GuestFault):
+            mem.store(blk.end, 1)  # one past the end (guard gap)
+
+    def test_peek_never_faults(self):
+        mem = AddressSpace()
+        blk = mem.alloc(2)
+        assert mem.peek(blk.base) is None
+        mem.store(blk.base, 7)
+        assert mem.peek(blk.base) == 7
+
+    def test_is_initialised(self):
+        mem = AddressSpace()
+        blk = mem.alloc(2)
+        assert not mem.is_initialised(blk.base)
+        mem.store(blk.base, 0)
+        assert mem.is_initialised(blk.base)
+
+
+class TestFree:
+    def test_free_marks_block(self):
+        mem = AddressSpace()
+        blk = mem.alloc(4)
+        mem.free(blk.base, tid=2, step=5)
+        assert blk.freed
+        assert blk.free_tid == 2
+
+    def test_use_after_free_faults(self):
+        mem = AddressSpace()
+        blk = mem.alloc(4)
+        mem.store(blk.base, 1)
+        mem.free(blk.base)
+        with pytest.raises(GuestFault, match="freed"):
+            mem.load(blk.base)
+        with pytest.raises(GuestFault, match="freed"):
+            mem.store(blk.base, 2)
+
+    def test_double_free_faults(self):
+        mem = AddressSpace()
+        blk = mem.alloc(4)
+        mem.free(blk.base)
+        with pytest.raises(GuestFault, match="double free"):
+            mem.free(blk.base)
+
+    def test_interior_free_faults(self):
+        mem = AddressSpace()
+        blk = mem.alloc(4)
+        with pytest.raises(GuestFault, match="interior"):
+            mem.free(blk.base + 1)
+
+    def test_free_of_unallocated_faults(self):
+        with pytest.raises(GuestFault, match="unallocated"):
+            AddressSpace().free(0x777)
+
+    def test_free_drops_contents(self):
+        mem = AddressSpace()
+        blk = mem.alloc(2)
+        mem.store(blk.base, "secret")
+        mem.free(blk.base)
+        assert mem.peek(blk.base) is None
+
+
+class TestLookup:
+    def test_find_block_interior(self):
+        mem = AddressSpace()
+        blk = mem.alloc(10)
+        assert mem.find_block(blk.base + 5) is blk
+
+    def test_find_block_guard_gap(self):
+        mem = AddressSpace()
+        blk = mem.alloc(10)
+        mem.alloc(10)
+        assert mem.find_block(blk.end) is None  # guard gap between blocks
+
+    def test_find_block_includes_freed(self):
+        mem = AddressSpace()
+        blk = mem.alloc(4)
+        mem.free(blk.base)
+        assert mem.find_block(blk.base) is blk
+
+    def test_block_by_id(self):
+        mem = AddressSpace()
+        blk = mem.alloc(4)
+        assert mem.block_by_id(blk.block_id) is blk
+
+    def test_live_and_leak_reporting(self):
+        mem = AddressSpace()
+        a = mem.alloc(4)
+        b = mem.alloc(4)
+        mem.free(a.base)
+        assert mem.live_blocks() == [b]
+        assert mem.leak_report() == [b]
+
+    def test_describe_mentions_offset_and_tag(self):
+        mem = AddressSpace()
+        blk = mem.alloc(21, tag="string.rep", tid=1)
+        text = blk.describe(blk.base + 8)
+        assert "8 words inside a block of size 21" in text
+        assert "string.rep" in text
+        assert "thread 1" in text
+
+
+@given(st.lists(st.integers(min_value=1, max_value=64), min_size=1, max_size=50))
+def test_property_blocks_never_overlap(sizes):
+    """No two allocations ever share an address, regardless of sizes."""
+    mem = AddressSpace()
+    blocks = [mem.alloc(s) for s in sizes]
+    spans = sorted((b.base, b.end) for b in blocks)
+    for (_, prev_end), (next_base, _) in zip(spans, spans[1:]):
+        assert prev_end <= next_base
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 49), st.integers(0, 63)), min_size=1, max_size=200
+    )
+)
+def test_property_store_load_roundtrip(ops):
+    """A load always returns the most recent store to that word."""
+    mem = AddressSpace()
+    blocks = [mem.alloc(64) for _ in range(50)]
+    shadow: dict[int, int] = {}
+    for i, (blk_idx, offset) in enumerate(ops):
+        addr = blocks[blk_idx].base + offset
+        mem.store(addr, i)
+        shadow[addr] = i
+    for addr, expected in shadow.items():
+        assert mem.load(addr) == expected

@@ -1,0 +1,173 @@
+"""Tests for event serialisation and trace record/replay."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.runtime.events import (
+    AccessKind,
+    ClientRequest,
+    Frame,
+    LockAcquire,
+    LockMode,
+    MemoryAccess,
+    QueuePut,
+    ThreadCreate,
+    event_from_dict,
+)
+from repro.runtime.trace import TraceRecorder, load_trace, replay
+from tests.conftest import record_trace, run_program
+
+
+class TestEventModel:
+    def test_site_is_innermost_frame(self):
+        stack = (Frame("inner", "a.cpp", 1), Frame("outer", "a.cpp", 2))
+        e = MemoryAccess(0, 0, stack=stack, addr=1)
+        assert e.site.function == "inner"
+
+    def test_site_none_for_empty_stack(self):
+        e = MemoryAccess(0, 0, addr=1)
+        assert e.site is None
+
+    def test_is_write(self):
+        r = MemoryAccess(0, 0, addr=1, kind=AccessKind.READ)
+        w = MemoryAccess(0, 0, addr=1, kind=AccessKind.WRITE)
+        assert not r.is_write
+        assert w.is_write
+
+    def test_frame_str(self):
+        assert str(Frame("f", "x.cpp", 3)) == "f (x.cpp:3)"
+
+    def test_events_are_immutable(self):
+        import dataclasses
+
+        import pytest
+
+        e = MemoryAccess(0, 0, addr=1)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            e.addr = 2  # type: ignore[misc]
+
+
+class TestSerialisation:
+    def test_roundtrip_memory_access(self):
+        e = MemoryAccess(
+            5,
+            2,
+            stack=(Frame("f", "x.cpp", 3),),
+            addr=0x1000,
+            kind=AccessKind.WRITE,
+            bus_locked=True,
+            block_id=7,
+        )
+        assert event_from_dict(e.to_dict()) == e
+
+    def test_roundtrip_lock_acquire(self):
+        e = LockAcquire(1, 0, lock_id=3, mode=LockMode.READ, contended=True)
+        assert event_from_dict(e.to_dict()) == e
+
+    def test_roundtrip_client_request(self):
+        e = ClientRequest(9, 1, request="hg_destruct", addr=64, size=4)
+        assert event_from_dict(e.to_dict()) == e
+
+    def test_roundtrip_thread_create(self):
+        e = ThreadCreate(2, 0, child_tid=1)
+        assert event_from_dict(e.to_dict()) == e
+
+    def test_roundtrip_queue_put(self):
+        e = QueuePut(3, 1, queue_id=0, msg_id=5)
+        assert event_from_dict(e.to_dict()) == e
+
+    def test_unknown_type_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="unknown event"):
+            event_from_dict({"type": "Bogus"})
+
+
+@given(
+    st.integers(0, 10**6),
+    st.integers(0, 100),
+    st.integers(0, 2**20),
+    st.sampled_from(list(AccessKind)),
+    st.booleans(),
+    st.lists(
+        st.tuples(st.text(max_size=8), st.text(max_size=8), st.integers(0, 999)),
+        max_size=4,
+    ),
+)
+def test_property_roundtrip(step, tid, addr, kind, locked, frames):
+    stack = tuple(Frame(f, fi, ln) for f, fi, ln in frames)
+    e = MemoryAccess(step, tid, stack=stack, addr=addr, kind=kind, bus_locked=locked)
+    assert event_from_dict(e.to_dict()) == e
+
+
+def _sample_program(api):
+    addr = api.malloc(2, tag="x")
+    api.store(addr, 0)
+    m = api.mutex()
+
+    def worker(a):
+        a.lock(m)
+        a.store(addr, a.load(addr) + 1)
+        a.unlock(m)
+
+    t = api.spawn(worker)
+    api.lock(m)
+    api.store(addr, api.load(addr) + 1)
+    api.unlock(m)
+    api.join(t)
+
+
+class TestTraceRecorder:
+    def test_records_every_event(self):
+        events, vm = record_trace(_sample_program)
+        assert len(events) == vm.stats.total_events
+
+    def test_file_spill_and_reload(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceRecorder(path) as recorder:
+            run_program(_sample_program, detectors=(recorder,))
+        loaded = load_trace(path)
+        assert loaded == recorder.events
+
+    def test_estimated_bytes_scales(self):
+        recorder = TraceRecorder()
+        run_program(_sample_program, detectors=(recorder,))
+        assert recorder.estimated_bytes > len(recorder) > 0
+
+    def test_empty_recorder(self):
+        recorder = TraceRecorder()
+        assert len(recorder) == 0
+        assert recorder.estimated_bytes == 0
+
+
+class TestReplay:
+    def test_replay_feeds_all_events(self):
+        events, _ = record_trace(_sample_program)
+
+        class Counter:
+            n = 0
+
+            def handle(self, event, vm):
+                self.n += 1
+
+        counter = Counter()
+        replay(events, counter)
+        assert counter.n == len(events)
+
+    def test_replay_matches_online_for_stateless_count(self):
+        """A detector sees the same stream online and offline."""
+
+        class Collector:
+            def __init__(self):
+                self.kinds = []
+
+            def handle(self, event, vm):
+                self.kinds.append(type(event).__name__)
+
+        online = Collector()
+        recorder = TraceRecorder()
+        run_program(_sample_program, detectors=(online, recorder))
+        offline = Collector()
+        replay(recorder.events, offline)
+        assert online.kinds == offline.kinds

@@ -1,0 +1,145 @@
+"""Tests for the seeded schedulers."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.runtime.scheduler import (
+    FixedOrderScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    StickyScheduler,
+)
+from repro.runtime.thread import SimThread
+
+
+def _threads(n):
+    return [SimThread(tid=i, name=f"t{i}", target=None, args=(), parent_tid=None) for i in range(n)]
+
+
+class TestRoundRobin:
+    def test_cycles_through_all(self):
+        sched = RoundRobinScheduler()
+        ts = _threads(3)
+        picks = [sched.pick(ts, None).tid for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_missing_tids(self):
+        sched = RoundRobinScheduler()
+        ts = _threads(4)
+        sched.pick(ts, None)  # picks 0
+        subset = [ts[1], ts[3]]
+        assert sched.pick(subset, None).tid == 1
+        assert sched.pick(subset, None).tid == 3
+        assert sched.pick(subset, None).tid == 1  # wraps
+
+    def test_records_decisions(self):
+        sched = RoundRobinScheduler()
+        ts = _threads(2)
+        sched.pick(ts, None)
+        sched.pick(ts, None)
+        assert sched.record() == [0, 1]
+
+
+class TestRandom:
+    def test_deterministic_given_seed(self):
+        ts = _threads(5)
+        a = [RandomScheduler(9).pick(ts, None).tid for _ in range(1)]
+        picks1 = []
+        picks2 = []
+        s1, s2 = RandomScheduler(9), RandomScheduler(9)
+        for _ in range(50):
+            picks1.append(s1.pick(ts, None).tid)
+            picks2.append(s2.pick(ts, None).tid)
+        assert picks1 == picks2
+
+    def test_different_seeds_diverge(self):
+        ts = _threads(5)
+        s1, s2 = RandomScheduler(1), RandomScheduler(2)
+        p1 = [s1.pick(ts, None).tid for _ in range(50)]
+        p2 = [s2.pick(ts, None).tid for _ in range(50)]
+        assert p1 != p2
+
+    def test_eventually_picks_everyone(self):
+        ts = _threads(4)
+        sched = RandomScheduler(0)
+        seen = {sched.pick(ts, None).tid for _ in range(200)}
+        assert seen == {0, 1, 2, 3}
+
+
+class TestSticky:
+    def test_zero_switch_prob_never_leaves_current(self):
+        ts = _threads(3)
+        sched = StickyScheduler(seed=0, switch_prob=0.0)
+        current = ts[1]
+        for _ in range(50):
+            assert sched.pick(ts, current) is current
+
+    def test_switches_when_current_not_runnable(self):
+        ts = _threads(3)
+        sched = StickyScheduler(seed=0, switch_prob=0.0)
+        gone = SimThread(tid=99, name="gone", target=None, args=(), parent_tid=None)
+        pick = sched.pick(ts, gone)
+        assert pick in ts
+
+    def test_switch_prob_one_is_uniform(self):
+        ts = _threads(3)
+        sched = StickyScheduler(seed=7, switch_prob=1.0)
+        seen = {sched.pick(ts, ts[0]).tid for _ in range(100)}
+        assert seen == {0, 1, 2}
+
+    def test_invalid_prob_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            StickyScheduler(switch_prob=1.5)
+
+    def test_deterministic_given_seed(self):
+        ts = _threads(4)
+        s1 = StickyScheduler(seed=5, switch_prob=0.3)
+        s2 = StickyScheduler(seed=5, switch_prob=0.3)
+        cur = None
+        p1, p2 = [], []
+        for _ in range(100):
+            a = s1.pick(ts, cur)
+            b = s2.pick(ts, cur)
+            p1.append(a.tid)
+            p2.append(b.tid)
+            cur = a
+        assert p1 == p2
+
+
+class TestFixedOrder:
+    def test_replays_script(self):
+        ts = _threads(3)
+        sched = FixedOrderScheduler([2, 0, 1])
+        assert [sched.pick(ts, None).tid for _ in range(3)] == [2, 0, 1]
+        assert sched.exhausted
+
+    def test_falls_back_without_consuming(self):
+        ts = _threads(3)
+        sched = FixedOrderScheduler([2])
+        only_01 = ts[:2]
+        assert sched.pick(only_01, None).tid == 0  # 2 not runnable: fallback
+        assert not sched.exhausted
+        assert sched.pick(ts, None).tid == 2  # now consumed
+        assert sched.exhausted
+
+    def test_exhausted_script_picks_lowest(self):
+        ts = _threads(3)
+        sched = FixedOrderScheduler([])
+        assert sched.pick(ts, None).tid == 0
+
+
+@given(st.integers(0, 2**32), st.integers(1, 8))
+def test_property_schedulers_always_pick_runnable(seed, n):
+    """Every policy returns a member of the runnable set it was given."""
+    ts = _threads(n)
+    for sched in (
+        RoundRobinScheduler(),
+        RandomScheduler(seed),
+        StickyScheduler(seed, 0.5),
+        FixedOrderScheduler([seed % n]),
+    ):
+        for _ in range(10):
+            assert sched.pick(ts, None) in ts

@@ -1,0 +1,485 @@
+"""Tests for the simulated synchronisation primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeadlockError, GuestFault
+from repro.runtime import RandomScheduler
+from repro.runtime.events import LockAcquire, LockMode, LockRelease
+from tests.conftest import record_trace, run_program
+
+
+class TestMutex:
+    def test_mutual_exclusion_protects_counter(self):
+        def prog(api):
+            addr = api.malloc(1)
+            api.store(addr, 0)
+            m = api.mutex()
+
+            def worker(a):
+                for _ in range(25):
+                    a.lock(m)
+                    a.store(addr, a.load(addr) + 1)
+                    a.unlock(m)
+
+            ts = [api.spawn(worker) for _ in range(4)]
+            for t in ts:
+                api.join(t)
+            return api.load(addr)
+
+        for seed in range(3):
+            result, _ = run_program(prog, scheduler=RandomScheduler(seed))
+            assert result == 100
+
+    def test_lock_events_emitted(self):
+        def prog(api):
+            m = api.mutex("guard")
+            api.lock(m)
+            api.unlock(m)
+
+        events, _ = record_trace(prog)
+        acq = [e for e in events if isinstance(e, LockAcquire)]
+        rel = [e for e in events if isinstance(e, LockRelease)]
+        assert len(acq) == 1 and len(rel) == 1
+        assert acq[0].lock_id == rel[0].lock_id
+        assert acq[0].mode is LockMode.EXCLUSIVE
+
+    def test_relock_faults(self):
+        def prog(api):
+            m = api.mutex()
+            api.lock(m)
+            api.lock(m)
+
+        with pytest.raises(GuestFault, match="relock"):
+            run_program(prog)
+
+    def test_unlock_unheld_faults(self):
+        def prog(api):
+            api.unlock(api.mutex())
+
+        with pytest.raises(GuestFault, match="unlock"):
+            run_program(prog)
+
+    def test_unlock_by_non_owner_faults(self):
+        def prog(api):
+            m = api.mutex()
+
+            def child(a):
+                a.unlock(m)
+
+            api.lock(m)
+            t = api.spawn(child)
+            api.join(t)
+
+        with pytest.raises(GuestFault, match="unlock"):
+            run_program(prog)
+
+    def test_trylock(self):
+        def prog(api):
+            m = api.mutex()
+            first = api.trylock(m)
+            results = []
+
+            def child(a):
+                results.append(a.trylock(m))
+
+            t = api.spawn(child)
+            api.join(t)
+            api.unlock(m)
+            return first, results[0]
+
+        result, _ = run_program(prog)
+        assert result == (True, False)
+
+    def test_contended_flag_set_when_waiting(self):
+        def prog(api):
+            m = api.mutex()
+
+            def holder(a):
+                a.lock(m)
+                a.sleep(5)
+                a.unlock(m)
+
+            t = api.spawn(holder)
+            api.yield_()  # let the child take the lock first
+            api.lock(m)
+            api.unlock(m)
+            api.join(t)
+
+        events, _ = record_trace(prog)
+        main_acq = [e for e in events if isinstance(e, LockAcquire) and e.tid == 0]
+        assert any(e.contended for e in main_acq)
+
+
+class TestRWLock:
+    def test_multiple_readers(self):
+        def prog(api):
+            rw = api.rwlock()
+            addr = api.malloc(1)
+            api.store(addr, 7)
+            inside = api.malloc(1)
+            api.store(inside, 0)
+            peaks = []
+
+            def reader(a):
+                a.rdlock(rw)
+                a.store(inside, a.load(inside) + 1)
+                peaks.append(a.load(inside))
+                a.sleep(3)
+                a.store(inside, a.load(inside) - 1)
+                a.rw_unlock(rw)
+
+            ts = [api.spawn(reader) for _ in range(3)]
+            for t in ts:
+                api.join(t)
+            return max(peaks)
+
+        # At least two readers overlap under round-robin.
+        result, _ = run_program(prog)
+        assert result >= 2
+
+    def test_writer_excludes_readers(self):
+        def prog(api):
+            rw = api.rwlock()
+            addr = api.malloc(1)
+            api.store(addr, 0)
+
+            def writer(a):
+                for _ in range(10):
+                    a.wrlock(rw)
+                    v = a.load(addr)
+                    a.yield_()
+                    a.store(addr, v + 1)
+                    a.rw_unlock(rw)
+
+            def reader(a):
+                for _ in range(10):
+                    a.rdlock(rw)
+                    a.load(addr)
+                    a.rw_unlock(rw)
+
+            ts = [api.spawn(writer), api.spawn(writer), api.spawn(reader)]
+            for t in ts:
+                api.join(t)
+            return api.load(addr)
+
+        result, _ = run_program(prog, scheduler=RandomScheduler(3))
+        assert result == 20  # writers never interleave mid-update
+
+    def test_rw_modes_in_events(self):
+        def prog(api):
+            rw = api.rwlock()
+            api.rdlock(rw)
+            api.rw_unlock(rw)
+            api.wrlock(rw)
+            api.rw_unlock(rw)
+
+        events, _ = record_trace(prog)
+        modes = [e.mode for e in events if isinstance(e, (LockAcquire, LockRelease))]
+        assert modes == [LockMode.READ, LockMode.READ, LockMode.WRITE, LockMode.WRITE]
+
+    def test_reacquire_faults(self):
+        def prog(api):
+            rw = api.rwlock()
+            api.rdlock(rw)
+            api.wrlock(rw)
+
+        with pytest.raises(GuestFault, match="re-acquire"):
+            run_program(prog)
+
+    def test_unlock_unheld_faults(self):
+        def prog(api):
+            api.rw_unlock(api.rwlock())
+
+        with pytest.raises(GuestFault, match="not held"):
+            run_program(prog)
+
+
+class TestCondVar:
+    def test_wait_requires_mutex(self):
+        def prog(api):
+            cv, m = api.condvar(), api.mutex()
+            api.cond_wait(cv, m)  # not holding m
+
+        with pytest.raises(GuestFault, match="without holding"):
+            run_program(prog)
+
+    def test_signal_wakes_one(self):
+        def prog(api):
+            cv, m = api.condvar(), api.mutex()
+            flag = api.malloc(1)
+            api.store(flag, 0)
+            woken = []
+
+            def waiter(a, label):
+                a.lock(m)
+                while a.load(flag) == 0:
+                    a.cond_wait(cv, m)
+                woken.append(label)
+                a.store(flag, 0)  # consume
+                a.unlock(m)
+
+            t1 = api.spawn(waiter, "a")
+            t2 = api.spawn(waiter, "b")
+            api.sleep(10)
+            api.lock(m)
+            api.store(flag, 1)
+            api.cond_signal(cv)
+            api.unlock(m)
+            api.sleep(10)
+            api.lock(m)
+            api.store(flag, 1)
+            api.cond_signal(cv)
+            api.unlock(m)
+            api.join(t1)
+            api.join(t2)
+            return woken
+
+        result, _ = run_program(prog)
+        assert sorted(result) == ["a", "b"]
+
+    def test_broadcast_wakes_all(self):
+        def prog(api):
+            cv, m = api.condvar(), api.mutex()
+            gate = api.malloc(1)
+            api.store(gate, 0)
+            done = []
+
+            def waiter(a, i):
+                a.lock(m)
+                while a.load(gate) == 0:
+                    a.cond_wait(cv, m)
+                a.unlock(m)
+                done.append(i)
+
+            ts = [api.spawn(waiter, i) for i in range(4)]
+            api.sleep(10)
+            api.lock(m)
+            api.store(gate, 1)
+            api.cond_broadcast(cv)
+            api.unlock(m)
+            for t in ts:
+                api.join(t)
+            return sorted(done)
+
+        result, _ = run_program(prog)
+        assert result == [0, 1, 2, 3]
+
+    def test_signal_without_waiters_is_lost(self):
+        def prog(api):
+            cv, m = api.condvar(), api.mutex()
+            api.cond_signal(cv)  # lost
+            api.lock(m)
+            api.cond_wait(cv, m)  # blocks forever
+
+        with pytest.raises(DeadlockError):
+            run_program(prog)
+
+
+class TestSemaphore:
+    def test_counting(self):
+        def prog(api):
+            sem = api.semaphore(2)
+            order = []
+
+            def worker(a, i):
+                a.sem_wait(sem)
+                order.append(("in", i))
+                a.sleep(2)
+                order.append(("out", i))
+                a.sem_post(sem)
+
+            ts = [api.spawn(worker, i) for i in range(4)]
+            for t in ts:
+                api.join(t)
+            # Never more than 2 inside simultaneously.
+            inside = 0
+            peak = 0
+            for what, _ in order:
+                inside += 1 if what == "in" else -1
+                peak = max(peak, inside)
+            return peak
+
+        result, _ = run_program(prog)
+        assert result == 2
+
+    def test_wait_blocks_until_post(self):
+        def prog(api):
+            sem = api.semaphore(0)
+            log = []
+
+            def waiter(a):
+                a.sem_wait(sem)
+                log.append("woke")
+
+            t = api.spawn(waiter)
+            api.sleep(5)
+            log.append("posting")
+            api.sem_post(sem)
+            api.join(t)
+            return log
+
+        result, _ = run_program(prog)
+        assert result == ["posting", "woke"]
+
+    def test_negative_initial_rejected(self):
+        def prog(api):
+            api.semaphore(-1)
+
+        with pytest.raises(ValueError):
+            run_program(prog)
+
+
+class TestBarrier:
+    def test_all_threads_rendezvous(self):
+        def prog(api):
+            bar = api.barrier(3)
+            log = []
+
+            def worker(a, i):
+                log.append(("before", i))
+                a.barrier_wait(bar)
+                log.append(("after", i))
+
+            ts = [api.spawn(worker, i) for i in range(3)]
+            for t in ts:
+                api.join(t)
+            befores = [e for e in log if e[0] == "before"]
+            afters = [e for e in log if e[0] == "after"]
+            # All 'before' entries precede all 'after' entries.
+            return log.index(afters[0]) > max(log.index(b) for b in befores)
+
+        result, _ = run_program(prog)
+        assert result is True
+
+    def test_exactly_one_releaser(self):
+        def prog(api):
+            bar = api.barrier(3)
+            flags = []
+
+            def worker(a):
+                flags.append(a.barrier_wait(bar))
+
+            ts = [api.spawn(worker) for _ in range(3)]
+            for t in ts:
+                api.join(t)
+            return flags
+
+        result, _ = run_program(prog)
+        assert sorted(result) == [False, False, True]
+
+    def test_barrier_is_cyclic(self):
+        def prog(api):
+            bar = api.barrier(2)
+            counter = api.malloc(1)
+            api.store(counter, 0)
+
+            def worker(a):
+                for _ in range(3):
+                    a.barrier_wait(bar)
+
+            t = api.spawn(worker)
+            for _ in range(3):
+                api.barrier_wait(bar)
+            api.join(t)
+            return True
+
+        result, _ = run_program(prog)
+        assert result
+
+    def test_missing_party_deadlocks(self):
+        def prog(api):
+            bar = api.barrier(2)
+            api.barrier_wait(bar)
+
+        with pytest.raises(DeadlockError):
+            run_program(prog)
+
+
+class TestQueue:
+    def test_fifo_ordering(self):
+        def prog(api):
+            q = api.queue()
+            got = []
+
+            def consumer(a):
+                for _ in range(5):
+                    got.append(a.get(q))
+
+            t = api.spawn(consumer)
+            for i in range(5):
+                api.put(q, i)
+            api.join(t)
+            return got
+
+        result, _ = run_program(prog)
+        assert result == [0, 1, 2, 3, 4]
+
+    def test_bounded_put_blocks(self):
+        def prog(api):
+            q = api.queue(maxsize=1)
+            log = []
+
+            def producer(a):
+                for i in range(3):
+                    a.put(q, i)
+                    log.append(("put", i))
+
+            t = api.spawn(producer)
+            api.sleep(20)  # producer must be stuck after one item
+            stuck_after = list(log)
+            while len(log) < 3 or True:
+                item = api.get(q)
+                log.append(("got", item))
+                if item == 2:
+                    break
+            api.join(t)
+            return stuck_after
+
+        result, _ = run_program(prog)
+        assert result == [("put", 0)]
+
+    def test_msg_ids_pair_put_and_get(self):
+        from repro.runtime.events import QueueGet, QueuePut
+
+        def prog(api):
+            q = api.queue()
+
+            def consumer(a):
+                a.get(q)
+                a.get(q)
+
+            t = api.spawn(consumer)
+            api.put(q, "x")
+            api.put(q, "y")
+            api.join(t)
+
+        events, _ = record_trace(prog)
+        puts = {e.msg_id for e in events if isinstance(e, QueuePut)}
+        gets = {e.msg_id for e in events if isinstance(e, QueueGet)}
+        assert puts == gets == {0, 1}
+
+    def test_multiple_consumers_each_message_once(self):
+        def prog(api):
+            q = api.queue()
+            got = []
+
+            def consumer(a):
+                while True:
+                    item = a.get(q)
+                    if item is None:
+                        break
+                    got.append(item)
+
+            ts = [api.spawn(consumer) for _ in range(3)]
+            for i in range(12):
+                api.put(q, i)
+            for _ in ts:
+                api.put(q, None)
+            for t in ts:
+                api.join(t)
+            return sorted(got)
+
+        result, _ = run_program(prog, scheduler=RandomScheduler(11))
+        assert result == list(range(12))

@@ -1,0 +1,164 @@
+"""Tests for the SIP transaction state machines and object hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sip.transaction import (
+    INVITE_TRANSACTION,
+    NON_INVITE_TRANSACTION,
+    OWNED_PARTS,
+    PART_CLASSES,
+    REGISTRATION_BINDING,
+    TransactionContext,
+    TransactionError,
+    TransactionState as S,
+    build_transaction_classes,
+    invite_event,
+    non_invite_event,
+    transaction_class_for,
+)
+
+
+class TestInviteMachine:
+    def test_happy_path(self):
+        state = S.TRYING
+        state, status = invite_event(state, "invite")
+        assert (state, status) == (S.PROCEEDING, 100)
+        state, status = invite_event(state, "provisional")
+        assert (state, status) == (S.PROCEEDING, 180)
+        state, status = invite_event(state, "final")
+        assert (state, status) == (S.COMPLETED, 200)
+        state, status = invite_event(state, "ack")
+        assert (state, status) == (S.CONFIRMED, None)
+        state, status = invite_event(state, "bye")
+        assert state is S.TERMINATED
+
+    def test_retransmission_resends(self):
+        state, status = invite_event(S.PROCEEDING, "retransmit")
+        assert (state, status) == (S.PROCEEDING, 100)
+        state, status = invite_event(S.COMPLETED, "retransmit")
+        assert (state, status) == (S.COMPLETED, 200)
+
+    def test_cancel(self):
+        state, status = invite_event(S.PROCEEDING, "cancel")
+        assert (state, status) == (S.COMPLETED, 487)
+
+    def test_timeouts(self):
+        assert invite_event(S.PROCEEDING, "timeout") == (S.TERMINATED, 408)
+        assert invite_event(S.COMPLETED, "timeout") == (S.TERMINATED, None)
+        assert invite_event(S.CONFIRMED, "timeout") == (S.TERMINATED, None)
+
+    def test_duplicate_ack_absorbed(self):
+        assert invite_event(S.CONFIRMED, "ack") == (S.CONFIRMED, None)
+
+    @pytest.mark.parametrize(
+        "state, event",
+        [
+            (S.TRYING, "ack"),
+            (S.PROCEEDING, "ack"),
+            (S.COMPLETED, "invite"),
+            (S.CONFIRMED, "final"),
+            (S.TERMINATED, "invite"),
+        ],
+    )
+    def test_protocol_violations_raise(self, state, event):
+        with pytest.raises(TransactionError):
+            invite_event(state, event)
+
+
+class TestNonInviteMachine:
+    def test_happy_path(self):
+        state, status = non_invite_event(S.TRYING, "request")
+        assert (state, status) == (S.PROCEEDING, None)
+        state, status = non_invite_event(state, "final")
+        assert (state, status) == (S.COMPLETED, 200)
+
+    def test_retransmissions(self):
+        assert non_invite_event(S.PROCEEDING, "retransmit") == (S.PROCEEDING, None)
+        assert non_invite_event(S.COMPLETED, "retransmit") == (S.COMPLETED, 200)
+
+    def test_timeout(self):
+        assert non_invite_event(S.PROCEEDING, "timeout") == (S.TERMINATED, 408)
+
+    def test_violations_raise(self):
+        with pytest.raises(TransactionError):
+            non_invite_event(S.TRYING, "final")
+        with pytest.raises(TransactionError):
+            non_invite_event(S.TERMINATED, "request")
+
+
+class TestHierarchy:
+    def test_three_level_transaction_chain(self):
+        names = [c.name for c in INVITE_TRANSACTION.mro()]
+        assert names == ["PoolObject", "SipTransaction", "InviteTransaction"]
+        names = [c.name for c in NON_INVITE_TRANSACTION.mro()]
+        assert names == ["PoolObject", "SipTransaction", "NonInviteTransaction"]
+
+    def test_binding_chain(self):
+        names = [c.name for c in REGISTRATION_BINDING.mro()]
+        assert names == ["LocationRecord", "AorRecord", "RegistrationBinding"]
+
+    def test_owned_parts_are_derived_classes(self):
+        """Every owned part must be derived (the §4.2.1 precondition)."""
+        for field in OWNED_PARTS:
+            cls = PART_CLASSES[field]
+            assert cls.is_derived(), cls.name
+            assert len(cls.mro()) == 3, cls.name
+
+    def test_owned_part_fields_exist_on_transaction(self):
+        for field in OWNED_PARTS:
+            INVITE_TRANSACTION.field_offset(field)  # no KeyError
+
+    def test_class_for_method(self):
+        assert transaction_class_for("INVITE").name == "InviteTransaction"
+        assert transaction_class_for("REGISTER").name == "NonInviteTransaction"
+        assert transaction_class_for("OPTIONS").name == "NonInviteTransaction"
+
+    def test_custom_class_table(self):
+        classes = build_transaction_classes(
+            TransactionContext(allocator=None, annotate=True)
+        )
+        assert transaction_class_for("INVITE", classes) is classes["INVITE"]
+        assert set(classes) == {"INVITE", "default", "binding"}
+
+    def test_contexts_produce_independent_classes(self):
+        a = build_transaction_classes(TransactionContext(allocator=None, annotate=False))
+        b = build_transaction_classes(TransactionContext(allocator=None, annotate=True))
+        assert a["INVITE"] is not b["INVITE"]
+
+
+class TestDtorCascade:
+    def test_transaction_dtor_deletes_parts_and_nulls_fields(self):
+        from repro.cxx import CxxAllocator, delete_object, new_object
+        from repro.cxx.allocator import AllocStrategy
+        from repro.runtime import VM
+        from repro.runtime.events import ClientRequest
+        from repro.runtime.trace import TraceRecorder
+
+        recorder = TraceRecorder()
+
+        def prog(api):
+            alloc = CxxAllocator(api, strategy=AllocStrategy.FORCE_NEW)
+            classes = build_transaction_classes(
+                TransactionContext(allocator=alloc, annotate=True)
+            )
+            parts = {
+                f: new_object(api, PART_CLASSES[f], alloc) for f in OWNED_PARTS
+            }
+            init = {"key": 0, "state": "trying", "cseq": 1, "events": 0,
+                    "branch": "", "refs": 0, "zombie": 0}
+            init.update(parts)
+            txn = new_object(api, classes["INVITE"], alloc, init=init)
+            delete_object(api, txn, alloc, annotate=True)
+            return alloc.stats()
+
+        vm = VM(detectors=(recorder,))
+        stats = vm.run(prog)
+        # Every part was really deleted: all direct allocations freed.
+        assert not vm.memory.live_blocks()
+        # One HG_DESTRUCT per delete site: the txn + each owned part.
+        requests = [e for e in recorder.events if isinstance(e, ClientRequest)]
+        assert len([r for r in requests if r.request == "hg_destruct"]) == 1 + len(
+            OWNED_PARTS
+        )

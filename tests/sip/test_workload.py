@@ -1,0 +1,127 @@
+"""Tests for the SIPp-style workload generator."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.sip.parser import parse_message
+from repro.sip.workload import TestCase, _Builder, scenario_calls, evaluation_cases
+
+
+class TestBuilders:
+    def test_call_scenario_order(self):
+        b = _Builder(1)
+        s = b.call(with_info=True)
+        methods = [m.method for m in s.messages]
+        assert methods == ["INVITE", "ACK", "INFO", "BYE"]
+
+    def test_cancelled_call(self):
+        b = _Builder(1)
+        s = b.call(cancelled=True)
+        assert [m.method for m in s.messages] == ["INVITE", "CANCEL"]
+
+    def test_retransmit_duplicates_invite(self):
+        b = _Builder(1)
+        s = b.call(retransmit=True)
+        assert [m.method for m in s.messages][:2] == ["INVITE", "INVITE"]
+
+    def test_register_renewal_bumps_cseq(self):
+        b = _Builder(1)
+        s = b.register(renew=True)
+        assert [m.method for m in s.messages] == ["REGISTER", "REGISTER"]
+        assert [m.cseq[0] for m in s.messages] == [1, 2]
+
+    def test_presence_pairs_subscribe_notify(self):
+        b = _Builder(1)
+        s = b.presence()
+        assert [m.method for m in s.messages] == ["SUBSCRIBE", "NOTIFY"]
+        assert len({m.call_id for m in s.messages}) == 1
+
+    def test_unique_call_ids(self):
+        b = _Builder(1)
+        ids = {b.call().call_id for _ in range(50)}
+        assert len(ids) == 50
+
+
+class TestWeave:
+    def test_preserves_dialog_order(self):
+        wires = scenario_calls(seed=5, n_calls=8)
+        position: dict[str, list[str]] = {}
+        for wire in wires:
+            msg = parse_message(wire)
+            position.setdefault(msg.call_id, []).append(msg.method)
+        for methods in position.values():
+            assert methods == ["INVITE", "ACK", "BYE"]
+
+    def test_interleaves_dialogs(self):
+        """At least two dialogs overlap in the arrival stream."""
+        wires = scenario_calls(seed=5, n_calls=8)
+        call_ids = [parse_message(w).call_id for w in wires]
+        # If dialogs never interleaved, the stream would be sorted in
+        # contiguous blocks of 3.
+        blocks = [call_ids[i : i + 3] for i in range(0, len(call_ids), 3)]
+        assert any(len(set(b)) > 1 for b in blocks)
+
+    def test_deterministic_per_seed(self):
+        assert scenario_calls(seed=9, n_calls=4) == scenario_calls(seed=9, n_calls=4)
+        assert scenario_calls(seed=9, n_calls=4) != scenario_calls(seed=10, n_calls=4)
+
+
+class TestTestCases:
+    def test_eight_cases_t1_to_t8(self):
+        cases = evaluation_cases()
+        assert [c.case_id for c in cases] == [f"T{i}" for i in range(1, 9)]
+
+    def test_all_wires_parse(self):
+        for case in evaluation_cases():
+            for wire in case.wires:
+                parse_message(wire)  # raises on malformed output
+
+    def test_deterministic(self):
+        a = evaluation_cases(seed=7)
+        b = evaluation_cases(seed=7)
+        assert [c.wires for c in a] == [c.wires for c in b]
+
+    def test_cases_have_distinct_profiles(self):
+        profiles = []
+        for case in evaluation_cases():
+            mix = Counter(parse_message(w).method for w in case.wires)
+            profiles.append((case.case_id, tuple(sorted(mix.items()))))
+        assert len({p for _, p in profiles}) == len(profiles)
+
+    def test_volumes_reasonable(self):
+        for case in evaluation_cases():
+            assert 5 <= case.message_count <= 80, case
+
+    def test_t5_contains_retransmissions(self):
+        t5 = evaluation_cases()[4]
+        per_dialog = Counter()
+        for wire in t5.wires:
+            msg = parse_message(wire)
+            per_dialog[(msg.call_id, msg.method)] += 1
+        assert any(
+            count > 1 for (cid, m), count in per_dialog.items() if m == "INVITE"
+        )
+
+    def test_repr(self):
+        case = evaluation_cases()[0]
+        assert "T1" in repr(case)
+
+
+class TestAbandonedCalls:
+    def test_abandoned_call_is_invite_only(self):
+        b = _Builder(4)
+        s = b.abandoned_call()
+        assert [m.method for m in s.messages] == ["INVITE"]
+
+    def test_abandoned_calls_have_unique_ids(self):
+        b = _Builder(4)
+        ids = {b.abandoned_call().call_id for _ in range(10)}
+        assert len(ids) == 10
+
+    def test_weaves_with_normal_traffic(self):
+        b = _Builder(4)
+        wires = b.weave([b.abandoned_call(), b.call()])
+        methods = [parse_message(w).method for w in wires]
+        assert methods.count("INVITE") == 2
+        assert methods.count("BYE") == 1

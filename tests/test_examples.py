@@ -1,0 +1,55 @@
+"""Every example script must run cleanly end to end.
+
+Run as subprocesses so the examples are exercised exactly the way a
+user runs them (fresh interpreter, ``__main__`` guard, assertions on)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 3, "the repo promises at least three examples"
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script: Path):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert proc.stdout.strip(), "examples must narrate what they show"
+
+
+def test_quickstart_output_shape():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert "Possible data race" in proc.stdout
+    assert "sloppy_worker" in proc.stdout
+
+
+def test_stringtest_shows_both_models():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "stringtest.py")],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert "_M_grab" in proc.stdout
+    assert "warnings: 0" in proc.stdout

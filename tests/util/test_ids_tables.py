@@ -1,0 +1,64 @@
+"""Tests for id allocation and table formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._util.ids import IdAllocator
+from repro._util.tables import format_table
+
+
+class TestIdAllocator:
+    def test_consecutive_from_zero(self):
+        ids = IdAllocator()
+        assert [ids.next() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_custom_start(self):
+        ids = IdAllocator(100)
+        assert ids.next() == 100
+
+    def test_peek_does_not_consume(self):
+        ids = IdAllocator()
+        assert ids.peek() == 0
+        assert ids.peek() == 0
+        assert ids.next() == 0
+        assert ids.peek() == 1
+
+    def test_reset(self):
+        ids = IdAllocator()
+        ids.next()
+        ids.next()
+        ids.reset()
+        assert ids.next() == 0
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(["case", "n"], [["T1", 483], ["T2", 319]])
+        lines = out.splitlines()
+        assert lines[0].split() == ["case", "n"]
+        assert lines[2].split() == ["T1", "483"]
+        assert lines[3].split() == ["T2", "319"]
+
+    def test_numeric_columns_right_aligned(self):
+        out = format_table(["case", "count"], [["T1", 5], ["T10", 12345]])
+        rows = out.splitlines()[2:]
+        # Right alignment: the short number ends at the same column as the long one.
+        assert rows[0].rstrip().endswith("5")
+        assert len(rows[0].rstrip()) == len(rows[1].rstrip())
+
+    def test_title_is_first_line(self):
+        out = format_table(["a"], [["x"]], title="Figure 6")
+        assert out.splitlines()[0] == "Figure 6"
+
+    def test_float_formatting(self):
+        out = format_table(["a", "f"], [["x", 0.123456]])
+        assert "0.12" in out
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a", "b"], [])
+        assert len(out.splitlines()) == 2

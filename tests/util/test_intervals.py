@@ -1,0 +1,108 @@
+"""Tests for interval containers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro._util.intervals import IntervalMap, IntervalSet
+
+
+class TestIntervalMap:
+    def test_lookup_hit_and_miss(self):
+        m = IntervalMap()
+        m.add(10, 20, "a")
+        assert m.lookup(10) == "a"
+        assert m.lookup(19) == "a"
+        assert m.lookup(20) is None
+        assert m.lookup(9) is None
+
+    def test_newest_wins_on_overlap(self):
+        m = IntervalMap()
+        m.add(0, 100, "old")
+        m.add(50, 60, "new")
+        assert m.lookup(55) == "new"
+        assert m.lookup(10) == "old"
+
+    def test_lookup_all_newest_first(self):
+        m = IntervalMap()
+        m.add(0, 10, "a")
+        m.add(0, 10, "b")
+        assert m.lookup_all(5) == ["b", "a"]
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalMap().add(5, 5, "x")
+
+    def test_len_and_iter(self):
+        m = IntervalMap()
+        m.add(0, 1, "x")
+        m.add(2, 3, "y")
+        assert len(m) == 2
+        assert list(m) == [(0, 1, "x"), (2, 3, "y")]
+
+
+class TestIntervalSet:
+    def test_contains(self):
+        s = IntervalSet()
+        s.add(10, 20)
+        assert 10 in s
+        assert 19 in s
+        assert 20 not in s
+        assert 9 not in s
+
+    def test_disjoint_intervals(self):
+        s = IntervalSet()
+        s.add(0, 5)
+        s.add(10, 15)
+        assert len(s) == 2
+        assert 3 in s and 12 in s and 7 not in s
+
+    def test_merge_overlapping(self):
+        s = IntervalSet()
+        s.add(0, 10)
+        s.add(5, 15)
+        assert len(s) == 1
+        assert list(s) == [(0, 15)]
+
+    def test_merge_touching(self):
+        s = IntervalSet()
+        s.add(0, 10)
+        s.add(10, 20)
+        assert len(s) == 1
+        assert list(s) == [(0, 20)]
+
+    def test_merge_spanning_several(self):
+        s = IntervalSet()
+        s.add(0, 2)
+        s.add(4, 6)
+        s.add(8, 10)
+        s.add(1, 9)
+        assert list(s) == [(0, 10)]
+
+    def test_total_words(self):
+        s = IntervalSet()
+        s.add(0, 5)
+        s.add(10, 12)
+        assert s.total_words == 7
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalSet().add(3, 3)
+
+
+@given(st.lists(st.tuples(st.integers(0, 200), st.integers(1, 20)), max_size=30))
+def test_property_intervalset_matches_naive(pairs):
+    """IntervalSet membership agrees with a naive set of integers."""
+    s = IntervalSet()
+    naive: set[int] = set()
+    for start, length in pairs:
+        s.add(start, start + length)
+        naive.update(range(start, start + length))
+    for x in range(0, 230):
+        assert (x in s) == (x in naive)
+    # Internal representation stays disjoint and sorted.
+    spans = list(s)
+    for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+        assert e1 < s2
+    assert s.total_words == len(naive)
