@@ -1,0 +1,80 @@
+"""E7 (fast path) — events/second through the analysis hot path.
+
+The paper's §4.5 slowdown has three layers in our reproduction: the VM's
+trap/emit machinery, the detector dispatch, and the per-access lock-set
+work.  The analysis fast path (interned lock-sets, ExeContext-style
+stack interning, dispatch-table event routing) attacks the last two, so
+the metric to watch is *events per second* per analysis tier — and the
+*multiple* a detector costs on top of the bare VM, which §4.5 reports as
+~2.5-3× for Valgrind/Helgrind.
+
+``BENCH_fastpath.json`` at the repository root records the before/after
+snapshot of these rates for the fast-path PR, so later PRs have a
+trajectory to compare against.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.experiments.performance import measure_event_throughput
+
+#: The §4.5 analysis multiple we hold the fast path to: VM+detector may
+#: cost at most this many times the VM-only tier on the same workload.
+#: (Valgrind's own figure is ~2.5-3×; we allow headroom for the pure-
+#: Python substrate and CI noise.)
+MAX_ANALYSIS_MULTIPLE = 6.0
+
+
+def _fmt(rates: dict[str, dict[str, float]]) -> str:
+    lines = ["Event throughput (events/sec through VM.emit):"]
+    for name, row in rates.items():
+        multiple = row.get("multiple_vs_vm", 1.0)
+        lines.append(
+            f"  {name:18s} {row['events_per_sec']:10.0f} ev/s  "
+            f"({int(row['events'])} events, {multiple:.2f}x VM-only)"
+        )
+    return "\n".join(lines)
+
+
+def test_bench_event_throughput(benchmark):
+    rates = benchmark.pedantic(
+        lambda: measure_event_throughput(n_threads=4, iterations=200, repeats=2),
+        rounds=1,
+        iterations=1,
+    )
+    assert rates["vm-only"]["events_per_sec"] > 0
+    # The fast path keeps the analysis multiple bounded: every detector
+    # tier stays within MAX_ANALYSIS_MULTIPLE of the bare VM.
+    for name, row in rates.items():
+        if name == "vm-only":
+            continue
+        assert row["multiple_vs_vm"] <= MAX_ANALYSIS_MULTIPLE, (
+            name,
+            row["multiple_vs_vm"],
+        )
+    # HWLC+DR must not be meaningfully slower than the original config —
+    # the corrected bus-lock model is a different lockset id, not more
+    # work per access.
+    assert (
+        rates["helgrind-hwlc+dr"]["multiple_vs_vm"]
+        <= rates["helgrind-orig"]["multiple_vs_vm"] * 1.5
+    )
+    report(_fmt(rates))
+
+
+def test_bench_event_throughput_single_threaded(benchmark):
+    """Single-threaded tier: no carrier hand-offs dilute the measurement,
+    so this is the purest view of the per-event fast path."""
+    rates = benchmark.pedantic(
+        lambda: measure_event_throughput(
+            n_threads=1,
+            iterations=600,
+            repeats=3,
+            tiers=("vm-only", "helgrind-hwlc+dr"),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert rates["helgrind-hwlc+dr"]["multiple_vs_vm"] <= MAX_ANALYSIS_MULTIPLE
+    report("Single-threaded " + _fmt(rates))

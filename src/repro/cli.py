@@ -52,6 +52,12 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("thread-per-request", "thread-pool"),
         default="thread-per-request",
     )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the 24 independent cells (1 = sequential)",
+    )
     p.set_defaults(handler=_cmd_figure6)
 
     p = sub.add_parser("case", help="run one test case under one configuration")
@@ -79,6 +85,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "report", help="regenerate the full experiment record (EXPERIMENTS.md data)"
     )
     p.add_argument("--seed", type=int, default=42)
+    p.add_argument(
+        "--workers", type=int, default=1, help="worker processes for the Figure 6 sweep"
+    )
     p.set_defaults(handler=_cmd_report)
 
     p = sub.add_parser("suppress", help="triage a case and emit suppressions")
@@ -103,7 +112,7 @@ def _cmd_figure6(args) -> int:
     )
     from repro.experiments.harness import run_figure6
 
-    rows = run_figure6(seed=args.seed, mode=args.mode)
+    rows = run_figure6(seed=args.seed, mode=args.mode, workers=args.workers)
     print(figure6_table(rows))
     print()
     print(figure5_decomposition(rows))
@@ -203,7 +212,7 @@ def _cmd_report(args) -> int:
         false_negative_study,
     )
 
-    rows = run_figure6(seed=args.seed)
+    rows = run_figure6(seed=args.seed, workers=args.workers)
     print(figure6_table(rows))
     print()
     print(figure5_decomposition(rows))

@@ -26,6 +26,7 @@ from repro.detectors.classify import (
     classify_report,
 )
 from repro.detectors.deadlock import LockGraphDetector
+from repro.detectors.dispatch import EventDispatcher, combine_handlers, handles
 from repro.detectors.djit import DjitDetector
 from repro.detectors.highlevel import HighLevelRaceDetector, ViewInconsistency
 from repro.detectors.helgrind import (
@@ -49,6 +50,9 @@ __all__ = [
     "ClassifiedReport",
     "ClassifiedWarning",
     "DjitDetector",
+    "EventDispatcher",
+    "combine_handlers",
+    "handles",
     "HelgrindConfig",
     "HelgrindDetector",
     "HighLevelRaceDetector",

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.detectors.dispatch import EventDispatcher
 from repro.detectors.helgrind import HelgrindConfig, HelgrindDetector
 from repro.detectors.report import Report, Warning_
 from repro.runtime.events import (
@@ -59,7 +60,7 @@ class _Region:
     violated: bool = False
 
 
-class AtomizerDetector:
+class AtomizerDetector(EventDispatcher):
     """Reduction-based atomicity checker (register on a VM or replay).
 
     Only code inside ``api.atomic_region(...)`` blocks is checked;
@@ -76,36 +77,61 @@ class AtomizerDetector:
         #: tid -> stack of open regions (outermost first).
         self._regions: dict[int, list[_Region]] = {}
         self.regions_checked = 0
+        #: Per-instance route cache (event type -> composed handler).
+        self._routes: dict[type, object] = {}
 
     # ------------------------------------------------------------------
 
-    def handle(self, event: Event, vm) -> None:
-        if isinstance(event, ClientRequest):
-            if event.request == "atomic_begin":
-                self._regions.setdefault(event.tid, []).append(
-                    _Region(stack=event.stack)
-                )
-                self.regions_checked += 1
-                return
-            if event.request == "atomic_end":
-                open_regions = self._regions.get(event.tid)
-                if open_regions:
-                    open_regions.pop()
-                return
+    def handler_for(self, event_type):
+        """Dispatch-table ABI.  The four event types Lipton reduction
+        classifies get a pre-oracle phase; everything else the oracle
+        subscribes to streams straight through.  The classification
+        always runs *before* the oracle mutates its shadow state."""
+        try:
+            return self._routes[event_type]
+        except KeyError:
+            pass
+        own = {
+            ClientRequest: self._on_client_request,
+            LockAcquire: self._on_lock_acquire,
+            LockRelease: self._on_lock_release,
+            MemoryAccess: self._on_access,
+        }.get(event_type)
+        fn = own if own is not None else self._oracle.handler_for(event_type)
+        self._routes[event_type] = fn
+        return fn
 
-        # Classify the event for every open region of the acting thread
-        # *before* the oracle mutates its shadow state for this access.
+    def _on_client_request(self, event: ClientRequest, vm) -> None:
+        if event.request == "atomic_begin":
+            self._regions.setdefault(event.tid, []).append(_Region(stack=event.stack))
+            self.regions_checked += 1
+            return
+        if event.request == "atomic_end":
+            open_regions = self._regions.get(event.tid)
+            if open_regions:
+                open_regions.pop()
+            return
+        self._oracle._on_client_request(event, vm)
+
+    def _on_lock_acquire(self, event: LockAcquire, vm) -> None:
         open_regions = self._regions.get(event.tid)
         if open_regions:
-            if isinstance(event, LockAcquire):
-                self._apply(event, open_regions, mover="right")
-            elif isinstance(event, LockRelease):
-                self._apply(event, open_regions, mover="left")
-            elif isinstance(event, MemoryAccess):
-                mover = "both" if self._protected(event) else "non"
-                self._apply(event, open_regions, mover=mover)
+            self._apply(event, open_regions, mover="right")
+        self._oracle._on_lock_acquire(event, vm)
 
-        self._oracle.handle(event, vm)
+    def _on_lock_release(self, event: LockRelease, vm) -> None:
+        open_regions = self._regions.get(event.tid)
+        if open_regions:
+            self._apply(event, open_regions, mover="left")
+        self._oracle._on_lock_release(event, vm)
+
+    def _on_access(self, event: MemoryAccess, vm) -> None:
+        # Classify *before* the oracle mutates its shadow state.
+        open_regions = self._regions.get(event.tid)
+        if open_regions:
+            mover = "both" if self._protected(event) else "non"
+            self._apply(event, open_regions, mover=mover)
+        self._oracle._on_access(event, vm)
 
     # ------------------------------------------------------------------
 

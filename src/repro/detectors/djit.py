@@ -28,8 +28,10 @@ reported.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
+from repro.detectors.dispatch import EventDispatcher, handles
 from repro.detectors.report import Report, Warning_, WarningKind
 from repro.detectors.vectorclock import VectorClock
 from repro.runtime.events import (
@@ -37,7 +39,6 @@ from repro.runtime.events import (
     ClientRequest,
     CondSignal,
     CondWait,
-    Event,
     LockAcquire,
     LockRelease,
     MemAlloc,
@@ -70,8 +71,13 @@ class _LocationLog:
     reported: bool = False
 
 
-class DjitDetector:
-    """Vector-clock happens-before detector (register on a VM or replay)."""
+class DjitDetector(EventDispatcher):
+    """Vector-clock happens-before detector (register on a VM or replay).
+
+    Uses the dispatch-table ABI (:mod:`repro.detectors.dispatch`): the
+    VM routes each event type straight to its handler, and condvar
+    events are not subscribed at all when ``cond_hb`` is off.
+    """
 
     def __init__(self, *, cond_hb: bool = True, atomic_aware: bool = True) -> None:
         self.report = Report()
@@ -85,7 +91,8 @@ class DjitDetector:
         self._clocks: dict[int, VectorClock] = {}
         self._lock_vc: dict[int, VectorClock] = {}
         self._queue_vc: dict[tuple[int, int], VectorClock] = {}
-        self._sem_vc: dict[int, list[VectorClock]] = {}
+        #: FIFO of post clocks per semaphore (deque: O(1) ``popleft``).
+        self._sem_vc: dict[int, deque[VectorClock]] = {}
         self._cond_vc: dict[int, VectorClock] = {}
         #: (barrier_id, generation) -> join of all arrival clocks.
         self._barrier_vc: dict[tuple[int, int], VectorClock] = {}
@@ -119,66 +126,96 @@ class DjitDetector:
 
     # ------------------------------------------------------------------
 
-    def handle(self, event: Event, vm) -> None:
-        if isinstance(event, MemoryAccess):
-            self._on_access(event, vm)
-        elif isinstance(event, LockRelease):
-            self._release_into(self._lock_vc, event.lock_id, event.tid)
-        elif isinstance(event, LockAcquire):
-            self._acquire_from(self._lock_vc, event.lock_id, event.tid)
-        elif isinstance(event, ThreadCreate):
-            parent = self._clock(event.tid)
-            child = self._clock(event.child_tid)
-            child.join(parent)
-            parent.tick(event.tid)
-        elif isinstance(event, ThreadFinish):
-            self._final_vc[event.tid] = self._clock(event.tid).copy()
-        elif isinstance(event, ThreadJoin):
-            final = self._final_vc.get(event.joined_tid)
-            if final is not None:
-                self._clock(event.tid).join(final)
-        elif isinstance(event, QueuePut):
-            self._release_into(
-                self._queue_vc, (event.queue_id, event.msg_id), event.tid
-            )
-        elif isinstance(event, QueueGet):
-            slot = self._queue_vc.pop((event.queue_id, event.msg_id), None)
-            if slot is not None:
-                self._clock(event.tid).join(slot)
-        elif isinstance(event, SemPost):
-            vc = self._clock(event.tid)
-            self._sem_vc.setdefault(event.sem_id, []).append(vc.copy())
-            vc.tick(event.tid)
-        elif isinstance(event, SemWait):
-            tokens = self._sem_vc.get(event.sem_id)
-            if tokens:
-                self._clock(event.tid).join(tokens.pop(0))
-        elif isinstance(event, CondSignal):
-            if self.cond_hb:
-                self._release_into(self._cond_vc, event.cond_id, event.tid)
-        elif isinstance(event, CondWait):
-            if self.cond_hb and event.phase == "leave":
-                self._acquire_from(self._cond_vc, event.cond_id, event.tid)
-        elif isinstance(event, BarrierWait):
-            self._on_barrier(event)
-        elif isinstance(event, MemAlloc):
-            # Fresh allocation: prior accesses at these addresses (there
-            # are none at VM level, but replayed traces may recycle) are
-            # unrelated to the new object.
-            for a in range(event.addr, event.addr + event.size):
-                self._log.pop(a, None)
-        elif isinstance(event, MemFree):
-            for a in range(event.addr, event.addr + event.size):
-                self._log.pop(a, None)
-        elif isinstance(event, ClientRequest):
-            if event.request == "benign_race":
-                self._benign.add(event.addr, event.addr + event.size)
-            elif event.request == "hg_clean":
-                for a in range(event.addr, event.addr + event.size):
-                    self._log.pop(a, None)
-            # hg_destruct is a lock-set concept; DJIT needs no help here.
+    def handler_for(self, event_type):
+        """Dispatch-table ABI; condvar events gated on ``cond_hb``."""
+        if event_type in (CondSignal, CondWait) and not self.cond_hb:
+            return None
+        return super().handler_for(event_type)
 
-    def _on_barrier(self, event: BarrierWait) -> None:
+    @handles(LockRelease)
+    def _on_lock_release(self, event: LockRelease, vm) -> None:
+        self._release_into(self._lock_vc, event.lock_id, event.tid)
+
+    @handles(LockAcquire)
+    def _on_lock_acquire(self, event: LockAcquire, vm) -> None:
+        self._acquire_from(self._lock_vc, event.lock_id, event.tid)
+
+    @handles(ThreadCreate)
+    def _on_thread_create(self, event: ThreadCreate, vm) -> None:
+        parent = self._clock(event.tid)
+        child = self._clock(event.child_tid)
+        child.join(parent)
+        parent.tick(event.tid)
+
+    @handles(ThreadFinish)
+    def _on_thread_finish(self, event: ThreadFinish, vm) -> None:
+        self._final_vc[event.tid] = self._clock(event.tid).copy()
+
+    @handles(ThreadJoin)
+    def _on_thread_join(self, event: ThreadJoin, vm) -> None:
+        final = self._final_vc.get(event.joined_tid)
+        if final is not None:
+            self._clock(event.tid).join(final)
+
+    @handles(QueuePut)
+    def _on_queue_put(self, event: QueuePut, vm) -> None:
+        self._release_into(self._queue_vc, (event.queue_id, event.msg_id), event.tid)
+
+    @handles(QueueGet)
+    def _on_queue_get(self, event: QueueGet, vm) -> None:
+        slot = self._queue_vc.pop((event.queue_id, event.msg_id), None)
+        if slot is not None:
+            self._clock(event.tid).join(slot)
+
+    @handles(SemPost)
+    def _on_sem_post(self, event: SemPost, vm) -> None:
+        vc = self._clock(event.tid)
+        tokens = self._sem_vc.get(event.sem_id)
+        if tokens is None:
+            tokens = deque()
+            self._sem_vc[event.sem_id] = tokens
+        tokens.append(vc.copy())
+        vc.tick(event.tid)
+
+    @handles(SemWait)
+    def _on_sem_wait(self, event: SemWait, vm) -> None:
+        tokens = self._sem_vc.get(event.sem_id)
+        if tokens:
+            self._clock(event.tid).join(tokens.popleft())
+
+    @handles(CondSignal)
+    def _on_cond_signal(self, event: CondSignal, vm) -> None:
+        self._release_into(self._cond_vc, event.cond_id, event.tid)
+
+    @handles(CondWait)
+    def _on_cond_wait(self, event: CondWait, vm) -> None:
+        if event.phase == "leave":
+            self._acquire_from(self._cond_vc, event.cond_id, event.tid)
+
+    @handles(MemAlloc)
+    def _on_alloc(self, event: MemAlloc, vm) -> None:
+        # Fresh allocation: prior accesses at these addresses (there
+        # are none at VM level, but replayed traces may recycle) are
+        # unrelated to the new object.
+        for a in range(event.addr, event.addr + event.size):
+            self._log.pop(a, None)
+
+    @handles(MemFree)
+    def _on_free(self, event: MemFree, vm) -> None:
+        for a in range(event.addr, event.addr + event.size):
+            self._log.pop(a, None)
+
+    @handles(ClientRequest)
+    def _on_client_request(self, event: ClientRequest, vm=None) -> None:
+        if event.request == "benign_race":
+            self._benign.add(event.addr, event.addr + event.size)
+        elif event.request == "hg_clean":
+            for a in range(event.addr, event.addr + event.size):
+                self._log.pop(a, None)
+        # hg_destruct is a lock-set concept; DJIT needs no help here.
+
+    @handles(BarrierWait)
+    def _on_barrier(self, event: BarrierWait, vm=None) -> None:
         """Every arrival of a generation happens-before every departure.
 
         Arrivals publish their clock into the generation's slot and
@@ -193,6 +230,7 @@ class DjitDetector:
 
     # ------------------------------------------------------------------
 
+    @handles(MemoryAccess)
     def _on_access(self, event: MemoryAccess, vm) -> None:
         if event.addr in self._benign:
             return

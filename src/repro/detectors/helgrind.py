@@ -40,17 +40,19 @@ not generally sound to treat as ordering.)
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass, replace
 
-from repro.detectors.lockset import LocksetMachine, WordState
+from repro.detectors.dispatch import EventDispatcher, handles
+from repro.detectors.lockset import EMPTY_ID, LOCKSETS, LocksetMachine, WordState
 from repro.detectors.report import Report, Warning_, WarningKind
 from repro.detectors.segments import SegmentGraph
 from repro._util.intervals import IntervalSet
 from repro.runtime.events import (
+    AccessKind,
     ClientRequest,
     CondSignal,
     CondWait,
-    Event,
     LockAcquire,
     LockMode,
     LockRelease,
@@ -165,43 +167,88 @@ class HelgrindConfig:
 class _HeldLocks:
     """Per-thread lock holdings with precomputed effective set variants.
 
-    Rebuilding frozensets on every *lock* event (rare) keeps the per
-    *memory access* path (hot) allocation-free.
+    The canonical representation is four interned
+    :data:`~repro.detectors.lockset.LOCKSETS` ids (``*_id``) that the
+    hot path hands straight to the state machine — comparing and
+    intersecting small ints instead of sets (Eraser's own optimisation).
+    Lock acquire/release walks the ids forward through the table's
+    memoized :meth:`~repro.detectors.lockset.LocksetTable.with_lock` /
+    ``without_lock`` operations (steady state: a few dict hits, no set
+    is ever built), so the per *memory access* path (hot) is
+    allocation-free and the per *lock* path (rare) nearly so.  The
+    frozenset views (``any_``, ``write``, ...) materialise on demand
+    for report rendering and off-path callers.
     """
 
-    __slots__ = ("modes", "any_", "write", "any_bus", "write_bus")
+    __slots__ = (
+        "modes",
+        "any_id",
+        "write_id",
+        "any_bus_id",
+        "write_bus_id",
+    )
 
     def __init__(self) -> None:
         self.modes: dict[int, LockMode] = {}
-        self._rebuild()
+        self.any_id = EMPTY_ID
+        self.write_id = EMPTY_ID
+        bus_only = LOCKSETS.with_lock(EMPTY_ID, BUS_LOCK_ID)
+        self.any_bus_id = bus_only
+        self.write_bus_id = bus_only
 
     def acquire(self, lock_id: int, mode: LockMode) -> None:
+        prev = self.modes.get(lock_id)
         self.modes[lock_id] = mode
-        self._rebuild()
+        table = LOCKSETS
+        self.any_id = table.with_lock(self.any_id, lock_id)
+        if mode is LockMode.EXCLUSIVE or mode is LockMode.WRITE:
+            self.write_id = table.with_lock(self.write_id, lock_id)
+        elif prev is not None:
+            # Re-acquired in a weaker mode: drop any write-set membership.
+            self.write_id = table.without_lock(self.write_id, lock_id)
+        self.any_bus_id = table.with_lock(self.any_id, BUS_LOCK_ID)
+        self.write_bus_id = table.with_lock(self.write_id, BUS_LOCK_ID)
 
     def release(self, lock_id: int) -> None:
         self.modes.pop(lock_id, None)
-        self._rebuild()
+        table = LOCKSETS
+        self.any_id = table.without_lock(self.any_id, lock_id)
+        self.write_id = table.without_lock(self.write_id, lock_id)
+        self.any_bus_id = table.with_lock(self.any_id, BUS_LOCK_ID)
+        self.write_bus_id = table.with_lock(self.write_id, BUS_LOCK_ID)
 
-    def _rebuild(self) -> None:
-        any_ = frozenset(self.modes)
-        write = frozenset(
-            lid
-            for lid, mode in self.modes.items()
-            if mode in (LockMode.EXCLUSIVE, LockMode.WRITE)
-        )
-        self.any_ = any_
-        self.write = write
-        self.any_bus = any_ | {BUS_LOCK_ID}
-        self.write_bus = write | {BUS_LOCK_ID}
+    # Frozenset views (off the hot path: reports, tests, atomizer).
+
+    @property
+    def any_(self) -> frozenset[int]:
+        return LOCKSETS.members(self.any_id)
+
+    @property
+    def write(self) -> frozenset[int]:
+        return LOCKSETS.members(self.write_id)
+
+    @property
+    def any_bus(self) -> frozenset[int]:
+        return LOCKSETS.members(self.any_bus_id)
+
+    @property
+    def write_bus(self) -> frozenset[int]:
+        return LOCKSETS.members(self.write_bus_id)
 
 
-class HelgrindDetector:
+class HelgrindDetector(EventDispatcher):
     """On-the-fly data-race detector (register on a VM or feed a trace).
 
     After a run, results are in :attr:`report`; the candidate-set shadow
     memory and the segment graph remain inspectable for tests and
     experiments.
+
+    Events are routed through the dispatch-table ABI
+    (:mod:`repro.detectors.dispatch`): the VM calls the per-type handler
+    directly, so no ``isinstance`` cascade runs per event, and event
+    types the configuration does not subscribe to (queue/semaphore
+    tokens without ``queue_hb``, condvar tokens without ``cond_hb``,
+    ``BarrierWait`` always) are skipped before the detector is entered.
     """
 
     def __init__(self, config: HelgrindConfig | None = None, *, suppressions=None) -> None:
@@ -219,84 +266,117 @@ class HelgrindDetector:
         self._benign = IntervalSet()
         #: queue messages in flight: (queue_id, msg_id) -> clock token.
         self._queue_tokens: dict[tuple[int, int], dict[int, int]] = {}
-        #: semaphore post tokens, FIFO per semaphore.
-        self._sem_tokens: dict[int, list[dict[int, int]]] = {}
+        #: semaphore post tokens, FIFO per semaphore (a deque: ``popleft``
+        #: is O(1) where a list's ``pop(0)`` is O(n)).
+        self._sem_tokens: dict[int, deque[dict[int, int]]] = {}
         #: last signal token per condvar.
         self._cond_tokens: dict[int, dict[int, int]] = {}
         #: lock names for report rendering (learned from events lazily).
         self._access_checks = 0
 
     # ------------------------------------------------------------------
-    # VM hook
+    # VM hook (dispatch-table ABI; BarrierWait intentionally has no
+    # handler — the lock-set algorithm ignores barriers)
     # ------------------------------------------------------------------
 
-    def handle(self, event: Event, vm) -> None:
-        """Dispatch one event (the detector ABI)."""
-        if isinstance(event, MemoryAccess):
-            self._on_access(event, vm)
-        elif isinstance(event, LockAcquire):
-            self._held_for(event.tid).acquire(event.lock_id, event.mode)
-        elif isinstance(event, LockRelease):
-            self._held_for(event.tid).release(event.lock_id)
-        elif isinstance(event, MemAlloc):
-            self.machine.on_alloc(event.addr, event.size)
-        elif isinstance(event, MemFree):
-            self.machine.on_free(event.addr, event.size)
-        elif isinstance(event, ThreadCreate):
-            self.segments.on_create(event.tid, event.child_tid)
-        elif isinstance(event, ThreadFinish):
-            self.segments.on_finish(event.tid)
-        elif isinstance(event, ThreadJoin):
-            self.segments.on_join(event.tid, event.joined_tid)
-        elif isinstance(event, ClientRequest):
-            self._on_client_request(event)
-        elif isinstance(event, QueuePut):
-            if self.config.queue_hb:
-                self._queue_tokens[(event.queue_id, event.msg_id)] = self.segments.post(
-                    event.tid
-                )
-        elif isinstance(event, QueueGet):
-            if self.config.queue_hb:
-                token = self._queue_tokens.pop((event.queue_id, event.msg_id), None)
-                if token is not None:
-                    self.segments.receive(event.tid, token)
-        elif isinstance(event, SemPost):
-            if self.config.queue_hb:
-                self._sem_tokens.setdefault(event.sem_id, []).append(
-                    self.segments.post(event.tid)
-                )
-        elif isinstance(event, SemWait):
-            if self.config.queue_hb:
-                tokens = self._sem_tokens.get(event.sem_id)
-                if tokens:
-                    self.segments.receive(event.tid, tokens.pop(0))
-        elif isinstance(event, CondSignal):
-            if self.config.cond_hb:
-                self._cond_tokens[event.cond_id] = self.segments.post(event.tid)
-        elif isinstance(event, CondWait):
-            if self.config.cond_hb and event.phase == "leave":
-                token = self._cond_tokens.get(event.cond_id)
-                if token is not None:
-                    self.segments.receive(event.tid, token)
-        # BarrierWait: intentionally ignored by the lock-set algorithm.
+    def handler_for(self, event_type):
+        """Dispatch-table ABI, gated by configuration.
+
+        Queue/semaphore and condvar events are only subscribed when the
+        corresponding happens-before extension is enabled, so the common
+        configurations never even see them.
+        """
+        if event_type in (QueuePut, QueueGet, SemPost, SemWait):
+            if not self.config.queue_hb:
+                return None
+        elif event_type in (CondSignal, CondWait):
+            if not self.config.cond_hb:
+                return None
+        return super().handler_for(event_type)
+
+    @handles(LockAcquire)
+    def _on_lock_acquire(self, event: LockAcquire, vm) -> None:
+        self._held_for(event.tid).acquire(event.lock_id, event.mode)
+
+    @handles(LockRelease)
+    def _on_lock_release(self, event: LockRelease, vm) -> None:
+        self._held_for(event.tid).release(event.lock_id)
+
+    @handles(MemAlloc)
+    def _on_alloc(self, event: MemAlloc, vm) -> None:
+        self.machine.on_alloc(event.addr, event.size)
+
+    @handles(MemFree)
+    def _on_free(self, event: MemFree, vm) -> None:
+        self.machine.on_free(event.addr, event.size)
+
+    @handles(ThreadCreate)
+    def _on_thread_create(self, event: ThreadCreate, vm) -> None:
+        self.segments.on_create(event.tid, event.child_tid)
+
+    @handles(ThreadFinish)
+    def _on_thread_finish(self, event: ThreadFinish, vm) -> None:
+        self.segments.on_finish(event.tid)
+
+    @handles(ThreadJoin)
+    def _on_thread_join(self, event: ThreadJoin, vm) -> None:
+        self.segments.on_join(event.tid, event.joined_tid)
+
+    @handles(QueuePut)
+    def _on_queue_put(self, event: QueuePut, vm) -> None:
+        self._queue_tokens[(event.queue_id, event.msg_id)] = self.segments.post(
+            event.tid
+        )
+
+    @handles(QueueGet)
+    def _on_queue_get(self, event: QueueGet, vm) -> None:
+        token = self._queue_tokens.pop((event.queue_id, event.msg_id), None)
+        if token is not None:
+            self.segments.receive(event.tid, token)
+
+    @handles(SemPost)
+    def _on_sem_post(self, event: SemPost, vm) -> None:
+        tokens = self._sem_tokens.get(event.sem_id)
+        if tokens is None:
+            tokens = deque()
+            self._sem_tokens[event.sem_id] = tokens
+        tokens.append(self.segments.post(event.tid))
+
+    @handles(SemWait)
+    def _on_sem_wait(self, event: SemWait, vm) -> None:
+        tokens = self._sem_tokens.get(event.sem_id)
+        if tokens:
+            self.segments.receive(event.tid, tokens.popleft())
+
+    @handles(CondSignal)
+    def _on_cond_signal(self, event: CondSignal, vm) -> None:
+        self._cond_tokens[event.cond_id] = self.segments.post(event.tid)
+
+    @handles(CondWait)
+    def _on_cond_wait(self, event: CondWait, vm) -> None:
+        if event.phase == "leave":
+            token = self._cond_tokens.get(event.cond_id)
+            if token is not None:
+                self.segments.receive(event.tid, token)
 
     # ------------------------------------------------------------------
     # Memory accesses (the hot path)
     # ------------------------------------------------------------------
 
+    @handles(MemoryAccess)
     def _on_access(self, event: MemoryAccess, vm) -> None:
         if event.addr in self._benign:
             return
         self._access_checks += 1
         held = self._held_for(event.tid)
-        locks_any, locks_write = self._effective_sets(held, event)
+        any_id, write_id = self._effective_ids(held, event)
         machine = self.machine
         outcome = machine.access(
             event.addr,
             event.tid,
-            is_write=event.is_write,
-            locks_any=locks_any,
-            locks_write=locks_write,
+            is_write=event.kind is AccessKind.WRITE,
+            locks_any=any_id,
+            locks_write=write_id,
         )
         if outcome.race:
             self._report_race(event, outcome, vm)
@@ -322,6 +402,19 @@ class HelgrindDetector:
         if not event.is_write:
             return held.any_bus, held.write  # every plain read: read mode
         return held.any_, held.write  # plain write: not held
+
+    def _effective_ids(self, held: _HeldLocks, event: MemoryAccess) -> tuple[int, int]:
+        """Interned-id twin of :meth:`_effective_sets` (the hot path)."""
+        if self.config.bus_lock_model is BusLockModel.MUTEX:
+            if event.bus_locked:
+                return held.any_bus_id, held.write_bus_id
+            return held.any_id, held.write_id
+        # RWLOCK (the HWLC correction):
+        if event.bus_locked:
+            return held.any_bus_id, held.write_bus_id  # LOCK prefix: write mode
+        if event.kind is not AccessKind.WRITE:
+            return held.any_bus_id, held.write_id  # every plain read: read mode
+        return held.any_id, held.write_id  # plain write: not held
 
     def _report_race(self, event: MemoryAccess, outcome, vm) -> None:
         verb = "writing" if event.is_write else "reading"
@@ -361,7 +454,8 @@ class HelgrindDetector:
     # Client requests
     # ------------------------------------------------------------------
 
-    def _on_client_request(self, event: ClientRequest) -> None:
+    @handles(ClientRequest)
+    def _on_client_request(self, event: ClientRequest, vm=None) -> None:
         if event.request == "hg_destruct":
             if self.config.honor_destruct:
                 owner = (

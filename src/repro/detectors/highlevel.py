@@ -39,10 +39,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from itertools import combinations
 
+from repro.detectors.dispatch import EventDispatcher, handles
 from repro.detectors.report import Report, Warning_
 from repro.runtime.events import (
     CallStack,
-    Event,
     LockAcquire,
     LockRelease,
     MemoryAccess,
@@ -86,12 +86,13 @@ class ViewInconsistency:
         )
 
 
-class HighLevelRaceDetector:
+class HighLevelRaceDetector(EventDispatcher):
     """View-consistency checker (Artho/Havelund/Biere, cited in §2.1).
 
     Register on a VM like any detector; call :meth:`finalize` after the
     run to perform the pairwise consistency analysis and populate
-    :attr:`report`.
+    :attr:`report`.  Subscribes (dispatch-table ABI) only to memory
+    accesses and lock events.
     """
 
     def __init__(self, *, track_reads: bool = True) -> None:
@@ -107,17 +108,21 @@ class HighLevelRaceDetector:
     # Event intake
     # ------------------------------------------------------------------
 
-    def handle(self, event: Event, vm) -> None:
-        if isinstance(event, MemoryAccess):
-            if event.is_write or self.track_reads:
-                for section in self._open.get(event.tid, ()):
-                    section.addrs.add(event.addr)
-        elif isinstance(event, LockAcquire):
-            self._open.setdefault(event.tid, []).append(
-                _OpenSection(event.lock_id, stack=event.stack)
-            )
-        elif isinstance(event, LockRelease):
-            self._close_section(event.tid, event.lock_id)
+    @handles(MemoryAccess)
+    def _on_access(self, event: MemoryAccess, vm=None) -> None:
+        if event.is_write or self.track_reads:
+            for section in self._open.get(event.tid, ()):
+                section.addrs.add(event.addr)
+
+    @handles(LockAcquire)
+    def _on_lock_acquire(self, event: LockAcquire, vm=None) -> None:
+        self._open.setdefault(event.tid, []).append(
+            _OpenSection(event.lock_id, stack=event.stack)
+        )
+
+    @handles(LockRelease)
+    def _on_lock_release(self, event: LockRelease, vm=None) -> None:
+        self._close_section(event.tid, event.lock_id)
 
     def _close_section(self, tid: int, lock_id: int) -> None:
         sections = self._open.get(tid)

@@ -24,11 +24,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.detectors.dispatch import EventDispatcher, combine_handlers
 from repro.detectors.djit import DjitDetector
 from repro.detectors.helgrind import BusLockModel, HelgrindConfig, HelgrindDetector
 from repro.detectors.lockset import WordState
 from repro.detectors.report import Report, Warning_, WarningKind
-from repro.runtime.events import Event, MemoryAccess
+from repro.runtime.events import MemoryAccess
 
 __all__ = ["HybridDetector"]
 
@@ -43,7 +44,7 @@ class _LastConflict:
     reads: dict[int, tuple[int, bool]] = field(default_factory=dict)
 
 
-class HybridDetector:
+class HybridDetector(EventDispatcher):
     """Lock-set nominator + happens-before confirmer.
 
     Composes a silent :class:`HelgrindDetector` (the nominator — its own
@@ -67,22 +68,36 @@ class HybridDetector:
         self._last: dict[int, _LastConflict] = {}
         #: Nominations vetoed because the accesses were ordered.
         self.vetoed = 0
+        #: Per-instance route cache (event type -> composed handler).
+        self._routes: dict[type, object] = {}
 
-    def handle(self, event: Event, vm) -> None:
-        if isinstance(event, MemoryAccess):
-            self._on_access(event, vm)
-            return
-        # Non-access events drive both underlying engines' shadow state.
-        self._lockset.handle(event, vm)
-        self._hb.handle(event, vm)
+    def handler_for(self, event_type):
+        """Dispatch-table ABI: accesses are handled here; every other
+        event type fans out to whichever inner engines subscribe to it
+        (the composition the old ``isinstance`` gate expressed)."""
+        try:
+            return self._routes[event_type]
+        except KeyError:
+            pass
+        if event_type is MemoryAccess:
+            fn = self._on_access
+        else:
+            # Non-access events drive both engines' shadow state.
+            fn = combine_handlers(
+                self._lockset.handler_for(event_type),
+                self._hb.handler_for(event_type),
+            )
+        self._routes[event_type] = fn
+        return fn
 
     # ------------------------------------------------------------------
 
     def _on_access(self, event: MemoryAccess, vm) -> None:
         # 1. Lock-set nomination (run the machine directly so we can see
-        #    the outcome rather than the detector's report).
+        #    the outcome rather than the detector's report).  Interned
+        #    lock-set ids keep this as cheap as the plain detector.
         held = self._lockset._held_for(event.tid)
-        locks_any, locks_write = self._lockset._effective_sets(held, event)
+        locks_any, locks_write = self._lockset._effective_ids(held, event)
         outcome = self._lockset.machine.access(
             event.addr,
             event.tid,

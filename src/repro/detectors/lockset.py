@@ -23,11 +23,19 @@ bus-lock modelling (HWLC) plugs in — see
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 
 from repro.detectors.segments import SegmentGraph
 
-__all__ = ["WordState", "ShadowWord", "LocksetMachine", "LocksetOutcome"]
+__all__ = [
+    "WordState",
+    "ShadowWord",
+    "LocksetMachine",
+    "LocksetOutcome",
+    "LocksetTable",
+    "LOCKSETS",
+    "EMPTY_ID",
+    "NO_LOCKSET",
+]
 
 
 class WordState(enum.Enum):
@@ -42,42 +50,210 @@ class WordState(enum.Enum):
     RACY = "racy"
 
 
-@dataclass(slots=True)
+class LocksetTable:
+    """Interning of lock-sets as small integer ids (Eraser's "lockset
+    indexes" optimisation).
+
+    Eraser observed that a program only ever materialises a small number
+    of *distinct* lock-sets, so it represents each candidate set C(v) by
+    a small integer index into a table of sets and memoizes pairwise
+    intersections — the per-access work drops from a set intersection to
+    a dictionary lookup on a pair of ints.  We reproduce that here:
+
+    * :meth:`id_of` interns a frozenset and returns its id (stable for
+      the lifetime of the process; the empty set is always
+      :data:`EMPTY_ID` ``== 0``, so "is the candidate set empty?" is an
+      integer comparison).
+    * :meth:`intersect` intersects two ids with a symmetric memo cache,
+      computing the underlying ``frozenset &`` at most once per
+      unordered id pair.
+
+    The table is append-only and process-wide (:data:`LOCKSETS`), like
+    Valgrind's ExeContext table: guest programs hold a bounded number of
+    distinct lock combinations while the access stream is unbounded.
+    """
+
+    __slots__ = ("_sets", "_ids", "_isect", "_with", "_without")
+
+    def __init__(self) -> None:
+        empty: frozenset[int] = frozenset()
+        #: id → members, append-only.
+        self._sets: list[frozenset[int]] = [empty]
+        #: members → id.
+        self._ids: dict[frozenset[int], int] = {empty: 0}
+        #: memoized intersections keyed by (min_id, max_id).
+        self._isect: dict[tuple[int, int], int] = {}
+        #: memoized single-lock add/remove keyed by (set_id, lock_id) —
+        #: the lock acquire/release path updates held-set ids through
+        #: these without ever materialising a frozenset.
+        self._with: dict[tuple[int, int], int] = {}
+        self._without: dict[tuple[int, int], int] = {}
+
+    def id_of(self, locks) -> int:
+        """Intern ``locks`` (any iterable of lock ids) and return its id."""
+        s = locks if type(locks) is frozenset else frozenset(locks)
+        sid = self._ids.get(s)
+        if sid is None:
+            sid = len(self._sets)
+            self._sets.append(s)
+            self._ids[s] = sid
+        return sid
+
+    def members(self, sid: int) -> frozenset[int]:
+        """The frozenset a lock-set id stands for."""
+        return self._sets[sid]
+
+    def intersect(self, a: int, b: int) -> int:
+        """Id of ``members(a) & members(b)`` (memoized, symmetric)."""
+        if a == b:
+            return a
+        if a == EMPTY_ID or b == EMPTY_ID:
+            return EMPTY_ID
+        key = (a, b) if a < b else (b, a)
+        cached = self._isect.get(key)
+        if cached is None:
+            cached = self.id_of(self._sets[a] & self._sets[b])
+            self._isect[key] = cached
+        return cached
+
+    def with_lock(self, sid: int, lock_id: int) -> int:
+        """Id of ``members(sid) | {lock_id}`` (memoized).
+
+        One dict hit in the steady state — lock acquisition walks the
+        held-set id forward without building a set.
+        """
+        key = (sid, lock_id)
+        cached = self._with.get(key)
+        if cached is None:
+            members = self._sets[sid]
+            cached = sid if lock_id in members else self.id_of(members | {lock_id})
+            self._with[key] = cached
+        return cached
+
+    def without_lock(self, sid: int, lock_id: int) -> int:
+        """Id of ``members(sid) - {lock_id}`` (memoized)."""
+        key = (sid, lock_id)
+        cached = self._without.get(key)
+        if cached is None:
+            members = self._sets[sid]
+            cached = self.id_of(members - {lock_id}) if lock_id in members else sid
+            self._without[key] = cached
+        return cached
+
+    def __len__(self) -> int:
+        """Number of distinct lock-sets interned so far."""
+        return len(self._sets)
+
+    @property
+    def intersections_memoized(self) -> int:
+        """Size of the intersection memo (introspection for tests)."""
+        return len(self._isect)
+
+
+#: Id of the empty lock-set — ``lockset_id == EMPTY_ID`` ⇔ "no common lock".
+EMPTY_ID = 0
+
+#: Sentinel id for "candidate set not initialised yet" (Eraser's delayed
+#: lock-set initialisation; distinct from *empty*).
+NO_LOCKSET = -1
+
+#: The process-wide lock-set table (one per process, like ExeContexts).
+LOCKSETS = LocksetTable()
+
+
 class ShadowWord:
     """Per-word shadow state.
 
     ``owner`` is a thread-segment id while EXCLUSIVE (or a thread id
     when segment transfer is disabled — the ablated configuration).
-    ``lockset`` is the candidate set C(v); ``None`` until initialised,
-    which implements Eraser's *delayed lock-set initialisation* — the
-    root of the §4.3 false negatives.  ``last_access`` is the optional
-    conflict history ``(tid, was_write, stack)`` maintained when the
-    machine runs with ``access_history``.
+    ``lockset_id`` is the *interned id* of the candidate set C(v) in
+    :data:`LOCKSETS`; :data:`NO_LOCKSET` until initialised, which
+    implements Eraser's *delayed lock-set initialisation* — the root of
+    the §4.3 false negatives.  The :attr:`lockset` property materialises
+    the frozenset for callers off the hot path.  ``last_access`` is the
+    optional conflict history ``(tid, was_write, stack)`` maintained
+    when the machine runs with ``access_history``.
     """
 
-    state: WordState = WordState.NEW
-    owner: int = -1
-    lockset: frozenset[int] | None = None
-    last_access: tuple | None = None
-    #: The most recent access by a thread *other* than ``last_access``'s,
-    #: so a warning can always show the other side of the conflict even
-    #: when the racing thread's own accesses are the freshest.
-    last_other: tuple | None = None
+    __slots__ = ("state", "owner", "lockset_id", "last_access", "last_other")
+
+    def __init__(
+        self,
+        state: WordState = WordState.NEW,
+        owner: int = -1,
+        lockset_id: int = NO_LOCKSET,
+    ) -> None:
+        self.state = state
+        self.owner = owner
+        self.lockset_id = lockset_id
+        self.last_access: tuple | None = None
+        #: The most recent access by a thread *other* than
+        #: ``last_access``'s, so a warning can always show the other side
+        #: of the conflict even when the racing thread's own accesses are
+        #: the freshest.
+        self.last_other: tuple | None = None
+
+    @property
+    def lockset(self) -> frozenset[int] | None:
+        """The candidate set as a frozenset (``None`` = uninitialised)."""
+        sid = self.lockset_id
+        return None if sid == NO_LOCKSET else LOCKSETS.members(sid)
+
+    @lockset.setter
+    def lockset(self, value: frozenset[int] | None) -> None:
+        self.lockset_id = NO_LOCKSET if value is None else LOCKSETS.id_of(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShadowWord(state={self.state.value!r}, owner={self.owner}, "
+            f"lockset={self.lockset!r})"
+        )
 
 
-@dataclass(slots=True)
 class LocksetOutcome:
-    """Result of feeding one access through the machine."""
+    """Result of feeding one access through the machine.
 
-    #: True if this access makes the candidate set empty in a state
-    #: where Eraser reports ("issue warning").
-    race: bool
-    #: State before the access (for the "Previous state:" report line).
-    prev_state: WordState
-    #: Candidate lock-set before the access (None = uninitialised).
-    prev_lockset: frozenset[int] | None
-    #: Candidate lock-set after the access.
-    lockset: frozenset[int] | None
+    Stores interned lock-set ids; the :attr:`prev_lockset` /
+    :attr:`lockset` properties materialise frozensets lazily, so the hot
+    path (which only reads :attr:`race`) never touches a set object.
+    """
+
+    __slots__ = ("race", "prev_state", "prev_lockset_id", "lockset_id")
+
+    def __init__(
+        self,
+        race: bool,
+        prev_state: WordState,
+        prev_lockset_id: int,
+        lockset_id: int,
+    ) -> None:
+        #: True if this access makes the candidate set empty in a state
+        #: where Eraser reports ("issue warning").
+        self.race = race
+        #: State before the access (for the "Previous state:" report line).
+        self.prev_state = prev_state
+        #: Interned id of the candidate set before the access.
+        self.prev_lockset_id = prev_lockset_id
+        #: Interned id of the candidate set after the access.
+        self.lockset_id = lockset_id
+
+    @property
+    def prev_lockset(self) -> frozenset[int] | None:
+        """Candidate lock-set before the access (None = uninitialised)."""
+        sid = self.prev_lockset_id
+        return None if sid == NO_LOCKSET else LOCKSETS.members(sid)
+
+    @property
+    def lockset(self) -> frozenset[int] | None:
+        """Candidate lock-set after the access."""
+        sid = self.lockset_id
+        return None if sid == NO_LOCKSET else LOCKSETS.members(sid)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LocksetOutcome(race={self.race}, prev_state={self.prev_state.value!r}, "
+            f"prev_lockset={self.prev_lockset!r}, lockset={self.lockset!r})"
+        )
 
 
 class LocksetMachine:
@@ -150,7 +326,7 @@ class LocksetMachine:
                 self._words[a] = word
             word.state = WordState.EXCLUSIVE
             word.owner = owner
-            word.lockset = None
+            word.lockset_id = NO_LOCKSET
 
     def word(self, addr: int) -> ShadowWord:
         """The shadow word at ``addr`` (created in NEW on first touch)."""
@@ -174,84 +350,99 @@ class LocksetMachine:
         tid: int,
         *,
         is_write: bool,
-        locks_any: frozenset[int],
-        locks_write: frozenset[int],
+        locks_any,
+        locks_write,
     ) -> LocksetOutcome:
         """Feed one access through the machine.
 
         ``locks_any`` / ``locks_write`` are the *effective* lock-sets of
         the accessing thread for this access — including any virtual
-        locks the caller's hardware model injects (the bus lock).
+        locks the caller's hardware model injects (the bus lock).  They
+        may be passed either as frozensets (the original API, kept for
+        tests and off-path callers) or as interned :data:`LOCKSETS` ids
+        (the hot path: :class:`~repro.detectors.helgrind.HelgrindDetector`
+        precomputes the ids per lock event, so the per-access cost is
+        integer compares plus one memoized table lookup).
         """
+        # Normalise to interned ids (ints pass through untouched).
+        if type(locks_any) is not int:
+            locks_any = LOCKSETS.id_of(locks_any)
+        if type(locks_write) is not int:
+            locks_write = LOCKSETS.id_of(locks_write)
+
         word = self.word(addr)
         prev_state = word.state
-        prev_lockset = word.lockset
+        prev_id = word.lockset_id
         if not self.use_states:
             return self._raw_access(
-                word, prev_state, prev_lockset, is_write, locks_any, locks_write
+                word, prev_state, prev_id, is_write, locks_any, locks_write
             )
+
+        if prev_state is WordState.RACY:
+            return LocksetOutcome(False, prev_state, prev_id, prev_id)
 
         owner = self._owner_token(tid)
 
-        if word.state is WordState.RACY:
-            return LocksetOutcome(False, prev_state, prev_lockset, word.lockset)
-
-        if word.state is WordState.NEW:
+        if prev_state is WordState.NEW:
             # First touch: exclusively owned by the toucher (Fig 1).
             word.state = WordState.EXCLUSIVE
             word.owner = owner
-            return LocksetOutcome(False, prev_state, None, None)
+            return LocksetOutcome(False, prev_state, NO_LOCKSET, NO_LOCKSET)
 
-        if word.state is WordState.EXCLUSIVE:
+        if prev_state is WordState.EXCLUSIVE:
             if self._still_exclusive(word, tid, owner):
                 word.owner = owner
-                return LocksetOutcome(False, prev_state, None, None)
+                return LocksetOutcome(False, prev_state, NO_LOCKSET, NO_LOCKSET)
             # Second (unordered) owner: initialise the candidate set with
             # the locks held *now* — Eraser's delayed initialisation.
             if is_write:
                 word.state = WordState.SHARED_MODIFIED
-                word.lockset = locks_write
-                race = not word.lockset
+                new_id = locks_write
+                race = new_id == EMPTY_ID
             else:
                 word.state = WordState.SHARED
-                word.lockset = locks_any
+                new_id = locks_any
                 race = False
+            word.lockset_id = new_id
             if race and self.once_per_word:
                 word.state = WordState.RACY
-            return LocksetOutcome(race, prev_state, prev_lockset, word.lockset)
+            return LocksetOutcome(race, prev_state, prev_id, new_id)
 
-        if word.state is WordState.SHARED:
+        if prev_state is WordState.SHARED:
             if is_write:
                 word.state = WordState.SHARED_MODIFIED
-                word.lockset = word.lockset & locks_write
-                race = not word.lockset
+                new_id = LOCKSETS.intersect(prev_id, locks_write)
+                race = new_id == EMPTY_ID
             else:
-                word.lockset = word.lockset & locks_any
+                new_id = LOCKSETS.intersect(prev_id, locks_any)
                 race = False  # read-only sharing never warns
+            word.lockset_id = new_id
             if race and self.once_per_word:
                 word.state = WordState.RACY
-            return LocksetOutcome(race, prev_state, prev_lockset, word.lockset)
+            return LocksetOutcome(race, prev_state, prev_id, new_id)
 
         # SHARED_MODIFIED: both reads and writes refine and may warn.
-        word.lockset = word.lockset & (locks_write if is_write else locks_any)
-        race = not word.lockset
+        new_id = LOCKSETS.intersect(prev_id, locks_write if is_write else locks_any)
+        word.lockset_id = new_id
+        race = new_id == EMPTY_ID
         if race and self.once_per_word:
             word.state = WordState.RACY
-        return LocksetOutcome(race, prev_state, prev_lockset, word.lockset)
+        return LocksetOutcome(race, prev_state, prev_id, new_id)
 
     def _raw_access(
-        self, word, prev_state, prev_lockset, is_write, locks_any, locks_write
+        self, word, prev_state, prev_id, is_write, locks_any, locks_write
     ) -> LocksetOutcome:
         """§2.3.2's basic algorithm: no states, immediate checking."""
-        if word.state is WordState.RACY:
-            return LocksetOutcome(False, prev_state, prev_lockset, word.lockset)
+        if prev_state is WordState.RACY:
+            return LocksetOutcome(False, prev_state, prev_id, prev_id)
         held = locks_write if is_write else locks_any
-        word.lockset = held if word.lockset is None else (word.lockset & held)
+        new_id = held if prev_id == NO_LOCKSET else LOCKSETS.intersect(prev_id, held)
+        word.lockset_id = new_id
         word.state = WordState.SHARED_MODIFIED if is_write else WordState.SHARED
-        race = not word.lockset
+        race = new_id == EMPTY_ID
         if race and self.once_per_word:
             word.state = WordState.RACY
-        return LocksetOutcome(race, prev_state, prev_lockset, word.lockset)
+        return LocksetOutcome(race, prev_state, prev_id, new_id)
 
     # ------------------------------------------------------------------
 

@@ -32,9 +32,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.detectors.dispatch import EventDispatcher, combine_handlers
 from repro.detectors.djit import DjitDetector
 from repro.detectors.report import Report, Warning_, WarningKind
-from repro.runtime.events import Event, LockAcquire, LockMode, LockRelease, MemoryAccess
+from repro.runtime.events import LockAcquire, LockRelease, MemoryAccess
 
 __all__ = ["RaceTrackDetector"]
 
@@ -64,7 +65,7 @@ class _TrackState:
     lockset: frozenset[int] | None = None
 
 
-class RaceTrackDetector:
+class RaceTrackDetector(EventDispatcher):
     """Adaptive threadset × lock-set detector (register on a VM/replay).
 
     ``atomic_aware`` follows the same convention as
@@ -80,19 +81,40 @@ class RaceTrackDetector:
         #: original RaceTrack has no rw refinement either).
         self._held: dict[int, set[int]] = {}
         self._state: dict[int, _TrackState] = {}
+        #: Per-instance route cache (event type -> composed handler).
+        self._routes: dict[type, object] = {}
 
     # ------------------------------------------------------------------
 
-    def handle(self, event: Event, vm) -> None:
-        if isinstance(event, MemoryAccess):
-            self._on_access(event, vm)
-            return
-        if isinstance(event, LockAcquire):
-            self._held.setdefault(event.tid, set()).add(event.lock_id)
-        elif isinstance(event, LockRelease):
-            self._held.get(event.tid, set()).discard(event.lock_id)
-        # Vector clocks (locks, threads, queues, semaphores, barriers).
-        self._hb.handle(event, vm)
+    def handler_for(self, event_type):
+        """Dispatch-table ABI: accesses stay here; lock events update
+        the held-set *then* feed the vector-clock engine; every other
+        type goes to the engine alone (if it subscribes)."""
+        try:
+            return self._routes[event_type]
+        except KeyError:
+            pass
+        if event_type is MemoryAccess:
+            fn = self._on_access
+        elif event_type is LockAcquire:
+            fn = combine_handlers(
+                self._on_lock_acquire, self._hb.handler_for(event_type)
+            )
+        elif event_type is LockRelease:
+            fn = combine_handlers(
+                self._on_lock_release, self._hb.handler_for(event_type)
+            )
+        else:
+            # Vector clocks (threads, queues, semaphores, barriers, ...).
+            fn = self._hb.handler_for(event_type)
+        self._routes[event_type] = fn
+        return fn
+
+    def _on_lock_acquire(self, event: LockAcquire, vm=None) -> None:
+        self._held.setdefault(event.tid, set()).add(event.lock_id)
+
+    def _on_lock_release(self, event: LockRelease, vm=None) -> None:
+        self._held.get(event.tid, set()).discard(event.lock_id)
 
     # ------------------------------------------------------------------
 

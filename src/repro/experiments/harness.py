@@ -8,11 +8,21 @@ is the ``instrumented`` build switch of :class:`repro.sip.server
 
 One :func:`run_proxy_case` call produces one cell of the paper's
 Figure 6; :func:`run_figure6` produces the whole table.
+
+The 24 cells of the table (8 cases × 3 configurations) are mutually
+independent — each is one seeded VM run with its own detector — so
+:func:`run_figure6` can fan them out across worker *processes*
+(``workers=N``).  Each cell is deterministic given ``(case, config,
+seed)``, and results are reassembled in table order, so the parallel
+table is bit-identical to the sequential one; only the wall-clock
+changes.  (Processes, not threads: a VM run is pure Python and would
+serialise on the GIL.)
 """
 
 from __future__ import annotations
 
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.detectors import HelgrindConfig, HelgrindDetector
@@ -130,15 +140,38 @@ def run_proxy_case(
     )
 
 
+def _figure6_cell(payload: tuple) -> tuple[str, str, ExperimentRun]:
+    """Worker entry point: run one (case × config) cell.
+
+    Module-level (picklable) so :class:`ProcessPoolExecutor` can ship it
+    to a worker; returns its coordinates so the parent can reassemble
+    the table deterministically regardless of completion order.
+    """
+    case, config_name, seed, mode = payload
+    run = run_proxy_case(case, config_name, seed=seed, mode=mode)
+    return case.case_id, config_name, run
+
+
 def run_figure6(
     cases: list[TestCase] | None = None,
     *,
     seed: int = 42,
     mode: str = "thread-per-request",
+    workers: int | None = None,
 ) -> list[Figure6Row]:
-    """The full evaluation: T1-T8 × {Original, HWLC, HWLC+DR}."""
+    """The full evaluation: T1-T8 × {Original, HWLC, HWLC+DR}.
+
+    ``workers`` > 1 fans the independent cells out over that many
+    worker processes (``python -m repro figure6 --workers N``); the
+    default (``None`` or 1) runs them sequentially in-process.  Either
+    way the produced rows are identical — cell runs are seeded and
+    deterministic, and assembly preserves table order.
+    """
+    case_list = list(cases) if cases is not None else evaluation_cases()
+    if workers is not None and workers > 1:
+        return _run_figure6_parallel(case_list, seed, mode, workers)
     rows: list[Figure6Row] = []
-    for case in cases if cases is not None else evaluation_cases():
+    for case in case_list:
         row = Figure6Row(case.case_id)
         for config_name in EVAL_CONFIGS:
             row.runs[config_name] = run_proxy_case(
@@ -146,3 +179,23 @@ def run_figure6(
             )
         rows.append(row)
     return rows
+
+
+def _run_figure6_parallel(
+    cases: list[TestCase], seed: int, mode: str, workers: int
+) -> list[Figure6Row]:
+    """Fan the 24 independent cells across ``workers`` processes."""
+    jobs = [
+        (case, config_name, seed, mode)
+        for case in cases
+        for config_name in EVAL_CONFIGS
+    ]
+    by_case: dict[str, Figure6Row] = {
+        case.case_id: Figure6Row(case.case_id) for case in cases
+    }
+    with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
+        for case_id, config_name, run in pool.map(_figure6_cell, jobs):
+            by_case[case_id].runs[config_name] = run
+    # Deterministic assembly: original case order, regardless of the
+    # order in which workers finished.
+    return [by_case[case.case_id] for case in cases]

@@ -31,7 +31,13 @@ from repro.detectors import DjitDetector, HelgrindConfig, HelgrindDetector
 from repro.runtime import VM, RoundRobinScheduler
 from repro.runtime.trace import TraceRecorder, replay
 
-__all__ = ["PerformanceReport", "measure_performance", "workload_native", "workload_guest"]
+__all__ = [
+    "PerformanceReport",
+    "measure_performance",
+    "measure_event_throughput",
+    "workload_native",
+    "workload_guest",
+]
 
 
 def workload_guest(api, n_threads: int = 4, iterations: int = 120):
@@ -168,6 +174,59 @@ def measure_performance(
         detector_seconds=detector_seconds,
         events=events,
     )
+
+
+#: Detector factories for the throughput tiers (``None`` = VM only).
+_THROUGHPUT_TIERS = {
+    "vm-only": None,
+    "helgrind-orig": lambda: HelgrindDetector(HelgrindConfig.original()),
+    "helgrind-hwlc+dr": lambda: HelgrindDetector(HelgrindConfig.hwlc_dr()),
+    "djit": DjitDetector,
+}
+
+
+def measure_event_throughput(
+    *,
+    n_threads: int = 4,
+    iterations: int = 200,
+    repeats: int = 3,
+    tiers: tuple[str, ...] = tuple(_THROUGHPUT_TIERS),
+) -> dict[str, dict[str, float]]:
+    """Events/second through ``VM.emit`` per analysis tier (E7 fast path).
+
+    This is the metric the analysis fast path optimises: how many guest
+    events the VM can push through its dispatch layer (and, per tier,
+    through a detector) per wall-clock second.  Returns, per tier::
+
+        {"events": N, "seconds": best_of_repeats, "events_per_sec": rate,
+         "multiple_vs_vm": tier_seconds / vm_only_seconds}
+
+    ``multiple_vs_vm`` is the §4.5 "analysis costs a small multiple on
+    top of the VM" decomposition, as a throughput ratio.
+    """
+    out: dict[str, dict[str, float]] = {}
+    for name in tiers:
+        factory = _THROUGHPUT_TIERS[name]
+        events = 0
+
+        def run() -> None:
+            nonlocal events
+            hooks = (factory(),) if factory is not None else ()
+            vm = VM(scheduler=RoundRobinScheduler(), detectors=hooks)
+            vm.run(workload_guest, n_threads, iterations)
+            events = vm.stats.total_events
+
+        seconds = _best_of(run, repeats)
+        out[name] = {
+            "events": float(events),
+            "seconds": seconds,
+            "events_per_sec": events / seconds if seconds > 0 else 0.0,
+        }
+    if "vm-only" in out:
+        base = out["vm-only"]["seconds"]
+        for name, row in out.items():
+            row["multiple_vs_vm"] = row["seconds"] / base if base > 0 else 0.0
+    return out
 
 
 def trace_cost(*, n_threads: int = 4, iterations: int = 120) -> dict[str, float]:

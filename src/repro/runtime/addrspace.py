@@ -102,6 +102,13 @@ class AddressSpace:
         #: Sorted block bases for O(log n) address → block lookup.
         self._bases: list[int] = []
         self._by_base: dict[int, MemoryBlock] = {}
+        #: Two-entry lookup cache: guest accesses are strongly local —
+        #: hot loops typically alternate between two blocks (a shared
+        #: structure and thread-local scratch), so remembering the last
+        #: two live blocks turns most ``check_access`` calls into a few
+        #: integer compares, no bisect.
+        self._last_block: MemoryBlock | None = None
+        self._prev_block: MemoryBlock | None = None
 
     # ------------------------------------------------------------------
     # Allocation
@@ -194,6 +201,23 @@ class AddressSpace:
 
     def check_access(self, addr: int, *, tid: int = -1) -> MemoryBlock:
         """Validate that ``addr`` is inside a live block and return it."""
+        cached = self._last_block
+        if (
+            cached is not None
+            and not cached.freed
+            and cached.base <= addr < cached.base + cached.size
+        ):
+            return cached
+        cached = self._prev_block
+        if (
+            cached is not None
+            and not cached.freed
+            and cached.base <= addr < cached.base + cached.size
+        ):
+            # Promote: keep the two hottest blocks in the cache.
+            self._prev_block = self._last_block
+            self._last_block = cached
+            return cached
         block = self.find_block(addr)
         if block is None:
             raise GuestFault(f"wild access to unmapped address {addr:#x}", tid=tid)
@@ -203,22 +227,39 @@ class AddressSpace:
                 f"(freed by thread {block.free_tid} at step {block.free_step})",
                 tid=tid,
             )
+        self._prev_block = self._last_block
+        self._last_block = block
         return block
 
     def load(self, addr: int, *, tid: int = -1) -> object:
         """Load the word at ``addr``; faults on wild/freed/uninitialised."""
+        return self.load_block(addr, tid=tid)[0]
+
+    def store(self, addr: int, value: object, *, tid: int = -1) -> None:
+        """Store ``value`` into the word at ``addr``."""
+        self.store_block(addr, value, tid=tid)
+
+    def load_block(self, addr: int, *, tid: int = -1) -> tuple[object, MemoryBlock]:
+        """Load ``addr`` and return ``(value, containing block)``.
+
+        One address lookup serves both the access check and the event's
+        ``block_id`` — the VM hot path calls this instead of ``load`` +
+        ``find_block`` (two binary searches per guest access).
+        """
         block = self.check_access(addr, tid=tid)
         try:
-            return self._words[addr]
+            return self._words[addr], block
         except KeyError:
             raise GuestFault(
                 f"load of uninitialised word: {block.describe(addr)}", tid=tid
             ) from None
 
-    def store(self, addr: int, value: object, *, tid: int = -1) -> None:
-        """Store ``value`` into the word at ``addr``."""
-        self.check_access(addr, tid=tid)
+    def store_block(self, addr: int, value: object, *, tid: int = -1) -> MemoryBlock:
+        """Store into ``addr`` and return the containing block (see
+        :meth:`load_block`)."""
+        block = self.check_access(addr, tid=tid)
         self._words[addr] = value
+        return block
 
     def peek(self, addr: int) -> object | None:
         """Non-faulting read for diagnostics/tests (``None`` if unset)."""

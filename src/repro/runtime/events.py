@@ -37,6 +37,8 @@ __all__ = [
     "LockMode",
     "Frame",
     "CallStack",
+    "intern_frame",
+    "intern_stack",
     "Event",
     "MemoryAccess",
     "MemAlloc",
@@ -96,6 +98,54 @@ class Frame:
 CallStack = tuple[Frame, ...]
 
 _EMPTY_STACK: CallStack = ()
+
+
+# ----------------------------------------------------------------------
+# ExeContext-style interning (Valgrind's m_execontext)
+# ----------------------------------------------------------------------
+#
+# Valgrind deduplicates call stacks by interning them as ``ExeContext``
+# records: taking a stack snapshot first looks the frames up in a hash
+# table, so the millions of events recorded at the same program point
+# all share one object.  We do the same for :class:`Frame` objects and
+# :data:`CallStack` tuples.  The tables are process-wide and append-only
+# — guest programs have a bounded number of distinct program points, so
+# the tables stay small while the event stream is unbounded.
+#
+# Interning buys three things on the hot path:
+#
+# * one allocation per *distinct* stack instead of one per event,
+# * report-location deduplication compares one canonical object per
+#   program point (equal stacks are the *same* tuple), and
+# * serialised traces replayed through :func:`event_from_dict` collapse
+#   back onto the same canonical objects as a live run.
+
+_FRAME_INTERN: dict[Frame, Frame] = {}
+_STACK_INTERN: dict[CallStack, CallStack] = {_EMPTY_STACK: _EMPTY_STACK}
+
+
+def intern_frame(frame: Frame) -> Frame:
+    """Return the canonical instance equal to ``frame``."""
+    return _FRAME_INTERN.setdefault(frame, frame)
+
+
+def intern_stack(stack: CallStack) -> CallStack:
+    """Return the canonical instance equal to ``stack``.
+
+    The frames of a newly-interned stack are interned individually as
+    well, so shared prefixes/suffixes across different stacks also share
+    their :class:`Frame` objects.
+    """
+    cached = _STACK_INTERN.get(stack)
+    if cached is not None:
+        return cached
+    canonical: CallStack = tuple(_FRAME_INTERN.setdefault(f, f) for f in stack)
+    return _STACK_INTERN.setdefault(canonical, canonical)
+
+
+def intern_table_sizes() -> tuple[int, int]:
+    """(distinct frames, distinct stacks) — introspection for tests."""
+    return len(_FRAME_INTERN), len(_STACK_INTERN)
 
 
 @dataclass(frozen=True, slots=True)
@@ -338,7 +388,9 @@ def event_from_dict(data: dict) -> Event:
     except KeyError:
         raise ValueError(f"unknown event type in trace: {type_name!r}") from None
     if "stack" in data:
-        data["stack"] = tuple(Frame(fn, fi, ln) for fn, fi, ln in data["stack"])
+        data["stack"] = intern_stack(
+            tuple(Frame(fn, fi, ln) for fn, fi, ln in data["stack"])
+        )
     for name, enum_cls in _ENUM_FIELDS.items():
         if name in data:
             data[name] = enum_cls(data[name])

@@ -92,8 +92,12 @@ class SimThread:
         return self.state is ThreadState.RUNNABLE
 
     def snapshot_stack(self) -> "CallStack":
-        """Immutable copy of the guest call stack, innermost frame first."""
-        return tuple(reversed(self.frames))
+        """Interned snapshot of the guest call stack, innermost first."""
+        from repro.runtime.events import Frame, intern_stack
+
+        return intern_stack(
+            tuple(Frame(fn, fi, ln) for fn, fi, ln in reversed(self.frames))
+        )
 
     def __repr__(self) -> str:
         return f"SimThread(tid={self.tid}, name={self.name!r}, state={self.state.value})"

@@ -38,7 +38,6 @@ that appends to a list — see :mod:`repro.runtime.trace`.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
 from typing import Callable
 
 from repro._util.ids import IdAllocator
@@ -66,6 +65,7 @@ from repro.runtime.events import (
     ThreadCreate,
     ThreadFinish,
     ThreadJoin,
+    intern_stack,
 )
 from repro.runtime.scheduler import RoundRobinScheduler, Scheduler
 from repro.runtime.sync import (
@@ -91,7 +91,6 @@ class _GuestAbort(BaseException):
     """
 
 
-@dataclass
 class VMStats:
     """Run statistics, cheap enough to always collect.
 
@@ -99,21 +98,35 @@ class VMStats:
     *actual* carrier hand-offs (the expensive part — the VM skips the
     hand-off when no other thread is runnable); ``traps`` counts
     scheduling opportunities.
+
+    Counting happens on the per-event fast path, so the tally is keyed
+    by event *class* internally (one dict operation, no ``__name__``
+    string lookup per event); :attr:`events` materialises the
+    name-keyed view on demand.
     """
 
-    events: dict[str, int] = field(default_factory=dict)
-    traps: int = 0
-    switches: int = 0
-    threads_created: int = 0
-    max_live_threads: int = 0
+    __slots__ = ("_by_type", "traps", "switches", "threads_created", "max_live_threads")
+
+    def __init__(self) -> None:
+        self._by_type: dict[type, int] = {}
+        self.traps = 0
+        self.switches = 0
+        self.threads_created = 0
+        self.max_live_threads = 0
 
     def count(self, event: Event) -> None:
-        name = type(event).__name__
-        self.events[name] = self.events.get(name, 0) + 1
+        cls = event.__class__
+        by_type = self._by_type
+        by_type[cls] = by_type.get(cls, 0) + 1
+
+    @property
+    def events(self) -> dict[str, int]:
+        """Event counts by type name (materialised view)."""
+        return {cls.__name__: n for cls, n in self._by_type.items()}
 
     @property
     def total_events(self) -> int:
-        return sum(self.events.values())
+        return sum(self._by_type.values())
 
 
 class VM:
@@ -149,6 +162,16 @@ class VM:
         self.threads: dict[int, SimThread] = {}
 
         self._hooks: list = list(detectors)
+        #: Event-type → tuple of subscribed handler callables.  Built
+        #: lazily per event type on first emission: detectors exposing
+        #: the dispatch-table ABI (``handler_for(event_type)``, see
+        #: :mod:`repro.detectors.dispatch`) subscribe only the handlers
+        #: they registered for that type — detectors that don't care
+        #: about an event type are skipped entirely, with zero per-event
+        #: ``isinstance`` tests.  Plain detectors (anything with only a
+        #: ``handle`` method, e.g. a trace recorder) subscribe to every
+        #: type, preserving the original ABI.
+        self._dispatch: dict[type, tuple] = {}
         self._tid_ids = IdAllocator()
         self._lock_ids = IdAllocator()
         self._cond_ids = IdAllocator()
@@ -178,6 +201,7 @@ class VM:
         if self._started:
             raise VMError("cannot add detectors after the run started")
         self._hooks.append(hook)
+        self._dispatch.clear()  # routing tables are now stale
 
     def run(self, main: Callable, *args, main_name: str = "main"):
         """Execute ``main(api, *args)`` to completion and return its result.
@@ -222,13 +246,40 @@ class VM:
     # ------------------------------------------------------------------
 
     def emit(self, event: Event) -> None:
-        """Show ``event`` to every detector hook and advance the clock."""
+        """Show ``event`` to every subscribed detector and advance the clock.
+
+        Routing is per event *type*: the first event of each type builds
+        the tuple of interested handlers once, and every later event of
+        that type is a dict lookup plus direct calls — no ``isinstance``
+        cascade runs anywhere on the hot path.
+        """
         self.clock += 1
-        self.stats.count(event)
-        for hook in self._hooks:
-            hook.handle(event, self)
+        etype = event.__class__
+        # Inlined VMStats.count — one dict op on the per-event path.
+        by_type = self.stats._by_type
+        by_type[etype] = by_type.get(etype, 0) + 1
+        handlers = self._dispatch.get(etype)
+        if handlers is None:
+            handlers = self._build_routes(etype)
+        for fn in handlers:
+            fn(event, self)
         if self.clock >= self.step_limit:
             raise StepLimitExceeded(self.step_limit)
+
+    def _build_routes(self, etype: type) -> tuple:
+        """Resolve which hooks want ``etype`` (cached in ``_dispatch``)."""
+        handlers = []
+        for hook in self._hooks:
+            resolver = getattr(hook, "handler_for", None)
+            if resolver is None:
+                handlers.append(hook.handle)  # legacy ABI: sees everything
+            else:
+                fn = resolver(etype)
+                if fn is not None:
+                    handlers.append(fn)
+        routes = tuple(handlers)
+        self._dispatch[etype] = routes
+        return routes
 
     # ------------------------------------------------------------------
     # Scheduler loop (runs on the host thread that called run())
@@ -456,10 +507,18 @@ class GuestAPI:
             self._stack_cache = None
 
     def _snap(self) -> CallStack:
+        """Interned snapshot of the current guest call stack.
+
+        Identical stacks — the overwhelmingly common case on a hot loop —
+        are one canonical object (Valgrind's ExeContext interning), so
+        report-location deduplication and trace comparison collapse to
+        dictionary hits on a shared tuple instead of building and
+        comparing fresh tuples per event.
+        """
         cache = self._stack_cache
         if cache is None:
-            cache = tuple(
-                Frame(fn, fi, ln) for fn, fi, ln in reversed(self.thread.frames)
+            cache = intern_stack(
+                tuple(Frame(fn, fi, ln) for fn, fi, ln in reversed(self.thread.frames))
             )
             self._stack_cache = cache
         return cache
@@ -473,8 +532,12 @@ class GuestAPI:
         self.vm.emit(event)
 
     def _emit_and_switch(self, event: Event) -> None:
-        self._emit(event)
-        self.vm._switch(self.thread)
+        # ``_emit`` inlined: this runs once per guest operation.
+        thread = self.thread
+        thread.steps += 1
+        vm = self.vm
+        vm.emit(event)
+        vm._switch(thread)
 
     # ------------------------------------------------------------------
     # Memory
@@ -517,17 +580,16 @@ class GuestAPI:
     def load(self, addr: int, *, locked: bool = False) -> object:
         """Load one word.  ``locked`` marks a ``LOCK``-prefixed read."""
         vm = self.vm
-        value = vm.memory.load(addr, tid=self.tid)
-        block = vm.memory.find_block(addr)
+        value, block = vm.memory.load_block(addr, tid=self.thread.tid)
         self._emit_and_switch(
             MemoryAccess(
                 vm.clock,
-                self.tid,
+                self.thread.tid,
                 stack=self._snap(),
                 addr=addr,
                 kind=AccessKind.READ,
                 bus_locked=locked,
-                block_id=block.block_id if block else -1,
+                block_id=block.block_id,
             )
         )
         return value
@@ -535,17 +597,16 @@ class GuestAPI:
     def store(self, addr: int, value: object, *, locked: bool = False) -> None:
         """Store one word.  ``locked`` marks a ``LOCK``-prefixed write."""
         vm = self.vm
-        vm.memory.store(addr, value, tid=self.tid)
-        block = vm.memory.find_block(addr)
+        block = vm.memory.store_block(addr, value, tid=self.thread.tid)
         self._emit_and_switch(
             MemoryAccess(
                 vm.clock,
-                self.tid,
+                self.thread.tid,
                 stack=self._snap(),
                 addr=addr,
                 kind=AccessKind.WRITE,
                 bus_locked=locked,
-                block_id=block.block_id if block else -1,
+                block_id=block.block_id,
             )
         )
 
@@ -558,13 +619,12 @@ class GuestAPI:
         reference counter (paper Figure 8).
         """
         vm = self.vm
-        old = vm.memory.load(addr, tid=self.tid)
+        old, block = vm.memory.load_block(addr, tid=self.tid)
         if not isinstance(old, int):
             raise GuestFault(
                 f"atomic_add on non-integer word at {addr:#x} ({old!r})", tid=self.tid
             )
-        block = vm.memory.find_block(addr)
-        block_id = block.block_id if block else -1
+        block_id = block.block_id
         stack = self._snap()
         self._emit(
             MemoryAccess(
@@ -587,9 +647,8 @@ class GuestAPI:
         A failed CAS emits only the locked read (no write happened).
         """
         vm = self.vm
-        current = vm.memory.load(addr, tid=self.tid)
-        block = vm.memory.find_block(addr)
-        block_id = block.block_id if block else -1
+        current, block = vm.memory.load_block(addr, tid=self.tid)
+        block_id = block.block_id
         stack = self._snap()
         self._emit(
             MemoryAccess(

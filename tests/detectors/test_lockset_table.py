@@ -1,0 +1,153 @@
+"""Property tests for the interned lock-set table (the Eraser fast path).
+
+The fast path replaces per-access ``frozenset`` intersections with
+memoized integer-id lookups (:class:`repro.detectors.lockset
+.LocksetTable`).  Correctness requirement: for *any* sequence of sets,
+ids and memoized intersections must agree exactly with raw frozenset
+semantics — interning is an encoding, never an approximation.  The
+hypothesis properties here pin that equivalence down, and a differential
+test drives the full :class:`LocksetMachine` with frozensets vs interned
+ids and demands identical outcomes.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.detectors.lockset import (
+    EMPTY_ID,
+    LOCKSETS,
+    NO_LOCKSET,
+    LocksetMachine,
+    LocksetTable,
+    WordState,
+)
+from repro.detectors.segments import SegmentGraph
+
+#: Small lock-id universe so sets collide often (interning is exercised).
+lock_ids = st.integers(min_value=-1, max_value=6)
+locksets = st.frozensets(lock_ids, max_size=5)
+
+
+class TestLocksetTableProperties:
+    @settings(max_examples=300)
+    @given(st.lists(locksets, max_size=20))
+    def test_id_of_is_injective_on_distinct_sets(self, sets):
+        table = LocksetTable()
+        ids = {s: table.id_of(s) for s in sets}
+        # Same set -> same id (stable), distinct sets -> distinct ids.
+        for s, sid in ids.items():
+            assert table.id_of(s) == sid
+            assert table.members(sid) == s
+        assert len(set(ids.values())) == len(ids)
+
+    @settings(max_examples=300)
+    @given(locksets, locksets)
+    def test_intersection_agrees_with_frozenset_semantics(self, a, b):
+        table = LocksetTable()
+        ia, ib = table.id_of(a), table.id_of(b)
+        expected = a & b
+        result = table.intersect(ia, ib)
+        assert table.members(result) == expected
+        # Symmetric, and memoization returns the identical id.
+        assert table.intersect(ib, ia) == result
+        assert table.intersect(ia, ib) == result
+        # "Is the candidate set empty?" is an integer comparison.
+        assert (result == EMPTY_ID) == (not expected)
+
+    @settings(max_examples=200)
+    @given(st.lists(st.tuples(locksets, locksets), max_size=15))
+    def test_memo_never_grows_past_distinct_pairs(self, pairs):
+        table = LocksetTable()
+        for a, b in pairs:
+            table.intersect(table.id_of(a), table.id_of(b))
+        distinct = {
+            tuple(sorted((table.id_of(a), table.id_of(b))))
+            for a, b in pairs
+            if table.id_of(a) != table.id_of(b)
+            and table.id_of(a) != EMPTY_ID
+            and table.id_of(b) != EMPTY_ID
+        }
+        assert table.intersections_memoized <= len(distinct)
+
+    def test_empty_set_is_always_id_zero(self):
+        table = LocksetTable()
+        assert table.id_of(frozenset()) == EMPTY_ID == 0
+        assert table.id_of(()) == EMPTY_ID
+        assert table.members(EMPTY_ID) == frozenset()
+        # Intersecting with empty short-circuits without touching the memo.
+        other = table.id_of(frozenset({1, 2}))
+        assert table.intersect(EMPTY_ID, other) == EMPTY_ID
+        assert table.intersections_memoized == 0
+
+    def test_process_wide_table_accepts_iterables(self):
+        sid = LOCKSETS.id_of([3, 1, 3])
+        assert LOCKSETS.members(sid) == frozenset({1, 3})
+        assert LOCKSETS.id_of(frozenset({1, 3})) == sid
+
+
+#: One access: (addr, tid, is_write, locks_any ⊇ locks_write).
+accesses = st.tuples(
+    st.integers(min_value=0, max_value=3),  # addr
+    st.integers(min_value=0, max_value=3),  # tid
+    st.booleans(),  # is_write
+    locksets,  # locks_any
+    locksets,  # extra write-mode locks (intersected with any below)
+)
+
+
+class TestMachineIdEquivalence:
+    """The machine must not care whether it is fed frozensets or ids."""
+
+    @settings(max_examples=200)
+    @given(st.lists(accesses, max_size=30), st.booleans(), st.booleans())
+    def test_frozenset_and_id_feeds_agree(self, seq, use_states, once_per_word):
+        m_raw = LocksetMachine(
+            SegmentGraph(), use_states=use_states, once_per_word=once_per_word
+        )
+        m_ids = LocksetMachine(
+            SegmentGraph(), use_states=use_states, once_per_word=once_per_word
+        )
+        for addr, tid, is_write, any_, extra in seq:
+            locks_any = any_ | extra
+            locks_write = any_  # any superset relation is representative
+            out_raw = m_raw.access(
+                addr, tid, is_write=is_write,
+                locks_any=locks_any, locks_write=locks_write,
+            )
+            out_ids = m_ids.access(
+                addr, tid, is_write=is_write,
+                locks_any=LOCKSETS.id_of(locks_any),
+                locks_write=LOCKSETS.id_of(locks_write),
+            )
+            assert out_raw.race == out_ids.race
+            assert out_raw.prev_state == out_ids.prev_state
+            assert out_raw.prev_lockset == out_ids.prev_lockset
+            assert out_raw.lockset == out_ids.lockset
+        for addr in range(4):
+            wa, wb = m_raw.word(addr), m_ids.word(addr)
+            assert wa.state == wb.state
+            assert wa.lockset == wb.lockset
+
+
+class TestShadowWordCompat:
+    """The pre-interning ``lockset`` attribute API still works."""
+
+    def test_lockset_property_round_trips(self):
+        machine = LocksetMachine(SegmentGraph())
+        word = machine.word(0)
+        assert word.lockset is None and word.lockset_id == NO_LOCKSET
+        word.lockset = frozenset({1, 2})
+        assert word.lockset == frozenset({1, 2})
+        assert LOCKSETS.members(word.lockset_id) == frozenset({1, 2})
+        word.lockset = None
+        assert word.lockset_id == NO_LOCKSET
+
+    def test_outcome_properties_materialise(self):
+        machine = LocksetMachine(SegmentGraph())
+        machine.access(0, 0, is_write=True, locks_any=frozenset({1}), locks_write=frozenset({1}))
+        out = machine.access(
+            0, 1, is_write=True, locks_any=frozenset({1}), locks_write=frozenset({1})
+        )
+        assert out.prev_state is WordState.EXCLUSIVE
+        assert out.lockset == frozenset({1})
