@@ -15,7 +15,15 @@ perf      the §4.5 slowdown and trace-cost measurements
 bugs      the §4.1 injected-bug registry
 report    regenerate the full EXPERIMENTS.md record in one pass
 suppress  run a case, triage it, emit a suppression file (§2.3.1)
+stats     run one case instrumented; print/export pipeline telemetry
 ========  ============================================================
+
+``figure6`` and ``report`` additionally accept ``--metrics-out`` /
+``--trace-out``: the runs are then instrumented with
+:mod:`repro.telemetry` and the collected metrics are written as a JSON
+snapshot (plus a Prometheus text twin at ``<path>.prom``) and a Chrome
+trace-event file loadable in Perfetto.  Parallel sweeps merge each
+worker's snapshot in the parent, so ``--workers N`` loses nothing.
 """
 
 from __future__ import annotations
@@ -58,6 +66,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for the 24 independent cells (1 = sequential)",
     )
+    _add_telemetry_flags(p)
     p.set_defaults(handler=_cmd_figure6)
 
     p = sub.add_parser("case", help="run one test case under one configuration")
@@ -88,6 +97,27 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--workers", type=int, default=1, help="worker processes for the Figure 6 sweep"
     )
+    p.add_argument(
+        "--case",
+        dest="cases",
+        action="append",
+        choices=[f"T{i}" for i in range(1, 9)],
+        help=(
+            "restrict the Figure 6 sweep to these cases (repeatable); "
+            "implies a focused report: the case-independent studies and "
+            "performance tiers are skipped"
+        ),
+    )
+    p.add_argument(
+        "--detector",
+        choices=_STATS_DETECTORS,
+        default="helgrind",
+        help=(
+            "detector for the instrumented deep-dive run performed when "
+            "--metrics-out/--trace-out is given (default: helgrind)"
+        ),
+    )
+    _add_telemetry_flags(p)
     p.set_defaults(handler=_cmd_report)
 
     p = sub.add_parser("suppress", help="triage a case and emit suppressions")
@@ -96,12 +126,108 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", default="-", help="file ('-' = stdout)")
     p.set_defaults(handler=_cmd_suppress)
 
+    p = sub.add_parser(
+        "stats",
+        help="run one case instrumented; print pipeline telemetry",
+    )
+    p.add_argument(
+        "case_id", nargs="?", default="T1", choices=[f"T{i}" for i in range(1, 9)]
+    )
+    p.add_argument(
+        "--detector", choices=_STATS_DETECTORS, default="helgrind"
+    )
+    p.add_argument("--seed", type=int, default=42)
+    _add_telemetry_flags(p)
+    p.set_defaults(handler=_cmd_stats)
+
     return parser
+
+
+#: Detectors the ``stats`` command (and ``report --detector``) can
+#: instrument.  "helgrind" runs the paper's HWLC+DR configuration;
+#: "lockset" is the raw §2.3.2 Eraser ablation.
+_STATS_DETECTORS = (
+    "helgrind",
+    "lockset",
+    "djit",
+    "racetrack",
+    "hybrid",
+    "atomizer",
+)
+
+
+def _add_telemetry_flags(p) -> None:
+    p.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the metrics snapshot as JSON (+ Prometheus twin at PATH.prom)",
+    )
+    p.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="write a Chrome trace-event JSON (open in Perfetto / chrome://tracing)",
+    )
 
 
 # ----------------------------------------------------------------------
 # Command implementations (imports deferred so --help stays instant)
 # ----------------------------------------------------------------------
+
+
+def _telemetry_for(args):
+    """A :class:`repro.telemetry.Telemetry` if any output flag asks for
+    one, else ``None`` (the uninstrumented fast path)."""
+    if not (getattr(args, "metrics_out", None) or getattr(args, "trace_out", None)):
+        return None
+    from repro.telemetry import Telemetry
+
+    return Telemetry(trace=bool(args.trace_out))
+
+
+def _write_telemetry(telemetry, args) -> None:
+    """Write ``--metrics-out`` (JSON + ``.prom`` twin) and ``--trace-out``."""
+    if telemetry is None:
+        return
+    from repro.telemetry import write_metrics
+
+    snapshot = telemetry.snapshot()
+    if args.metrics_out:
+        twin = write_metrics(args.metrics_out, snapshot)
+        print(f"metrics: wrote {args.metrics_out} (+ {twin})")
+    if args.trace_out and telemetry.tracer is not None:
+        telemetry.tracer.write(args.trace_out)
+        print(
+            f"trace: wrote {args.trace_out} "
+            f"({len(telemetry.tracer)} events; open in Perfetto)"
+        )
+
+
+def _stats_detector(name: str):
+    """Map a ``--detector`` choice to ``(detector instance, config name)``.
+
+    ``None`` as the instance means "let :func:`run_proxy_case` build the
+    Helgrind detector from the config" (the helgrind/lockset rows); the
+    baseline detectors are built here and run against the instrumented
+    (``hwlc+dr``) proxy build so destructor annotations are present.
+    """
+    if name == "helgrind":
+        return None, "hwlc+dr"
+    if name == "lockset":
+        return None, "raw-eraser"
+    from repro.detectors import (
+        AtomizerDetector,
+        DjitDetector,
+        HybridDetector,
+        RaceTrackDetector,
+    )
+
+    det = {
+        "djit": DjitDetector,
+        "racetrack": RaceTrackDetector,
+        "hybrid": HybridDetector,
+        "atomizer": AtomizerDetector,
+    }[name]()
+    return det, "hwlc+dr"
 
 
 def _cmd_figure6(args) -> int:
@@ -112,10 +238,14 @@ def _cmd_figure6(args) -> int:
     )
     from repro.experiments.harness import run_figure6
 
-    rows = run_figure6(seed=args.seed, mode=args.mode, workers=args.workers)
+    telemetry = _telemetry_for(args)
+    rows = run_figure6(
+        seed=args.seed, mode=args.mode, workers=args.workers, telemetry=telemetry
+    )
     print(figure6_table(rows))
     print()
     print(figure5_decomposition(rows))
+    _write_telemetry(telemetry, args)
     problems = shape_violations(rows)
     if problems:
         print("\nSHAPE VIOLATIONS:")
@@ -198,44 +328,82 @@ def _cmd_bugs(args) -> int:
 
 
 def _cmd_report(args) -> int:
-    """Everything EXPERIMENTS.md records, regenerated in one pass."""
+    """Everything EXPERIMENTS.md records, regenerated in one pass.
+
+    ``--case`` focuses the report on a subset of the Figure 6 sweep
+    (skipping the case-independent studies/perf tiers), which is what
+    the CI telemetry smoke job runs: ``repro report --case T1
+    --metrics-out m.json``.  With telemetry flags, the sweep runs
+    instrumented; a non-default ``--detector`` adds a deep-dive
+    instrumented run per selected case under that detector so its spans
+    and state metrics land in the same snapshot.
+    """
     from repro.experiments.figures import (
         figure5_decomposition,
         figure6_table,
         shape_violations,
     )
-    from repro.experiments.harness import run_figure6
+    from repro.experiments.harness import run_figure6, run_proxy_case
     from repro.experiments.performance import measure_performance, trace_cost
     from repro.experiments.studies import (
         ablation_study,
         baseline_study,
         false_negative_study,
     )
+    from repro.sip.workload import evaluation_cases
 
-    rows = run_figure6(seed=args.seed, workers=args.workers)
+    telemetry = _telemetry_for(args)
+    focused = bool(args.cases)
+    cases = None
+    if focused:
+        wanted = set(args.cases)
+        cases = [c for c in evaluation_cases() if c.case_id in wanted]
+
+    rows = run_figure6(
+        cases, seed=args.seed, workers=args.workers, telemetry=telemetry
+    )
     print(figure6_table(rows))
     print()
     print(figure5_decomposition(rows))
-    print()
-    print(false_negative_study().format())
-    print()
-    print(ablation_study().format())
-    print()
-    print(baseline_study().format())
-    print()
-    print("Multi-threaded performance tier:")
-    print(measure_performance(n_threads=4, iterations=120).format())
-    print()
-    print("Single-threaded performance tier:")
-    print(measure_performance(n_threads=1, iterations=400).format())
-    cost = trace_cost()
-    print()
-    print(
-        f"offline mode: {int(cost['events'])} events "
-        f"(~{int(cost['estimated_bytes'])} bytes), "
-        f"replay {cost['replay_seconds'] * 1e3:.1f} ms"
-    )
-    problems = shape_violations(rows)
+    if not focused:
+        print()
+        print(false_negative_study().format())
+        print()
+        print(ablation_study().format())
+        print()
+        print(baseline_study().format())
+        print()
+        print("Multi-threaded performance tier:")
+        print(measure_performance(n_threads=4, iterations=120).format())
+        print()
+        print("Single-threaded performance tier:")
+        print(measure_performance(n_threads=1, iterations=400).format())
+        cost = trace_cost()
+        print()
+        print(
+            f"offline mode: {int(cost['events'])} events "
+            f"(~{int(cost['estimated_bytes'])} bytes), "
+            f"replay {cost['replay_seconds'] * 1e3:.1f} ms"
+        )
+    else:
+        print()
+        print(
+            f"(focused report: {', '.join(sorted(c.case_id for c in cases))} "
+            "only; studies and performance tiers skipped)"
+        )
+
+    if telemetry is not None and args.detector != "helgrind":
+        # Deep-dive: the sweep itself is Helgrind; fold the requested
+        # baseline detector's view of the same case(s) into the snapshot.
+        det_cases = cases if cases else [_case_by_id("T1")]
+        for case in det_cases:
+            det, config = _stats_detector(args.detector)
+            run_proxy_case(
+                case, config, seed=args.seed, detector=det, telemetry=telemetry
+            )
+    _write_telemetry(telemetry, args)
+
+    problems = shape_violations(rows) if not focused else []
     if problems:
         print("\nSHAPE VIOLATIONS:")
         for problem in problems:
@@ -258,4 +426,26 @@ def _cmd_suppress(args) -> int:
             fh.write(text)
         fp = run.classified.false_positives
         print(f"wrote {fp} suppression entries to {args.output}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    """Run one case instrumented and print the pipeline's own telemetry."""
+    from repro.experiments.harness import run_proxy_case
+    from repro.telemetry import Telemetry, to_console
+
+    case = _case_by_id(args.case_id)
+    telemetry = Telemetry(trace=bool(args.trace_out))
+    det, config = _stats_detector(args.detector)
+    run = run_proxy_case(
+        case, config, seed=args.seed, detector=det, telemetry=telemetry
+    )
+    print(
+        f"{case.case_id} ({case.name}) under {args.detector} [{config}]: "
+        f"{run.location_count} locations, {run.events} events, "
+        f"{run.wall_seconds * 1e3:.0f} ms"
+    )
+    print()
+    print(to_console(telemetry.snapshot()), end="")
+    _write_telemetry(telemetry, args)
     return 0

@@ -67,6 +67,9 @@ class AtomizerDetector(EventDispatcher):
     everything else streams through to the embedded raciness oracle.
     """
 
+    #: ``detector`` label value in the telemetry layer.
+    telemetry_name = "atomizer"
+
     def __init__(self, *, oracle_config: HelgrindConfig | None = None) -> None:
         self.report = Report()
         #: Eraser oracle deciding which accesses are both-movers.  Its
@@ -100,6 +103,21 @@ class AtomizerDetector(EventDispatcher):
         fn = own if own is not None else self._oracle.handler_for(event_type)
         self._routes[event_type] = fn
         return fn
+
+    @property
+    def machine(self):
+        """Shadow lock-set machine of the raciness oracle (telemetry
+        layer enables state-transition tracking through this)."""
+        return self._oracle.machine
+
+    def telemetry_summary(self) -> dict[str, float]:
+        """Size gauges for ``repro_detector_state`` (telemetry layer)."""
+        open_now = sum(len(stack) for stack in self._regions.values())
+        return {
+            "regions_checked": self.regions_checked,
+            "regions_open": open_now,
+            "oracle_tracked_words": self._oracle.machine.tracked_words,
+        }
 
     def _on_client_request(self, event: ClientRequest, vm) -> None:
         if event.request == "atomic_begin":

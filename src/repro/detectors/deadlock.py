@@ -43,6 +43,9 @@ class LockGraphDetector(EventDispatcher):
     fire-hose.
     """
 
+    #: ``detector`` label value in the telemetry layer.
+    telemetry_name = "deadlock"
+
     def __init__(self, *, gate_lock_filter: bool = True) -> None:
         self.report = Report()
         #: Gate-lock refinement: an order inversion in which every edge
@@ -165,6 +168,15 @@ class LockGraphDetector(EventDispatcher):
     @property
     def cycles_found(self) -> int:
         return len(self._reported_cycles)
+
+    def telemetry_summary(self) -> dict[str, float]:
+        """Size gauges for ``repro_detector_state`` (telemetry layer)."""
+        return {
+            "graph_nodes": len(self._edges),
+            "graph_edges": sum(len(succ) for succ in self._edges.values()),
+            "cycles_reported": len(self._reported_cycles),
+            "cycles_gated": self.gated_cycles,
+        }
 
     def held_by(self, tid: int) -> list[int]:
         """Current acquisition stack of ``tid`` (for tests)."""

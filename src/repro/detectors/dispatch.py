@@ -147,3 +147,16 @@ class EventDispatcher:
             cache[etype] = fn
         if fn is not None:
             fn(event, vm)
+
+    def route_cache_info(self) -> dict[str, int]:
+        """Legacy-ABI route cache introspection (telemetry/tests).
+
+        ``resolved`` counts event types that went through
+        :meth:`handler_for` via :meth:`handle`; ``subscribed`` counts
+        how many of those resolved to an actual handler.
+        """
+        cache = getattr(self, "_handle_routes", {})
+        return {
+            "resolved": len(cache),
+            "subscribed": sum(1 for fn in cache.values() if fn is not None),
+        }

@@ -79,6 +79,9 @@ class DjitDetector(EventDispatcher):
     events are not subscribed at all when ``cond_hb`` is off.
     """
 
+    #: ``detector`` label value in the telemetry layer.
+    telemetry_name = "djit"
+
     def __init__(self, *, cond_hb: bool = True, atomic_aware: bool = True) -> None:
         self.report = Report()
         self.cond_hb = cond_hb
@@ -276,6 +279,15 @@ class DjitDetector(EventDispatcher):
                 self._warn(event, vm)
                 return
             log.reads[tid] = (vc.get(tid), locked)
+
+    def telemetry_summary(self) -> dict[str, float]:
+        """Size gauges for ``repro_detector_state`` (telemetry layer)."""
+        return {
+            "thread_clocks": len(self._clocks),
+            "lock_clocks": len(self._lock_vc),
+            "logged_words": len(self._log),
+            "logged_reads": sum(len(log.reads) for log in self._log.values()),
+        }
 
     def _warn(self, event: MemoryAccess, vm) -> None:
         verb = "writing" if event.is_write else "reading"

@@ -251,6 +251,10 @@ class HelgrindDetector(EventDispatcher):
     ``BarrierWait`` always) are skipped before the detector is entered.
     """
 
+    #: Short stable name used by the telemetry layer as the
+    #: ``detector`` label value (:mod:`repro.telemetry.probe`).
+    telemetry_name = "helgrind"
+
     def __init__(self, config: HelgrindConfig | None = None, *, suppressions=None) -> None:
         self.config = config or HelgrindConfig.original()
         self.segments = SegmentGraph()
@@ -488,6 +492,20 @@ class HelgrindDetector(EventDispatcher):
     def locks_held(self, tid: int) -> frozenset[int]:
         """Current lock-set of ``tid`` (any mode) — for tests."""
         return self._held_for(tid).any_
+
+    def telemetry_summary(self) -> dict[str, float]:
+        """Size/work gauges harvested by :mod:`repro.telemetry.probe`.
+
+        Keys become the ``stat`` label of ``repro_detector_state``;
+        values are end-of-run magnitudes (not rates).
+        """
+        return {
+            "access_checks": self._access_checks,
+            "tracked_words": self.machine.tracked_words,
+            "segments": self.segments.segment_count,
+            "threads_seen": len(self._held),
+            "queue_tokens_inflight": len(self._queue_tokens),
+        }
 
 
 def _describe_state(state: WordState, lockset: frozenset[int] | None) -> str:

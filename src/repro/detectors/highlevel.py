@@ -95,6 +95,9 @@ class HighLevelRaceDetector(EventDispatcher):
     accesses and lock events.
     """
 
+    #: ``detector`` label value in the telemetry layer.
+    telemetry_name = "highlevel"
+
     def __init__(self, *, track_reads: bool = True) -> None:
         self.report = Report()
         self.track_reads = track_reads
@@ -199,6 +202,15 @@ class HighLevelRaceDetector(EventDispatcher):
                     )
 
     # ------------------------------------------------------------------
+
+    def telemetry_summary(self) -> dict[str, float]:
+        """Size gauges for ``repro_detector_state`` (telemetry layer)."""
+        return {
+            "views_recorded": sum(len(v) for v in self._views.values()),
+            "view_keys": len(self._views),
+            "sections_open": sum(len(s) for s in self._open.values()),
+            "finalized": 1 if self._finalized else 0,
+        }
 
     def views_of(self, tid: int, lock_id: int) -> list[frozenset[int]]:
         """The completed views of one thread under one lock (tests)."""

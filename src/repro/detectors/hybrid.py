@@ -53,6 +53,9 @@ class HybridDetector(EventDispatcher):
     are concurrent reach :attr:`report`.
     """
 
+    #: ``detector`` label value in the telemetry layer.
+    telemetry_name = "hybrid"
+
     def __init__(
         self,
         config: HelgrindConfig | None = None,
@@ -89,6 +92,21 @@ class HybridDetector(EventDispatcher):
             )
         self._routes[event_type] = fn
         return fn
+
+    @property
+    def machine(self):
+        """Shadow lock-set machine of the nominator (telemetry layer
+        enables state-transition tracking through this)."""
+        return self._lockset.machine
+
+    def telemetry_summary(self) -> dict[str, float]:
+        """Size gauges for ``repro_detector_state`` (telemetry layer)."""
+        return {
+            "nominations_vetoed": self.vetoed,
+            "tracked_words": self._lockset.machine.tracked_words,
+            "hb_thread_clocks": len(self._hb._clocks),
+            "pending_conflicts": len(self._last),
+        }
 
     # ------------------------------------------------------------------
 

@@ -73,7 +73,14 @@ class LocksetTable:
     distinct lock combinations while the access stream is unbounded.
     """
 
-    __slots__ = ("_sets", "_ids", "_isect", "_with", "_without")
+    __slots__ = (
+        "_sets", "_ids", "_isect", "_with", "_without",
+        "_intern_hits", "_intern_misses", "_isect_hits", "_isect_misses",
+        "_with_hits", "_with_misses", "_wo_hits", "_wo_misses",
+    )
+
+    #: Memo operations tallied by :meth:`stats`.
+    _OPS = ("intern", "intersect", "with", "without")
 
     def __init__(self) -> None:
         empty: frozenset[int] = frozenset()
@@ -88,6 +95,21 @@ class LocksetTable:
         #: these without ever materialising a frozenset.
         self._with: dict[tuple[int, int], int] = {}
         self._without: dict[tuple[int, int], int] = {}
+        #: Per-operation memo effectiveness.  Plain int *slots*, not a
+        #: dict: these bump on the per-access hot path, and a slotted
+        #: attribute add is the cheapest counter Python has.  Read by
+        #: the telemetry layer via :meth:`stats`; ``intersect`` hits
+        #: include the ``a == b`` / empty-set shortcuts — they answer
+        #: without touching a frozenset, which is what the hit rate is
+        #: measuring.
+        self._intern_hits = 0
+        self._intern_misses = 0
+        self._isect_hits = 0
+        self._isect_misses = 0
+        self._with_hits = 0
+        self._with_misses = 0
+        self._wo_hits = 0
+        self._wo_misses = 0
 
     def id_of(self, locks) -> int:
         """Intern ``locks`` (any iterable of lock ids) and return its id."""
@@ -97,6 +119,9 @@ class LocksetTable:
             sid = len(self._sets)
             self._sets.append(s)
             self._ids[s] = sid
+            self._intern_misses += 1
+        else:
+            self._intern_hits += 1
         return sid
 
     def members(self, sid: int) -> frozenset[int]:
@@ -106,14 +131,19 @@ class LocksetTable:
     def intersect(self, a: int, b: int) -> int:
         """Id of ``members(a) & members(b)`` (memoized, symmetric)."""
         if a == b:
+            self._isect_hits += 1
             return a
         if a == EMPTY_ID or b == EMPTY_ID:
+            self._isect_hits += 1
             return EMPTY_ID
         key = (a, b) if a < b else (b, a)
         cached = self._isect.get(key)
         if cached is None:
+            self._isect_misses += 1
             cached = self.id_of(self._sets[a] & self._sets[b])
             self._isect[key] = cached
+        else:
+            self._isect_hits += 1
         return cached
 
     def with_lock(self, sid: int, lock_id: int) -> int:
@@ -125,9 +155,12 @@ class LocksetTable:
         key = (sid, lock_id)
         cached = self._with.get(key)
         if cached is None:
+            self._with_misses += 1
             members = self._sets[sid]
             cached = sid if lock_id in members else self.id_of(members | {lock_id})
             self._with[key] = cached
+        else:
+            self._with_hits += 1
         return cached
 
     def without_lock(self, sid: int, lock_id: int) -> int:
@@ -135,10 +168,31 @@ class LocksetTable:
         key = (sid, lock_id)
         cached = self._without.get(key)
         if cached is None:
+            self._wo_misses += 1
             members = self._sets[sid]
             cached = self.id_of(members - {lock_id}) if lock_id in members else sid
             self._without[key] = cached
+        else:
+            self._wo_hits += 1
         return cached
+
+    def stats(self) -> dict[str, int]:
+        """Interning/memo effectiveness (telemetry input).
+
+        Keys: ``size`` plus ``{op}_hits`` / ``{op}_misses`` for each of
+        ``intern``, ``intersect``, ``with``, ``without``.
+        """
+        return {
+            "size": len(self._sets),
+            "intern_hits": self._intern_hits,
+            "intern_misses": self._intern_misses,
+            "intersect_hits": self._isect_hits,
+            "intersect_misses": self._isect_misses,
+            "with_hits": self._with_hits,
+            "with_misses": self._with_misses,
+            "without_hits": self._wo_hits,
+            "without_misses": self._wo_misses,
+        }
 
     def __len__(self) -> int:
         """Number of distinct lock-sets interned so far."""
@@ -297,6 +351,46 @@ class LocksetMachine:
         #: default: it stores a stack per shadow word.
         self.access_history = False
         self._words: dict[int, ShadowWord] = {}
+        #: ``(prev WordState, new WordState) -> count`` when transition
+        #: tracking is on (the telemetry layer's Figure-5-style matrix);
+        #: ``None`` — and zero per-access cost — otherwise.
+        self.transition_counts: dict[tuple[WordState, WordState], int] | None = None
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+
+    def enable_transition_tracking(self) -> None:
+        """Start recording the state-transition matrix.
+
+        Implemented by shadowing :meth:`access` with a counting wrapper
+        *on this instance*, so the untracked machine keeps the PR-1
+        fast path untouched (no per-access ``if``).
+        """
+        if self.transition_counts is None:
+            self.transition_counts = {}
+            self.access = self._traced_access  # instance attr wins lookup
+
+    def _traced_access(
+        self, addr: int, tid: int, *, is_write: bool, locks_any, locks_write
+    ) -> "LocksetOutcome":
+        outcome = LocksetMachine.access(
+            self, addr, tid, is_write=is_write,
+            locks_any=locks_any, locks_write=locks_write,
+        )
+        word = self._words.get(addr)
+        new_state = word.state if word is not None else WordState.NEW
+        key = (outcome.prev_state, new_state)
+        counts = self.transition_counts
+        counts[key] = counts.get(key, 0) + 1
+        return outcome
+
+    def state_distribution(self) -> dict[WordState, int]:
+        """Tracked shadow words by current state (Figure-5 material)."""
+        dist: dict[WordState, int] = {}
+        for word in self._words.values():
+            dist[word.state] = dist.get(word.state, 0) + 1
+        return dist
 
     # ------------------------------------------------------------------
     # Shadow-memory lifecycle

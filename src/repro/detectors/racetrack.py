@@ -72,6 +72,9 @@ class RaceTrackDetector(EventDispatcher):
     :class:`DjitDetector`: a pair of bus-locked accesses never races.
     """
 
+    #: ``detector`` label value in the telemetry layer.
+    telemetry_name = "racetrack"
+
     def __init__(self, *, atomic_aware: bool = True) -> None:
         self.report = Report()
         self.atomic_aware = atomic_aware
@@ -198,6 +201,15 @@ class RaceTrackDetector(EventDispatcher):
         )
 
     # ------------------------------------------------------------------
+
+    def telemetry_summary(self) -> dict[str, float]:
+        """Size gauges for ``repro_detector_state`` (telemetry layer)."""
+        plural = sum(1 for s in self._state.values() if len(s.threadset) > 1)
+        return {
+            "tracked_words": len(self._state),
+            "plural_words": plural,
+            "hb_thread_clocks": len(self._hb._clocks),
+        }
 
     def threadset_of(self, addr: int) -> dict[int, tuple[int, bool]]:
         """Current threadset of a word, as ``tid -> (clock, wrote)``."""

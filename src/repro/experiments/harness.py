@@ -103,12 +103,18 @@ def run_proxy_case(
     bugs: frozenset[str] = EVALUATION_BUGS,
     detector=None,
     step_limit: int = 10_000_000,
+    telemetry=None,
 ) -> ExperimentRun:
     """Run one test case under one detector configuration.
 
     The build is instrumented exactly when the detector configuration
     honours the annotation (the ``HWLC+DR`` column) — mirroring the
     paper, where the third run is the one with the annotated build.
+
+    ``telemetry`` (a :class:`repro.telemetry.Telemetry`, or ``None``)
+    is attached to the VM before the run and harvested after it; the
+    run itself is wrapped in a ``case/config`` phase span.  Passing
+    ``None`` (the default) keeps the PR-1 fast path untouched.
     """
     det_config = _detector_config(config_name)
     truth = GroundTruth()
@@ -121,13 +127,21 @@ def run_proxy_case(
         truth=truth,
     )
     det = detector if detector is not None else HelgrindDetector(det_config)
+    instrumented = telemetry is not None and telemetry.enabled
     vm = VM(
         detectors=(det,),
         scheduler=RandomScheduler(seed),
         step_limit=step_limit,
+        telemetry=telemetry if instrumented else None,
     )
     start = time.perf_counter()
-    proxy_result = vm.run(proxy.main, case.wires)
+    if instrumented:
+        telemetry.attach(vm)
+        with telemetry.phase(f"{case.case_id}/{config_name}"):
+            proxy_result = vm.run(proxy.main, case.wires)
+        telemetry.record_run(vm, label=f"{case.case_id}/{config_name}")
+    else:
+        proxy_result = vm.run(proxy.main, case.wires)
     wall = time.perf_counter() - start
     return ExperimentRun(
         case_id=case.case_id,
@@ -140,16 +154,33 @@ def run_proxy_case(
     )
 
 
-def _figure6_cell(payload: tuple) -> tuple[str, str, ExperimentRun]:
+def _figure6_cell(payload: tuple) -> tuple[str, str, ExperimentRun, dict | None]:
     """Worker entry point: run one (case × config) cell.
 
     Module-level (picklable) so :class:`ProcessPoolExecutor` can ship it
     to a worker; returns its coordinates so the parent can reassemble
     the table deterministically regardless of completion order.
+
+    When ``collect_metrics`` is set the worker instruments its run with
+    a process-local :class:`~repro.telemetry.Telemetry` and ships the
+    resulting *snapshot* (plain dicts — picklable) home; the parent
+    folds it into its own registry (:meth:`Telemetry.merge_snapshot`).
+    Previously these per-run stats were simply dropped on the floor in
+    parallel mode.  The snapshot rides alongside the run instead of
+    inside it, so table assembly — and therefore the rendered report —
+    is bit-identical with metrics on or off.
     """
-    case, config_name, seed, mode = payload
-    run = run_proxy_case(case, config_name, seed=seed, mode=mode)
-    return case.case_id, config_name, run
+    case, config_name, seed, mode, collect_metrics = payload
+    telemetry = None
+    if collect_metrics:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+    run = run_proxy_case(
+        case, config_name, seed=seed, mode=mode, telemetry=telemetry
+    )
+    snapshot = telemetry.snapshot() if telemetry is not None else None
+    return case.case_id, config_name, run, snapshot
 
 
 def run_figure6(
@@ -158,6 +189,7 @@ def run_figure6(
     seed: int = 42,
     mode: str = "thread-per-request",
     workers: int | None = None,
+    telemetry=None,
 ) -> list[Figure6Row]:
     """The full evaluation: T1-T8 × {Original, HWLC, HWLC+DR}.
 
@@ -166,27 +198,35 @@ def run_figure6(
     default (``None`` or 1) runs them sequentially in-process.  Either
     way the produced rows are identical — cell runs are seeded and
     deterministic, and assembly preserves table order.
+
+    ``telemetry`` instruments every cell.  Sequentially the one object
+    is threaded through each run; in parallel each worker collects into
+    its own registry and the parent merges the returned snapshots.  The
+    aggregates agree up to wall-clock timings and warm-table effects
+    (N worker processes have N cold interning tables, so memo-miss
+    tallies are correspondingly higher than one shared warm table's).
     """
     case_list = list(cases) if cases is not None else evaluation_cases()
     if workers is not None and workers > 1:
-        return _run_figure6_parallel(case_list, seed, mode, workers)
+        return _run_figure6_parallel(case_list, seed, mode, workers, telemetry)
     rows: list[Figure6Row] = []
     for case in case_list:
         row = Figure6Row(case.case_id)
         for config_name in EVAL_CONFIGS:
             row.runs[config_name] = run_proxy_case(
-                case, config_name, seed=seed, mode=mode
+                case, config_name, seed=seed, mode=mode, telemetry=telemetry
             )
         rows.append(row)
     return rows
 
 
 def _run_figure6_parallel(
-    cases: list[TestCase], seed: int, mode: str, workers: int
+    cases: list[TestCase], seed: int, mode: str, workers: int, telemetry=None
 ) -> list[Figure6Row]:
     """Fan the 24 independent cells across ``workers`` processes."""
+    collect = telemetry is not None and telemetry.enabled
     jobs = [
-        (case, config_name, seed, mode)
+        (case, config_name, seed, mode, collect)
         for case in cases
         for config_name in EVAL_CONFIGS
     ]
@@ -194,8 +234,10 @@ def _run_figure6_parallel(
         case.case_id: Figure6Row(case.case_id) for case in cases
     }
     with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
-        for case_id, config_name, run in pool.map(_figure6_cell, jobs):
+        for case_id, config_name, run, snapshot in pool.map(_figure6_cell, jobs):
             by_case[case_id].runs[config_name] = run
+            if snapshot is not None and collect:
+                telemetry.merge_snapshot(snapshot)
     # Deterministic assembly: original case order, regardless of the
     # order in which workers finished.
     return [by_case[case.case_id] for case in cases]

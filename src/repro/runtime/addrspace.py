@@ -109,6 +109,12 @@ class AddressSpace:
         #: integer compares, no bisect.
         self._last_block: MemoryBlock | None = None
         self._prev_block: MemoryBlock | None = None
+        #: Cache effectiveness tallies (plain ints: one add per access,
+        #: cheap enough to keep unconditionally; read by the telemetry
+        #: layer via :meth:`cache_stats`).
+        self._cache_hits_last = 0
+        self._cache_hits_prev = 0
+        self._cache_misses = 0
 
     # ------------------------------------------------------------------
     # Allocation
@@ -207,6 +213,7 @@ class AddressSpace:
             and not cached.freed
             and cached.base <= addr < cached.base + cached.size
         ):
+            self._cache_hits_last += 1
             return cached
         cached = self._prev_block
         if (
@@ -217,7 +224,9 @@ class AddressSpace:
             # Promote: keep the two hottest blocks in the cache.
             self._prev_block = self._last_block
             self._last_block = cached
+            self._cache_hits_prev += 1
             return cached
+        self._cache_misses += 1
         block = self.find_block(addr)
         if block is None:
             raise GuestFault(f"wild access to unmapped address {addr:#x}", tid=tid)
@@ -272,6 +281,18 @@ class AddressSpace:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+
+    def cache_stats(self) -> dict[str, int]:
+        """Two-entry block-cache effectiveness (telemetry input).
+
+        ``hits_last``/``hits_prev`` are hits on the most-recent / the
+        promoted second entry; ``misses`` fell back to the bisect.
+        """
+        return {
+            "hits_last": self._cache_hits_last,
+            "hits_prev": self._cache_hits_prev,
+            "misses": self._cache_misses,
+        }
 
     @property
     def block_count(self) -> int:

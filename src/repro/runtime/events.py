@@ -39,6 +39,7 @@ __all__ = [
     "CallStack",
     "intern_frame",
     "intern_stack",
+    "intern_stats",
     "Event",
     "MemoryAccess",
     "MemAlloc",
@@ -123,6 +124,12 @@ _EMPTY_STACK: CallStack = ()
 _FRAME_INTERN: dict[Frame, Frame] = {}
 _STACK_INTERN: dict[CallStack, CallStack] = {_EMPTY_STACK: _EMPTY_STACK}
 
+#: Interning effectiveness tallies (telemetry input; ``intern_stack``
+#: only runs on guest frame-stack *changes*, so the counting is off the
+#: per-event fast path).
+_STACK_HITS = 0
+_STACK_MISSES = 0
+
 
 def intern_frame(frame: Frame) -> Frame:
     """Return the canonical instance equal to ``frame``."""
@@ -136,9 +143,12 @@ def intern_stack(stack: CallStack) -> CallStack:
     well, so shared prefixes/suffixes across different stacks also share
     their :class:`Frame` objects.
     """
+    global _STACK_HITS, _STACK_MISSES
     cached = _STACK_INTERN.get(stack)
     if cached is not None:
+        _STACK_HITS += 1
         return cached
+    _STACK_MISSES += 1
     canonical: CallStack = tuple(_FRAME_INTERN.setdefault(f, f) for f in stack)
     return _STACK_INTERN.setdefault(canonical, canonical)
 
@@ -146,6 +156,21 @@ def intern_stack(stack: CallStack) -> CallStack:
 def intern_table_sizes() -> tuple[int, int]:
     """(distinct frames, distinct stacks) — introspection for tests."""
     return len(_FRAME_INTERN), len(_STACK_INTERN)
+
+
+def intern_stats() -> dict[str, int]:
+    """ExeContext-table effectiveness (telemetry input).
+
+    ``stack_hits`` are :func:`intern_stack` calls answered from the
+    table, ``stack_misses`` interned a new canonical stack; the two
+    sizes are the distinct-object populations.
+    """
+    return {
+        "frames": len(_FRAME_INTERN),
+        "stacks": len(_STACK_INTERN),
+        "stack_hits": _STACK_HITS,
+        "stack_misses": _STACK_MISSES,
+    }
 
 
 @dataclass(frozen=True, slots=True)

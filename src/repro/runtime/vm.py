@@ -152,6 +152,7 @@ class VM:
         scheduler: Scheduler | None = None,
         step_limit: int = 2_000_000,
         detectors: tuple = (),
+        telemetry=None,
     ) -> None:
         self.scheduler = scheduler or RoundRobinScheduler()
         self.step_limit = step_limit
@@ -172,6 +173,14 @@ class VM:
         #: ``handle`` method, e.g. a trace recorder) subscribe to every
         #: type, preserving the original ABI.
         self._dispatch: dict[type, tuple] = {}
+        #: Optional observability hook (:class:`repro.telemetry.probe
+        #: .Telemetry`).  Consulted only at route-*build* time (once per
+        #: event type per run), so a ``None`` here keeps the per-event
+        #: emit path identical to the uninstrumented fast path — the
+        #: telemetry subsystem's zero-overhead-when-disabled guarantee.
+        self._telemetry = (
+            telemetry if telemetry is not None and telemetry.enabled else None
+        )
         self._tid_ids = IdAllocator()
         self._lock_ids = IdAllocator()
         self._cond_ids = IdAllocator()
@@ -267,16 +276,24 @@ class VM:
             raise StepLimitExceeded(self.step_limit)
 
     def _build_routes(self, etype: type) -> tuple:
-        """Resolve which hooks want ``etype`` (cached in ``_dispatch``)."""
+        """Resolve which hooks want ``etype`` (cached in ``_dispatch``).
+
+        When a telemetry object is attached, every resolved handler is
+        wrapped in its timing closure *here* — once per event type —
+        so the per-event path never tests whether telemetry is on.
+        """
+        telemetry = self._telemetry
         handlers = []
         for hook in self._hooks:
             resolver = getattr(hook, "handler_for", None)
             if resolver is None:
-                handlers.append(hook.handle)  # legacy ABI: sees everything
+                fn = hook.handle  # legacy ABI: sees everything
             else:
                 fn = resolver(etype)
-                if fn is not None:
-                    handlers.append(fn)
+            if fn is not None:
+                if telemetry is not None:
+                    fn = telemetry.wrap_handler(hook, etype, fn)
+                handlers.append(fn)
         routes = tuple(handlers)
         self._dispatch[etype] = routes
         return routes

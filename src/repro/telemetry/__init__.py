@@ -1,0 +1,69 @@
+"""Observability for the analysis pipeline: metrics, tracing, exporters.
+
+The paper's contribution is *measurement* — instrumentation overhead
+factors (§4.5), warning-count reductions per improvement (Figure 6),
+memory-state distributions (Figure 5) — and this package makes the
+reproduction's own pipeline measurable the same way:
+
+* :mod:`~repro.telemetry.metrics` — counters, gauges, bucketed
+  histograms, and a label-aware :class:`MetricsRegistry` with
+  deterministic snapshots and cross-process merging.
+* :mod:`~repro.telemetry.tracing` — span recording exported as Chrome
+  ``chrome://tracing`` / Perfetto trace-event JSON.
+* :mod:`~repro.telemetry.probe` — :class:`Telemetry`, the facade that
+  attaches both to a :class:`~repro.runtime.vm.VM` (per-detector busy
+  time per event batch, cache hit rates, the state-transition matrix).
+* :mod:`~repro.telemetry.exporters` — Prometheus text exposition and
+  JSON snapshot writers.
+* :mod:`~repro.telemetry.schema` — structural snapshot validation
+  (``python -m repro.telemetry.schema``), used by the CI smoke job.
+
+Design rule: **near-zero overhead when disabled**.  Nothing here runs
+on the VM's per-event fast path unless a :class:`Telemetry` object is
+attached; the only integration point is route-build time
+(:meth:`repro.runtime.vm.VM._build_routes`), which executes once per
+event *type* per run.  See ``docs/OBSERVABILITY.md`` for the metric
+catalogue and ``BENCH_telemetry.json`` for the measured overhead.
+"""
+
+from repro.telemetry.exporters import (
+    prom_path_for,
+    to_console,
+    to_json,
+    to_prometheus,
+    write_metrics,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    SNAPSHOT_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.probe import DETECTOR_BATCH_EVENTS, Telemetry
+from repro.telemetry.tracing import VM_TRACK, Tracer
+
+# NOTE: repro.telemetry.schema is deliberately NOT imported here — it is
+# run as ``python -m repro.telemetry.schema`` by CI, and importing it
+# from the package __init__ would trip runpy's found-in-sys.modules
+# warning.  Import it explicitly: ``from repro.telemetry.schema import
+# validate_snapshot``.
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "DETECTOR_BATCH_EVENTS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SNAPSHOT_VERSION",
+    "Telemetry",
+    "Tracer",
+    "VM_TRACK",
+    "prom_path_for",
+    "to_console",
+    "to_json",
+    "to_prometheus",
+    "write_metrics",
+]

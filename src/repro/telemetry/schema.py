@@ -1,0 +1,156 @@
+"""Structural validation of metrics-snapshot JSON documents.
+
+CI runs ``repro report --metrics-out m.json`` and then::
+
+    python -m repro.telemetry.schema m.json
+
+to catch layout drift without adding a ``jsonschema`` dependency (the
+container and the CI image only carry the pytest toolchain).  The
+checks are deliberately structural — names, types, label shapes,
+histogram invariants — not value assertions; value-level expectations
+live in ``tests/telemetry/``.
+
+:func:`validate_snapshot` returns a list of human-readable problems
+(empty = valid) so tests can assert on specific failures.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.telemetry.metrics import SNAPSHOT_VERSION
+
+__all__ = ["validate_snapshot", "main"]
+
+_VALID_TYPES = ("counter", "gauge", "histogram")
+
+#: Metric families the pipeline always emits for an instrumented run
+#: (the CI smoke job asserts their presence on top of structure).
+REQUIRED_FAMILIES = (
+    "repro_events_total",
+    "repro_vm_route_builds_total",
+    "repro_block_cache_hits_total",
+    "repro_lockset_table_size",
+    "repro_detector_events_total",
+    "repro_detector_busy_seconds_total",
+)
+
+
+def _check_sample(name: str, kind: str, sample: object, problems: list[str]) -> None:
+    where = f"{name}: sample {sample!r}"
+    if not isinstance(sample, dict):
+        problems.append(f"{where}: not an object")
+        return
+    labels = sample.get("labels", {})
+    if not isinstance(labels, dict) or not all(
+        isinstance(k, str) and isinstance(v, str) for k, v in labels.items()
+    ):
+        problems.append(f"{name}: labels must be a string->string object")
+    if kind == "histogram":
+        for key in ("buckets", "counts", "sum", "count"):
+            if key not in sample:
+                problems.append(f"{name}: histogram sample missing {key!r}")
+                return
+        buckets, counts = sample["buckets"], sample["counts"]
+        if not isinstance(buckets, list) or not all(
+            isinstance(b, (int, float)) for b in buckets
+        ):
+            problems.append(f"{name}: buckets must be a list of numbers")
+            return
+        if sorted(buckets) != buckets:
+            problems.append(f"{name}: buckets must be sorted ascending")
+        if not isinstance(counts, list) or len(counts) != len(buckets) + 1:
+            problems.append(
+                f"{name}: counts must have len(buckets)+1 entries "
+                f"(got {len(counts) if isinstance(counts, list) else counts!r})"
+            )
+            return
+        if not all(isinstance(c, int) and c >= 0 for c in counts):
+            problems.append(f"{name}: counts must be non-negative integers")
+        if isinstance(sample["count"], int) and sum(counts) != sample["count"]:
+            problems.append(
+                f"{name}: bucket counts sum to {sum(counts)} but count is "
+                f"{sample['count']}"
+            )
+    else:
+        value = sample.get("value")
+        if not isinstance(value, (int, float)):
+            problems.append(f"{name}: sample value must be a number, got {value!r}")
+        elif kind == "counter" and value < 0:
+            problems.append(f"{name}: counter value {value} is negative")
+
+
+def validate_snapshot(
+    snapshot: object, *, require_families: tuple[str, ...] = ()
+) -> list[str]:
+    """Return a list of problems with ``snapshot`` (empty = valid)."""
+    problems: list[str] = []
+    if not isinstance(snapshot, dict):
+        return [f"snapshot must be an object, got {type(snapshot).__name__}"]
+    if snapshot.get("version") != SNAPSHOT_VERSION:
+        problems.append(
+            f"version must be {SNAPSHOT_VERSION}, got {snapshot.get('version')!r}"
+        )
+    metrics = snapshot.get("metrics")
+    if not isinstance(metrics, dict):
+        problems.append("snapshot.metrics must be an object")
+        return problems
+    for name, family in metrics.items():
+        if not isinstance(family, dict):
+            problems.append(f"{name}: family must be an object")
+            continue
+        kind = family.get("type")
+        if kind not in _VALID_TYPES:
+            problems.append(f"{name}: unknown metric type {kind!r}")
+            continue
+        samples = family.get("samples")
+        if not isinstance(samples, list) or not samples:
+            problems.append(f"{name}: samples must be a non-empty list")
+            continue
+        seen_labels = set()
+        for sample in samples:
+            _check_sample(name, kind, sample, problems)
+            if isinstance(sample, dict) and isinstance(sample.get("labels", {}), dict):
+                key = tuple(sorted(sample.get("labels", {}).items()))
+                if key in seen_labels:
+                    problems.append(f"{name}: duplicate label set {dict(key)!r}")
+                seen_labels.add(key)
+    for name in require_families:
+        if name not in metrics:
+            problems.append(f"required metric family {name!r} missing")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    strict = "--require-pipeline-families" in args
+    paths = [a for a in args if not a.startswith("--")]
+    if not paths:
+        print(
+            "usage: python -m repro.telemetry.schema "
+            "[--require-pipeline-families] SNAPSHOT.json...",
+            file=sys.stderr,
+        )
+        return 2
+    status = 0
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as fh:
+            snapshot = json.load(fh)
+        problems = validate_snapshot(
+            snapshot,
+            require_families=REQUIRED_FAMILIES if strict else (),
+        )
+        if problems:
+            status = 1
+            print(f"{path}: INVALID")
+            for problem in problems:
+                print(f"  - {problem}")
+        else:
+            families = len(snapshot.get("metrics", {}))
+            print(f"{path}: ok ({families} metric families)")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in CI
+    raise SystemExit(main())

@@ -1,0 +1,172 @@
+"""Span-based tracing with Chrome trace-event export.
+
+The §4.5 decomposition — "how much of the wall clock is the VM, how much
+is the analysis?" — is a *timeline* question, and the easiest way to see
+a timeline is to load it into ``chrome://tracing`` / Perfetto.  This
+module records spans in the `Trace Event Format`_ (the ``X`` complete-
+event flavour plus ``i`` instants and ``M`` metadata), on logical
+tracks:
+
+* track 0 — the VM / harness (``vm.run`` spans, experiment cells),
+* one track per detector — per-event-batch busy spans emitted by the
+  probe layer (:mod:`repro.telemetry.probe`).
+
+Timestamps are microseconds since the tracer was created (Chrome's
+expected unit), taken from ``time.perf_counter`` so spans nest
+consistently with the wall-clock metrics.
+
+.. _Trace Event Format:
+   https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+
+__all__ = ["Tracer", "VM_TRACK"]
+
+#: Logical track (Chrome "thread id") for VM- and harness-level spans.
+VM_TRACK = 0
+
+
+class Tracer:
+    """Collects Chrome trace events in memory.
+
+    The tracer is append-only and cheap: one dict per recorded span.
+    Per-*event* spans would drown the timeline (and the run), so the
+    probe layer batches handler invocations and reports one span per
+    batch — the tracer itself is agnostic.
+    """
+
+    def __init__(self, *, pid: int = 1) -> None:
+        self.pid = pid
+        self.events: list[dict] = []
+        self._t0 = time.perf_counter()
+        self._tracks: dict[str, int] = {"vm": VM_TRACK}
+        self._named: set[int] = set()
+        self._name_track("vm", VM_TRACK)
+
+    # ------------------------------------------------------------------
+    # Track management
+    # ------------------------------------------------------------------
+
+    def track(self, name: str) -> int:
+        """Stable small-int track id for ``name`` (created on first use)."""
+        tid = self._tracks.get(name)
+        if tid is None:
+            tid = len(self._tracks)
+            self._tracks[name] = tid
+            self._name_track(name, tid)
+        return tid
+
+    def _name_track(self, name: str, tid: int) -> None:
+        if tid in self._named:
+            return
+        self._named.add(tid)
+        self.events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": self.pid,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def now(self) -> float:
+        """Seconds since tracer creation (the tracer's clock)."""
+        return time.perf_counter() - self._t0
+
+    def complete(
+        self,
+        name: str,
+        *,
+        start: float,
+        duration: float,
+        track: int = VM_TRACK,
+        category: str = "repro",
+        args: dict | None = None,
+    ) -> None:
+        """Record a finished span (``start``/``duration`` in tracer seconds)."""
+        event = {
+            "name": name,
+            "cat": category,
+            "ph": "X",
+            "pid": self.pid,
+            "tid": track,
+            "ts": round(start * 1e6, 3),
+            "dur": round(duration * 1e6, 3),
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def instant(
+        self,
+        name: str,
+        *,
+        track: int = VM_TRACK,
+        category: str = "repro",
+        args: dict | None = None,
+    ) -> None:
+        event = {
+            "name": name,
+            "cat": category,
+            "ph": "i",
+            "s": "t",
+            "pid": self.pid,
+            "tid": track,
+            "ts": round(self.now() * 1e6, 3),
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        *,
+        track: int = VM_TRACK,
+        category: str = "repro",
+        args: dict | None = None,
+    ):
+        """Context manager recording one complete span around the block."""
+        start = self.now()
+        try:
+            yield self
+        finally:
+            self.complete(
+                name,
+                start=start,
+                duration=self.now() - start,
+                track=track,
+                category=category,
+                args=args,
+            )
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def to_chrome(self) -> dict:
+        """The ``chrome://tracing`` / Perfetto JSON object."""
+        return {
+            "traceEvents": list(self.events),
+            "displayTimeUnit": "ms",
+            "otherData": {"generator": "repro.telemetry"},
+        }
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_chrome(), fh, indent=1)
+            fh.write("\n")
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,102 @@
+"""Unit tests for the Prometheus / JSON / console exporters."""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry.exporters import (
+    prom_path_for,
+    to_console,
+    to_json,
+    to_prometheus,
+    write_metrics,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def _registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter(
+        "repro_events_total", {"kind": "MemRead"}, help="Events by kind."
+    ).inc(100)
+    reg.counter("repro_events_total", {"kind": "MemWrite"}).inc(40)
+    reg.gauge("repro_lockset_table_size", help="Interned sets.").set(12)
+    reg.histogram("repro_batch_seconds", buckets=(0.001, 0.01)).observe(0.005)
+    return reg
+
+
+class TestPrometheus:
+    def test_help_type_and_samples(self):
+        text = to_prometheus(_registry().snapshot())
+        assert "# HELP repro_events_total Events by kind." in text
+        assert "# TYPE repro_events_total counter" in text
+        assert 'repro_events_total{kind="MemRead"} 100' in text
+        assert "# TYPE repro_lockset_table_size gauge" in text
+        assert "repro_lockset_table_size 12" in text
+
+    def test_histogram_cumulative_le_form(self):
+        text = to_prometheus(_registry().snapshot())
+        assert 'repro_batch_seconds_bucket{le="0.001"} 0' in text
+        assert 'repro_batch_seconds_bucket{le="0.01"} 1' in text
+        assert 'repro_batch_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_batch_seconds_sum 0.005" in text
+        assert "repro_batch_seconds_count 1" in text
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", {"k": 'quote " back \\ nl\n'}).inc(1)
+        text = to_prometheus(reg.snapshot())
+        assert r"\"" in text and r"\\" in text and r"\n" in text
+        assert "\n\n" not in text.rstrip("\n") + "\n"
+
+    def test_deterministic(self):
+        assert to_prometheus(_registry().snapshot()) == to_prometheus(
+            _registry().snapshot()
+        )
+
+
+class TestJson:
+    def test_round_trips(self):
+        snap = _registry().snapshot()
+        assert json.loads(to_json(snap)) == snap
+
+    def test_byte_deterministic(self):
+        assert to_json(_registry().snapshot()) == to_json(_registry().snapshot())
+
+
+class TestConsole:
+    def test_renders_curated_sections(self):
+        reg = _registry()
+        reg.counter("repro_vm_route_builds_total").inc(4)
+        reg.counter("repro_vm_route_cache_hits_total").inc(996)
+        reg.counter("repro_block_cache_hits_total", {"slot": "last"}).inc(50)
+        reg.counter("repro_block_cache_hits_total", {"slot": "prev"}).inc(10)
+        reg.counter("repro_block_cache_misses_total").inc(40)
+        text = to_console(reg.snapshot())
+        assert "events (140 total)" in text
+        assert "MemRead" in text
+        assert "99.6%" in text  # route-cache hit rate
+        assert "60.0%" in text  # block-cache hit rate
+        assert "12 interned sets" in text
+
+    def test_tolerates_partial_snapshots(self):
+        # A snapshot with only one family must still render.
+        reg = MetricsRegistry()
+        reg.counter("repro_events_total", {"kind": "Lock"}).inc(2)
+        text = to_console(reg.snapshot())
+        assert "events (2 total)" in text
+
+    def test_tolerates_empty_snapshot(self):
+        text = to_console(MetricsRegistry().snapshot())
+        assert "caches" in text  # still prints the skeleton, no crash
+
+
+class TestWriteMetrics:
+    def test_writes_json_and_prom_twin(self, tmp_path):
+        path = tmp_path / "m.json"
+        twin = write_metrics(str(path), _registry().snapshot())
+        assert twin == prom_path_for(str(path)) == str(path) + ".prom"
+        doc = json.loads(path.read_text())
+        assert doc["version"] == 1
+        prom = (tmp_path / "m.json.prom").read_text()
+        assert "# TYPE repro_events_total counter" in prom

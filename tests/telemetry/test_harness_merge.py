@@ -1,0 +1,88 @@
+"""The parallel harness satellite: worker metric snapshots merge home.
+
+One case (T1) through all three detector configurations, sequentially
+and with two worker processes.  The rows — and therefore the rendered
+report — must be identical either way, and the parent's merged registry
+must agree with the sequential one on every deterministic family.
+
+Wall-clock counters (phase seconds, detector busy seconds) and the
+warm-vs-cold interning tallies legitimately differ between the two
+execution shapes (N worker processes = N cold tables), so the
+comparison is on the run-derived families, not the timings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import figure6_table
+from repro.experiments.harness import run_figure6
+from repro.sip.workload import evaluation_cases
+from repro.telemetry import Telemetry
+from repro.telemetry.schema import REQUIRED_FAMILIES, validate_snapshot
+
+#: Families whose values are functions of the (seeded) runs alone.
+_DETERMINISTIC = (
+    "repro_events_total",
+    "repro_warning_locations",
+    "repro_warnings_dynamic_total",
+    "repro_detector_events_total",
+    "repro_runs_total",
+    "repro_vm_route_builds_total",
+    "repro_state_transitions_total",
+)
+
+
+def _values(snapshot: dict, name: str) -> dict:
+    family = snapshot["metrics"].get(name, {"samples": []})
+    return {
+        tuple(sorted((s.get("labels") or {}).items())): s["value"]
+        for s in family["samples"]
+    }
+
+
+@pytest.mark.slow
+class TestParallelMerge:
+    @pytest.fixture(scope="class")
+    def sweeps(self):
+        cases = [c for c in evaluation_cases() if c.case_id == "T1"]
+        seq_tel, par_tel = Telemetry(), Telemetry()
+        seq_rows = run_figure6(cases, seed=42, telemetry=seq_tel)
+        par_rows = run_figure6(cases, seed=42, workers=2, telemetry=par_tel)
+        return seq_rows, seq_tel.snapshot(), par_rows, par_tel.snapshot()
+
+    def test_rows_bit_identical(self, sweeps):
+        seq_rows, _, par_rows, _ = sweeps
+        assert figure6_table(seq_rows) == figure6_table(par_rows)
+
+    def test_merged_snapshot_passes_schema(self, sweeps):
+        _, _, _, par_snap = sweeps
+        assert (
+            validate_snapshot(par_snap, require_families=REQUIRED_FAMILIES)
+            == []
+        )
+
+    @pytest.mark.parametrize("family", _DETERMINISTIC)
+    def test_deterministic_families_agree(self, sweeps, family):
+        _, seq_snap, _, par_snap = sweeps
+        assert _values(seq_snap, family) == _values(par_snap, family)
+
+    def test_runs_total_counts_all_cells(self, sweeps):
+        _, seq_snap, _, par_snap = sweeps
+        # T1 × {original, hwlc, hwlc+dr} = 3 cells.
+        assert _values(seq_snap, "repro_runs_total")[()] == 3
+        assert _values(par_snap, "repro_runs_total")[()] == 3
+
+    def test_timing_families_present_in_merged(self, sweeps):
+        _, _, _, par_snap = sweeps
+        assert "repro_detector_busy_seconds_total" in par_snap["metrics"]
+        assert "repro_phase_seconds_total" in par_snap["metrics"]
+        phases = _values(par_snap, "repro_phase_seconds_total")
+        assert (("phase", "T1/hwlc+dr"),) in phases
+
+
+def test_uninstrumented_sweep_unchanged():
+    """telemetry=None keeps both sequential and parallel paths inert."""
+    cases = [c for c in evaluation_cases() if c.case_id == "T1"]
+    rows = run_figure6(cases, seed=42)
+    assert len(rows) == 1 and rows[0].case_id == "T1"

@@ -1,0 +1,111 @@
+"""Unit tests for the snapshot schema validator (the CI smoke check)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry.metrics import SNAPSHOT_VERSION, MetricsRegistry
+from repro.telemetry.schema import REQUIRED_FAMILIES, main, validate_snapshot
+
+
+def _valid() -> dict:
+    reg = MetricsRegistry()
+    reg.counter("repro_events_total", {"kind": "MemRead"}).inc(10)
+    reg.gauge("repro_lockset_table_size").set(3)
+    reg.histogram("repro_batch", buckets=(0.1, 1.0)).observe(0.5)
+    return reg.snapshot()
+
+
+class TestValidateSnapshot:
+    def test_registry_snapshot_is_valid(self):
+        assert validate_snapshot(_valid()) == []
+
+    def test_non_dict_rejected(self):
+        assert validate_snapshot([1, 2]) != []
+
+    def test_bad_version(self):
+        snap = _valid()
+        snap["version"] = SNAPSHOT_VERSION + 1
+        assert any("version" in p for p in validate_snapshot(snap))
+
+    def test_unknown_type(self):
+        snap = _valid()
+        snap["metrics"]["repro_events_total"]["type"] = "summary"
+        assert any("unknown metric type" in p for p in validate_snapshot(snap))
+
+    def test_empty_samples_rejected(self):
+        snap = _valid()
+        snap["metrics"]["repro_events_total"]["samples"] = []
+        assert any("non-empty" in p for p in validate_snapshot(snap))
+
+    def test_duplicate_label_sets_rejected(self):
+        snap = _valid()
+        fam = snap["metrics"]["repro_events_total"]
+        fam["samples"].append(dict(fam["samples"][0]))
+        assert any("duplicate label set" in p for p in validate_snapshot(snap))
+
+    def test_negative_counter_rejected(self):
+        snap = _valid()
+        snap["metrics"]["repro_events_total"]["samples"][0]["value"] = -1
+        assert any("negative" in p for p in validate_snapshot(snap))
+
+    def test_histogram_count_mismatch(self):
+        snap = _valid()
+        snap["metrics"]["repro_batch"]["samples"][0]["count"] = 99
+        assert any("sum to" in p for p in validate_snapshot(snap))
+
+    def test_histogram_counts_length(self):
+        snap = _valid()
+        snap["metrics"]["repro_batch"]["samples"][0]["counts"] = [1]
+        assert any("len(buckets)+1" in p for p in validate_snapshot(snap))
+
+    def test_unsorted_buckets_rejected(self):
+        snap = _valid()
+        sample = snap["metrics"]["repro_batch"]["samples"][0]
+        sample["buckets"] = list(reversed(sample["buckets"]))
+        assert any("sorted" in p for p in validate_snapshot(snap))
+
+    def test_required_families(self):
+        problems = validate_snapshot(
+            _valid(), require_families=("repro_missing_total",)
+        )
+        assert any("repro_missing_total" in p for p in problems)
+        # The pipeline list is non-trivial and all Prometheus-legal names.
+        assert len(REQUIRED_FAMILIES) >= 5
+        assert all(name.startswith("repro_") for name in REQUIRED_FAMILIES)
+
+    def test_gauge_merge_key_is_allowed(self):
+        # Gauge samples carry a "merge" key (snapshot round-trip of the
+        # merge mode); the validator must accept the extra key.
+        snap = _valid()
+        assert snap["metrics"]["repro_lockset_table_size"]["samples"][0][
+            "merge"
+        ] == "max"
+        assert validate_snapshot(snap) == []
+
+
+class TestMain:
+    def test_valid_file_ok(self, tmp_path, capsys):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps(_valid()))
+        assert main([str(path)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_invalid_file_fails(self, tmp_path, capsys):
+        path = tmp_path / "m.json"
+        snap = _valid()
+        snap["version"] = 0
+        path.write_text(json.dumps(snap))
+        assert main([str(path)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_require_pipeline_families_flag(self, tmp_path, capsys):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps(_valid()))  # valid but not a full run
+        assert main(["--require-pipeline-families", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "required metric family" in out
+
+    def test_no_paths_usage(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().err

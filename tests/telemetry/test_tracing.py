@@ -1,0 +1,95 @@
+"""Unit tests for the Chrome trace-event tracer."""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry.tracing import VM_TRACK, Tracer
+
+
+class TestTracks:
+    def test_vm_track_is_zero_and_named(self):
+        t = Tracer()
+        assert t.track("vm") == VM_TRACK == 0
+        meta = [e for e in t.events if e["ph"] == "M"]
+        assert any(e["args"]["name"] == "vm" for e in meta)
+
+    def test_track_ids_are_stable_and_distinct(self):
+        t = Tracer()
+        a = t.track("helgrind")
+        b = t.track("djit")
+        assert a != b
+        assert t.track("helgrind") == a
+
+    def test_each_track_named_once(self):
+        t = Tracer()
+        t.track("helgrind")
+        t.track("helgrind")
+        names = [
+            e["args"]["name"]
+            for e in t.events
+            if e["ph"] == "M" and e["args"]["name"] == "helgrind"
+        ]
+        assert len(names) == 1
+
+
+class TestRecording:
+    def test_complete_event_shape(self):
+        t = Tracer()
+        t.complete("work", start=0.001, duration=0.002, args={"n": 3})
+        ev = t.events[-1]
+        assert ev["ph"] == "X"
+        assert ev["ts"] == 1000.0  # microseconds
+        assert ev["dur"] == 2000.0
+        assert ev["args"] == {"n": 3}
+
+    def test_instant_event(self):
+        t = Tracer()
+        t.instant("marker")
+        ev = t.events[-1]
+        assert ev["ph"] == "i"
+        assert ev["s"] == "t"
+
+    def test_span_context_manager(self):
+        t = Tracer()
+        before = len(t)
+        with t.span("block", category="phase"):
+            pass
+        assert len(t) == before + 1
+        ev = t.events[-1]
+        assert ev["ph"] == "X" and ev["cat"] == "phase"
+        assert ev["dur"] >= 0
+
+    def test_span_records_on_exception(self):
+        t = Tracer()
+        try:
+            with t.span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert t.events[-1]["name"] == "boom"
+
+    def test_now_is_monotonic_nonnegative(self):
+        t = Tracer()
+        a = t.now()
+        b = t.now()
+        assert 0 <= a <= b
+
+
+class TestExport:
+    def test_to_chrome_shape(self):
+        t = Tracer()
+        t.complete("work", start=0.0, duration=0.001)
+        doc = t.to_chrome()
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_write_is_valid_json(self, tmp_path):
+        t = Tracer()
+        t.track("helgrind")
+        t.complete("batch", start=0.0, duration=0.001, track=1)
+        path = tmp_path / "trace.json"
+        t.write(str(path))
+        doc = json.loads(path.read_text())
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert "X" in phases and "M" in phases

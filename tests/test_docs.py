@@ -89,3 +89,69 @@ class TestAlgorithmsDoc:
         text = (DOCS / "ALGORITHMS.md").read_text(encoding="utf-8")
         for module in set(re.findall(r"`repro/([a-z_/]+)\.py`", text)):
             importlib.import_module("repro." + module.replace("/", "."))
+
+
+class TestObservabilityDoc:
+    """docs/OBSERVABILITY.md is the metric contract — keep it honest."""
+
+    def _families_in_doc(self) -> set[str]:
+        text = (DOCS / "OBSERVABILITY.md").read_text(encoding="utf-8")
+        return set(re.findall(r"`(repro_[a-z_]+)`", text))
+
+    def test_catalogue_covers_an_instrumented_run(self):
+        from repro.detectors import HelgrindConfig, HelgrindDetector
+        from repro.experiments.performance import workload_guest
+        from repro.runtime import VM, RoundRobinScheduler
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry(trace=True, batch_events=64)
+        vm = VM(
+            scheduler=RoundRobinScheduler(),
+            detectors=(HelgrindDetector(HelgrindConfig.hwlc_dr()),),
+            telemetry=telemetry,
+        )
+        telemetry.attach(vm, time_emit=True)
+        with telemetry.phase("doc-check"):
+            vm.run(workload_guest, 2, 40)
+        telemetry.record_run(vm)
+        emitted = set(telemetry.snapshot()["metrics"])
+        documented = self._families_in_doc()
+        # Everything the pipeline emits is documented ...
+        assert emitted <= documented, emitted - documented
+        # ... and everything documented is real (emitted here, or only
+        # produced by runs with suppressions in play).
+        optional = {"repro_warnings_suppressed_total"}
+        assert documented - emitted <= optional, documented - emitted
+
+    def test_detector_summary_vocabulary_documented(self):
+        from repro.detectors import (
+            AtomizerDetector,
+            DjitDetector,
+            HelgrindConfig,
+            HelgrindDetector,
+            HighLevelRaceDetector,
+            HybridDetector,
+            LockGraphDetector,
+            RaceTrackDetector,
+        )
+
+        text = (DOCS / "OBSERVABILITY.md").read_text(encoding="utf-8")
+        detectors = (
+            HelgrindDetector(HelgrindConfig.hwlc_dr()),
+            DjitDetector(),
+            RaceTrackDetector(),
+            HybridDetector(),
+            AtomizerDetector(),
+            LockGraphDetector(),
+            HighLevelRaceDetector(),
+        )
+        for det in detectors:
+            assert f"**{det.telemetry_name}**" in text, det.telemetry_name
+            for stat in det.telemetry_summary():
+                assert f"`{stat}`" in text, (det.telemetry_name, stat)
+
+    def test_schema_required_families_documented(self):
+        from repro.telemetry.schema import REQUIRED_FAMILIES
+
+        documented = self._families_in_doc()
+        assert set(REQUIRED_FAMILIES) <= documented
