@@ -52,7 +52,7 @@ def main() -> None:
         print(f"   objection to offline mode for long-running servers)\n")
 
         # --- phase 2: post-mortem analysis -----------------------------
-        loaded = load_trace(trace_path)
+        loaded = load_trace(trace_path)  # streaming generator
         offline = HelgrindDetector(HelgrindConfig.original())
         replay(loaded, offline, vm=vm)
         print("phase 2 — post-mortem replay through Helgrind (original):")

@@ -79,6 +79,8 @@ class IntervalSet:
         return idx >= 0 and addr < self._ends[idx]
 
     def __len__(self) -> int:
+        """Number of disjoint intervals (also makes emptiness testable,
+        which lets hot paths skip the bisect entirely)."""
         return len(self._starts)
 
     def __iter__(self) -> Iterator[tuple[int, int]]:

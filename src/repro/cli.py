@@ -127,6 +127,61 @@ def _build_parser() -> argparse.ArgumentParser:
     p.set_defaults(handler=_cmd_suppress)
 
     p = sub.add_parser(
+        "trace",
+        help="record, replay and inspect offline traces (§4.5)",
+    )
+    trace_sub = p.add_subparsers(dest="trace_command")
+
+    tp = trace_sub.add_parser(
+        "record", help="run one case with a trace recorder riding along"
+    )
+    tp.add_argument("case_id", choices=[f"T{i}" for i in range(1, 9)])
+    tp.add_argument(
+        "config",
+        nargs="?",
+        default="hwlc+dr",
+        choices=("original", "hwlc", "hwlc+dr", "extended", "raw-eraser"),
+    )
+    tp.add_argument("-o", "--output", required=True, help="trace file path")
+    tp.add_argument(
+        "--format",
+        choices=("binary", "jsonl"),
+        default=None,
+        help="trace encoding (default: by suffix — .bin/.rptr = binary)",
+    )
+    tp.add_argument("--seed", type=int, default=42)
+    tp.add_argument(
+        "--report-out",
+        metavar="PATH",
+        help="also save the live detector's report (for diffing vs replay)",
+    )
+    tp.set_defaults(handler=_cmd_trace_record)
+
+    tp = trace_sub.add_parser(
+        "replay", help="feed a trace through a detector post-mortem"
+    )
+    tp.add_argument("trace_file")
+    tp.add_argument(
+        "config",
+        nargs="?",
+        default="hwlc+dr",
+        choices=("original", "hwlc", "hwlc+dr", "extended", "raw-eraser"),
+    )
+    tp.add_argument("--full", action="store_true", help="print every warning block")
+    tp.add_argument(
+        "--report-out",
+        metavar="PATH",
+        help="save the offline report (byte-identical to the live one)",
+    )
+    tp.set_defaults(handler=_cmd_trace_replay)
+
+    tp = trace_sub.add_parser("stat", help="summarise a trace file")
+    tp.add_argument("trace_file")
+    tp.set_defaults(handler=_cmd_trace_stat)
+
+    p.set_defaults(handler=_cmd_trace_help, _trace_parser=p)
+
+    p = sub.add_parser(
         "stats",
         help="run one case instrumented; print pipeline telemetry",
     )
@@ -426,6 +481,119 @@ def _cmd_suppress(args) -> int:
             fh.write(text)
         fp = run.classified.false_positives
         print(f"wrote {fp} suppression entries to {args.output}")
+    return 0
+
+
+def _cmd_trace_help(args) -> int:
+    args._trace_parser.print_help()
+    return 2
+
+
+def _trace_config(name: str):
+    from repro.detectors import HelgrindConfig
+
+    return {
+        "original": HelgrindConfig.original,
+        "hwlc": HelgrindConfig.hwlc,
+        "hwlc+dr": HelgrindConfig.hwlc_dr,
+        "extended": HelgrindConfig.extended,
+        "raw-eraser": HelgrindConfig.raw_eraser,
+    }[name]()
+
+
+def _cmd_trace_record(args) -> int:
+    """Run a case with a :class:`TraceRecorder` riding the standard
+    harness run — the §4.5 offline mode's record half."""
+    from repro.detectors import HelgrindDetector
+    from repro.experiments.harness import run_proxy_case
+    from repro.runtime.trace import TraceRecorder
+
+    case = _case_by_id(args.case_id)
+    det = HelgrindDetector(_trace_config(args.config))
+    with TraceRecorder(args.output, format=args.format) as recorder:
+        run = run_proxy_case(
+            case, args.config, seed=args.seed,
+            detector=det, extra_hooks=(recorder,),
+        )
+    print(
+        f"recorded {len(recorder)} events from {case.case_id} under "
+        f"{args.config} to {args.output} "
+        f"({recorder.format or 'jsonl'}, {recorder.bytes_written} bytes, "
+        f"{recorder.bytes_written / max(len(recorder), 1):.1f} B/event)"
+    )
+    print(
+        f"live run: {run.location_count} reported locations, "
+        f"{run.events} events, {run.wall_seconds * 1e3:.0f} ms"
+    )
+    if args.report_out:
+        det.report.save(args.report_out)
+        print(f"live report: wrote {args.report_out}")
+    return 0
+
+
+def _cmd_trace_replay(args) -> int:
+    """Feed a recorded trace through a fresh detector (§4.5 offline
+    analysis).  The produced report is byte-identical to the live one."""
+    import time
+
+    from repro.detectors import HelgrindDetector
+    from repro.runtime.trace import replay_trace
+
+    det = HelgrindDetector(_trace_config(args.config))
+    start = time.perf_counter()
+    count = replay_trace(args.trace_file, det)
+    wall = time.perf_counter() - start
+    report = det.report
+    print(
+        f"replayed {count} events from {args.trace_file} under "
+        f"{args.config}: {report.location_count} reported locations, "
+        f"{wall * 1e3:.0f} ms ({count / wall:,.0f} events/s)"
+        if wall > 0
+        else f"replayed {count} events: {report.location_count} locations"
+    )
+    if args.full:
+        print()
+        print(report.format_full())
+    if args.report_out:
+        report.save(args.report_out)
+        print(f"offline report: wrote {args.report_out}")
+    return 0
+
+
+def _cmd_trace_stat(args) -> int:
+    """Summarise a trace file (size, event mix, interning tables)."""
+    from repro.runtime import codec
+
+    if codec.is_binary_trace(args.trace_file):
+        stats = codec.trace_stats(args.trace_file)
+        print(f"{stats['path']}: binary (RPTR v1)")
+        print(
+            f"  {stats['events']} events, {stats['file_bytes']} bytes "
+            f"({stats['bytes_per_event']:.1f} B/event)"
+        )
+        print(
+            f"  tables: {stats['strings']} strings, {stats['stacks']} stacks"
+        )
+        for name, n in stats["by_type"].items():
+            print(f"  {n:8d}  {name}")
+        return 0
+    import os
+
+    from repro.runtime.trace import load_trace
+
+    by_type: dict[str, int] = {}
+    total = 0
+    for event in load_trace(args.trace_file):
+        by_type[type(event).__name__] = by_type.get(type(event).__name__, 0) + 1
+        total += 1
+    size = os.path.getsize(args.trace_file)
+    print(f"{args.trace_file}: JSON-lines")
+    print(
+        f"  {total} events, {size} bytes "
+        f"({size / max(total, 1):.1f} B/event)"
+    )
+    for name, n in sorted(by_type.items(), key=lambda kv: -kv[1]):
+        print(f"  {n:8d}  {name}")
     return 0
 
 

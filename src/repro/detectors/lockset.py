@@ -18,6 +18,36 @@ The class is policy-free about what "locks are held" means: callers pass
 the effective lock-sets per access, which is where the paper's hardware
 bus-lock modelling (HWLC) plugs in — see
 :class:`repro.detectors.helgrind.HelgrindDetector`.
+
+Shadow-memory representation
+----------------------------
+Valgrind keeps shadow state in a two-level map: an address's high bits
+select a *SecMap* page, the low bits an entry inside it, and untouched
+pages all alias one distinguished read-only page so idle address space
+costs nothing.  This module does the same in Python terms:
+
+* :class:`LocksetMachine` stores shadow words in ``_pages``, a dict from
+  page index (``addr >> _PAGE_BITS``) to a flat ``list`` of
+  :data:`_PAGE_SIZE` **packed ints**.  A missing page *is* the
+  distinguished all-NEW page; the first store to it copies a zero page
+  in (copy-on-write, counted in ``page_copies``).
+* Each shadow word is one int packing ``(state, lockset_id, owner)``:
+  state code in bits 0–2, ``lockset_id + 1`` in bits 3–30 (28 bits,
+  guarded in :meth:`LocksetTable.id_of`), ``owner + 1`` from bit 31 up
+  (owner ids are unbounded segment ids; Python's long ints absorb
+  them).  ``packed == 0`` ⇔ a pristine NEW word, so zero pages encode
+  "never touched" exactly.
+* State transitions are integer arithmetic — mask, or, shift — instead
+  of attribute mutation on per-word heap objects, and whole-block
+  transitions (:meth:`on_alloc` / :meth:`on_free` /
+  :meth:`make_exclusive`, the paper's §3.1 ``VALGRIND_HG_DESTRUCT``
+  reset) run in O(pages): full pages are dropped or filled wholesale,
+  only the two boundary pages are edited word-by-word.
+
+:class:`ShadowWord` survives as a *view* object for off-hot-path
+callers (reports, the hybrid detector's un-latching, tests): it reads
+and writes the packed word behind familiar ``.state`` / ``.lockset``
+attributes.
 """
 
 from __future__ import annotations
@@ -35,6 +65,7 @@ __all__ = [
     "LOCKSETS",
     "EMPTY_ID",
     "NO_LOCKSET",
+    "PAGE_SIZE",
 ]
 
 
@@ -48,6 +79,55 @@ class WordState(enum.Enum):
     #: A race was already reported here; stop tracking to avoid
     #: cascading duplicate reports (Helgrind does the same).
     RACY = "racy"
+
+
+# ----------------------------------------------------------------------
+# Packed shadow-word layout (see module docstring)
+# ----------------------------------------------------------------------
+
+#: Page size in words; 2**10 matches Valgrind's order of magnitude for
+#: SecMap granularity while keeping a copied page (a 1024-slot list of
+#: small ints) cheap to materialise.
+_PAGE_BITS = 10
+_PAGE_SIZE = 1 << _PAGE_BITS
+_PAGE_MASK = _PAGE_SIZE - 1
+#: Public alias (docs, tests, benchmarks).
+PAGE_SIZE = _PAGE_SIZE
+
+# Field layout of one packed shadow word.
+_ST_MASK = 0b111
+_LS_SHIFT = 3
+_LS_BITS = 28
+_LS_MASK = (1 << _LS_BITS) - 1
+_LS_FIELD = _LS_MASK << _LS_SHIFT
+_OWNER_SHIFT = _LS_SHIFT + _LS_BITS  # == 31
+#: Keep only the low (state + lockset) fields.
+_LOW = (1 << _OWNER_SHIFT) - 1
+#: Keep everything *except* state + lockset (i.e. the owner bits).
+_KEEP_OWNER = ~(_ST_MASK | _LS_FIELD)
+#: Largest lockset id that fits the 28-bit field (ids are stored +1).
+_LS_ID_LIMIT = _LS_MASK - 1
+
+# State codes (three bits).  NEW must be 0 so that packed == 0 is a
+# pristine word.
+_NEW = 0
+_EXCLUSIVE = 1
+_SHARED = 2
+_SHARED_MOD = 3
+_RACY = 4
+
+_STATE_OF_CODE = (
+    WordState.NEW,
+    WordState.EXCLUSIVE,
+    WordState.SHARED,
+    WordState.SHARED_MODIFIED,
+    WordState.RACY,
+)
+_CODE_OF_STATE = {state: code for code, state in enumerate(_STATE_OF_CODE)}
+
+#: The distinguished all-NEW page.  Never mutated; ``_ZERO_PAGE[:]`` is
+#: the copy-on-write copy, ``_ZERO_PAGE[lo:hi]`` the range-reset source.
+_ZERO_PAGE = [0] * _PAGE_SIZE
 
 
 class LocksetTable:
@@ -71,6 +151,9 @@ class LocksetTable:
     The table is append-only and process-wide (:data:`LOCKSETS`), like
     Valgrind's ExeContext table: guest programs hold a bounded number of
     distinct lock combinations while the access stream is unbounded.
+    Ids double as the 28-bit lockset field of packed shadow words, so
+    :meth:`id_of` guards the field width (a program would need ~268M
+    distinct lock-sets to hit it).
     """
 
     __slots__ = (
@@ -117,6 +200,11 @@ class LocksetTable:
         sid = self._ids.get(s)
         if sid is None:
             sid = len(self._sets)
+            if sid > _LS_ID_LIMIT:  # pragma: no cover - 268M distinct sets
+                raise OverflowError(
+                    "lock-set table exceeded the packed shadow-word field "
+                    f"({_LS_BITS} bits, {_LS_ID_LIMIT + 1} ids)"
+                )
             self._sets.append(s)
             self._ids[s] = sid
             self._intern_misses += 1
@@ -216,7 +304,7 @@ LOCKSETS = LocksetTable()
 
 
 class ShadowWord:
-    """Per-word shadow state.
+    """A mutable *view* of one packed shadow word.
 
     ``owner`` is a thread-segment id while EXCLUSIVE (or a thread id
     when segment transfer is disabled — the ablated configuration).
@@ -227,25 +315,52 @@ class ShadowWord:
     the frozenset for callers off the hot path.  ``last_access`` is the
     optional conflict history ``(tid, was_write, stack)`` maintained
     when the machine runs with ``access_history``.
+
+    The view holds ``(machine, addr)`` and translates attribute access
+    into packed-int reads/writes, so off-hot-path callers (the hybrid
+    detector's RACY un-latching, report rendering, tests) keep the
+    object API while the hot path never allocates one of these.
     """
 
-    __slots__ = ("state", "owner", "lockset_id", "last_access", "last_other")
+    __slots__ = ("_machine", "_addr")
 
-    def __init__(
-        self,
-        state: WordState = WordState.NEW,
-        owner: int = -1,
-        lockset_id: int = NO_LOCKSET,
-    ) -> None:
-        self.state = state
-        self.owner = owner
-        self.lockset_id = lockset_id
-        self.last_access: tuple | None = None
-        #: The most recent access by a thread *other* than
-        #: ``last_access``'s, so a warning can always show the other side
-        #: of the conflict even when the racing thread's own accesses are
-        #: the freshest.
-        self.last_other: tuple | None = None
+    def __init__(self, machine: "LocksetMachine", addr: int) -> None:
+        self._machine = machine
+        self._addr = addr
+
+    # -- packed fields -------------------------------------------------
+
+    @property
+    def state(self) -> WordState:
+        return _STATE_OF_CODE[self._machine._peek(self._addr) & _ST_MASK]
+
+    @state.setter
+    def state(self, value: WordState) -> None:
+        machine = self._machine
+        packed = machine._peek(self._addr)
+        machine._poke(self._addr, (packed & ~_ST_MASK) | _CODE_OF_STATE[value])
+
+    @property
+    def owner(self) -> int:
+        return (self._machine._peek(self._addr) >> _OWNER_SHIFT) - 1
+
+    @owner.setter
+    def owner(self, value: int) -> None:
+        machine = self._machine
+        packed = machine._peek(self._addr)
+        machine._poke(self._addr, (packed & _LOW) | ((value + 1) << _OWNER_SHIFT))
+
+    @property
+    def lockset_id(self) -> int:
+        return ((self._machine._peek(self._addr) >> _LS_SHIFT) & _LS_MASK) - 1
+
+    @lockset_id.setter
+    def lockset_id(self, value: int) -> None:
+        machine = self._machine
+        packed = machine._peek(self._addr)
+        machine._poke(
+            self._addr, (packed & ~_LS_FIELD) | ((value + 1) << _LS_SHIFT)
+        )
 
     @property
     def lockset(self) -> frozenset[int] | None:
@@ -256,6 +371,31 @@ class ShadowWord:
     @lockset.setter
     def lockset(self, value: frozenset[int] | None) -> None:
         self.lockset_id = NO_LOCKSET if value is None else LOCKSETS.id_of(value)
+
+    # -- access history (side table; only populated when the machine
+    # -- runs with ``access_history``) ---------------------------------
+
+    @property
+    def last_access(self) -> tuple | None:
+        entry = self._machine._history.get(self._addr)
+        return entry[0] if entry is not None else None
+
+    @last_access.setter
+    def last_access(self, value: tuple | None) -> None:
+        self._machine._history_entry(self._addr)[0] = value
+
+    @property
+    def last_other(self) -> tuple | None:
+        """The most recent access by a thread *other* than
+        ``last_access``'s, so a warning can always show the other side
+        of the conflict even when the racing thread's own accesses are
+        the freshest."""
+        entry = self._machine._history.get(self._addr)
+        return entry[1] if entry is not None else None
+
+    @last_other.setter
+    def last_other(self, value: tuple | None) -> None:
+        self._machine._history_entry(self._addr)[1] = value
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -311,7 +451,7 @@ class LocksetOutcome:
 
 
 class LocksetMachine:
-    """Shadow-memory state machine over guest words.
+    """Shadow-memory state machine over guest words (paged + packed).
 
     Parameters
     ----------
@@ -335,6 +475,11 @@ class LocksetMachine:
         once_per_word: bool = True,
     ) -> None:
         self.segments = segments
+        #: Direct reference to the graph's tid → seg_id mirror: the
+        #: owner lookup on the access hot path is one dict ``get``
+        #: (falling back to :meth:`SegmentGraph.current` only for a
+        #: thread the graph has never seen).
+        self._seg_ids = segments.current_ids
         self.use_states = use_states
         self.segment_transfer = segment_transfer
         #: True = Eraser's "report the next write access that results in
@@ -350,11 +495,49 @@ class LocksetMachine:
         #: later Helgrind versions do with --history-level.  Off by
         #: default: it stores a stack per shadow word.
         self.access_history = False
-        self._words: dict[int, ShadowWord] = {}
+        #: Two-level shadow map: page index → list of packed words.
+        #: A *missing* page is the shared all-NEW page.
+        self._pages: dict[int, list[int]] = {}
+        #: addr → ``[last_access, last_other]`` (only when history is on).
+        self._history: dict[int, list] = {}
+        # Shadow-engine counters (read by :meth:`shadow_stats`).
+        self._page_copies = 0
+        self._range_ops = 0
+        self._range_pages = 0
         #: ``(prev WordState, new WordState) -> count`` when transition
         #: tracking is on (the telemetry layer's Figure-5-style matrix);
         #: ``None`` — and zero per-access cost — otherwise.
         self.transition_counts: dict[tuple[WordState, WordState], int] | None = None
+
+    # ------------------------------------------------------------------
+    # Packed-word plumbing (used by the ShadowWord view; the access
+    # paths inline the same logic)
+    # ------------------------------------------------------------------
+
+    def _peek(self, addr: int) -> int:
+        """Packed word at ``addr`` without materialising a page."""
+        page = self._pages.get(addr >> _PAGE_BITS)
+        return page[addr & _PAGE_MASK] if page is not None else 0
+
+    def _poke(self, addr: int, packed: int) -> None:
+        """Store a packed word (copy-on-write page materialisation)."""
+        pages = self._pages
+        pi = addr >> _PAGE_BITS
+        page = pages.get(pi)
+        if page is None:
+            if packed == 0:
+                return  # storing NEW into the all-NEW page: no-op
+            page = _ZERO_PAGE[:]
+            pages[pi] = page
+            self._page_copies += 1
+        page[addr & _PAGE_MASK] = packed
+
+    def _history_entry(self, addr: int) -> list:
+        entry = self._history.get(addr)
+        if entry is None:
+            entry = [None, None]
+            self._history[addr] = entry
+        return entry
 
     # ------------------------------------------------------------------
     # Telemetry
@@ -363,48 +546,106 @@ class LocksetMachine:
     def enable_transition_tracking(self) -> None:
         """Start recording the state-transition matrix.
 
-        Implemented by shadowing :meth:`access` with a counting wrapper
-        *on this instance*, so the untracked machine keeps the PR-1
-        fast path untouched (no per-access ``if``).
+        Implemented by shadowing :meth:`access` *and*
+        :meth:`access_check` with counting wrappers *on this instance*,
+        so the untracked machine keeps the fast path untouched (no
+        per-access ``if``).  Both entry points must be shadowed: the
+        Helgrind hot path goes through :meth:`access_check`.
         """
         if self.transition_counts is None:
             self.transition_counts = {}
             self.access = self._traced_access  # instance attr wins lookup
+            self.access_check = self._traced_access_check
 
     def _traced_access(
-        self, addr: int, tid: int, *, is_write: bool, locks_any, locks_write
+        self, addr: int, tid: int, is_write: bool, locks_any, locks_write
     ) -> "LocksetOutcome":
         outcome = LocksetMachine.access(
             self, addr, tid, is_write=is_write,
             locks_any=locks_any, locks_write=locks_write,
         )
-        word = self._words.get(addr)
-        new_state = word.state if word is not None else WordState.NEW
+        new_state = _STATE_OF_CODE[self._peek(addr) & _ST_MASK]
         key = (outcome.prev_state, new_state)
         counts = self.transition_counts
         counts[key] = counts.get(key, 0) + 1
         return outcome
 
+    def _traced_access_check(
+        self, addr: int, tid: int, is_write: bool, locks_any, locks_write
+    ) -> "LocksetOutcome | None":
+        outcome = self._traced_access(
+            addr, tid, is_write=is_write,
+            locks_any=locks_any, locks_write=locks_write,
+        )
+        return outcome if outcome.race else None
+
     def state_distribution(self) -> dict[WordState, int]:
         """Tracked shadow words by current state (Figure-5 material)."""
         dist: dict[WordState, int] = {}
-        for word in self._words.values():
-            dist[word.state] = dist.get(word.state, 0) + 1
+        for page in self._pages.values():
+            for packed in page:
+                if packed:
+                    state = _STATE_OF_CODE[packed & _ST_MASK]
+                    dist[state] = dist.get(state, 0) + 1
         return dist
 
+    def shadow_stats(self) -> dict[str, int]:
+        """Paged-engine counters (telemetry input).
+
+        ``pages`` is the number of materialised (copied) pages alive
+        now; ``page_copies`` the total copy-on-write materialisations;
+        ``range_ops`` / ``range_pages`` tally the O(pages) block
+        transitions (alloc/free/``HG_DESTRUCT``) and how many pages
+        they visited.
+        """
+        return {
+            "pages": len(self._pages),
+            "page_copies": self._page_copies,
+            "range_ops": self._range_ops,
+            "range_pages": self._range_pages,
+        }
+
     # ------------------------------------------------------------------
-    # Shadow-memory lifecycle
+    # Shadow-memory lifecycle (range transitions, O(pages))
     # ------------------------------------------------------------------
+
+    def _range_reset(self, addr: int, size: int) -> None:
+        """Return ``[addr, addr+size)`` to NEW in O(pages touched).
+
+        Fully covered pages revert to the shared all-NEW page by being
+        *dropped* from the map (one dict pop); the at-most-two boundary
+        pages get a slice assignment of zeros.
+        """
+        if size <= 0:
+            return
+        self._range_ops += 1
+        pages = self._pages
+        end = addr + size
+        first_pi = addr >> _PAGE_BITS
+        last_pi = (end - 1) >> _PAGE_BITS
+        self._range_pages += last_pi - first_pi + 1
+        for pi in range(first_pi, last_pi + 1):
+            p_start = pi << _PAGE_BITS
+            lo = addr - p_start if addr > p_start else 0
+            hi = end - p_start if end - p_start < _PAGE_SIZE else _PAGE_SIZE
+            if lo == 0 and hi == _PAGE_SIZE:
+                pages.pop(pi, None)
+            else:
+                page = pages.get(pi)
+                if page is not None:
+                    page[lo:hi] = _ZERO_PAGE[lo:hi]
+        if self._history:
+            hist = self._history
+            for a in [a for a in hist if addr <= a < end]:
+                del hist[a]
 
     def on_alloc(self, addr: int, size: int) -> None:
         """Fresh allocation: all words (re)enter NEW."""
-        for a in range(addr, addr + size):
-            self._words.pop(a, None)
+        self._range_reset(addr, size)
 
     def on_free(self, addr: int, size: int) -> None:
         """Freed at VM level: stop tracking (memcheck's jurisdiction)."""
-        for a in range(addr, addr + size):
-            self._words.pop(a, None)
+        self._range_reset(addr, size)
 
     def make_exclusive(self, addr: int, size: int, owner: int) -> None:
         """Force words to EXCLUSIVE(owner) — the HG_DESTRUCT semantics.
@@ -412,27 +653,44 @@ class LocksetMachine:
         "mark deleted memory for the race detection as exclusively owned
         by the running thread. That way, accesses by other threads during
         destruction are still detected." (§3.1)
+
+        O(pages): fully covered pages are *replaced* wholesale with a
+        constant-filled page; boundary pages get a slice assignment.
         """
-        for a in range(addr, addr + size):
-            word = self._words.get(a)
-            if word is None:
-                word = ShadowWord()
-                self._words[a] = word
-            word.state = WordState.EXCLUSIVE
-            word.owner = owner
-            word.lockset_id = NO_LOCKSET
+        if size <= 0:
+            return
+        self._range_ops += 1
+        packed = _EXCLUSIVE | ((owner + 1) << _OWNER_SHIFT)
+        pages = self._pages
+        end = addr + size
+        first_pi = addr >> _PAGE_BITS
+        last_pi = (end - 1) >> _PAGE_BITS
+        self._range_pages += last_pi - first_pi + 1
+        for pi in range(first_pi, last_pi + 1):
+            p_start = pi << _PAGE_BITS
+            lo = addr - p_start if addr > p_start else 0
+            hi = end - p_start if end - p_start < _PAGE_SIZE else _PAGE_SIZE
+            if lo == 0 and hi == _PAGE_SIZE:
+                if pi not in pages:
+                    self._page_copies += 1
+                pages[pi] = [packed] * _PAGE_SIZE
+            else:
+                page = pages.get(pi)
+                if page is None:
+                    page = _ZERO_PAGE[:]
+                    pages[pi] = page
+                    self._page_copies += 1
+                page[lo:hi] = [packed] * (hi - lo)
 
     def word(self, addr: int) -> ShadowWord:
-        """The shadow word at ``addr`` (created in NEW on first touch)."""
-        word = self._words.get(addr)
-        if word is None:
-            word = ShadowWord()
-            self._words[addr] = word
-        return word
+        """A view of the shadow word at ``addr`` (NEW until touched)."""
+        return ShadowWord(self, addr)
 
     def state_of(self, addr: int) -> WordState:
-        word = self._words.get(addr)
-        return word.state if word is not None else WordState.NEW
+        page = self._pages.get(addr >> _PAGE_BITS)
+        if page is None:
+            return WordState.NEW
+        return _STATE_OF_CODE[page[addr & _PAGE_MASK] & _ST_MASK]
 
     # ------------------------------------------------------------------
     # The access rule
@@ -442,7 +700,6 @@ class LocksetMachine:
         self,
         addr: int,
         tid: int,
-        *,
         is_write: bool,
         locks_any,
         locks_write,
@@ -464,79 +721,230 @@ class LocksetMachine:
         if type(locks_write) is not int:
             locks_write = LOCKSETS.id_of(locks_write)
 
-        word = self.word(addr)
-        prev_state = word.state
-        prev_id = word.lockset_id
+        pages = self._pages
+        pi = addr >> _PAGE_BITS
+        page = pages.get(pi)
+        if page is None:
+            page = _ZERO_PAGE[:]
+            pages[pi] = page
+            self._page_copies += 1
+        slot = addr & _PAGE_MASK
+        packed = page[slot]
+        code = packed & _ST_MASK
+        prev_id = ((packed >> _LS_SHIFT) & _LS_MASK) - 1
+
         if not self.use_states:
             return self._raw_access(
-                word, prev_state, prev_id, is_write, locks_any, locks_write
+                page, slot, packed, code, prev_id, is_write, locks_any, locks_write
             )
 
-        if prev_state is WordState.RACY:
-            return LocksetOutcome(False, prev_state, prev_id, prev_id)
+        if code == _RACY:
+            return LocksetOutcome(False, WordState.RACY, prev_id, prev_id)
 
-        owner = self._owner_token(tid)
+        if self.segment_transfer:
+            owner = self._seg_ids.get(tid)
+            if owner is None:
+                owner = self.segments.current(tid).seg_id
+        else:
+            owner = tid
 
-        if prev_state is WordState.NEW:
+        if code == _NEW:
             # First touch: exclusively owned by the toucher (Fig 1).
-            word.state = WordState.EXCLUSIVE
-            word.owner = owner
-            return LocksetOutcome(False, prev_state, NO_LOCKSET, NO_LOCKSET)
+            page[slot] = (
+                (packed & _LS_FIELD) | _EXCLUSIVE | ((owner + 1) << _OWNER_SHIFT)
+            )
+            return LocksetOutcome(False, WordState.NEW, NO_LOCKSET, NO_LOCKSET)
 
-        if prev_state is WordState.EXCLUSIVE:
-            if self._still_exclusive(word, tid, owner):
-                word.owner = owner
-                return LocksetOutcome(False, prev_state, NO_LOCKSET, NO_LOCKSET)
+        if code == _EXCLUSIVE:
+            cur_owner = (packed >> _OWNER_SHIFT) - 1
+            if cur_owner == owner or self._transfers(cur_owner, tid, owner):
+                page[slot] = (packed & _LOW) | ((owner + 1) << _OWNER_SHIFT)
+                return LocksetOutcome(
+                    False, WordState.EXCLUSIVE, NO_LOCKSET, NO_LOCKSET
+                )
             # Second (unordered) owner: initialise the candidate set with
             # the locks held *now* — Eraser's delayed initialisation.
             if is_write:
-                word.state = WordState.SHARED_MODIFIED
                 new_id = locks_write
                 race = new_id == EMPTY_ID
+                new_code = (
+                    _RACY if race and self.once_per_word else _SHARED_MOD
+                )
             else:
-                word.state = WordState.SHARED
                 new_id = locks_any
                 race = False
-            word.lockset_id = new_id
-            if race and self.once_per_word:
-                word.state = WordState.RACY
-            return LocksetOutcome(race, prev_state, prev_id, new_id)
+                new_code = _SHARED
+            page[slot] = (
+                (packed & _KEEP_OWNER) | new_code | ((new_id + 1) << _LS_SHIFT)
+            )
+            return LocksetOutcome(race, WordState.EXCLUSIVE, prev_id, new_id)
 
-        if prev_state is WordState.SHARED:
+        if code == _SHARED:
             if is_write:
-                word.state = WordState.SHARED_MODIFIED
                 new_id = LOCKSETS.intersect(prev_id, locks_write)
                 race = new_id == EMPTY_ID
+                new_code = (
+                    _RACY if race and self.once_per_word else _SHARED_MOD
+                )
             else:
                 new_id = LOCKSETS.intersect(prev_id, locks_any)
                 race = False  # read-only sharing never warns
-            word.lockset_id = new_id
-            if race and self.once_per_word:
-                word.state = WordState.RACY
-            return LocksetOutcome(race, prev_state, prev_id, new_id)
+                new_code = _SHARED
+            page[slot] = (
+                (packed & _KEEP_OWNER) | new_code | ((new_id + 1) << _LS_SHIFT)
+            )
+            return LocksetOutcome(race, WordState.SHARED, prev_id, new_id)
 
         # SHARED_MODIFIED: both reads and writes refine and may warn.
-        new_id = LOCKSETS.intersect(prev_id, locks_write if is_write else locks_any)
-        word.lockset_id = new_id
+        new_id = LOCKSETS.intersect(
+            prev_id, locks_write if is_write else locks_any
+        )
         race = new_id == EMPTY_ID
-        if race and self.once_per_word:
-            word.state = WordState.RACY
-        return LocksetOutcome(race, prev_state, prev_id, new_id)
+        new_code = _RACY if race and self.once_per_word else _SHARED_MOD
+        page[slot] = (
+            (packed & _KEEP_OWNER) | new_code | ((new_id + 1) << _LS_SHIFT)
+        )
+        return LocksetOutcome(race, WordState.SHARED_MODIFIED, prev_id, new_id)
+
+    def access_check(
+        self,
+        addr: int,
+        tid: int,
+        is_write: bool,
+        locks_any: int,
+        locks_write: int,
+    ) -> LocksetOutcome | None:
+        """Hot-path twin of :meth:`access`: ``None`` unless it races.
+
+        Identical state semantics, but the overwhelmingly common
+        non-race outcome allocates nothing — no :class:`LocksetOutcome`
+        per access.  ``locks_any`` / ``locks_write`` must already be
+        interned ids (the Helgrind detector precomputes them).
+        """
+        if not self.use_states:
+            outcome = LocksetMachine.access(
+                self, addr, tid, is_write=is_write,
+                locks_any=locks_any, locks_write=locks_write,
+            )
+            return outcome if outcome.race else None
+
+        pages = self._pages
+        pi = addr >> _PAGE_BITS
+        page = pages.get(pi)
+        if page is None:
+            page = _ZERO_PAGE[:]
+            pages[pi] = page
+            self._page_copies += 1
+        slot = addr & _PAGE_MASK
+        packed = page[slot]
+        code = packed & _ST_MASK
+
+        if code == _EXCLUSIVE:
+            if self.segment_transfer:
+                owner = self._seg_ids.get(tid)
+                if owner is None:
+                    owner = self.segments.current(tid).seg_id
+            else:
+                owner = tid
+            cur_owner = (packed >> _OWNER_SHIFT) - 1
+            if cur_owner == owner:
+                return None
+            if self._transfers(cur_owner, tid, owner):
+                page[slot] = (packed & _LOW) | ((owner + 1) << _OWNER_SHIFT)
+                return None
+            if is_write:
+                new_id = locks_write
+                if new_id == EMPTY_ID:
+                    new_code = _RACY if self.once_per_word else _SHARED_MOD
+                    page[slot] = (packed & _KEEP_OWNER) | new_code | (
+                        (new_id + 1) << _LS_SHIFT
+                    )
+                    prev_id = ((packed >> _LS_SHIFT) & _LS_MASK) - 1
+                    return LocksetOutcome(
+                        True, WordState.EXCLUSIVE, prev_id, new_id
+                    )
+                new_code = _SHARED_MOD
+            else:
+                new_id = locks_any
+                new_code = _SHARED
+            page[slot] = (
+                (packed & _KEEP_OWNER) | new_code | ((new_id + 1) << _LS_SHIFT)
+            )
+            return None
+
+        if code == _SHARED_MOD:
+            prev_id = ((packed >> _LS_SHIFT) & _LS_MASK) - 1
+            new_id = LOCKSETS.intersect(
+                prev_id, locks_write if is_write else locks_any
+            )
+            if new_id == EMPTY_ID:
+                new_code = _RACY if self.once_per_word else _SHARED_MOD
+                page[slot] = (packed & _KEEP_OWNER) | new_code | (
+                    (new_id + 1) << _LS_SHIFT
+                )
+                return LocksetOutcome(
+                    True, WordState.SHARED_MODIFIED, prev_id, new_id
+                )
+            if new_id != prev_id:
+                page[slot] = (packed & _KEEP_OWNER) | _SHARED_MOD | (
+                    (new_id + 1) << _LS_SHIFT
+                )
+            return None
+
+        if code == _SHARED:
+            prev_id = ((packed >> _LS_SHIFT) & _LS_MASK) - 1
+            if is_write:
+                new_id = LOCKSETS.intersect(prev_id, locks_write)
+                if new_id == EMPTY_ID:
+                    new_code = _RACY if self.once_per_word else _SHARED_MOD
+                    page[slot] = (packed & _KEEP_OWNER) | new_code | (
+                        (new_id + 1) << _LS_SHIFT
+                    )
+                    return LocksetOutcome(
+                        True, WordState.SHARED, prev_id, new_id
+                    )
+                page[slot] = (packed & _KEEP_OWNER) | _SHARED_MOD | (
+                    (new_id + 1) << _LS_SHIFT
+                )
+                return None
+            new_id = LOCKSETS.intersect(prev_id, locks_any)
+            if new_id != prev_id:
+                page[slot] = (packed & _KEEP_OWNER) | _SHARED | (
+                    (new_id + 1) << _LS_SHIFT
+                )
+            return None
+
+        if code == _NEW:
+            if self.segment_transfer:
+                owner = self._seg_ids.get(tid)
+                if owner is None:
+                    owner = self.segments.current(tid).seg_id
+            else:
+                owner = tid
+            page[slot] = (
+                (packed & _LS_FIELD) | _EXCLUSIVE | ((owner + 1) << _OWNER_SHIFT)
+            )
+            return None
+
+        return None  # RACY: stopped tracking
 
     def _raw_access(
-        self, word, prev_state, prev_id, is_write, locks_any, locks_write
+        self, page, slot, packed, code, prev_id, is_write, locks_any, locks_write
     ) -> LocksetOutcome:
         """§2.3.2's basic algorithm: no states, immediate checking."""
-        if prev_state is WordState.RACY:
-            return LocksetOutcome(False, prev_state, prev_id, prev_id)
+        if code == _RACY:
+            return LocksetOutcome(False, WordState.RACY, prev_id, prev_id)
         held = locks_write if is_write else locks_any
         new_id = held if prev_id == NO_LOCKSET else LOCKSETS.intersect(prev_id, held)
-        word.lockset_id = new_id
-        word.state = WordState.SHARED_MODIFIED if is_write else WordState.SHARED
         race = new_id == EMPTY_ID
         if race and self.once_per_word:
-            word.state = WordState.RACY
-        return LocksetOutcome(race, prev_state, prev_id, new_id)
+            new_code = _RACY
+        else:
+            new_code = _SHARED_MOD if is_write else _SHARED
+        page[slot] = (
+            (packed & _KEEP_OWNER) | new_code | ((new_id + 1) << _LS_SHIFT)
+        )
+        return LocksetOutcome(race, _STATE_OF_CODE[code], prev_id, new_id)
 
     # ------------------------------------------------------------------
 
@@ -545,22 +953,24 @@ class LocksetMachine:
             return self.segments.current(tid).seg_id
         return tid
 
-    def _still_exclusive(self, word: ShadowWord, tid: int, owner: int) -> bool:
-        """Does this access keep the word EXCLUSIVE?
+    def _transfers(self, cur_owner: int, tid: int, owner: int) -> bool:
+        """Does this access keep the word EXCLUSIVE (new owner token)?
 
-        Same owner token always does.  With segment transfer, a later
-        segment of the owning thread, or any segment the owner
-        happens-before, takes over ownership (the VisualThreads rule).
+        With segment transfer, a later segment of the owning thread, or
+        any segment the owner happens-before, takes over ownership (the
+        VisualThreads rule).  Callers have already excluded the
+        ``cur_owner == owner`` fast case.
         """
-        if word.owner == owner:
-            return True
         if not self.segment_transfer:
             return False
-        owner_seg = self.segments.segment(word.owner)
+        owner_seg = self.segments.segment(cur_owner)
         if owner_seg.tid == tid:
             return True  # same thread, later segment: trivially ordered
-        return self.segments.happens_before(word.owner, owner)
+        return self.segments.happens_before(cur_owner, owner)
 
     @property
     def tracked_words(self) -> int:
-        return len(self._words)
+        """Number of shadow words not in the pristine NEW state."""
+        return sum(
+            _PAGE_SIZE - page.count(0) for page in self._pages.values()
+        )

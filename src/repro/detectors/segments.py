@@ -55,6 +55,14 @@ class SegmentGraph:
         self._next_id = 0
         #: Final segment of each finished thread (join edges source).
         self._final: dict[int, Segment] = {}
+        #: tid → current segment *id* — a mirror of ``_current`` kept so
+        #: the per-memory-access owner lookup in
+        #: :class:`~repro.detectors.lockset.LocksetMachine` is a plain
+        #: dict hit instead of a method call plus attribute read.
+        #: Maintained at the single place segments change
+        #: (:meth:`_new_segment`); misses mean "thread not started yet"
+        #: and fall back to :meth:`current`'s lazy start.
+        self.current_ids: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -65,6 +73,7 @@ class SegmentGraph:
         self._next_id += 1
         self._segments[seg.seg_id] = seg
         self._current[tid] = seg
+        self.current_ids[tid] = seg.seg_id
         return seg
 
     def start_thread(self, tid: int, parent_tid: int | None = None) -> Segment:

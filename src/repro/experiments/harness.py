@@ -104,6 +104,7 @@ def run_proxy_case(
     detector=None,
     step_limit: int = 10_000_000,
     telemetry=None,
+    extra_hooks: tuple = (),
 ) -> ExperimentRun:
     """Run one test case under one detector configuration.
 
@@ -115,6 +116,12 @@ def run_proxy_case(
     is attached to the VM before the run and harvested after it; the
     run itself is wrapped in a ``case/config`` phase span.  Passing
     ``None`` (the default) keeps the PR-1 fast path untouched.
+
+    ``extra_hooks`` are additional detector-ABI hooks registered on the
+    VM *ahead of* the detector — most usefully a
+    :class:`~repro.runtime.trace.TraceRecorder`, so ``repro trace
+    record`` captures exactly the event stream the detector saw (the
+    §4.5 offline mode riding an otherwise unchanged evaluation run).
     """
     det_config = _detector_config(config_name)
     truth = GroundTruth()
@@ -129,7 +136,7 @@ def run_proxy_case(
     det = detector if detector is not None else HelgrindDetector(det_config)
     instrumented = telemetry is not None and telemetry.enabled
     vm = VM(
-        detectors=(det,),
+        detectors=(*extra_hooks, det),
         scheduler=RandomScheduler(seed),
         step_limit=step_limit,
         telemetry=telemetry if instrumented else None,

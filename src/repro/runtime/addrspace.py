@@ -43,6 +43,11 @@ __all__ = ["MemoryBlock", "AddressSpace"]
 #: neighbouring object.
 _GUARD_WORDS = 4
 
+#: Sentinel marking a word that was allocated but never stored.  A
+#: dedicated object (not ``None``) so guests may legitimately store
+#: ``None`` as a value.
+_UNINIT = object()
+
 
 @dataclass(slots=True)
 class MemoryBlock:
@@ -65,6 +70,14 @@ class MemoryBlock:
     free_tid: int = -1
     free_step: int = -1
     free_stack: CallStack = ()
+    #: Word storage, indexed by offset (``None`` after free).  Owned by
+    #: the block so that :meth:`AddressSpace.free` drops *one* reference
+    #: instead of popping a global dict once per word.
+    words: list | None = field(default=None, repr=False, compare=False)
+    #: How many words of this block have ever been stored (maintained by
+    #: :meth:`AddressSpace.store_block`; lets ``free`` and
+    #: ``live_words`` stay O(1)).
+    inited: int = field(default=0, repr=False, compare=False)
 
     @property
     def end(self) -> int:
@@ -97,7 +110,9 @@ class AddressSpace:
     def __init__(self) -> None:
         self._next_addr = self.HEAP_BASE
         self._next_block_id = 0
-        self._words: dict[int, object] = {}
+        #: Initialised words across live blocks (O(1)-maintained; the
+        #: storage itself lives per block in ``MemoryBlock.words``).
+        self._live_words = 0
         self._blocks: dict[int, MemoryBlock] = {}
         #: Sorted block bases for O(log n) address → block lookup.
         self._bases: list[int] = []
@@ -145,6 +160,7 @@ class AddressSpace:
             alloc_tid=tid,
             alloc_step=step,
             alloc_stack=stack,
+            words=[_UNINIT] * size,
         )
         self._next_block_id += 1
         self._next_addr = block.end + _GUARD_WORDS
@@ -189,8 +205,12 @@ class AddressSpace:
         block.free_tid = tid
         block.free_step = step
         block.free_stack = stack
-        for a in range(block.base, block.end):
-            self._words.pop(a, None)
+        # O(1): the block owns its word storage, so dropping the one
+        # list reference frees the contents (previously: one global
+        # ``dict.pop`` per word, O(size)).
+        self._live_words -= block.inited
+        block.inited = 0
+        block.words = None
         return block
 
     # ------------------------------------------------------------------
@@ -256,27 +276,39 @@ class AddressSpace:
         ``find_block`` (two binary searches per guest access).
         """
         block = self.check_access(addr, tid=tid)
-        try:
-            return self._words[addr], block
-        except KeyError:
+        value = block.words[addr - block.base]
+        if value is _UNINIT:
             raise GuestFault(
                 f"load of uninitialised word: {block.describe(addr)}", tid=tid
-            ) from None
+            )
+        return value, block
 
     def store_block(self, addr: int, value: object, *, tid: int = -1) -> MemoryBlock:
         """Store into ``addr`` and return the containing block (see
         :meth:`load_block`)."""
         block = self.check_access(addr, tid=tid)
-        self._words[addr] = value
+        words = block.words
+        offset = addr - block.base
+        if words[offset] is _UNINIT:
+            block.inited += 1
+            self._live_words += 1
+        words[offset] = value
         return block
 
     def peek(self, addr: int) -> object | None:
         """Non-faulting read for diagnostics/tests (``None`` if unset)."""
-        return self._words.get(addr)
+        block = self.find_block(addr)
+        if block is None or block.words is None:
+            return None
+        value = block.words[addr - block.base]
+        return None if value is _UNINIT else value
 
     def is_initialised(self, addr: int) -> bool:
         """True if the word at ``addr`` has ever been stored."""
-        return addr in self._words
+        block = self.find_block(addr)
+        if block is None or block.words is None:
+            return False
+        return block.words[addr - block.base] is not _UNINIT
 
     # ------------------------------------------------------------------
     # Introspection
@@ -300,8 +332,12 @@ class AddressSpace:
 
     @property
     def live_words(self) -> int:
-        """Words currently holding a value (a memory-footprint proxy)."""
-        return len(self._words)
+        """Words currently holding a value (a memory-footprint proxy).
+
+        Maintained incrementally by :meth:`store_block` / :meth:`free`
+        — O(1) to read, never recomputed by scanning.
+        """
+        return self._live_words
 
     def block_by_id(self, block_id: int) -> MemoryBlock:
         return self._blocks[block_id]

@@ -1,0 +1,791 @@
+"""Binary trace codec — the compact offline tier of §4.5.
+
+The paper's offline-vs-on-the-fly discussion warns that *"offline
+techniques suffer from their need for large amount of data"*; the
+JSON-lines trace the recorder originally spilled repeats every frame of
+every call stack, every field name and every enum string once per
+event.  This codec removes the redundancy the same way the in-memory
+layer already does — by interning — and stores what remains as
+fixed-width binary rows:
+
+Format (``RPTR`` version 1)
+---------------------------
+A trace file is the 5-byte magic ``b"RPTR\\x01"`` followed by tagged
+records.  Each record starts with a one-byte tag:
+
+``0`` — **string definition**: varint byte length + UTF-8 bytes.
+    Strings are interned; the n-th definition gets id ``n``.
+``1`` — **frame definition**: varint function-string id, varint
+    file-string id, varint line.  Frames get sequential ids.
+``2`` — **stack definition**: varint frame count + that many varint
+    frame ids (innermost first).  Stacks get sequential ids.
+``3`` — **event block**: one byte event-type index (into
+    :data:`repro.runtime.events.EVENT_TYPES`), one flags byte, varint
+    row count, ``[varint base step]``, then ``count`` fixed-width
+    little-endian rows (:mod:`struct`).  A row is
+    ``[step:u32,] tid:i32, stack:u32`` followed by the type's own
+    fields; strings and enums appear as table ids, so a row is pure
+    numbers.  Flag bit 0 (*SEQ_STEP*): the rows' steps are consecutive
+    — the per-row step column is dropped and reconstructed from the
+    header's base step (the VM numbers events 0,1,2,…, so in practice
+    every block qualifies).  Flag bit 1 (*NARROW*): the type's 64-bit
+    fields (addresses, sizes) all fit in 32 bits for this block and are
+    stored as u32.
+
+All varints are unsigned LEB128.  Definitions always precede the first
+row that references them.  Consecutive events of the same type coalesce
+into one block, so the dominant ``MemoryAccess`` runs amortise the
+block header to well under a byte per event — and decoding a block is
+one :func:`struct.iter_unpack` call (C speed), which is what lets
+replay-from-disk keep up with replay-from-memory.
+
+The write path (:class:`TraceWriter`) is streaming — events go out as
+encoded blocks, nothing is retained — and counts exact bytes written.
+The read path (:func:`read_events`) is a generator over ``(event_class,
+decoded fields...)`` rows; :func:`events_from_bytes` materialises real
+frozen :class:`~repro.runtime.events.Event` objects with canonical
+interned stacks, while :func:`repro.runtime.trace.replay_trace` skips
+the per-event allocation entirely with reusable flyweight twins.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import fields as dc_fields
+from typing import BinaryIO, Iterator
+
+from repro.runtime.events import (
+    AccessKind,
+    BarrierWait,
+    ClientRequest,
+    CondSignal,
+    CondWait,
+    EVENT_TYPES,
+    Event,
+    Frame,
+    LockAcquire,
+    LockMode,
+    LockRelease,
+    MemAlloc,
+    MemFree,
+    MemoryAccess,
+    QueueGet,
+    QueuePut,
+    SemPost,
+    SemWait,
+    ThreadCreate,
+    ThreadFinish,
+    ThreadJoin,
+    intern_stack,
+)
+
+__all__ = [
+    "MAGIC",
+    "TraceWriter",
+    "read_blocks",
+    "read_events",
+    "events_from_bytes",
+    "build_flyweights",
+    "build_block_loops",
+    "replay_tables",
+    "replay_blocks",
+    "is_binary_trace",
+    "trace_stats",
+]
+
+#: File magic + format version byte.
+MAGIC = b"RPTR\x01"
+
+# Record tags.
+_TAG_STRING = 0
+_TAG_FRAME = 1
+_TAG_STACK = 2
+_TAG_BLOCK = 3
+
+#: Field codes: struct letter + how the value is (de)coded.
+#: ``i``/``q`` plain ints, ``B`` bool, ``kind``/``mode`` enum index,
+#: ``str`` string-table id.
+_KINDS = (AccessKind.READ, AccessKind.WRITE)
+_KIND_INDEX = {k: i for i, k in enumerate(_KINDS)}
+_MODES = (LockMode.EXCLUSIVE, LockMode.READ, LockMode.WRITE)
+_MODE_INDEX = {m: i for i, m in enumerate(_MODES)}
+_BOOLS = (False, True)
+
+#: Per-type extra fields (beyond step/tid/stack), in *dataclass field
+#: order* — decoding passes them positionally to the constructor.
+_SPECS: dict[type, tuple[tuple[str, str], ...]] = {
+    MemoryAccess: (
+        ("addr", "q"), ("kind", "kind"), ("bus_locked", "B"), ("block_id", "i"),
+    ),
+    MemAlloc: (("addr", "q"), ("size", "q"), ("block_id", "i"), ("tag", "str")),
+    MemFree: (("addr", "q"), ("size", "q"), ("block_id", "i")),
+    LockAcquire: (("lock_id", "i"), ("mode", "mode"), ("contended", "B")),
+    LockRelease: (("lock_id", "i"), ("mode", "mode")),
+    ThreadCreate: (("child_tid", "i"),),
+    ThreadFinish: (),
+    ThreadJoin: (("joined_tid", "i"),),
+    CondWait: (("cond_id", "i"), ("mutex_id", "i"), ("phase", "str")),
+    CondSignal: (("cond_id", "i"), ("broadcast", "B")),
+    SemPost: (("sem_id", "i"),),
+    SemWait: (("sem_id", "i"),),
+    BarrierWait: (("barrier_id", "i"), ("generation", "i"), ("phase", "str")),
+    QueuePut: (("queue_id", "i"), ("msg_id", "i")),
+    QueueGet: (("queue_id", "i"), ("msg_id", "i")),
+    ClientRequest: (("request", "str"), ("addr", "q"), ("size", "q")),
+}
+
+_STRUCT_LETTER = {"i": "i", "q": "q", "B": "B", "kind": "B", "mode": "B", "str": "I"}
+
+# Block flags.
+_FLAG_SEQ_STEP = 1  #: per-row step column elided (header carries base)
+_FLAG_NARROW = 2  #: 64-bit fields stored as u32 for this block
+
+
+def _row_struct(cls, *, seq: bool, narrow: bool) -> struct.Struct:
+    letters = "".join(
+        ("I" if narrow and code == "q" else _STRUCT_LETTER[code])
+        for _, code in _SPECS[cls]
+    )
+    return struct.Struct("<" + ("" if seq else "I") + "iI" + letters)
+
+
+#: Per-type row-struct variants indexed ``[type_idx][flags]`` — the
+#: common prefix is ``[step:u32,] tid:i32, stack:u32``.
+_ROW_STRUCTS: tuple[tuple[struct.Struct, ...], ...] = tuple(
+    tuple(
+        _row_struct(cls, seq=bool(f & _FLAG_SEQ_STEP), narrow=bool(f & _FLAG_NARROW))
+        for f in range(4)
+    )
+    for cls in EVENT_TYPES
+)
+
+#: Positions (in the full ``(step, tid, stack, *fields)`` row tuple) of
+#: each type's 64-bit fields — the writer checks these for NARROW.
+_Q_POSITIONS: tuple[tuple[int, ...], ...] = tuple(
+    tuple(i for i, (_, code) in enumerate(_SPECS[cls], start=3) if code == "q")
+    for cls in EVENT_TYPES
+)
+
+_TYPE_INDEX: dict[type, int] = {cls: i for i, cls in enumerate(EVENT_TYPES)}
+
+# Sanity: specs must list every field, in declaration order.
+for _cls, _spec in _SPECS.items():
+    _declared = tuple(
+        f.name for f in dc_fields(_cls) if f.name not in ("step", "tid", "stack")
+    )
+    assert _declared == tuple(name for name, _ in _spec), _cls
+
+
+def _write_varint(buf: bytearray, n: int) -> None:
+    """Append unsigned LEB128."""
+    while n > 0x7F:
+        buf.append((n & 0x7F) | 0x80)
+        n >>= 7
+    buf.append(n)
+
+
+def _read_varint(data: bytes, pos: int) -> tuple[int, int]:
+    """Read unsigned LEB128 at ``pos`` → (value, next pos)."""
+    result = 0
+    shift = 0
+    while True:
+        b = data[pos]
+        pos += 1
+        result |= (b & 0x7F) << shift
+        if not b & 0x80:
+            return result, pos
+        shift += 7
+
+
+class TraceWriter:
+    """Streaming binary trace encoder with interned string/frame/stack
+    tables and an exact :attr:`bytes_written` counter.
+
+    Consecutive events of one type accumulate into a pending block that
+    is flushed when the type changes (or on :meth:`close`); table
+    definitions triggered while encoding a block are emitted *before*
+    it, so a reader never sees a forward reference.
+    """
+
+    def __init__(self, fh: BinaryIO) -> None:
+        self._fh = fh
+        self._strings: dict[str, int] = {}
+        self._frames: dict[Frame, int] = {}
+        self._stacks: dict[tuple, int] = {}
+        #: Definition records produced while encoding the pending block.
+        self._defs = bytearray()
+        #: Pending same-type rows (value tuples) and their type index.
+        self._rows: list[tuple] = []
+        self._row_type = -1
+        self.events_written = 0
+        self.bytes_written = 0
+        fh.write(MAGIC)
+        self.bytes_written += len(MAGIC)
+
+    # -- interning (emits definition records on first sight) ----------
+
+    def _string_id(self, s: str) -> int:
+        sid = self._strings.get(s)
+        if sid is None:
+            sid = len(self._strings)
+            self._strings[s] = sid
+            raw = s.encode("utf-8")
+            defs = self._defs
+            defs.append(_TAG_STRING)
+            _write_varint(defs, len(raw))
+            defs += raw
+        return sid
+
+    def _frame_id(self, frame: Frame) -> int:
+        fid = self._frames.get(frame)
+        if fid is None:
+            func = self._string_id(frame.function)
+            file = self._string_id(frame.file)
+            fid = len(self._frames)
+            self._frames[frame] = fid
+            defs = self._defs
+            defs.append(_TAG_FRAME)
+            _write_varint(defs, func)
+            _write_varint(defs, file)
+            _write_varint(defs, frame.line)
+        return fid
+
+    def _stack_id(self, stack: tuple) -> int:
+        sid = self._stacks.get(stack)
+        if sid is None:
+            frame_ids = [self._frame_id(f) for f in stack]
+            sid = len(self._stacks)
+            self._stacks[stack] = sid
+            defs = self._defs
+            defs.append(_TAG_STACK)
+            _write_varint(defs, len(frame_ids))
+            for fid in frame_ids:
+                _write_varint(defs, fid)
+        return sid
+
+    # -- encoding ------------------------------------------------------
+
+    def write(self, event: Event) -> None:
+        """Encode one event (buffered until the block flushes)."""
+        cls = type(event)
+        idx = _TYPE_INDEX[cls]
+        if idx != self._row_type:
+            if self._rows:
+                self._flush_block()
+            self._row_type = idx
+        row = [event.step, event.tid, self._stack_id(event.stack)]
+        for name, code in _SPECS[cls]:
+            value = getattr(event, name)
+            if code == "str":
+                value = self._string_id(value)
+            elif code == "kind":
+                value = _KIND_INDEX[value]
+            elif code == "mode":
+                value = _MODE_INDEX[value]
+            row.append(value)
+        self._rows.append(tuple(row))
+        self.events_written += 1
+
+    def _flush_block(self) -> None:
+        rows = self._rows
+        idx = self._row_type
+        base = rows[0][0]
+        flags = 0
+        if all(row[0] == base + i for i, row in enumerate(rows)):
+            flags |= _FLAG_SEQ_STEP
+        q_positions = _Q_POSITIONS[idx]
+        if q_positions and all(
+            0 <= row[p] < 0x1_0000_0000 for row in rows for p in q_positions
+        ):
+            flags |= _FLAG_NARROW
+        header = bytearray()
+        if self._defs:
+            header += self._defs
+            self._defs = bytearray()
+        header.append(_TAG_BLOCK)
+        header.append(idx)
+        header.append(flags)
+        _write_varint(header, len(rows))
+        pack = _ROW_STRUCTS[idx][flags].pack
+        if flags & _FLAG_SEQ_STEP:
+            _write_varint(header, base)
+            body = b"".join(pack(*row[1:]) for row in rows)
+        else:
+            body = b"".join(pack(*row) for row in rows)
+        self._fh.write(header)
+        self._fh.write(body)
+        self.bytes_written += len(header) + len(body)
+        self._rows = []
+
+    def flush(self) -> None:
+        """Flush the pending block (and any pending definitions)."""
+        if self._rows:
+            self._flush_block()
+        elif self._defs:
+            self._fh.write(self._defs)
+            self.bytes_written += len(self._defs)
+            self._defs = bytearray()
+
+    def close(self) -> None:
+        """Flush; the caller owns (and closes) the file object."""
+        self.flush()
+
+    def table_sizes(self) -> dict[str, int]:
+        """Interning-table populations (``repro trace stat`` input)."""
+        return {
+            "strings": len(self._strings),
+            "frames": len(self._frames),
+            "stacks": len(self._stacks),
+        }
+
+
+# ----------------------------------------------------------------------
+# Decoding
+# ----------------------------------------------------------------------
+
+
+def is_binary_trace(path) -> bool:
+    """True if the file starts with the :data:`MAGIC` bytes."""
+    with open(path, "rb") as fh:
+        return fh.read(len(MAGIC)) == MAGIC
+
+
+def read_blocks(data: bytes) -> Iterator[tuple]:
+    """Block-level generator over an in-memory trace image.
+
+    Yields ``(type_idx, stacks, strings, row_struct, block, base_step)``
+    per event block; ``stacks`` / ``strings`` are the decoder's live
+    interning tables (``stacks[i]`` is a canonical interned
+    ``CallStack``), ``block`` is a zero-copy memoryview, and the
+    consumer runs ``row_struct.iter_unpack`` over it — one C call per
+    block, not per event.  ``base_step`` is the SEQ_STEP base (row ``i``
+    has step ``base_step + i`` and no step column) or ``None`` when the
+    rows carry their own steps.  Consumers can also *skip* whole blocks
+    whose type nobody subscribes to without decoding a single row (the
+    fast replay path does).
+    """
+    if not data.startswith(MAGIC):
+        raise ValueError("not a binary trace (bad magic)")
+    view = memoryview(data)
+    pos = len(MAGIC)
+    end = len(data)
+    strings: list[str] = []
+    frames: list[Frame] = []
+    stacks: list[tuple] = []
+    row_structs = _ROW_STRUCTS
+    while pos < end:
+        tag = data[pos]
+        pos += 1
+        if tag == _TAG_BLOCK:
+            type_idx = data[pos]
+            flags = data[pos + 1]
+            pos += 2
+            count, pos = _read_varint(data, pos)
+            if flags & _FLAG_SEQ_STEP:
+                base, pos = _read_varint(data, pos)
+            else:
+                base = None
+            s = row_structs[type_idx][flags]
+            size = s.size * count
+            yield type_idx, stacks, strings, s, view[pos:pos + size], base
+            pos += size
+        elif tag == _TAG_STRING:
+            length, pos = _read_varint(data, pos)
+            strings.append(data[pos:pos + length].decode("utf-8"))
+            pos += length
+        elif tag == _TAG_FRAME:
+            func, pos = _read_varint(data, pos)
+            file, pos = _read_varint(data, pos)
+            line, pos = _read_varint(data, pos)
+            frames.append(Frame(strings[func], strings[file], line))
+        elif tag == _TAG_STACK:
+            count, pos = _read_varint(data, pos)
+            frame_ids = []
+            for _ in range(count):
+                fid, pos = _read_varint(data, pos)
+                frame_ids.append(fid)
+            stacks.append(intern_stack(tuple(frames[i] for i in frame_ids)))
+        else:
+            raise ValueError(f"corrupt trace: unknown record tag {tag}")
+
+
+def read_events(data: bytes) -> Iterator[tuple]:
+    """Row generator: yields ``(event_class, stacks, strings, row)``.
+
+    ``row`` is the full tuple ``(step, tid, stack_id, *fields)`` —
+    string and enum fields still table ids; SEQ_STEP blocks have their
+    steps reconstituted here.  Consumers that want real events use
+    :func:`events_from_bytes`.
+    """
+    types = EVENT_TYPES
+    for type_idx, stacks, strings, s, block, base in read_blocks(data):
+        cls = types[type_idx]
+        if base is None:
+            for row in s.iter_unpack(block):
+                yield cls, stacks, strings, row
+        else:
+            for i, row in enumerate(s.iter_unpack(block)):
+                yield cls, stacks, strings, (base + i, *row)
+
+
+#: Per-type decoders turning a raw row into constructor positionals.
+#: ``None`` entries pass through; callables transform.
+def _decoders_for(cls) -> tuple:
+    out = []
+    for _, code in _SPECS[cls]:
+        if code == "B":
+            out.append("B")
+        elif code == "kind":
+            out.append("kind")
+        elif code == "mode":
+            out.append("mode")
+        elif code == "str":
+            out.append("str")
+        else:
+            out.append(None)
+    return tuple(out)
+
+
+_DECODERS: dict[type, tuple] = {cls: _decoders_for(cls) for cls in EVENT_TYPES}
+
+
+def decode_row(cls, stacks, strings, row) -> Event:
+    """Materialise one frozen event from a raw row."""
+    args = []
+    codes = _DECODERS[cls]
+    for value, code in zip(row[3:], codes):
+        if code is None:
+            args.append(value)
+        elif code == "B":
+            args.append(_BOOLS[value])
+        elif code == "str":
+            args.append(strings[value])
+        elif code == "kind":
+            args.append(_KINDS[value])
+        else:
+            args.append(_MODES[value])
+    return cls(row[0], row[1], *args, stack=stacks[row[2]])
+
+
+def events_from_bytes(data: bytes) -> Iterator[Event]:
+    """Generator of real frozen events (canonical interned stacks)."""
+    for cls, stacks, strings, row in read_events(data):
+        yield decode_row(cls, stacks, strings, row)
+
+
+# ----------------------------------------------------------------------
+# Flyweight decoding (the allocation-free replay fast path)
+# ----------------------------------------------------------------------
+
+
+def _flyweight_class(cls) -> type:
+    """A mutable twin of a frozen event class.
+
+    Same attribute names (plus the ``is_write`` / ``site`` conveniences
+    detectors use), but one instance is *reused* for every event of the
+    type — replay allocates zero event objects.  Handlers must treat it
+    as borrowed for the duration of the call; all of ours copy out the
+    scalar fields and the (immutable, canonical) stack tuple.
+    """
+    names = tuple(f.name for f in dc_fields(cls))
+    ns: dict = {
+        "__slots__": names,
+        "site": property(lambda self: self.stack[0] if self.stack else None),
+    }
+    if cls is MemoryAccess:
+        ns["is_write"] = property(lambda self: self.kind is AccessKind.WRITE)
+    return type("Replay" + cls.__name__, (), ns)
+
+
+_FILL_EXPR = {
+    "i": "row[{i}]",
+    "q": "row[{i}]",
+    "B": "_BOOLS[row[{i}]]",
+    "str": "strings[row[{i}]]",
+    "kind": "_KINDS[row[{i}]]",
+    "mode": "_MODES[row[{i}]]",
+}
+
+
+def _make_filler(cls, fly):
+    """Code-generate ``fill(stacks, strings, row) -> flyweight``.
+
+    Direct attribute assignments (no setattr loop) keep the per-event
+    decode cost at a handful of stores — the same trick namedtuple uses
+    for its generated ``__new__``.
+    """
+    lines = [
+        "def _fill(stacks, strings, row, fly=fly):",
+        "    fly.step = row[0]",
+        "    fly.tid = row[1]",
+        "    fly.stack = stacks[row[2]]",
+    ]
+    for i, (name, code) in enumerate(_SPECS[cls], start=3):
+        lines.append(f"    fly.{name} = " + _FILL_EXPR[code].format(i=i))
+    lines.append("    return fly")
+    ns = {"fly": fly, "_BOOLS": _BOOLS, "_KINDS": _KINDS, "_MODES": _MODES}
+    exec("\n".join(lines), ns)  # noqa: S102 - static template, no user input
+    return ns["_fill"]
+
+
+def _make_seq_filler(cls, fly):
+    """The SEQ_STEP twin of :func:`_make_filler`: rows carry no step
+    column, the caller passes the reconstructed step — no ``(step,
+    *row)`` tuple rebuild per event."""
+    lines = [
+        "def _fill(stacks, strings, row, step, fly=fly):",
+        "    fly.step = step",
+        "    fly.tid = row[0]",
+        "    fly.stack = stacks[row[1]]",
+    ]
+    for i, (name, code) in enumerate(_SPECS[cls], start=2):
+        lines.append(f"    fly.{name} = " + _FILL_EXPR[code].format(i=i))
+    lines.append("    return fly")
+    ns = {"fly": fly, "_BOOLS": _BOOLS, "_KINDS": _KINDS, "_MODES": _MODES}
+    exec("\n".join(lines), ns)  # noqa: S102 - static template, no user input
+    return ns["_fill"]
+
+
+def build_flyweights() -> list:
+    """Per-type ``fill`` functions, indexed like :data:`EVENT_TYPES`.
+
+    Each call returns fresh flyweight instances (callers that interleave
+    two decoders must not share them).
+    """
+    fillers = []
+    for cls in EVENT_TYPES:
+        fly = _flyweight_class(cls)()
+        fillers.append(_make_filler(cls, fly))
+    return fillers
+
+
+def _make_block_loop(cls, fly, *, seq: bool):
+    """Code-generate one fused single-handler block loop.
+
+    ``loop(block, s, stacks, strings, fn, vm[, base])`` iterates one
+    event block with ``s.iter_unpack`` and calls ``fn(flyweight, vm)``
+    per row.  Plain-int fields are unpacked *directly into flyweight
+    attributes in the for-statement target* — Python allows attribute
+    references as unpack targets — so the hot loop has no per-row
+    function call, no row tuple, and no subscript chain.  Only
+    table-indexed fields (stack, strings, enums, bools) take one temp +
+    one indexed store each.  The ``seq`` variant decodes SEQ_STEP
+    blocks: rows have no step column, ``fly.step`` comes from a local
+    counter seeded with the block's base step.
+    """
+    targets = [] if seq else ["fly.step"]
+    targets += ["fly.tid", "_s"]
+    body = ["        fly.stack = stacks[_s]"]
+    if seq:
+        body.insert(0, "        fly.step = step")
+        body.insert(1, "        step += 1")
+    for name, code in _SPECS[cls]:
+        if code in ("i", "q", "B"):
+            # Bool-coded fields stay raw 0/1 ints on the flyweight: every
+            # consumer treats them as truth flags, and skipping the
+            # ``_BOOLS`` lookup keeps the fill at a bare store.
+            targets.append(f"fly.{name}")
+        else:
+            targets.append(f"_{name}")
+            table = {"kind": "_KINDS", "mode": "_MODES", "str": "strings"}[code]
+            body.append(f"        fly.{name} = {table}[_{name}]")
+    target = ", ".join(targets)
+    lines = [
+        "def _loop(block, s, stacks, strings, fn, vm, base, fly=fly):",
+        *(["    step = base"] if seq else []),
+        f"    for {target} in s.iter_unpack(block):",
+        *body,
+        "        fn(fly, vm)",
+    ]
+    ns = {"fly": fly, "_BOOLS": _BOOLS, "_KINDS": _KINDS, "_MODES": _MODES}
+    exec("\n".join(lines), ns)  # noqa: S102 - static template, no user input
+    return ns["_loop"]
+
+
+def build_block_loops() -> list:
+    """Per-type fused block loops, indexed like :data:`EVENT_TYPES`.
+
+    Each entry is a ``(plain, seq)`` pair — pick by whether the block
+    carries a base step.  Both share one private flyweight instance per
+    type.  The single-subscriber fast path of
+    :func:`repro.runtime.trace.replay_trace` uses these.
+    """
+    loops = []
+    for cls in EVENT_TYPES:
+        fly = _flyweight_class(cls)()
+        loops.append(
+            (
+                _make_block_loop(cls, fly, seq=False),
+                _make_block_loop(cls, fly, seq=True),
+            )
+        )
+    return loops
+
+
+#: Lazily-built shared decode tables for :func:`replay_trace` — the
+#: codegen (~48 ``exec`` calls) costs a few milliseconds, which would
+#: otherwise dwarf the decode itself on small traces.  The flyweights
+#: inside are shared: fine for any number of *sequential* replays in a
+#: process, not for concurrent ones (use :func:`build_block_loops` /
+#: :func:`build_flyweights` for private instances).
+_REPLAY_TABLES: tuple[list, list, list] | None = None
+
+
+def replay_tables() -> tuple[list, list, list]:
+    """``(block_loops, fillers, seq_fillers)``, built once and cached.
+
+    The two filler lists share one flyweight per type (a plain and a
+    SEQ_STEP decode of the same block must populate the same object);
+    the block loops keep their own.
+    """
+    global _REPLAY_TABLES
+    if _REPLAY_TABLES is None:
+        fillers = []
+        seq_fillers = []
+        for cls in EVENT_TYPES:
+            fly = _flyweight_class(cls)()
+            fillers.append(_make_filler(cls, fly))
+            seq_fillers.append(_make_seq_filler(cls, fly))
+        _REPLAY_TABLES = (build_block_loops(), fillers, seq_fillers)
+    return _REPLAY_TABLES
+
+
+def replay_blocks(data: bytes, handler_table, vm) -> int:
+    """The replay-from-binary hot loop; returns the event count.
+
+    A manually inlined variant of :func:`read_blocks` + dispatch —
+    no generator suspension, no per-block tuple, zero-copy memoryview
+    rows, and single-byte varints (the overwhelmingly common case)
+    read without a function call.  ``handler_table[type_idx]`` is a
+    tuple of handler callables (empty → the block is skipped without
+    decoding a row); one subscriber takes the fused codegen loop,
+    several share a flyweight per row.
+    """
+    if not data.startswith(MAGIC):
+        raise ValueError("not a binary trace (bad magic)")
+    loops, fillers, seq_fillers = replay_tables()
+    # One merged per-type dispatch entry — a single list index per block
+    # instead of separate struct/handler/loop/filler lookups:
+    # ``(struct variants, single handler or None, handlers, (plain,
+    # seq) loops, filler, seq filler)``.
+    dispatch = [
+        (
+            _ROW_STRUCTS[i],
+            fns[0] if len(fns) == 1 else None,
+            fns,
+            loops[i],
+            fillers[i],
+            seq_fillers[i],
+        )
+        for i, fns in enumerate(handler_table)
+    ]
+    view = memoryview(data)
+    pos = len(MAGIC)
+    end = len(data)
+    strings: list[str] = []
+    frames: list[Frame] = []
+    stacks: list[tuple] = []
+    count = 0
+    while pos < end:
+        tag = data[pos]
+        pos += 1
+        if tag == _TAG_BLOCK:
+            entry = dispatch[data[pos]]
+            flags = data[pos + 1]
+            pos += 2
+            n = data[pos]
+            pos += 1
+            if n & 0x80:
+                n, pos = _read_varint(data, pos - 1)
+            if flags & _FLAG_SEQ_STEP:
+                base = data[pos]
+                pos += 1
+                if base & 0x80:
+                    base, pos = _read_varint(data, pos - 1)
+            else:
+                base = None
+            s = entry[0][flags]
+            size = s.size * n
+            count += n
+            single = entry[1]
+            if single is not None:
+                if n == 1:
+                    # Single-row block (types alternating in the stream
+                    # fragment blocks): unpack straight from the backing
+                    # bytes — no memoryview slice, no iterator.
+                    row = s.unpack_from(data, pos)
+                    if base is None:
+                        single(entry[4](stacks, strings, row), vm)
+                    else:
+                        single(entry[5](stacks, strings, row, base), vm)
+                else:
+                    block = view[pos:pos + size]
+                    pair = entry[3]
+                    if base is None:
+                        pair[0](block, s, stacks, strings, single, vm, 0)
+                    else:
+                        pair[1](block, s, stacks, strings, single, vm, base)
+            elif entry[2]:
+                fns = entry[2]
+                block = view[pos:pos + size]
+                if base is None:
+                    fill = entry[4]
+                    for row in s.iter_unpack(block):
+                        event = fill(stacks, strings, row)
+                        for fn in fns:
+                            fn(event, vm)
+                else:
+                    fill = entry[5]
+                    for i, row in enumerate(s.iter_unpack(block)):
+                        event = fill(stacks, strings, row, base + i)
+                        for fn in fns:
+                            fn(event, vm)
+            pos += size
+        elif tag == _TAG_STRING:
+            length, pos = _read_varint(data, pos)
+            strings.append(data[pos:pos + length].decode("utf-8"))
+            pos += length
+        elif tag == _TAG_FRAME:
+            func, pos = _read_varint(data, pos)
+            file, pos = _read_varint(data, pos)
+            line, pos = _read_varint(data, pos)
+            frames.append(Frame(strings[func], strings[file], line))
+        elif tag == _TAG_STACK:
+            n, pos = _read_varint(data, pos)
+            frame_ids = []
+            for _ in range(n):
+                fid, pos = _read_varint(data, pos)
+                frame_ids.append(fid)
+            stacks.append(intern_stack(tuple(frames[i] for i in frame_ids)))
+        else:
+            raise ValueError(f"corrupt trace: unknown record tag {tag}")
+    return count
+
+
+def trace_stats(path) -> dict:
+    """Summary of a binary trace for ``repro trace stat``.
+
+    One pass over the file: event counts by type, interning-table
+    populations, file size, and bytes/event.
+    """
+    import os
+
+    data = open(path, "rb").read()
+    by_type: dict[str, int] = {}
+    strings = stacks = 0
+    total = 0
+    for cls, _stacks, _strings, _row in read_events(data):
+        name = cls.__name__
+        by_type[name] = by_type.get(name, 0) + 1
+        total += 1
+        strings = len(_strings)
+        stacks = len(_stacks)
+    return {
+        "path": str(path),
+        "file_bytes": os.path.getsize(path),
+        "events": total,
+        "by_type": dict(sorted(by_type.items(), key=lambda kv: -kv[1])),
+        "strings": strings,
+        "stacks": stacks,
+        "bytes_per_event": (os.path.getsize(path) / total) if total else 0.0,
+    }

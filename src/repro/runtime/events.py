@@ -57,6 +57,7 @@ __all__ = [
     "QueuePut",
     "QueueGet",
     "ClientRequest",
+    "EVENT_TYPES",
     "event_from_dict",
 ]
 
@@ -400,6 +401,12 @@ _EVENT_TYPES = {
         ClientRequest,
     )
 }
+
+#: All concrete event types in a *stable, append-only* order.  The
+#: binary trace codec (:mod:`repro.runtime.codec`) indexes event blocks
+#: by position in this tuple, so reordering it would break every trace
+#: on disk — add new types at the end only.
+EVENT_TYPES = tuple(_EVENT_TYPES.values())
 
 _ENUM_FIELDS = {"kind": AccessKind, "mode": LockMode}
 

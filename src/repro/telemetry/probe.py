@@ -394,6 +394,17 @@ class Telemetry:
                         help="Tracked shadow words by final state (sum on merge).",
                         merge="sum",
                     ).inc(count)
+            # Paged-engine counters: copy-on-write page materialisations
+            # and O(pages) range transitions (alloc/free/HG_DESTRUCT).
+            shadow = getattr(machine, "shadow_stats", None)
+            if shadow is not None:
+                for stat, value in sorted(shadow().items()):
+                    reg.gauge(
+                        "repro_shadow_engine",
+                        {"stat": stat},
+                        help="Paged shadow-memory engine counters (sum on merge).",
+                        merge="sum",
+                    ).inc(float(value))
 
         # Detector-specific summary gauges (each detector contributes
         # its own vocabulary through telemetry_summary()).

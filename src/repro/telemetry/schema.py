@@ -34,6 +34,7 @@ REQUIRED_FAMILIES = (
     "repro_lockset_table_size",
     "repro_detector_events_total",
     "repro_detector_busy_seconds_total",
+    "repro_shadow_engine",
 )
 
 

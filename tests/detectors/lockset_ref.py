@@ -1,0 +1,219 @@
+"""Reference lock-set machine: the pre-paging dict-of-objects model.
+
+This is the shadow-memory representation the repo used before the paged
+packed engine landed: one mutable ``RefShadowWord`` object per touched
+guest word, held in a flat ``dict``, with range operations walking every
+address in the range.  Semantically it *is* the Figure 1 machine — only
+the storage differs — which makes it the executable specification the
+hypothesis equivalence suite (``test_lockset_equivalence.py``) checks
+the packed engine against: any divergence in outcome, state, owner or
+candidate set on any event sequence is a bug in the optimisation.
+
+Kept deliberately simple and allocation-happy; never import it outside
+the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.detectors.lockset import (
+    EMPTY_ID,
+    LOCKSETS,
+    LocksetOutcome,
+    NO_LOCKSET,
+    WordState,
+)
+from repro.detectors.segments import SegmentGraph
+
+__all__ = ["RefShadowWord", "RefLocksetMachine"]
+
+
+class RefShadowWord:
+    """Per-word shadow state as a plain mutable object."""
+
+    __slots__ = ("state", "owner", "lockset_id")
+
+    def __init__(
+        self,
+        state: WordState = WordState.NEW,
+        owner: int = -1,
+        lockset_id: int = NO_LOCKSET,
+    ) -> None:
+        self.state = state
+        self.owner = owner
+        self.lockset_id = lockset_id
+
+
+class RefLocksetMachine:
+    """Dict-of-``RefShadowWord`` twin of
+    :class:`repro.detectors.lockset.LocksetMachine`.
+
+    Same constructor switches, same access rule, same range-operation
+    semantics — O(words) instead of O(pages), objects instead of packed
+    ints.
+    """
+
+    def __init__(
+        self,
+        segments: SegmentGraph,
+        *,
+        use_states: bool = True,
+        segment_transfer: bool = True,
+        once_per_word: bool = True,
+    ) -> None:
+        self.segments = segments
+        self.use_states = use_states
+        self.segment_transfer = segment_transfer
+        self.once_per_word = once_per_word
+        self._words: dict[int, RefShadowWord] = {}
+
+    # -- lifecycle -----------------------------------------------------
+
+    def on_alloc(self, addr: int, size: int) -> None:
+        for a in range(addr, addr + size):
+            self._words.pop(a, None)
+
+    def on_free(self, addr: int, size: int) -> None:
+        for a in range(addr, addr + size):
+            self._words.pop(a, None)
+
+    def make_exclusive(self, addr: int, size: int, owner: int) -> None:
+        for a in range(addr, addr + size):
+            word = self._words.get(a)
+            if word is None:
+                word = RefShadowWord()
+                self._words[a] = word
+            word.state = WordState.EXCLUSIVE
+            word.owner = owner
+            word.lockset_id = NO_LOCKSET
+
+    # -- queries -------------------------------------------------------
+
+    def word(self, addr: int) -> RefShadowWord:
+        word = self._words.get(addr)
+        if word is None:
+            word = RefShadowWord()
+            self._words[addr] = word
+        return word
+
+    def state_of(self, addr: int) -> WordState:
+        word = self._words.get(addr)
+        return word.state if word is not None else WordState.NEW
+
+    def state_distribution(self) -> dict[WordState, int]:
+        dist: dict[WordState, int] = {}
+        for word in self._words.values():
+            if word.state is not WordState.NEW or word.lockset_id != NO_LOCKSET:
+                dist[word.state] = dist.get(word.state, 0) + 1
+        return dist
+
+    @property
+    def tracked_words(self) -> int:
+        return sum(
+            1
+            for w in self._words.values()
+            if w.state is not WordState.NEW
+            or w.owner != -1
+            or w.lockset_id != NO_LOCKSET
+        )
+
+    # -- the access rule -----------------------------------------------
+
+    def access(
+        self, addr: int, tid: int, is_write: bool, locks_any, locks_write
+    ) -> LocksetOutcome:
+        if type(locks_any) is not int:
+            locks_any = LOCKSETS.id_of(locks_any)
+        if type(locks_write) is not int:
+            locks_write = LOCKSETS.id_of(locks_write)
+
+        word = self.word(addr)
+        prev_state = word.state
+        prev_id = word.lockset_id
+        if not self.use_states:
+            return self._raw_access(
+                word, prev_state, prev_id, is_write, locks_any, locks_write
+            )
+
+        if prev_state is WordState.RACY:
+            return LocksetOutcome(False, prev_state, prev_id, prev_id)
+
+        owner = self._owner_token(tid)
+
+        if prev_state is WordState.NEW:
+            word.state = WordState.EXCLUSIVE
+            word.owner = owner
+            return LocksetOutcome(False, prev_state, NO_LOCKSET, NO_LOCKSET)
+
+        if prev_state is WordState.EXCLUSIVE:
+            if self._still_exclusive(word, tid, owner):
+                word.owner = owner
+                return LocksetOutcome(False, prev_state, NO_LOCKSET, NO_LOCKSET)
+            if is_write:
+                word.state = WordState.SHARED_MODIFIED
+                new_id = locks_write
+                race = new_id == EMPTY_ID
+            else:
+                word.state = WordState.SHARED
+                new_id = locks_any
+                race = False
+            word.lockset_id = new_id
+            if race and self.once_per_word:
+                word.state = WordState.RACY
+            return LocksetOutcome(race, prev_state, prev_id, new_id)
+
+        if prev_state is WordState.SHARED:
+            if is_write:
+                word.state = WordState.SHARED_MODIFIED
+                new_id = LOCKSETS.intersect(prev_id, locks_write)
+                race = new_id == EMPTY_ID
+            else:
+                new_id = LOCKSETS.intersect(prev_id, locks_any)
+                race = False
+            word.lockset_id = new_id
+            if race and self.once_per_word:
+                word.state = WordState.RACY
+            return LocksetOutcome(race, prev_state, prev_id, new_id)
+
+        new_id = LOCKSETS.intersect(prev_id, locks_write if is_write else locks_any)
+        word.lockset_id = new_id
+        race = new_id == EMPTY_ID
+        if race and self.once_per_word:
+            word.state = WordState.RACY
+        return LocksetOutcome(race, prev_state, prev_id, new_id)
+
+    def access_check(
+        self, addr: int, tid: int, is_write: bool, locks_any: int, locks_write: int
+    ) -> LocksetOutcome | None:
+        outcome = self.access(addr, tid, is_write, locks_any, locks_write)
+        return outcome if outcome.race else None
+
+    def _raw_access(
+        self, word, prev_state, prev_id, is_write, locks_any, locks_write
+    ) -> LocksetOutcome:
+        if prev_state is WordState.RACY:
+            return LocksetOutcome(False, prev_state, prev_id, prev_id)
+        held = locks_write if is_write else locks_any
+        new_id = held if prev_id == NO_LOCKSET else LOCKSETS.intersect(prev_id, held)
+        word.lockset_id = new_id
+        word.state = WordState.SHARED_MODIFIED if is_write else WordState.SHARED
+        race = new_id == EMPTY_ID
+        if race and self.once_per_word:
+            word.state = WordState.RACY
+        return LocksetOutcome(race, prev_state, prev_id, new_id)
+
+    # ------------------------------------------------------------------
+
+    def _owner_token(self, tid: int) -> int:
+        if self.segment_transfer:
+            return self.segments.current(tid).seg_id
+        return tid
+
+    def _still_exclusive(self, word: RefShadowWord, tid: int, owner: int) -> bool:
+        if word.owner == owner:
+            return True
+        if not self.segment_transfer:
+            return False
+        owner_seg = self.segments.segment(word.owner)
+        if owner_seg.tid == tid:
+            return True
+        return self.segments.happens_before(word.owner, owner)

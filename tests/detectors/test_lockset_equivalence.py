@@ -1,0 +1,182 @@
+"""Property-based equivalence: paged packed engine ≡ dict-of-objects.
+
+The tentpole optimisation replaced the per-word ``ShadowWord`` objects
+with paged packed ints and the O(words) range walks with O(pages) page
+drops/fills.  These tests drive the production
+:class:`~repro.detectors.lockset.LocksetMachine` and the reference
+:class:`~tests.detectors.lockset_ref.RefLocksetMachine` (the old
+representation, kept as an executable specification) through the same
+randomly generated event sequences — interleaved accesses, allocation /
+free / ``HG_DESTRUCT`` range operations, and thread create/join edges —
+and require *bit-equal* observable behaviour after every single step:
+
+* identical :class:`LocksetOutcome` for every access (race verdict,
+  previous state, previous and new candidate-set ids),
+* :meth:`access_check` returning an outcome exactly on races, with the
+  same fields, and leaving the same shadow state behind as
+  :meth:`access`,
+* identical per-word ``state`` / ``owner`` / ``lockset_id`` at the
+  accessed address and at range-operation boundaries (the off-by-one
+  hotspots of the paged implementation), and
+* identical ``tracked_words`` and ``state_distribution()`` at the end.
+
+Addresses are drawn around the engine's page boundaries
+(:data:`PAGE_SIZE`) so partially-covered first/last pages, whole-page
+drops and the copy-on-write zero page all get exercised, and the
+Figure-1 switches (``use_states`` / ``segment_transfer`` /
+``once_per_word``) are part of the generated input so every ablated
+configuration is covered too.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.detectors.lockset import (
+    LOCKSETS,
+    LocksetMachine,
+    PAGE_SIZE,
+    ShadowWord,
+    WordState,
+)
+from repro.detectors.segments import SegmentGraph
+
+from .lockset_ref import RefLocksetMachine
+
+# A compact address universe straddling two page boundaries: page 0's
+# interior, both edges of page 1 and the start of page 2.
+_ADDRS = st.one_of(
+    st.integers(0, 8),
+    st.integers(PAGE_SIZE - 4, PAGE_SIZE + 4),
+    st.integers(2 * PAGE_SIZE - 4, 2 * PAGE_SIZE + 4),
+)
+_TIDS = st.integers(0, 3)
+_LOCKS = st.frozensets(st.integers(1, 3), max_size=3)
+
+_ACCESS = st.tuples(
+    st.just("access"), _ADDRS, _TIDS, st.booleans(), _LOCKS, _LOCKS
+)
+_RANGE = st.tuples(
+    st.sampled_from(["alloc", "free", "destruct"]),
+    _ADDRS,
+    st.integers(1, 2 * PAGE_SIZE + 8),
+    _TIDS,
+)
+_EDGE = st.tuples(st.sampled_from(["spawn", "join"]), _TIDS, _TIDS)
+
+_OPS = st.lists(st.one_of(_ACCESS, _RANGE, _EDGE), max_size=60)
+
+_CONFIGS = st.tuples(st.booleans(), st.booleans(), st.booleans())
+
+
+def _outcomes_equal(a, b) -> bool:
+    return (
+        a.race == b.race
+        and a.prev_state is b.prev_state
+        and a.prev_lockset_id == b.prev_lockset_id
+        and a.lockset_id == b.lockset_id
+    )
+
+
+def _word_equal(packed: LocksetMachine, ref: RefLocksetMachine, addr: int):
+    view = ShadowWord(packed, addr)
+    ref_word = ref._words.get(addr)
+    if ref_word is None:
+        assert view.state is WordState.NEW, (addr, view.state)
+        return
+    assert view.state is ref_word.state, (addr, view.state, ref_word.state)
+    assert view.lockset_id == ref_word.lockset_id, (addr, view.lockset_id)
+    # Owner is only *meaningful* while EXCLUSIVE, but the packed engine
+    # must preserve it bit-for-bit through shared states too.
+    if ref_word.state is WordState.EXCLUSIVE:
+        assert view.owner == ref_word.owner, (addr, view.owner, ref_word.owner)
+
+
+@given(ops=_OPS, config=_CONFIGS)
+@settings(max_examples=120, deadline=None, derandomize=True)
+def test_packed_engine_matches_reference(ops, config):
+    use_states, segment_transfer, once_per_word = config
+    graph = SegmentGraph()
+    kwargs = dict(
+        use_states=use_states,
+        segment_transfer=segment_transfer,
+        once_per_word=once_per_word,
+    )
+    ref = RefLocksetMachine(graph, **kwargs)
+    packed = LocksetMachine(graph, **kwargs)      # exercised via access()
+    checked = LocksetMachine(graph, **kwargs)     # exercised via access_check()
+
+    touched: set[int] = set()
+    for op in ops:
+        kind = op[0]
+        if kind == "access":
+            _, addr, tid, is_write, held, extra_write = op
+            # Write-mode locks are a subset of all held locks.
+            locks_any = LOCKSETS.id_of(held | extra_write)
+            locks_write = LOCKSETS.id_of(extra_write)
+            o_ref = ref.access(addr, tid, is_write, locks_any, locks_write)
+            o_pck = packed.access(addr, tid, is_write, locks_any, locks_write)
+            o_chk = checked.access_check(
+                addr, tid, is_write, locks_any, locks_write
+            )
+            assert _outcomes_equal(o_ref, o_pck), (op, o_ref, o_pck)
+            assert (o_chk is not None) == o_ref.race, (op, o_ref, o_chk)
+            if o_chk is not None:
+                assert _outcomes_equal(o_ref, o_chk), (op, o_ref, o_chk)
+            touched.add(addr)
+            _word_equal(packed, ref, addr)
+            assert checked.state_of(addr) is ref.state_of(addr)
+        elif kind in ("alloc", "free", "destruct"):
+            _, addr, size, tid = op
+            if kind == "alloc":
+                for m in (ref, packed, checked):
+                    m.on_alloc(addr, size)
+            elif kind == "free":
+                for m in (ref, packed, checked):
+                    m.on_free(addr, size)
+            else:
+                owner = (
+                    graph.current(tid).seg_id if segment_transfer else tid
+                )
+                for m in (ref, packed, checked):
+                    m.make_exclusive(addr, size, owner)
+                touched.update((addr, addr + size - 1))
+            # Boundary words are where a paged implementation breaks.
+            for probe in (addr - 1, addr, addr + size - 1, addr + size):
+                if probe >= 0:
+                    _word_equal(packed, ref, probe)
+                    assert checked.state_of(probe) is ref.state_of(probe)
+        elif kind == "spawn":
+            _, parent, child = op
+            graph.on_create(parent, child)
+        else:  # join
+            _, joiner, joined = op
+            if joiner != joined:
+                graph.on_join(joiner, joined)
+
+    for addr in touched:
+        _word_equal(packed, ref, addr)
+    assert packed.tracked_words == ref.tracked_words
+    assert packed.state_distribution() == ref.state_distribution()
+
+
+@given(ops=_OPS)
+@settings(max_examples=60, deadline=None, derandomize=True)
+def test_view_writes_round_trip(ops):
+    """The ShadowWord *view* writes through to packed storage exactly."""
+    graph = SegmentGraph()
+    packed = LocksetMachine(graph)
+    for op in ops:
+        if op[0] != "access":
+            continue
+        _, addr, tid, is_write, held, extra_write = op
+        view = packed.word(addr)
+        owner = graph.current(tid).seg_id
+        view.state = WordState.EXCLUSIVE
+        view.owner = owner
+        sid = LOCKSETS.id_of(held)
+        view.lockset_id = sid
+        assert view.state is WordState.EXCLUSIVE
+        assert view.owner == owner
+        assert view.lockset_id == sid
+        assert packed.state_of(addr) is WordState.EXCLUSIVE

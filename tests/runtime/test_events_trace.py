@@ -128,7 +128,7 @@ class TestTraceRecorder:
         with TraceRecorder(path) as recorder:
             run_program(_sample_program, detectors=(recorder,))
         loaded = load_trace(path)
-        assert loaded == recorder.events
+        assert list(loaded) == recorder.events
 
     def test_estimated_bytes_scales(self):
         recorder = TraceRecorder()
