@@ -36,8 +36,19 @@ The package contains everything the paper's experiments depend on:
 ``repro.experiments``
     The harness that regenerates every table and figure of the paper's
     evaluation (see ``EXPERIMENTS.md``).
+``repro.api``
+    The public facade (``docs/API.md``): :class:`~repro.api.Pipeline`
+    (configuration → detector/VM wiring), :class:`~repro.api.Session`
+    (incremental analysis with snapshot/restore) and
+    :func:`~repro.api.detector_config`.
+``repro.service``
+    The streaming analysis service (``docs/SERVICE.md``): ``repro
+    serve`` accepts concurrent clients streaming RPTR v1 traces into
+    per-session detector pipelines with backpressure and checkpoints.
 """
 
+from repro import api
+from repro.api import Pipeline, Session, detector_config, detector_configs
 from repro.detectors import (
     DjitDetector,
     HelgrindConfig,
@@ -61,6 +72,11 @@ from repro.runtime import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
+    "Pipeline",
+    "Session",
+    "detector_config",
+    "detector_configs",
     "VM",
     "GuestAPI",
     "SimThread",

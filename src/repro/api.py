@@ -1,0 +1,312 @@
+"""The public facade: one front door to the analysis pipeline.
+
+Historically the pipeline had three scattered entry points — the
+evaluation harness (:func:`repro.experiments.harness.run_proxy_case`),
+the offline tier (:func:`repro.runtime.trace.replay_trace`), and
+hand-built ``VM`` + detector assemblies — each wiring detectors,
+configurations and replay state slightly differently.  This module
+consolidates them:
+
+* :func:`detector_config` — name → :class:`~repro.detectors.HelgrindConfig`
+  with validation (the public twin of what the harness used privately).
+* :class:`Pipeline` — a detector *configuration* bound to factories for
+  everything built from it: fresh detectors, live harness runs, offline
+  replays, and incremental sessions.
+* :class:`Session` — one incremental analysis: feed events or encoded
+  RPTR v1 bytes in any chunking, snapshot/restore the full mid-stream
+  state, read the report at any time.  The streaming analysis service
+  (:mod:`repro.service`) runs one of these per connected client; tests
+  and tooling use the same object directly.
+
+Everything here is re-exported from the package root::
+
+    import repro
+    report = repro.Pipeline("hwlc+dr").replay("trace.rptr")
+
+Deprecation policy (see ``docs/API.md``): superseded private entry
+points keep working for one PR cycle behind a shim that emits a single
+:class:`DeprecationWarning`, then are removed.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+
+from repro.detectors import HelgrindConfig, HelgrindDetector
+from repro.detectors.report import Report
+from repro.runtime import codec
+from repro.runtime.events import EVENT_TYPES, Event
+from repro.runtime.trace import ReplayVM, replay_trace
+
+__all__ = ["Pipeline", "Session", "detector_config", "detector_configs"]
+
+#: Known configuration names → factory.  ``detector_config`` validates
+#: against this table; keep it in sync with the CLI choices.
+_CONFIG_FACTORIES = {
+    "original": HelgrindConfig.original,
+    "hwlc": HelgrindConfig.hwlc,
+    "hwlc+dr": HelgrindConfig.hwlc_dr,
+    "extended": HelgrindConfig.extended,
+    "raw-eraser": HelgrindConfig.raw_eraser,
+    "eraser-states": HelgrindConfig.eraser_states,
+}
+
+#: Pickle payload version for :meth:`Session.snapshot`.
+SNAPSHOT_VERSION = 1
+
+
+def detector_configs() -> tuple[str, ...]:
+    """The known detector-configuration names, sorted."""
+    return tuple(sorted(_CONFIG_FACTORIES))
+
+
+def detector_config(name: str) -> HelgrindConfig:
+    """Build the named detector configuration.
+
+    The names are the paper's evaluation vocabulary (``original``,
+    ``hwlc``, ``hwlc+dr``) plus the extensions; unknown names raise a
+    :class:`ValueError` that lists every known one.
+    """
+    try:
+        factory = _CONFIG_FACTORIES[name]
+    except KeyError:
+        known = ", ".join(detector_configs())
+        raise ValueError(
+            f"unknown detector configuration {name!r}; known configurations: {known}"
+        ) from None
+    return factory()
+
+
+class Pipeline:
+    """A detector configuration plus factories for everything built on it.
+
+    ``config`` is a configuration *name* (validated by
+    :func:`detector_config`) or a ready :class:`HelgrindConfig`.  The
+    pipeline itself is stateless and reusable — each :meth:`detector`,
+    :meth:`session`, :meth:`run_case` or :meth:`replay` call builds
+    fresh analysis state.
+    """
+
+    def __init__(
+        self,
+        config: str | HelgrindConfig = "hwlc+dr",
+        *,
+        suppressions=None,
+    ) -> None:
+        if isinstance(config, str):
+            self.config_name: str | None = config
+            self.config = detector_config(config)
+        else:
+            self.config_name = None
+            self.config = config
+        self.suppressions = suppressions
+
+    def __repr__(self) -> str:
+        name = self.config_name or "<custom config>"
+        return f"Pipeline({name!r})"
+
+    def detector(self) -> HelgrindDetector:
+        """A fresh detector wired for this configuration."""
+        return HelgrindDetector(self.config, suppressions=self.suppressions)
+
+    def session(self, *, extra_hooks: tuple = ()) -> "Session":
+        """A fresh incremental :class:`Session` on this configuration."""
+        return Session(self, extra_hooks=extra_hooks)
+
+    def run_case(self, case, **kwargs):
+        """Run one harness test case live under this configuration.
+
+        ``case`` is a :class:`~repro.sip.workload.TestCase` or a case id
+        (``"T1"``…``"T8"``); keyword arguments pass through to
+        :func:`repro.experiments.harness.run_proxy_case` (``seed``,
+        ``mode``, ``extra_hooks``, ``telemetry``, …).  Returns that
+        function's :class:`~repro.experiments.harness.ExperimentRun`.
+        """
+        if self.config_name is None:
+            raise ValueError(
+                "run_case needs a named configuration (the harness wires "
+                "the instrumented build from the name); construct the "
+                "Pipeline with a configuration name"
+            )
+        # Deferred: the harness imports repro.api for detector_config.
+        from repro.experiments.harness import run_proxy_case
+        from repro.sip.workload import evaluation_cases
+
+        if isinstance(case, str):
+            by_id = {c.case_id: c for c in evaluation_cases()}
+            try:
+                case = by_id[case]
+            except KeyError:
+                known = ", ".join(sorted(by_id))
+                raise ValueError(
+                    f"unknown case {case!r}; known cases: {known}"
+                ) from None
+        if self.suppressions is not None and "detector" not in kwargs:
+            kwargs["detector"] = self.detector()
+        return run_proxy_case(case, self.config_name, **kwargs)
+
+    def replay(self, path: str | Path, *, vm=None) -> Report:
+        """Replay a recorded trace file offline; returns the report.
+
+        Byte-identical to the live run's report (see
+        :func:`repro.runtime.trace.replay_trace`).
+        """
+        detector = self.detector()
+        replay_trace(path, detector, vm=vm)
+        return detector.report
+
+
+class Session:
+    """One incremental analysis: feed data in, read the report out.
+
+    A session owns a :class:`~repro.runtime.trace.ReplayVM` (so report
+    "Address ..." lines render identically to a live run), a fresh
+    detector, and a :class:`~repro.runtime.codec.StreamDecoder`.  Input
+    arrives either as encoded RPTR v1 bytes (:meth:`feed`, any chunk
+    sizes — a record may straddle chunks) or as event objects
+    (:meth:`feed_events`); both produce exactly the state an offline
+    :func:`~repro.runtime.trace.replay_trace` of the same stream would.
+
+    :meth:`snapshot` pickles the *entire* mid-stream state — shadow
+    engine, lock-set tables, report, decoder interning tables, and any
+    buffered partial record — and :meth:`restore` rebuilds a session
+    from it, in the same process or another one.  A restored session
+    continues byte-for-byte: resume the input stream from
+    :attr:`bytes_fed` and the final report is identical to an
+    uninterrupted run.  This is the service's checkpoint mechanism.
+    """
+
+    def __init__(
+        self,
+        config: str | HelgrindConfig | Pipeline = "hwlc+dr",
+        *,
+        suppressions=None,
+        extra_hooks: tuple = (),
+    ) -> None:
+        if isinstance(config, Pipeline):
+            pipeline = config
+        else:
+            pipeline = Pipeline(config, suppressions=suppressions)
+        self.pipeline = pipeline
+        self.vm = ReplayVM()
+        self.detector = pipeline.detector()
+        self._extra_hooks = tuple(extra_hooks)
+        self._events_fed = 0
+        self._decoder = codec.StreamDecoder()
+        self._bind()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def _hooks(self) -> tuple:
+        """Hook order matches ``replay_trace``: the ReplayVM first (so
+        block tables exist before detectors render addresses), then any
+        extra hooks, then the detector."""
+        return (self.vm, *self._extra_hooks, self.detector)
+
+    def _bind(self) -> None:
+        """(Re)build the decoder's per-type handler table."""
+        table = []
+        for cls in EVENT_TYPES:
+            fns = []
+            for hook in self._hooks:
+                resolver = getattr(hook, "handler_for", None)
+                fn = resolver(cls) if resolver is not None else hook.handle
+                if fn is not None:
+                    fns.append(fn)
+            table.append(tuple(fns))
+        self._decoder.bind(table, self.vm)
+
+    # -- ingestion -----------------------------------------------------
+
+    def feed(self, data: bytes) -> int:
+        """Feed encoded RPTR v1 bytes (any chunking); returns the number
+        of events decoded and dispatched by this call."""
+        return self._decoder.feed(data)
+
+    def feed_events(self, events) -> int:
+        """Feed event objects directly (the in-memory ingest path)."""
+        count = 0
+        vm = self.vm
+        hooks = self._hooks
+        for event in events:
+            count += 1
+            for hook in hooks:
+                hook.handle(event, vm)
+        self._events_fed += count
+        return count
+
+    # -- results -------------------------------------------------------
+
+    @property
+    def report(self) -> Report:
+        """The detector's live report (readable at any time)."""
+        return self.detector.report
+
+    def report_text(self) -> str:
+        """The report rendered exactly as :meth:`Report.save` writes it
+        — byte-identical to ``repro trace replay --report-out``."""
+        import json
+
+        return json.dumps(self.report.to_dict(), indent=2)
+
+    @property
+    def events_seen(self) -> int:
+        """Events analysed so far (decoded bytes + direct events)."""
+        return self._decoder.events_decoded + self._events_fed
+
+    @property
+    def bytes_fed(self) -> int:
+        """Encoded bytes accepted so far — the resume offset: after a
+        :meth:`restore`, continue the input stream from here."""
+        return self._decoder.bytes_fed
+
+    @property
+    def bytes_consumed(self) -> int:
+        """Encoded bytes of fully-decoded records."""
+        return self._decoder.bytes_consumed
+
+    @property
+    def pending_bytes(self) -> int:
+        """Buffered bytes of a trailing partial record."""
+        return self._decoder.pending_bytes
+
+    # -- checkpointing -------------------------------------------------
+
+    def snapshot(self) -> bytes:
+        """Pickle the full mid-stream state (config, detector, shadow
+        engine, ReplayVM block table, decoder tables and buffer)."""
+        payload = {
+            "version": SNAPSHOT_VERSION,
+            "config_name": self.pipeline.config_name,
+            "config": None if self.pipeline.config_name else self.pipeline.config,
+            "detector": self.detector,
+            "vm": self.vm,
+            "decoder": self._decoder,
+            "events_fed": self._events_fed,
+        }
+        return pickle.dumps(payload)
+
+    @classmethod
+    def restore(cls, blob: bytes, *, extra_hooks: tuple = ()) -> "Session":
+        """Rebuild a session from a :meth:`snapshot`.
+
+        ``extra_hooks`` are re-attached by the caller (hooks are not
+        checkpointed — a recorder's open file handle cannot travel).
+        """
+        payload = pickle.loads(blob)
+        if payload.get("version") != SNAPSHOT_VERSION:
+            raise ValueError(
+                f"unsupported session snapshot version {payload.get('version')!r}"
+            )
+        session = cls.__new__(cls)
+        config = payload["config_name"] or payload["config"]
+        session.pipeline = Pipeline(config)
+        session.vm = payload["vm"]
+        session.detector = payload["detector"]
+        session._extra_hooks = tuple(extra_hooks)
+        session._events_fed = payload["events_fed"]
+        session._decoder = payload["decoder"]
+        session._bind()
+        return session

@@ -16,6 +16,8 @@ bugs      the §4.1 injected-bug registry
 report    regenerate the full EXPERIMENTS.md record in one pass
 suppress  run a case, triage it, emit a suppression file (§2.3.1)
 stats     run one case instrumented; print/export pipeline telemetry
+serve     run the streaming analysis service (unix socket or TCP)
+client    stream a case or trace to a running service; fetch reports
 ========  ============================================================
 
 ``figure6`` and ``report`` additionally accept ``--metrics-out`` /
@@ -180,6 +182,105 @@ def _build_parser() -> argparse.ArgumentParser:
     tp.set_defaults(handler=_cmd_trace_stat)
 
     p.set_defaults(handler=_cmd_trace_help, _trace_parser=p)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the streaming analysis service (docs/SERVICE.md)",
+    )
+    p.add_argument("--socket", metavar="PATH", help="listen on a unix socket")
+    p.add_argument("--tcp", metavar="HOST:PORT", help="listen on a TCP endpoint")
+    p.add_argument(
+        "--workers", type=int, default=2, help="analysis worker threads"
+    )
+    p.add_argument(
+        "--queue-blocks",
+        type=int,
+        default=8,
+        metavar="N",
+        help="per-session ingest bound: at most N chunks buffered (credits)",
+    )
+    p.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="checkpoint and close sessions idle this long",
+    )
+    p.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="enable durable session checkpoints (kill-and-resume)",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="EVENTS",
+        help="also checkpoint mid-stream every EVENTS analysed events",
+    )
+    p.set_defaults(handler=_cmd_serve)
+
+    p = sub.add_parser(
+        "client",
+        help="talk to a running analysis service",
+    )
+    client_sub = p.add_subparsers(dest="client_command")
+
+    def _conn_flags(cp, data: bool = True) -> None:
+        cp.add_argument("--socket", metavar="PATH", help="service unix socket")
+        cp.add_argument("--tcp", metavar="HOST:PORT", help="service TCP endpoint")
+        if data:
+            cp.add_argument(
+                "--chunk-bytes", type=int, default=32 * 1024, metavar="N"
+            )
+
+    cp = client_sub.add_parser(
+        "record", help="run a case live, streaming its events to the service"
+    )
+    cp.add_argument("case_id", choices=[f"T{i}" for i in range(1, 9)])
+    cp.add_argument(
+        "config",
+        nargs="?",
+        default="hwlc+dr",
+        choices=("original", "hwlc", "hwlc+dr", "extended", "raw-eraser"),
+    )
+    cp.add_argument("--seed", type=int, default=42)
+    cp.add_argument(
+        "--report-out", metavar="PATH", help="save the service's report bytes"
+    )
+    _conn_flags(cp)
+    cp.set_defaults(handler=_cmd_client_record)
+
+    cp = client_sub.add_parser(
+        "report", help="stream a recorded .rptr trace; fetch the report"
+    )
+    cp.add_argument("trace_file")
+    cp.add_argument(
+        "config",
+        nargs="?",
+        default="hwlc+dr",
+        choices=("original", "hwlc", "hwlc+dr", "extended", "raw-eraser"),
+    )
+    cp.add_argument(
+        "--session",
+        metavar="ID",
+        help="resume this checkpointed session (streams from its offset)",
+    )
+    cp.add_argument(
+        "--report-out", metavar="PATH", help="save the service's report bytes"
+    )
+    cp.add_argument("--full", action="store_true", help="print the raw report")
+    _conn_flags(cp)
+    cp.set_defaults(handler=_cmd_client_report)
+
+    cp = client_sub.add_parser(
+        "stat", help="print the service's repro_service_* metrics"
+    )
+    cp.add_argument("--json", action="store_true", help="raw snapshot JSON")
+    _conn_flags(cp, data=False)
+    cp.set_defaults(handler=_cmd_client_stat)
+
+    p.set_defaults(handler=_cmd_client_help, _client_parser=p)
 
     p = sub.add_parser(
         "stats",
@@ -490,15 +591,9 @@ def _cmd_trace_help(args) -> int:
 
 
 def _trace_config(name: str):
-    from repro.detectors import HelgrindConfig
+    from repro.api import detector_config
 
-    return {
-        "original": HelgrindConfig.original,
-        "hwlc": HelgrindConfig.hwlc,
-        "hwlc+dr": HelgrindConfig.hwlc_dr,
-        "extended": HelgrindConfig.extended,
-        "raw-eraser": HelgrindConfig.raw_eraser,
-    }[name]()
+    return detector_config(name)
 
 
 def _cmd_trace_record(args) -> int:
@@ -594,6 +689,176 @@ def _cmd_trace_stat(args) -> int:
     )
     for name, n in sorted(by_type.items(), key=lambda kv: -kv[1]):
         print(f"  {n:8d}  {name}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """Run the streaming analysis service until interrupted; SIGINT or
+    SIGTERM triggers a graceful drain (queued chunks are analysed and
+    unfinished sessions checkpointed before exit)."""
+    import signal
+
+    from repro.service import AnalysisServer
+
+    if (args.socket is None) == (args.tcp is None):
+        raise SystemExit("pass exactly one of --socket PATH or --tcp HOST:PORT")
+    endpoint: dict = {}
+    if args.socket is not None:
+        endpoint["socket_path"] = args.socket
+    else:
+        host, _, port = args.tcp.rpartition(":")
+        endpoint["host"] = host or "127.0.0.1"
+        endpoint["port"] = int(port)
+    server = AnalysisServer(
+        workers=args.workers,
+        queue_blocks=args.queue_blocks,
+        idle_timeout=args.idle_timeout,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        **endpoint,
+    )
+
+    def _sigterm(signum, frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _sigterm)
+    server.start()
+    addr = server.address
+    where = addr if isinstance(addr, str) else f"{addr[0]}:{addr[1]}"
+    print(
+        f"repro service listening on {where} "
+        f"({args.workers} workers, queue bound {args.queue_blocks} blocks"
+        + (f", checkpoints in {args.checkpoint_dir}" if args.checkpoint_dir else "")
+        + ")",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("draining...", flush=True)
+        server.shutdown(drain=True)
+    return 0
+
+
+def _cmd_client_help(args) -> int:
+    args._client_parser.print_help()
+    return 2
+
+
+def _client_endpoint(args) -> dict:
+    """``--socket``/``--tcp`` → :class:`AnalysisClient` kwargs."""
+    if (args.socket is None) == (args.tcp is None):
+        raise SystemExit("pass exactly one of --socket PATH or --tcp HOST:PORT")
+    if args.socket is not None:
+        return {"socket_path": args.socket}
+    host, _, port = args.tcp.rpartition(":")
+    return {"host": host or "127.0.0.1", "port": int(port)}
+
+
+class _WriterHook:
+    """Legacy-style VM hook feeding every event to a TraceWriter (whose
+    sink is the service connection — the live-streaming record path)."""
+
+    def __init__(self, writer) -> None:
+        self._writer = writer
+
+    def handle(self, event, vm=None) -> None:
+        self._writer.write(event)
+
+
+def _save_service_report(payload: bytes, path: str | None) -> None:
+    if path:
+        with open(path, "wb") as fh:
+            fh.write(payload)
+        print(f"service report: wrote {path}")
+
+
+def _cmd_client_record(args) -> int:
+    """Run one case live, encoding its event stream straight onto the
+    service connection (nothing staged on disk), then fetch the report."""
+    import json
+
+    from repro.experiments.harness import run_proxy_case
+    from repro.runtime import codec
+    from repro.service import AnalysisClient
+
+    case = _case_by_id(args.case_id)
+    with AnalysisClient(
+        chunk_bytes=args.chunk_bytes, **_client_endpoint(args)
+    ) as client:
+        welcome = client.hello(args.config)
+        sink = client.sink()
+        writer = codec.TraceWriter(sink)
+        run = run_proxy_case(
+            case, args.config, seed=args.seed, extra_hooks=(_WriterHook(writer),)
+        )
+        writer.close()
+        sink.close()
+        payload = client.finish()
+    report = json.loads(payload)
+    print(
+        f"streamed {writer.events_written} events "
+        f"({writer.bytes_written} bytes) from {case.case_id} under "
+        f"{args.config} to session {welcome['session']}"
+    )
+    print(
+        f"live run: {run.location_count} reported locations; "
+        f"service report: {len(report['warnings'])} warnings"
+    )
+    _save_service_report(payload, args.report_out)
+    return 0
+
+
+def _cmd_client_report(args) -> int:
+    """Stream a recorded trace to the service; the returned report is
+    byte-identical to the offline ``repro trace replay`` one."""
+    import json
+    import time
+
+    from repro.service import AnalysisClient
+
+    start = time.perf_counter()
+    with AnalysisClient(
+        chunk_bytes=args.chunk_bytes, **_client_endpoint(args)
+    ) as client:
+        welcome = client.hello(args.config, session=args.session)
+        offset = int(welcome.get("offset", 0))
+        sent = client.stream_file(args.trace_file, offset=offset)
+        payload = client.finish()
+    wall = time.perf_counter() - start
+    report = json.loads(payload)
+    resumed = f" (resumed at byte {offset})" if offset else ""
+    print(
+        f"session {welcome['session']}{resumed}: streamed {sent} bytes of "
+        f"{args.trace_file} under {welcome['config']}: "
+        f"{len(report['warnings'])} reported locations, {wall * 1e3:.0f} ms"
+    )
+    if args.full:
+        print(payload.decode("utf-8"))
+    _save_service_report(payload, args.report_out)
+    return 0
+
+
+def _cmd_client_stat(args) -> int:
+    """Print the service's metrics snapshot (``repro_service_*`` et al)."""
+    import json
+
+    from repro.service import AnalysisClient
+
+    with AnalysisClient(**_client_endpoint(args)) as client:
+        snapshot = client.stats()
+    if args.json:
+        print(json.dumps(snapshot, indent=2))
+        return 0
+    for name in sorted(snapshot.get("metrics", {})):
+        family = snapshot["metrics"][name]
+        print(f"{name} ({family['type']})")
+        for sample in family.get("samples", []):
+            labels = ",".join(
+                f"{k}={v}"
+                for k, v in sorted(sample.get("labels", {}).items())
+            )
+            print(f"  {{{labels}}} {sample['value']:g}")
     return 0
 
 

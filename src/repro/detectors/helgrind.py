@@ -217,6 +217,24 @@ class _HeldLocks:
         self.any_bus_id = table.with_lock(self.any_id, BUS_LOCK_ID)
         self.write_bus_id = table.with_lock(self.write_id, BUS_LOCK_ID)
 
+    def __getstate__(self) -> dict:
+        """The ``*_id`` fields index the process-global
+        :data:`~repro.detectors.lockset.LOCKSETS` table; pickle the
+        member sets themselves and re-intern on restore so a checkpoint
+        survives a server restart."""
+        return {
+            "modes": self.modes,
+            "any": LOCKSETS.members(self.any_id),
+            "write": LOCKSETS.members(self.write_id),
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.modes = state["modes"]
+        self.any_id = LOCKSETS.id_of(state["any"])
+        self.write_id = LOCKSETS.id_of(state["write"])
+        self.any_bus_id = LOCKSETS.with_lock(self.any_id, BUS_LOCK_ID)
+        self.write_bus_id = LOCKSETS.with_lock(self.write_id, BUS_LOCK_ID)
+
     # Frozenset views (off the hot path: reports, tests, atomizer).
 
     @property

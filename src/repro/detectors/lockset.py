@@ -216,6 +216,15 @@ class LocksetTable:
         """The frozenset a lock-set id stands for."""
         return self._sets[sid]
 
+    def dump(self) -> list[frozenset[int]]:
+        """Every interned set, in id order.
+
+        Checkpoints embed this so lock-set ids can be re-interned in
+        another process (ids are positions in *this* process's table
+        and mean nothing elsewhere).
+        """
+        return self._sets[:]
+
     def intersect(self, a: int, b: int) -> int:
         """Id of ``members(a) & members(b)`` (memoized, symmetric)."""
         if a == b:
@@ -508,6 +517,31 @@ class LocksetMachine:
         #: tracking is on (the telemetry layer's Figure-5-style matrix);
         #: ``None`` — and zero per-access cost — otherwise.
         self.transition_counts: dict[tuple[WordState, WordState], int] | None = None
+
+    # ------------------------------------------------------------------
+    # Pickling (session checkpoints)
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Packed words embed :data:`LOCKSETS` ids — positions in the
+        *process-global* table.  Ship the id → members mapping alongside
+        so another process can re-intern and remap on restore."""
+        state = self.__dict__.copy()
+        state["_lockset_dump"] = LOCKSETS.dump()
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        dumped = state.pop("_lockset_dump")
+        self.__dict__.update(state)
+        remap = [LOCKSETS.id_of(s) for s in dumped]
+        if remap == list(range(len(remap))):
+            return  # same-process restore (or fresh table): ids unchanged
+        for page in self._pages.values():
+            for i, packed in enumerate(page):
+                field = (packed >> _LS_SHIFT) & _LS_MASK
+                if field:  # 0 = NO_LOCKSET (uninitialised candidate set)
+                    new_id = remap[field - 1]
+                    page[i] = (packed & ~_LS_FIELD) | ((new_id + 1) << _LS_SHIFT)
 
     # ------------------------------------------------------------------
     # Packed-word plumbing (used by the ShadowWord view; the access

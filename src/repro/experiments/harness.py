@@ -22,9 +22,11 @@ serialise on the GIL.)
 from __future__ import annotations
 
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
+from repro.api import detector_config
 from repro.detectors import HelgrindConfig, HelgrindDetector
 from repro.detectors.classify import ClassifiedReport, classify_report
 from repro.oracle import GroundTruth, WarningCategory
@@ -83,15 +85,28 @@ class Figure6Row:
         return (self.original - self.hwlc_dr) / self.original
 
 
+#: One-shot latch for the :func:`_detector_config` deprecation shim.
+_DETECTOR_CONFIG_WARNED = False
+
+
 def _detector_config(name: str) -> HelgrindConfig:
-    return {
-        "original": HelgrindConfig.original,
-        "hwlc": HelgrindConfig.hwlc,
-        "hwlc+dr": HelgrindConfig.hwlc_dr,
-        "extended": HelgrindConfig.extended,
-        "raw-eraser": HelgrindConfig.raw_eraser,
-        "eraser-states": HelgrindConfig.eraser_states,
-    }[name]()
+    """Deprecated: use :func:`repro.api.detector_config`.
+
+    This was the harness's private name-to-configuration table; it is
+    now the public, validated ``repro.api.detector_config``.  The shim
+    warns once per process and will be removed next PR cycle (see
+    ``docs/API.md``).
+    """
+    global _DETECTOR_CONFIG_WARNED
+    if not _DETECTOR_CONFIG_WARNED:
+        _DETECTOR_CONFIG_WARNED = True
+        warnings.warn(
+            "repro.experiments.harness._detector_config is deprecated; "
+            "use repro.api.detector_config",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    return detector_config(name)
 
 
 def run_proxy_case(
@@ -123,7 +138,7 @@ def run_proxy_case(
     record`` captures exactly the event stream the detector saw (the
     §4.5 offline mode riding an otherwise unchanged evaluation run).
     """
-    det_config = _detector_config(config_name)
+    det_config = detector_config(config_name)
     truth = GroundTruth()
     proxy = SipProxy(
         ProxyConfig(

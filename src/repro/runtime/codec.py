@@ -76,12 +76,14 @@ from repro.runtime.events import (
     ThreadCreate,
     ThreadFinish,
     ThreadJoin,
+    intern_frame,
     intern_stack,
 )
 
 __all__ = [
     "MAGIC",
     "TraceWriter",
+    "StreamDecoder",
     "read_blocks",
     "read_events",
     "events_from_bytes",
@@ -760,6 +762,290 @@ def replay_blocks(data: bytes, handler_table, vm) -> int:
         else:
             raise ValueError(f"corrupt trace: unknown record tag {tag}")
     return count
+
+
+# ----------------------------------------------------------------------
+# Streaming decoding (the service ingest tier)
+# ----------------------------------------------------------------------
+
+
+def _try_varint(data: bytes, pos: int, end: int) -> tuple[int, int] | None:
+    """Read unsigned LEB128 at ``pos``; ``None`` if it runs off ``end``."""
+    result = 0
+    shift = 0
+    while pos < end:
+        b = data[pos]
+        pos += 1
+        result |= (b & 0x7F) << shift
+        if not b & 0x80:
+            return result, pos
+        shift += 7
+    return None
+
+
+class StreamDecoder:
+    """Incremental, resumable RPTR v1 decoder tolerant of partial reads.
+
+    :func:`replay_blocks` wants the whole trace as one bytes object; a
+    network ingest path gets the same byte stream in arbitrary chunks —
+    a record (or even a varint inside one) can straddle any boundary.
+    :meth:`feed` buffers input and decodes every *complete* record,
+    leaving the trailing fragment buffered for the next chunk, so the
+    chunking of the transport never changes what the detectors see.
+
+    Dispatch uses the exact machinery of :func:`replay_blocks` — fused
+    codegen loops for single-subscriber types, shared flyweights for
+    multi-subscriber ones, undecoded skipping for types nobody wants —
+    but with *private* tables (built at :meth:`bind` time), so any
+    number of decoders can run on concurrent threads (one per analysis
+    session) without sharing mutable flyweight state.
+
+    The decoder is picklable mid-stream: its interning tables, counters
+    and buffered fragment travel; the unpicklable codegen tables and
+    bound handlers are rebuilt by calling :meth:`bind` again after
+    unpickling.  This is what lets the analysis service checkpoint a
+    session and resume it in a fresh process — the client continues
+    streaming from :attr:`bytes_fed` and the decode picks up exactly
+    where it left off.
+
+    Byte accounting is exact and two-level: :attr:`bytes_fed` counts
+    everything ever passed to :meth:`feed`; :attr:`bytes_consumed`
+    counts complete decoded records (including the magic).  At any
+    moment ``bytes_fed == bytes_consumed + pending_bytes``, and after a
+    whole trace has been fed, both equal the
+    :attr:`TraceWriter.bytes_written` of the writer that produced it.
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._magic_seen = False
+        self._strings: list[str] = []
+        self._frames: list[Frame] = []
+        self._stacks: list[tuple] = []
+        #: Bytes ever fed, and bytes of fully-decoded records.
+        self.bytes_fed = 0
+        self.bytes_consumed = 0
+        self.events_decoded = 0
+        self.blocks_decoded = 0
+        self._dispatch: list | None = None
+        self._vm = None
+
+    # -- handler wiring ------------------------------------------------
+
+    def bind(self, handler_table, vm=None) -> None:
+        """Attach per-type handlers (the shape ``replay_trace`` builds:
+        one tuple of callables per :data:`EVENT_TYPES` index).
+
+        Builds private flyweight/loop tables — a few dozen ``exec``
+        calls, milliseconds — so call it once per decoder, not per
+        chunk.  Must be called again after unpickling.  A decoder that
+        is never bound still decodes (and counts) records; it just
+        dispatches to nobody, which is what pure accounting consumers
+        (``trace stat``-style) want.
+        """
+        fillers = []
+        seq_fillers = []
+        for cls in EVENT_TYPES:
+            fly = _flyweight_class(cls)()
+            fillers.append(_make_filler(cls, fly))
+            seq_fillers.append(_make_seq_filler(cls, fly))
+        loops = build_block_loops()
+        self._dispatch = [
+            (
+                _ROW_STRUCTS[i],
+                fns[0] if len(fns) == 1 else None,
+                tuple(fns),
+                loops[i],
+                fillers[i],
+                seq_fillers[i],
+            )
+            for i, fns in enumerate(handler_table)
+        ]
+        self._vm = vm
+
+    # -- pickling (checkpoint support) ---------------------------------
+
+    def __getstate__(self) -> dict:
+        return {
+            "buf": bytes(self._buf),
+            "magic_seen": self._magic_seen,
+            "strings": list(self._strings),
+            "frames": list(self._frames),
+            "stacks": [tuple(s) for s in self._stacks],
+            "bytes_fed": self.bytes_fed,
+            "bytes_consumed": self.bytes_consumed,
+            "events_decoded": self.events_decoded,
+            "blocks_decoded": self.blocks_decoded,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self._buf = bytearray(state["buf"])
+        self._magic_seen = state["magic_seen"]
+        self._strings = list(state["strings"])
+        # Re-intern: unpickled frames/stacks are equal but not canonical;
+        # putting them back through the tables restores the one-object-
+        # per-program-point invariant the detectors rely on for cheap
+        # report deduplication.
+        self._frames = [intern_frame(f) for f in state["frames"]]
+        self._stacks = [intern_stack(s) for s in state["stacks"]]
+        self.bytes_fed = state["bytes_fed"]
+        self.bytes_consumed = state["bytes_consumed"]
+        self.events_decoded = state["events_decoded"]
+        self.blocks_decoded = state["blocks_decoded"]
+        self._dispatch = None
+        self._vm = None
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def pending_bytes(self) -> int:
+        """Buffered bytes of the trailing incomplete record."""
+        return len(self._buf)
+
+    def table_sizes(self) -> dict[str, int]:
+        """Interning-table populations (mirrors ``TraceWriter``'s)."""
+        return {
+            "strings": len(self._strings),
+            "frames": len(self._frames),
+            "stacks": len(self._stacks),
+        }
+
+    # -- decoding ------------------------------------------------------
+
+    def feed(self, data: bytes) -> int:
+        """Buffer ``data``, decode every complete record, dispatch the
+        events to the bound handlers; returns the number of events
+        decoded by *this* call."""
+        self._buf += data
+        self.bytes_fed += len(data)
+        return self._drain()
+
+    def _drain(self) -> int:
+        buf = self._buf
+        if not self._magic_seen:
+            if len(buf) < len(MAGIC):
+                return 0
+            if bytes(buf[: len(MAGIC)]) != MAGIC:
+                raise ValueError("not a binary trace (bad magic)")
+            del buf[: len(MAGIC)]
+            self.bytes_consumed += len(MAGIC)
+            self._magic_seen = True
+        if not buf:
+            return 0
+        data = bytes(buf)
+        view = memoryview(data)
+        pos = 0
+        end = len(data)
+        dispatch = self._dispatch
+        vm = self._vm
+        strings = self._strings
+        frames = self._frames
+        stacks = self._stacks
+        events = 0
+        blocks = 0
+        while pos < end:
+            tag = data[pos]
+            npos = pos + 1
+            if tag == _TAG_BLOCK:
+                if end - npos < 2:
+                    break
+                type_idx = data[npos]
+                flags = data[npos + 1]
+                npos += 2
+                r = _try_varint(data, npos, end)
+                if r is None:
+                    break
+                n, npos = r
+                if flags & _FLAG_SEQ_STEP:
+                    r = _try_varint(data, npos, end)
+                    if r is None:
+                        break
+                    base, npos = r
+                else:
+                    base = None
+                s = _ROW_STRUCTS[type_idx][flags]
+                size = s.size * n
+                if end - npos < size:
+                    break
+                if dispatch is not None:
+                    entry = dispatch[type_idx]
+                    single = entry[1]
+                    if single is not None:
+                        block = view[npos:npos + size]
+                        pair = entry[3]
+                        if base is None:
+                            pair[0](block, s, stacks, strings, single, vm, 0)
+                        else:
+                            pair[1](block, s, stacks, strings, single, vm, base)
+                    elif entry[2]:
+                        fns = entry[2]
+                        block = view[npos:npos + size]
+                        if base is None:
+                            fill = entry[4]
+                            for row in s.iter_unpack(block):
+                                event = fill(stacks, strings, row)
+                                for fn in fns:
+                                    fn(event, vm)
+                        else:
+                            fill = entry[5]
+                            for i, row in enumerate(s.iter_unpack(block)):
+                                event = fill(stacks, strings, row, base + i)
+                                for fn in fns:
+                                    fn(event, vm)
+                events += n
+                blocks += 1
+                npos += size
+            elif tag == _TAG_STRING:
+                r = _try_varint(data, npos, end)
+                if r is None:
+                    break
+                length, npos = r
+                if end - npos < length:
+                    break
+                strings.append(data[npos:npos + length].decode("utf-8"))
+                npos += length
+            elif tag == _TAG_FRAME:
+                r = _try_varint(data, npos, end)
+                if r is None:
+                    break
+                func, npos = r
+                r = _try_varint(data, npos, end)
+                if r is None:
+                    break
+                file, npos = r
+                r = _try_varint(data, npos, end)
+                if r is None:
+                    break
+                line, npos = r
+                frames.append(
+                    intern_frame(Frame(strings[func], strings[file], line))
+                )
+            elif tag == _TAG_STACK:
+                r = _try_varint(data, npos, end)
+                if r is None:
+                    break
+                count, npos = r
+                frame_ids = []
+                incomplete = False
+                for _ in range(count):
+                    r = _try_varint(data, npos, end)
+                    if r is None:
+                        incomplete = True
+                        break
+                    fid, npos = r
+                    frame_ids.append(fid)
+                if incomplete:
+                    break
+                stacks.append(intern_stack(tuple(frames[i] for i in frame_ids)))
+            else:
+                raise ValueError(f"corrupt trace: unknown record tag {tag}")
+            pos = npos
+        if pos:
+            del buf[:pos]
+            self.bytes_consumed += pos
+        self.events_decoded += events
+        self.blocks_decoded += blocks
+        return events
 
 
 def trace_stats(path) -> dict:

@@ -1,0 +1,105 @@
+"""Durable session checkpoints: kill the server, keep the analysis.
+
+A checkpoint is the :meth:`repro.api.Session.snapshot` pickle — shadow
+engine, lock-set tables, report, decoder interning tables, buffered
+partial record — wrapped with resume metadata (configuration name,
+resume offset, event count).  The store writes atomically (temp file +
+``os.replace``), so a checkpoint directory never contains a torn file
+even if the server dies mid-write; a resumed session continues
+byte-for-byte from ``offset`` (see ``docs/SERVICE.md``).
+
+Checkpoints are per-session files named ``<session_id>.ckpt`` so a
+restarted server can enumerate what is resumable without deserialising
+anything.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+
+__all__ = ["Checkpoint", "CheckpointStore"]
+
+#: Store layout version (bump on incompatible payload changes).
+CHECKPOINT_VERSION = 1
+
+_SUFFIX = ".ckpt"
+
+
+class Checkpoint:
+    """One saved session: resume metadata + the session snapshot blob."""
+
+    __slots__ = ("session_id", "config", "offset", "events", "snapshot")
+
+    def __init__(self, session_id, config, offset, events, snapshot) -> None:
+        self.session_id = session_id
+        self.config = config
+        #: Resume offset: total encoded bytes the session had accepted
+        #: (``Session.bytes_fed``); the client continues streaming from
+        #: this byte of its source.
+        self.offset = offset
+        self.events = events
+        #: ``repro.api.Session.snapshot()`` pickle.
+        self.snapshot = snapshot
+
+
+class CheckpointStore:
+    """Atomic file-per-session checkpoint directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, session_id: str) -> Path:
+        if not session_id or "/" in session_id or session_id.startswith("."):
+            raise ValueError(f"bad session id {session_id!r}")
+        return self.root / f"{session_id}{_SUFFIX}"
+
+    def save(self, checkpoint: Checkpoint) -> Path:
+        """Write atomically; a reader never sees a partial file."""
+        path = self._path(checkpoint.session_id)
+        payload = pickle.dumps(
+            {
+                "version": CHECKPOINT_VERSION,
+                "session_id": checkpoint.session_id,
+                "config": checkpoint.config,
+                "offset": checkpoint.offset,
+                "events": checkpoint.events,
+                "snapshot": checkpoint.snapshot,
+            }
+        )
+        tmp = path.with_suffix(".tmp")
+        tmp.write_bytes(payload)
+        os.replace(tmp, path)
+        return path
+
+    def load(self, session_id: str) -> Checkpoint | None:
+        """Read one checkpoint; ``None`` if the session has none."""
+        path = self._path(session_id)
+        if not path.exists():
+            return None
+        data = pickle.loads(path.read_bytes())
+        if data.get("version") != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {data.get('version')!r} "
+                f"in {path}"
+            )
+        return Checkpoint(
+            data["session_id"],
+            data["config"],
+            data["offset"],
+            data["events"],
+            data["snapshot"],
+        )
+
+    def delete(self, session_id: str) -> None:
+        """Drop a finished session's checkpoint (idempotent)."""
+        try:
+            self._path(session_id).unlink()
+        except FileNotFoundError:
+            pass
+
+    def session_ids(self) -> list[str]:
+        """Resumable session ids, sorted (directory listing only)."""
+        return sorted(p.stem for p in self.root.glob(f"*{_SUFFIX}"))

@@ -1,0 +1,408 @@
+"""The streaming analysis server (``repro serve``).
+
+Architecture — the paper's offline checker turned into a long-lived,
+multi-tenant service:
+
+* an **accept thread** takes connections on a unix socket or TCP port;
+* a **reader thread per connection** parses frames and pushes DATA
+  chunks into that session's bounded queue (credit-based backpressure
+  keeps the bound honest — see :mod:`repro.service.protocol`);
+* a **bounded worker pool** (``workers`` threads) drains session
+  queues through per-session detector pipelines
+  (:class:`repro.api.Session`).  Sessions are scheduled at chunk
+  granularity: a session sits in the run queue at most once
+  (schedule-flag pattern), so N workers multiplex any number of
+  sessions fairly and a single hot session can never occupy more than
+  one worker;
+* a **housekeeping thread** closes sessions idle past
+  ``idle_timeout`` (checkpointing them first, so an idle-closed
+  session is resumable);
+* **checkpoints** (``checkpoint_dir``/``checkpoint_every``) make the
+  server crash-tolerant: a killed process restarts, the client
+  reconnects with its session id, and analysis resumes mid-stream
+  byte-for-byte (``docs/SERVICE.md`` walks through the recovery).
+
+Telemetry: every ingest and scheduling edge increments
+``repro_service_*`` metrics in a standard
+:class:`~repro.telemetry.MetricsRegistry`, so ``repro client stat``
+renders the service exactly like ``repro stats`` renders a run.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import socket
+import threading
+import time
+
+from repro.api import Session, detector_config
+from repro.service import protocol
+from repro.service.checkpoint import CheckpointStore
+from repro.service.session import ServiceSession
+from repro.telemetry import MetricsRegistry
+
+__all__ = ["AnalysisServer"]
+
+#: Default per-session queue bound (DATA frames).
+DEFAULT_QUEUE_BLOCKS = 8
+
+
+class AnalysisServer:
+    """Multi-session streaming analysis service.
+
+    Exactly one of ``socket_path`` (unix domain socket) or ``host`` +
+    ``port`` (TCP; ``port=0`` picks a free one, see :attr:`address`)
+    selects the transport.  ``start()`` spawns the threads and returns;
+    ``serve_forever()`` blocks until :meth:`shutdown`.
+    """
+
+    def __init__(
+        self,
+        *,
+        socket_path: str | None = None,
+        host: str | None = None,
+        port: int | None = None,
+        workers: int = 2,
+        queue_blocks: int = DEFAULT_QUEUE_BLOCKS,
+        idle_timeout: float | None = None,
+        checkpoint_dir: str | None = None,
+        checkpoint_every: int = 0,
+        registry: MetricsRegistry | None = None,
+        throttle: float = 0.0,
+    ) -> None:
+        if (socket_path is None) == (host is None or port is None):
+            raise ValueError("pass either socket_path or host+port")
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        if queue_blocks < 1:
+            raise ValueError("queue bound must be >= 1")
+        self.socket_path = socket_path
+        self.workers = workers
+        self.queue_blocks = queue_blocks
+        self.idle_timeout = idle_timeout
+        self.checkpoints = (
+            CheckpointStore(checkpoint_dir) if checkpoint_dir else None
+        )
+        self.checkpoint_every = checkpoint_every
+        self.registry = registry if registry is not None else MetricsRegistry()
+        #: The registry's upsert accessors are not thread-safe; every
+        #: family/child *creation* from a reader or worker thread takes
+        #: this lock (plain increments on existing samples are fine).
+        self.registry_lock = threading.Lock()
+        #: Per-chunk analysis delay in seconds — operational knob for
+        #: soak/backpressure testing (simulates a slow detector).
+        self.throttle = throttle
+
+        if socket_path is not None:
+            if os.path.exists(socket_path):
+                os.unlink(socket_path)
+            self._listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._listener.bind(socket_path)
+        else:
+            self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            self._listener.bind((host, port))
+        self._listener.listen(64)
+
+        self._sessions: dict[str, ServiceSession] = {}
+        self._sessions_lock = threading.Lock()
+        self._next_session = 0
+        self._runq: queue.SimpleQueue = queue.SimpleQueue()
+        self._threads: list[threading.Thread] = []
+        self._conns: set[socket.socket] = set()
+        self._stopping = threading.Event()
+        self._drained = threading.Event()
+        self._started = False
+
+        self._m_sessions = self.registry.counter(
+            "repro_service_sessions_total", help="Sessions ever opened"
+        )
+        self._m_resumed = self.registry.counter(
+            "repro_service_sessions_resumed_total",
+            help="Sessions resumed from a checkpoint",
+        )
+        self._m_active = self.registry.gauge(
+            "repro_service_sessions_active",
+            help="Sessions currently open",
+            merge="last",
+        )
+        self._m_idle_closed = self.registry.counter(
+            "repro_service_idle_closed_total",
+            help="Sessions closed by the idle timeout",
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int] | str:
+        """Bound endpoint: the socket path, or the ``(host, port)``
+        actually bound (useful with ``port=0``)."""
+        if self.socket_path is not None:
+            return self.socket_path
+        return self._listener.getsockname()
+
+    def start(self) -> None:
+        """Spawn accept/worker/housekeeping threads and return."""
+        if self._started:
+            return
+        self._started = True
+        for i in range(self.workers):
+            t = threading.Thread(
+                target=self._worker_loop, name=f"repro-worker-{i}", daemon=True
+            )
+            t.start()
+            self._threads.append(t)
+        t = threading.Thread(
+            target=self._accept_loop, name="repro-accept", daemon=True
+        )
+        t.start()
+        self._threads.append(t)
+        if self.idle_timeout:
+            t = threading.Thread(
+                target=self._housekeeping_loop, name="repro-idle", daemon=True
+            )
+            t.start()
+            self._threads.append(t)
+
+    def serve_forever(self) -> None:
+        """``start()`` then block until :meth:`shutdown` completes."""
+        self.start()
+        self._drained.wait()
+
+    def shutdown(self, *, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop the service.
+
+        ``drain=True`` (graceful): stop accepting, let workers analyse
+        everything already queued, checkpoint unfinished sessions, then
+        stop.  ``drain=False`` (kill): drop everything on the floor —
+        only periodic checkpoints survive, which is exactly the crash
+        the checkpoint tier exists for.
+        """
+        if self._stopping.is_set():
+            return
+        self._stopping.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if drain:
+            with self._sessions_lock:
+                active = list(self._sessions.values())
+            for session in active:
+                session.detach()
+            deadline = time.monotonic() + timeout
+            while time.monotonic() < deadline:
+                with self._sessions_lock:
+                    if not self._sessions:
+                        break
+                time.sleep(0.01)
+        for _ in range(self.workers):
+            self._runq.put(None)
+        # Readers blocked in recv() wake up when their socket closes.
+        for conn in list(self._conns):
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self.socket_path is not None:
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+        self._drained.set()
+
+    # ------------------------------------------------------------------
+    # Scheduling (the worker pool)
+    # ------------------------------------------------------------------
+
+    def schedule(self, session: ServiceSession) -> None:
+        """Put ``session`` on the run queue unless it is already there
+        (or being processed — the worker re-checks on exit)."""
+        with session.lock:
+            if session.scheduled:
+                return
+            session.scheduled = True
+        self._runq.put(session)
+
+    def _worker_loop(self) -> None:
+        while True:
+            session = self._runq.get()
+            if session is None:
+                return
+            try:
+                session.process_batch()
+            except Exception:  # last resort: a worker must never die
+                import traceback
+
+                traceback.print_exc()
+                self.release(session, drop_checkpoint=False)
+            with session.lock:
+                if session.queue.empty() or session.closed:
+                    session.scheduled = False
+                    continue
+            # More arrived while we processed: go around again, but
+            # through the queue so other sessions get their turn.
+            self._runq.put(session)
+
+    def release(self, session: ServiceSession, *, drop_checkpoint: bool) -> None:
+        """Remove a finished/detached session (idempotent)."""
+        with self._sessions_lock:
+            if session.closed:
+                return
+            session.closed = True
+            self._sessions.pop(session.session_id, None)
+            self._m_active.set(len(self._sessions))
+        if drop_checkpoint and self.checkpoints is not None:
+            self.checkpoints.delete(session.session_id)
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed by shutdown
+            if conn.family == socket.AF_INET:
+                # Small control/credit frames must not sit in Nagle's
+                # buffer — backpressure depends on their latency.
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._conns.add(conn)
+            t = threading.Thread(
+                target=self._client_loop, args=(conn,),
+                name="repro-reader", daemon=True,
+            )
+            t.start()
+
+    def _client_loop(self, conn: socket.socket) -> None:
+        """One connection: HELLO → session ingest, or standalone STAT."""
+        session: ServiceSession | None = None
+        reader = protocol.FrameReader(conn)
+        try:
+            while True:
+                frame = reader.read()
+                if frame is None:
+                    break
+                ftype, payload = frame
+                if ftype == protocol.STAT:
+                    with self.registry_lock:
+                        snapshot = self.registry.snapshot()
+                    with session.send_lock if session else threading.Lock():
+                        protocol.send_json(conn, protocol.STATS, snapshot)
+                elif ftype == protocol.HELLO:
+                    if session is not None:
+                        raise protocol.ProtocolError("duplicate HELLO")
+                    session = self._open_session(conn, protocol.decode_json(payload))
+                    with session.send_lock:
+                        protocol.send_json(
+                            conn, protocol.WELCOME, session.welcome_payload()
+                        )
+                elif ftype == protocol.DATA:
+                    if session is None:
+                        raise protocol.ProtocolError("DATA before HELLO")
+                    session.enqueue(payload)
+                elif ftype == protocol.FINISH:
+                    if session is None:
+                        raise protocol.ProtocolError("FINISH before HELLO")
+                    session.request_finish()
+                else:
+                    raise protocol.ProtocolError(
+                        f"unexpected {protocol.frame_name(ftype)} frame"
+                    )
+        except protocol.ProtocolError as exc:
+            self._send_error(conn, session, str(exc))
+        except (ValueError, KeyError) as exc:
+            self._send_error(conn, session, f"{type(exc).__name__}: {exc}")
+        except OSError:
+            pass  # peer vanished; detach below persists progress
+        finally:
+            self._conns.discard(conn)
+            if session is not None and not session.closed:
+                session.conn = None
+                if not session.finished:
+                    session.detach()
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _send_error(self, conn, session, message: str) -> None:
+        lock = session.send_lock if session is not None else threading.Lock()
+        try:
+            with lock:
+                protocol.send_json(conn, protocol.ERROR, {"error": message})
+        except OSError:
+            pass
+
+    def _open_session(self, conn, hello: dict) -> ServiceSession:
+        """Build a fresh session, or resume one from its checkpoint."""
+        resume_id = hello.get("session")
+        if resume_id is not None:
+            if self.checkpoints is None:
+                raise protocol.ProtocolError(
+                    "cannot resume: server has no checkpoint directory"
+                )
+            with self._sessions_lock:
+                if resume_id in self._sessions:
+                    raise protocol.ProtocolError(
+                        f"session {resume_id!r} is already active"
+                    )
+            ckpt = self.checkpoints.load(resume_id)
+            if ckpt is None:
+                raise protocol.ProtocolError(
+                    f"no checkpoint for session {resume_id!r}"
+                )
+            api_session = Session.restore(ckpt.snapshot)
+            session = ServiceSession(
+                resume_id, ckpt.config, self, conn,
+                queue_blocks=self.queue_blocks, api_session=api_session,
+            )
+            self._m_resumed.inc()
+        else:
+            config = hello.get("config", "hwlc+dr")
+            detector_config(config)  # validate before allocating anything
+            with self._sessions_lock:
+                self._next_session += 1
+                session_id = f"s{self._next_session:04d}"
+            session = ServiceSession(
+                session_id, config, self, conn, queue_blocks=self.queue_blocks
+            )
+        with self._sessions_lock:
+            self._sessions[session.session_id] = session
+            self._m_active.set(len(self._sessions))
+        self._m_sessions.inc()
+        return session
+
+    # ------------------------------------------------------------------
+    # Housekeeping
+    # ------------------------------------------------------------------
+
+    def _housekeeping_loop(self) -> None:
+        interval = max(min(self.idle_timeout / 4.0, 1.0), 0.05)
+        while not self._stopping.wait(interval):
+            now = time.monotonic()
+            with self._sessions_lock:
+                idle = [
+                    s
+                    for s in self._sessions.values()
+                    if now - s.last_activity > self.idle_timeout
+                    and not s.finished
+                ]
+            for session in idle:
+                self._m_idle_closed.inc()
+                conn = session.conn
+                session.detach()
+                if conn is not None:
+                    try:
+                        conn.shutdown(socket.SHUT_RDWR)
+                    except OSError:
+                        pass

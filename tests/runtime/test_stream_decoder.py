@@ -1,0 +1,145 @@
+"""StreamDecoder: incremental RPTR v1 decoding and byte accounting.
+
+The streaming analysis service feeds the decoder arbitrary network
+chunks — record boundaries land anywhere.  These tests pin the three
+properties the service relies on:
+
+* **chunking is invisible** — any partition of a trace's bytes (one
+  feed, random chunks, near-byte-at-a-time) decodes exactly the same
+  events and tables as the batch reader;
+* **byte accounting is exact** — for every tier-1 case T1–T8, the
+  writer's ``bytes_written``, the file size, and the decoder's
+  ``bytes_consumed`` after a full feed are all equal, and nothing is
+  left pending;
+* **mid-stream pickling works** — a decoder pickled between chunks
+  resumes on the remaining bytes with identical totals (the service's
+  checkpoint/resume path).
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro.runtime import codec
+from repro.runtime.codec import StreamDecoder, trace_stats
+
+CASE_IDS = [f"T{i}" for i in range(1, 9)]
+
+
+@pytest.fixture(scope="module")
+def recorded_traces(tmp_path_factory):
+    """Record every tier-1 case once: ``{case_id: (path, recorder_stats)}``."""
+    from repro.experiments.harness import run_proxy_case
+    from repro.runtime.trace import TraceRecorder
+    from repro.sip.workload import evaluation_cases
+
+    root = tmp_path_factory.mktemp("traces")
+    cases = {c.case_id: c for c in evaluation_cases()}
+    out = {}
+    for case_id in CASE_IDS:
+        path = root / f"{case_id}.rptr"
+        with TraceRecorder(path, format="binary") as recorder:
+            run_proxy_case(cases[case_id], "hwlc+dr", seed=42,
+                           extra_hooks=(recorder,))
+        out[case_id] = (path, recorder.bytes_written, len(recorder))
+    return out
+
+
+@pytest.mark.parametrize("case_id", CASE_IDS)
+def test_bytes_accounting_matches_writer(recorded_traces, case_id):
+    """writer.bytes_written == file size == decoder.bytes_consumed."""
+    path, bytes_written, events_written = recorded_traces[case_id]
+    assert path.stat().st_size == bytes_written
+
+    stats = trace_stats(path)
+    assert stats["file_bytes"] == bytes_written
+    assert stats["events"] == events_written
+
+    decoder = StreamDecoder()
+    decoder.feed(path.read_bytes())
+    assert decoder.bytes_fed == bytes_written
+    assert decoder.bytes_consumed == bytes_written
+    assert decoder.pending_bytes == 0
+    assert decoder.events_decoded == events_written
+
+
+def test_random_chunk_feed_equals_batch(recorded_traces):
+    data = recorded_traces["T1"][0].read_bytes()
+    reference = StreamDecoder()
+    reference.feed(data)
+
+    rng = random.Random(7)
+    decoder = StreamDecoder()
+    pos = 0
+    while pos < len(data):
+        n = rng.randint(1, 4096)
+        decoder.feed(data[pos:pos + n])
+        pos += n
+    assert decoder.events_decoded == reference.events_decoded
+    assert decoder.blocks_decoded == reference.blocks_decoded
+    assert decoder.bytes_consumed == len(data)
+    assert decoder.pending_bytes == 0
+    assert decoder.table_sizes() == reference.table_sizes()
+
+
+def test_tiny_chunks_tolerate_any_record_boundary(recorded_traces):
+    """Prime-sized chunks guarantee every record straddles a feed."""
+    data = recorded_traces["T2"][0].read_bytes()
+    stats = trace_stats(recorded_traces["T2"][0])
+    decoder = StreamDecoder()
+    for pos in range(0, len(data), 13):
+        decoder.feed(data[pos:pos + 13])
+    assert decoder.events_decoded == stats["events"]
+    assert decoder.bytes_consumed == len(data)
+    assert decoder.pending_bytes == 0
+
+
+def test_partial_magic_and_header_stay_pending():
+    decoder = StreamDecoder()
+    decoder.feed(codec.MAGIC[:3])
+    assert decoder.events_decoded == 0
+    assert decoder.bytes_consumed == 0
+    decoder.feed(codec.MAGIC[3:])
+    assert decoder.bytes_consumed == len(codec.MAGIC)
+    assert decoder.pending_bytes == 0
+
+
+def test_bad_magic_raises():
+    decoder = StreamDecoder()
+    with pytest.raises(ValueError):
+        decoder.feed(b"NOPE\x01xxxx")
+
+
+def test_mid_stream_pickle_resumes_identically(recorded_traces):
+    data = recorded_traces["T3"][0].read_bytes()
+    whole = StreamDecoder()
+    whole.feed(data)
+
+    first = StreamDecoder()
+    cut = len(data) // 2 + 3  # deliberately mid-record
+    first.feed(data[:cut])
+    resumed = pickle.loads(pickle.dumps(first))
+    assert resumed.bytes_fed == first.bytes_fed
+    resumed.feed(data[cut:])
+
+    assert resumed.events_decoded == whole.events_decoded
+    assert resumed.blocks_decoded == whole.blocks_decoded
+    assert resumed.bytes_consumed == whole.bytes_consumed == len(data)
+    assert resumed.table_sizes() == whole.table_sizes()
+
+
+def test_bytes_fed_is_the_resume_offset(recorded_traces):
+    """``bytes_fed`` (consumed + pending) is where a resuming client
+    must seek its source — feeding exactly from there loses nothing."""
+    data = recorded_traces["T1"][0].read_bytes()
+    stats = trace_stats(recorded_traces["T1"][0])
+    decoder = StreamDecoder()
+    cut = 10_000
+    decoder.feed(data[:cut])
+    assert decoder.bytes_fed == cut
+    assert decoder.bytes_fed == decoder.bytes_consumed + decoder.pending_bytes
+    decoder.feed(data[decoder.bytes_fed:])
+    assert decoder.events_decoded == stats["events"]

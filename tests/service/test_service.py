@@ -1,0 +1,372 @@
+"""Integration tests for the streaming analysis service.
+
+The contracts under test are the tentpole's acceptance criteria:
+
+* a session's report is **byte-identical** to the offline
+  ``repro trace replay`` report, for T1–T3 under all three paper
+  configurations, with any number of concurrent sessions;
+* a **killed** server (no drain) resumes a checkpointed session
+  mid-stream and still produces the identical report;
+* the per-session ingest queue **never buffers more than the
+  configured bound** and credit exhaustion is visible as
+  ``repro_service_backpressure_stalls_total``;
+* the CLI round trip (``repro client report``/``stat``) works over a
+  unix socket against an in-process server.
+
+Servers run in-process (threads), so each test owns its lifecycle and
+nothing leaks between tests.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.api import detector_config
+from repro.detectors import HelgrindDetector
+from repro.runtime.trace import replay_trace
+from repro.service import (
+    AnalysisClient,
+    AnalysisServer,
+    CheckpointStore,
+    ServiceError,
+    fetch_report,
+)
+
+CASES = ("T1", "T2", "T3")
+CONFIGS = ("original", "hwlc", "hwlc+dr")
+
+
+@pytest.fixture(scope="module")
+def traces(tmp_path_factory):
+    """T1–T3 recorded under each paper configuration, plus the offline
+    reference report bytes: ``{(case, config): (path, report_bytes)}``."""
+    from repro.experiments.harness import run_proxy_case
+    from repro.runtime.trace import TraceRecorder
+    from repro.sip.workload import evaluation_cases
+
+    root = tmp_path_factory.mktemp("service-traces")
+    by_id = {c.case_id: c for c in evaluation_cases()}
+    out = {}
+    for case_id in CASES:
+        for config in CONFIGS:
+            path = root / f"{case_id}-{config.replace('+', '_')}.rptr"
+            with TraceRecorder(path, format="binary") as recorder:
+                run_proxy_case(by_id[case_id], config, seed=42,
+                               extra_hooks=(recorder,))
+            det = HelgrindDetector(detector_config(config))
+            replay_trace(path, det)
+            reference = json.dumps(det.report.to_dict(), indent=2).encode()
+            out[(case_id, config)] = (path, reference)
+    return out
+
+
+@pytest.fixture
+def unix_server(tmp_path):
+    server = AnalysisServer(
+        socket_path=str(tmp_path / "repro.sock"), workers=2
+    )
+    server.start()
+    yield server
+    server.shutdown(drain=True, timeout=10.0)
+
+
+def _family(server, name):
+    with server.registry_lock:
+        return server.registry.snapshot()["metrics"].get(name)
+
+
+def _sample_values(server, name):
+    family = _family(server, name)
+    return [s["value"] for s in family["samples"]] if family else []
+
+
+class TestRoundTrip:
+    def test_report_byte_identical_over_unix_socket(self, unix_server, traces):
+        path, reference = traces[("T1", "hwlc+dr")]
+        got = fetch_report(path, "hwlc+dr", socket_path=unix_server.address)
+        assert got == reference
+
+    @pytest.mark.parametrize("config", CONFIGS)
+    def test_concurrent_sessions_all_cases(self, unix_server, traces, config):
+        """Three sessions streaming T1–T3 at once, tiny chunks so their
+        blocks interleave on the worker pool: every report must equal
+        its offline twin byte-for-byte."""
+        results: dict[str, bytes] = {}
+        errors: list[Exception] = []
+
+        def one(case_id: str) -> None:
+            try:
+                results[case_id] = fetch_report(
+                    traces[(case_id, config)][0],
+                    config,
+                    socket_path=unix_server.address,
+                    chunk_bytes=1024,
+                )
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=one, args=(case_id,)) for case_id in CASES
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        for case_id in CASES:
+            assert results[case_id] == traces[(case_id, config)][1], case_id
+
+    def test_session_metrics_populated(self, unix_server, traces):
+        path, _ = traces[("T1", "hwlc+dr")]
+        fetch_report(path, socket_path=unix_server.address)
+        assert sum(
+            _sample_values(unix_server, "repro_service_bytes_ingested_total")
+        ) == path.stat().st_size
+        assert sum(
+            _sample_values(unix_server, "repro_service_reports_total")
+        ) == 1
+        assert _sample_values(unix_server, "repro_service_sessions_total") == [1]
+
+    def test_stats_frame_matches_registry(self, unix_server, traces):
+        path, _ = traces[("T1", "hwlc+dr")]
+        fetch_report(path, socket_path=unix_server.address)
+        with AnalysisClient(socket_path=unix_server.address) as client:
+            snapshot = client.stats()
+        names = set(snapshot["metrics"])
+        assert {
+            "repro_service_sessions_total",
+            "repro_service_events_total",
+            "repro_service_queue_high_water",
+            "repro_service_backpressure_stalls_total",
+        } <= names
+
+
+class TestErrors:
+    def test_unknown_config_rejected(self, unix_server):
+        with AnalysisClient(socket_path=unix_server.address) as client:
+            with pytest.raises(ServiceError) as exc:
+                client.hello("helgrind++")
+        assert "hwlc+dr" in str(exc.value)  # the error lists known names
+
+    def test_resume_without_checkpoint_dir(self, unix_server):
+        with AnalysisClient(socket_path=unix_server.address) as client:
+            with pytest.raises(ServiceError):
+                client.hello(session="s0001")
+
+    def test_data_before_hello(self, unix_server):
+        with AnalysisClient(socket_path=unix_server.address) as client:
+            with pytest.raises(ServiceError):
+                client.send(b"xx")
+
+    def test_corrupt_stream_fails_session_not_server(self, unix_server, traces):
+        """Garbage bytes must kill the *session* (ERROR frame, metric)
+        — never a worker thread; the next client is unaffected."""
+        with AnalysisClient(socket_path=unix_server.address) as client:
+            client.hello("hwlc+dr")
+            client.send(b"NOPE this is not RPTR at all")
+            with pytest.raises(ServiceError) as exc:
+                client.finish()
+        assert "bad magic" in str(exc.value)
+        assert sum(
+            _sample_values(unix_server, "repro_service_analysis_errors_total")
+        ) == 1
+        # Both workers must still be alive and serving.
+        path, reference = traces[("T1", "hwlc+dr")]
+        for _ in range(2):
+            assert fetch_report(
+                path, socket_path=unix_server.address
+            ) == reference
+
+
+class TestKillAndResume:
+    def test_killed_server_resumes_byte_identical(self, tmp_path, traces):
+        path, reference = traces[("T2", "hwlc+dr")]
+        data = path.read_bytes()
+        ckpt_dir = tmp_path / "ckpt"
+
+        server1 = AnalysisServer(
+            socket_path=str(tmp_path / "one.sock"),
+            workers=1,
+            checkpoint_dir=str(ckpt_dir),
+            checkpoint_every=300,
+        )
+        server1.start()
+        client = AnalysisClient(socket_path=server1.address)
+        client.hello("hwlc+dr")
+        session_id = client.session_id
+        # Stream roughly half the trace, then wait until the periodic
+        # checkpoint cadence has fired at least once.
+        half = len(data) // 2
+        pos = 0
+        while pos < half:
+            client.send(data[pos:pos + 4096])
+            pos += 4096
+        store = CheckpointStore(ckpt_dir)
+        deadline = time.monotonic() + 10
+        while not store.session_ids() and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert store.session_ids() == [session_id]
+        server1.shutdown(drain=False)  # the crash
+        client.close()
+
+        ckpt = store.load(session_id)
+        assert 0 < ckpt.offset < len(data)
+
+        server2 = AnalysisServer(
+            socket_path=str(tmp_path / "two.sock"),
+            workers=1,
+            checkpoint_dir=str(ckpt_dir),
+        )
+        server2.start()
+        try:
+            got = fetch_report(
+                path, socket_path=server2.address, session=session_id
+            )
+            assert got == reference
+            assert _sample_values(
+                server2, "repro_service_sessions_resumed_total"
+            ) == [1]
+            # A finished session's checkpoint is garbage-collected
+            # (by the worker shortly after it ships the report).
+            deadline = time.monotonic() + 5
+            while store.session_ids() and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert store.session_ids() == []
+        finally:
+            server2.shutdown(drain=True, timeout=10.0)
+
+    def test_resume_active_session_rejected(self, tmp_path, traces):
+        path, _ = traces[("T1", "hwlc+dr")]
+        server = AnalysisServer(
+            socket_path=str(tmp_path / "a.sock"),
+            workers=1,
+            checkpoint_dir=str(tmp_path / "ck"),
+        )
+        server.start()
+        try:
+            with AnalysisClient(socket_path=server.address) as first:
+                first.hello("hwlc+dr")
+                with AnalysisClient(socket_path=server.address) as second:
+                    with pytest.raises(ServiceError):
+                        second.hello(session=first.session_id)
+        finally:
+            server.shutdown(drain=True, timeout=10.0)
+
+
+class TestBackpressure:
+    def test_queue_bound_and_stalls(self, traces):
+        """A slow consumer (throttled worker) must cap the per-session
+        buffer at ``queue_blocks`` and surface the client's credit
+        exhaustion as backpressure stalls."""
+        path, reference = traces[("T2", "hwlc+dr")]
+        bound = 3
+        server = AnalysisServer(
+            host="127.0.0.1", port=0, workers=1,
+            queue_blocks=bound, throttle=0.01,
+        )
+        server.start()
+        host, port = server.address
+        try:
+            with AnalysisClient(
+                host=host, port=port, chunk_bytes=512
+            ) as client:
+                welcome = client.hello("hwlc+dr")
+                assert welcome["credits"] == bound
+                client.stream_file(path)
+                assert client.finish() == reference
+            high_water = _sample_values(
+                server, "repro_service_queue_high_water"
+            )
+            stalls = _sample_values(
+                server, "repro_service_backpressure_stalls_total"
+            )
+            assert high_water and max(high_water) <= bound
+            assert stalls and stalls[0] >= 1
+        finally:
+            server.shutdown(drain=True, timeout=10.0)
+
+
+class TestIdleTimeout:
+    def test_idle_session_checkpointed_and_resumable(self, tmp_path, traces):
+        path, reference = traces[("T1", "hwlc+dr")]
+        data = path.read_bytes()
+        server = AnalysisServer(
+            socket_path=str(tmp_path / "idle.sock"),
+            workers=1,
+            idle_timeout=0.15,
+            checkpoint_dir=str(tmp_path / "ck"),
+        )
+        server.start()
+        try:
+            client = AnalysisClient(socket_path=server.address)
+            client.hello("hwlc+dr")
+            session_id = client.session_id
+            client.send(data[:8192])
+            store = CheckpointStore(tmp_path / "ck")
+            deadline = time.monotonic() + 10
+            while not store.session_ids() and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert store.session_ids() == [session_id]
+            assert _sample_values(
+                server, "repro_service_idle_closed_total"
+            ) == [1]
+            client.close()
+
+            ckpt = store.load(session_id)
+            got = fetch_report(
+                path, socket_path=server.address, session=session_id
+            )
+            assert got == reference
+            assert ckpt.offset <= len(data)
+        finally:
+            server.shutdown(drain=True, timeout=10.0)
+
+
+class TestCliClient:
+    def test_client_report_and_stat(self, unix_server, traces, tmp_path, capsys):
+        from repro.cli import main
+
+        path, reference = traces[("T3", "hwlc+dr")]
+        out = tmp_path / "service-report.json"
+        assert main([
+            "client", "report", str(path), "hwlc+dr",
+            "--socket", unix_server.address, "--report-out", str(out),
+        ]) == 0
+        printed = capsys.readouterr().out
+        assert "reported locations" in printed
+        assert out.read_bytes() == reference
+
+        assert main(["client", "stat", "--socket", unix_server.address]) == 0
+        printed = capsys.readouterr().out
+        assert "repro_service_sessions_total" in printed
+
+    def test_client_record_live_stream(self, unix_server, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "live-report.json"
+        assert main([
+            "client", "record", "T1", "hwlc+dr",
+            "--socket", unix_server.address, "--report-out", str(out),
+        ]) == 0
+        printed = capsys.readouterr().out
+        assert "streamed" in printed
+        report = json.loads(out.read_bytes())
+        assert report["warnings"]
+
+    def test_endpoint_validation(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["client", "stat"])  # neither --socket nor --tcp
+        with pytest.raises(SystemExit):
+            main(["serve"])  # neither endpoint flag
+
+    def test_client_help(self, capsys):
+        from repro.cli import main
+
+        assert main(["client"]) == 2
+        assert "record" in capsys.readouterr().out

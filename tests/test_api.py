@@ -1,0 +1,252 @@
+"""The ``repro.api`` facade: configs, pipelines, incremental sessions.
+
+These are the contracts other layers (the service, the CLI, external
+callers) build on:
+
+* ``detector_config`` validates names and its error lists every known
+  configuration;
+* the old private ``harness._detector_config`` still works but warns
+  exactly once per process;
+* a ``Session`` fed a recorded trace — in one gulp or arbitrary
+  chunks — renders a report byte-identical to ``replay_trace``;
+* ``snapshot``/``restore`` round-trips the complete mid-stream state:
+  resuming at ``bytes_fed`` finishes with an identical report;
+* everything is re-exported from the package root.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import warnings
+
+import pytest
+
+import repro
+from repro.api import Pipeline, Session, detector_config, detector_configs
+from repro.detectors import HelgrindConfig, HelgrindDetector
+from repro.runtime.trace import replay_trace
+
+
+@pytest.fixture(scope="module")
+def t1_trace(tmp_path_factory):
+    """T1 recorded once under hwlc+dr: (path, live report dict)."""
+    from repro.experiments.harness import run_proxy_case
+    from repro.runtime.trace import TraceRecorder
+    from repro.sip.workload import evaluation_cases
+
+    case = next(c for c in evaluation_cases() if c.case_id == "T1")
+    path = tmp_path_factory.mktemp("api") / "T1.rptr"
+    det = HelgrindDetector(detector_config("hwlc+dr"))
+    with TraceRecorder(path, format="binary") as recorder:
+        run_proxy_case(case, "hwlc+dr", seed=42, detector=det,
+                       extra_hooks=(recorder,))
+    return path, det.report.to_dict()
+
+
+def _offline_text(path, config: str) -> str:
+    det = HelgrindDetector(detector_config(config))
+    replay_trace(path, det)
+    return json.dumps(det.report.to_dict(), indent=2)
+
+
+class TestDetectorConfig:
+    def test_known_names(self):
+        assert detector_configs() == (
+            "eraser-states", "extended", "hwlc", "hwlc+dr",
+            "original", "raw-eraser",
+        )
+        for name in detector_configs():
+            assert isinstance(detector_config(name), HelgrindConfig)
+
+    def test_names_map_to_distinct_feature_sets(self):
+        original = detector_config("original")
+        hwlc_dr = detector_config("hwlc+dr")
+        assert original != hwlc_dr or original is not hwlc_dr
+
+    def test_unknown_name_lists_known_ones(self):
+        with pytest.raises(ValueError) as exc:
+            detector_config("helgrind++")
+        message = str(exc.value)
+        assert "helgrind++" in message
+        for name in detector_configs():
+            assert name in message
+
+    def test_fresh_config_per_call(self):
+        assert detector_config("hwlc") is not detector_config("hwlc")
+
+
+class TestDeprecatedShim:
+    def test_harness_shim_warns_exactly_once(self):
+        from repro.experiments import harness
+
+        harness._DETECTOR_CONFIG_WARNED = False
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            first = harness._detector_config("hwlc+dr")
+            second = harness._detector_config("original")
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "repro.api.detector_config" in str(deprecations[0].message)
+        assert isinstance(first, HelgrindConfig)
+        assert isinstance(second, HelgrindConfig)
+
+
+class TestPipeline:
+    def test_detector_factory(self):
+        pipeline = Pipeline("original")
+        det = pipeline.detector()
+        assert isinstance(det, HelgrindDetector)
+        assert det is not pipeline.detector()
+
+    def test_accepts_ready_config(self):
+        pipeline = Pipeline(HelgrindConfig.hwlc_dr())
+        assert pipeline.config_name is None
+        assert isinstance(pipeline.detector(), HelgrindDetector)
+
+    def test_unknown_name_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            Pipeline("nope")
+
+    def test_replay_matches_replay_trace(self, t1_trace):
+        path, _live = t1_trace
+        report = Pipeline("hwlc+dr").replay(path)
+        assert json.dumps(report.to_dict(), indent=2) == _offline_text(
+            path, "hwlc+dr"
+        )
+
+    def test_run_case_requires_named_config(self):
+        with pytest.raises(ValueError):
+            Pipeline(HelgrindConfig.hwlc_dr()).run_case("T1")
+
+    def test_run_case_unknown_case(self):
+        with pytest.raises(ValueError) as exc:
+            Pipeline("hwlc+dr").run_case("T99")
+        assert "T1" in str(exc.value)
+
+
+class TestSession:
+    def test_single_feed_matches_offline(self, t1_trace):
+        path, live = t1_trace
+        session = Session("hwlc+dr")
+        session.feed(path.read_bytes())
+        assert session.report_text() == _offline_text(path, "hwlc+dr")
+        assert session.report.to_dict() == live
+
+    def test_chunked_feed_matches_offline(self, t1_trace):
+        path, _ = t1_trace
+        data = path.read_bytes()
+        session = Session("hwlc+dr")
+        rng = random.Random(11)
+        pos = 0
+        while pos < len(data):
+            n = rng.randint(1, 2048)
+            session.feed(data[pos:pos + n])
+            pos += n
+        assert session.bytes_fed == len(data)
+        assert session.pending_bytes == 0
+        assert session.report_text() == _offline_text(path, "hwlc+dr")
+
+    def test_other_configs_match_offline(self, t1_trace):
+        path, _ = t1_trace
+        for config in ("original", "hwlc"):
+            session = Session(config)
+            session.feed(path.read_bytes())
+            assert session.report_text() == _offline_text(path, config)
+
+    def test_snapshot_restore_mid_stream(self, t1_trace):
+        path, _ = t1_trace
+        data = path.read_bytes()
+        session = Session("hwlc+dr")
+        cut = len(data) // 2 + 5  # mid-record on purpose
+        session.feed(data[:cut])
+        blob = session.snapshot()
+
+        resumed = Session.restore(blob)
+        assert resumed.bytes_fed == session.bytes_fed
+        assert resumed.events_seen == session.events_seen
+        resumed.feed(data[resumed.bytes_fed:])
+        assert resumed.report_text() == _offline_text(path, "hwlc+dr")
+
+    def test_snapshot_restores_in_fresh_process(self, t1_trace, tmp_path):
+        """A checkpoint must survive a *server restart*: lock-set ids
+        index a process-global interning table, so a snapshot restored
+        in another process — one whose table holds different sets at
+        those ids — has to re-intern and remap.  (In-process restore
+        can never catch this: the global table still has the ids.)"""
+        import os
+        import pathlib
+        import subprocess
+        import sys
+
+        path, _ = t1_trace
+        data = path.read_bytes()
+        session = Session("hwlc+dr")
+        session.feed(data[: len(data) // 2 + 5])
+        blob_file = tmp_path / "snap.pkl"
+        blob_file.write_bytes(session.snapshot())
+
+        script = """
+import sys
+from repro.detectors.lockset import LOCKSETS
+# Skew the fresh process's table so every restored id is wrong
+# unless restore remaps: intern sets the snapshot never saw.
+for i in (901, 902, 903):
+    LOCKSETS.id_of(frozenset({i}))
+from repro.api import Session
+session = Session.restore(open(sys.argv[1], "rb").read())
+data = open(sys.argv[2], "rb").read()
+session.feed(data[session.bytes_fed:])
+sys.stdout.write(session.report_text())
+"""
+        src = str(pathlib.Path(__file__).resolve().parents[1] / "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src, env.get("PYTHONPATH")) if p
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script, str(blob_file), str(path)],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout == _offline_text(path, "hwlc+dr")
+
+    def test_restore_rejects_unknown_version(self):
+        import pickle
+
+        blob = pickle.dumps({"version": 999})
+        with pytest.raises(ValueError):
+            Session.restore(blob)
+
+    def test_feed_events_matches_byte_feed(self, t1_trace):
+        from repro.runtime.trace import load_trace
+
+        path, _ = t1_trace
+        events = list(load_trace(path))
+        by_events = Session("hwlc+dr")
+        by_events.feed_events(events)
+        assert by_events.events_seen == len(events)
+        assert by_events.report_text() == _offline_text(path, "hwlc+dr")
+
+    def test_from_pipeline(self, t1_trace):
+        path, _ = t1_trace
+        session = Pipeline("hwlc+dr").session()
+        session.feed(path.read_bytes())
+        assert session.report_text() == _offline_text(path, "hwlc+dr")
+
+
+class TestPackageExports:
+    def test_root_reexports(self):
+        assert repro.Session is Session
+        assert repro.Pipeline is Pipeline
+        assert repro.detector_config is detector_config
+        assert repro.detector_configs is detector_configs
+        assert repro.api.SNAPSHOT_VERSION == 1
+
+    def test_all_names_resolve(self):
+        for name in ("Pipeline", "Session", "detector_config",
+                     "detector_configs", "api"):
+            assert name in repro.__all__
+            assert getattr(repro, name) is not None

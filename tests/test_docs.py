@@ -115,13 +115,36 @@ class TestObservabilityDoc:
             vm.run(workload_guest, 2, 40)
         telemetry.record_run(vm)
         emitted = set(telemetry.snapshot()["metrics"])
-        documented = self._families_in_doc()
+        # The repro_service_* namespace is the analysis server's own
+        # catalogue, checked two-way by test_service_catalogue_is_real.
+        documented = {
+            f
+            for f in self._families_in_doc()
+            if not f.startswith("repro_service_")
+        }
         # Everything the pipeline emits is documented ...
         assert emitted <= documented, emitted - documented
         # ... and everything documented is real (emitted here, or only
         # produced by runs with suppressions in play).
         optional = {"repro_warnings_suppressed_total"}
         assert documented - emitted <= optional, documented - emitted
+
+    def test_service_catalogue_is_real(self):
+        """Every documented ``repro_service_*`` family is registered by
+        the service code, and every family the service registers is
+        documented — no drift in either direction."""
+        import inspect
+
+        from repro.service import server, session
+
+        source = inspect.getsource(server) + inspect.getsource(session)
+        registered = set(re.findall(r'"(repro_service_[a-z_]+)"', source))
+        documented = {
+            f
+            for f in self._families_in_doc()
+            if f.startswith("repro_service_")
+        }
+        assert documented == registered, documented ^ registered
 
     def test_detector_summary_vocabulary_documented(self):
         from repro.detectors import (
