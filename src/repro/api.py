@@ -281,6 +281,7 @@ class Session:
             "version": SNAPSHOT_VERSION,
             "config_name": self.pipeline.config_name,
             "config": None if self.pipeline.config_name else self.pipeline.config,
+            "suppressions": self.pipeline.suppressions,
             "detector": self.detector,
             "vm": self.vm,
             "decoder": self._decoder,
@@ -302,7 +303,9 @@ class Session:
             )
         session = cls.__new__(cls)
         config = payload["config_name"] or payload["config"]
-        session.pipeline = Pipeline(config)
+        session.pipeline = Pipeline(
+            config, suppressions=payload.get("suppressions")
+        )
         session.vm = payload["vm"]
         session.detector = payload["detector"]
         session._extra_hooks = tuple(extra_hooks)

@@ -107,7 +107,19 @@ class AnalysisServer:
 
         self._sessions: dict[str, ServiceSession] = {}
         self._sessions_lock = threading.Lock()
+        #: Ids mid-resume: reserved under ``_sessions_lock`` before the
+        #: checkpoint load, so two concurrent HELLO{session: X} frames
+        #: cannot both restore X (the loser fails "already active").
+        self._resuming: set[str] = set()
         self._next_session = 0
+        if self.checkpoints is not None:
+            # Checkpoints outlive the process; fresh ids must never
+            # collide with a prior incarnation's resumable sessions
+            # (a collision would overwrite — then delete — the other
+            # client's checkpoint file).
+            for sid in self.checkpoints.session_ids():
+                if sid.startswith("s") and sid[1:].isdigit():
+                    self._next_session = max(self._next_session, int(sid[1:]))
         self._runq: queue.SimpleQueue = queue.SimpleQueue()
         self._threads: list[threading.Thread] = []
         self._conns: set[socket.socket] = set()
@@ -347,15 +359,25 @@ class AnalysisServer:
         """Build a fresh session, or resume one from its checkpoint."""
         resume_id = hello.get("session")
         if resume_id is not None:
-            if self.checkpoints is None:
+            session = self._resume_session(conn, resume_id)
+        else:
+            session = self._fresh_session(conn, hello)
+        self._m_sessions.inc()
+        return session
+
+    def _resume_session(self, conn, resume_id: str) -> ServiceSession:
+        if self.checkpoints is None:
+            raise protocol.ProtocolError(
+                "cannot resume: server has no checkpoint directory"
+            )
+        with self._sessions_lock:
+            if resume_id in self._sessions or resume_id in self._resuming:
                 raise protocol.ProtocolError(
-                    "cannot resume: server has no checkpoint directory"
+                    f"session {resume_id!r} is already active"
                 )
-            with self._sessions_lock:
-                if resume_id in self._sessions:
-                    raise protocol.ProtocolError(
-                        f"session {resume_id!r} is already active"
-                    )
+            self._resuming.add(resume_id)
+        session = None
+        try:
             ckpt = self.checkpoints.load(resume_id)
             if ckpt is None:
                 raise protocol.ProtocolError(
@@ -366,20 +388,41 @@ class AnalysisServer:
                 resume_id, ckpt.config, self, conn,
                 queue_blocks=self.queue_blocks, api_session=api_session,
             )
-            self._m_resumed.inc()
-        else:
-            config = hello.get("config", "hwlc+dr")
-            detector_config(config)  # validate before allocating anything
+        finally:
+            # Hand the reservation over to the _sessions insert in one
+            # lock acquisition — no window where the id is unguarded.
             with self._sessions_lock:
+                self._resuming.discard(resume_id)
+                if session is not None:
+                    self._sessions[resume_id] = session
+                    self._m_active.set(len(self._sessions))
+        self._m_resumed.inc()
+        return session
+
+    def _fresh_session(self, conn, hello: dict) -> ServiceSession:
+        config = hello.get("config", "hwlc+dr")
+        detector_config(config)  # validate before allocating anything
+        with self._sessions_lock:
+            while True:
                 self._next_session += 1
                 session_id = f"s{self._next_session:04d}"
+                if (
+                    session_id not in self._sessions
+                    and session_id not in self._resuming
+                ):
+                    break
+            self._resuming.add(session_id)  # reserve until inserted
+        session = None
+        try:
             session = ServiceSession(
                 session_id, config, self, conn, queue_blocks=self.queue_blocks
             )
-        with self._sessions_lock:
-            self._sessions[session.session_id] = session
-            self._m_active.set(len(self._sessions))
-        self._m_sessions.inc()
+        finally:
+            with self._sessions_lock:
+                self._resuming.discard(session_id)
+                if session is not None:
+                    self._sessions[session_id] = session
+                    self._m_active.set(len(self._sessions))
         return session
 
     # ------------------------------------------------------------------
@@ -394,8 +437,7 @@ class AnalysisServer:
                 idle = [
                     s
                     for s in self._sessions.values()
-                    if now - s.last_activity > self.idle_timeout
-                    and not s.finished
+                    if not s.finished and s.idle(now, self.idle_timeout)
                 ]
             for session in idle:
                 self._m_idle_closed.inc()

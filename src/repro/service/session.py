@@ -71,6 +71,18 @@ class ServiceSession:
         with server.registry_lock:
             self._init_metrics(session_id, server.registry)
 
+    def idle(self, now: float, timeout: float) -> bool:
+        """True when the idle reaper may close this session: past the
+        timeout *and* no work in flight.  A stalled-but-healthy session
+        (full queue, client waiting on credits) is never idle — the
+        client cannot send while we owe it credits."""
+        if now - self.last_activity <= timeout:
+            return False
+        if not self.queue.empty():
+            return False
+        with self.lock:
+            return self._uncredited == 0
+
     def _init_metrics(self, session_id: str, reg) -> None:
         labels = {"session": session_id}
         self._m_bytes = reg.counter(
@@ -169,6 +181,9 @@ class ServiceSession:
                 self._fail(f"{type(exc).__name__}: {exc}")
                 return
             consumed += 1
+            # Per-chunk, not per-batch: a slow/throttled drain of a full
+            # queue is progress, and must keep the idle reaper away.
+            self.last_activity = time.monotonic()
             self._m_bytes.inc(len(item))
             self._m_events.inc(events)
             self._m_depth.set(self.queue.qsize())

@@ -239,6 +239,125 @@ class TestKillAndResume:
         finally:
             server2.shutdown(drain=True, timeout=10.0)
 
+    def test_fresh_ids_skip_checkpointed_sessions(self, tmp_path, traces):
+        """After a restart, fresh session ids must not collide with a
+        prior incarnation's resumable checkpoints — a collision would
+        overwrite, then delete, the other client's checkpoint file."""
+        path, reference = traces[("T1", "hwlc+dr")]
+        data = path.read_bytes()
+        ckpt_dir = tmp_path / "ckpt"
+        server1 = AnalysisServer(
+            socket_path=str(tmp_path / "one.sock"),
+            workers=1,
+            checkpoint_dir=str(ckpt_dir),
+            checkpoint_every=1,
+        )
+        server1.start()
+        client = AnalysisClient(socket_path=server1.address)
+        client.hello("hwlc+dr")
+        old_id = client.session_id
+        client.send(data[:8192])
+        store = CheckpointStore(ckpt_dir)
+        deadline = time.monotonic() + 10
+        while not store.session_ids() and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert store.session_ids() == [old_id]
+        server1.shutdown(drain=False)
+        client.close()
+
+        server2 = AnalysisServer(
+            socket_path=str(tmp_path / "two.sock"),
+            workers=1,
+            checkpoint_dir=str(ckpt_dir),
+        )
+        server2.start()
+        try:
+            # A full fresh run (open → stream → finish, which deletes
+            # *its own* checkpoint) must get a new id and leave the old
+            # checkpoint untouched…
+            with AnalysisClient(socket_path=server2.address) as fresh:
+                fresh.hello("hwlc+dr")
+                assert fresh.session_id != old_id
+                fresh.stream_file(path)
+                assert fresh.finish() == reference
+            assert store.session_ids() == [old_id]
+            # …and the old session must still resume to the same bytes.
+            assert fetch_report(
+                path, socket_path=server2.address, session=old_id
+            ) == reference
+        finally:
+            server2.shutdown(drain=True, timeout=10.0)
+
+    def test_concurrent_resume_single_winner(self, tmp_path, traces,
+                                             monkeypatch):
+        """Two simultaneous HELLO{session: X} frames: exactly one may
+        win; the loser gets 'already active' even though both arrive
+        before the winner's checkpoint load completes."""
+        path, reference = traces[("T2", "hwlc+dr")]
+        data = path.read_bytes()
+        ckpt_dir = tmp_path / "ckpt"
+        server1 = AnalysisServer(
+            socket_path=str(tmp_path / "one.sock"),
+            workers=1,
+            checkpoint_dir=str(ckpt_dir),
+            checkpoint_every=1,
+        )
+        server1.start()
+        client = AnalysisClient(socket_path=server1.address)
+        client.hello("hwlc+dr")
+        session_id = client.session_id
+        client.send(data[:8192])
+        store = CheckpointStore(ckpt_dir)
+        deadline = time.monotonic() + 10
+        while not store.session_ids() and time.monotonic() < deadline:
+            time.sleep(0.02)
+        server1.shutdown(drain=False)
+        client.close()
+
+        real_load = CheckpointStore.load
+        monkeypatch.setattr(
+            CheckpointStore,
+            "load",
+            lambda self, sid: (time.sleep(0.4), real_load(self, sid))[1],
+        )
+        server2 = AnalysisServer(
+            socket_path=str(tmp_path / "two.sock"),
+            workers=1,
+            checkpoint_dir=str(ckpt_dir),
+        )
+        server2.start()
+        outcomes: list[str] = []
+
+        def try_resume(delay: float) -> None:
+            time.sleep(delay)
+            try:
+                with AnalysisClient(socket_path=server2.address) as c:
+                    c.hello(session=session_id)
+                    outcomes.append("resumed")
+            except ServiceError:
+                outcomes.append("rejected")
+
+        threads = [
+            threading.Thread(target=try_resume, args=(delay,))
+            for delay in (0.0, 0.15)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        try:
+            assert sorted(outcomes) == ["rejected", "resumed"]
+            # Wait out the winner's detach (async, on the worker pool),
+            # then the session must resume cleanly from its checkpoint.
+            deadline = time.monotonic() + 10
+            while server2._sessions and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert fetch_report(
+                path, socket_path=server2.address, session=session_id
+            ) == reference
+        finally:
+            server2.shutdown(drain=True, timeout=10.0)
+
     def test_resume_active_session_rejected(self, tmp_path, traces):
         path, _ = traces[("T1", "hwlc+dr")]
         server = AnalysisServer(
@@ -291,6 +410,31 @@ class TestBackpressure:
 
 
 class TestIdleTimeout:
+    def test_backpressured_session_not_idle_closed(self, tmp_path, traces):
+        """A credit-stalled but healthy client (slow worker draining a
+        full queue) is mid-transfer, not idle: per-chunk drains count
+        as activity and a session with work in flight is never reaped,
+        even when one batch takes longer than ``idle_timeout``."""
+        path, reference = traces[("T1", "hwlc+dr")]
+        server = AnalysisServer(
+            socket_path=str(tmp_path / "slow.sock"),
+            workers=1,
+            queue_blocks=2,
+            throttle=0.08,  # 2-chunk batch = 0.16s > idle_timeout
+            idle_timeout=0.15,
+        )
+        server.start()
+        try:
+            got = fetch_report(
+                path, socket_path=server.address, chunk_bytes=4096
+            )
+            assert got == reference
+            assert sum(
+                _sample_values(server, "repro_service_idle_closed_total")
+            ) == 0
+        finally:
+            server.shutdown(drain=True, timeout=10.0)
+
     def test_idle_session_checkpointed_and_resumable(self, tmp_path, traces):
         path, reference = traces[("T1", "hwlc+dr")]
         data = path.read_bytes()

@@ -213,6 +213,24 @@ sys.stdout.write(session.report_text())
         assert result.returncode == 0, result.stderr
         assert result.stdout == _offline_text(path, "hwlc+dr")
 
+    def test_restore_preserves_pipeline_suppressions(self, t1_trace):
+        """Suppressions ride through snapshot/restore at the pipeline
+        level too: detectors built *from the restored pipeline* must be
+        suppressed, not just the pickled detector itself."""
+        from repro.detectors.suppressions import SuppressionEntry, Suppressions
+
+        path, _ = t1_trace
+        sup = Suppressions([SuppressionEntry("ride-along", "no-such-kind")])
+        session = Session("hwlc+dr", suppressions=sup)
+        session.feed(path.read_bytes())
+
+        restored = Session.restore(session.snapshot())
+        restored_sup = restored.pipeline.suppressions
+        assert restored_sup is not None
+        assert [e.name for e in restored_sup.entries] == ["ride-along"]
+        det = restored.pipeline.detector()
+        assert det.report.suppressions is restored_sup
+
     def test_restore_rejects_unknown_version(self):
         import pickle
 
