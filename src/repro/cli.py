@@ -190,7 +190,29 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--socket", metavar="PATH", help="listen on a unix socket")
     p.add_argument("--tcp", metavar="HOST:PORT", help="listen on a TCP endpoint")
     p.add_argument(
-        "--workers", type=int, default=2, help="analysis worker threads"
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help=(
+            "shared-nothing worker processes; sessions are routed by "
+            "consistent hashing on session id (docs/SERVICE.md)"
+        ),
+    )
+    p.add_argument(
+        "--threads",
+        type=int,
+        default=2,
+        metavar="N",
+        help="analysis threads inside each worker process",
+    )
+    p.add_argument(
+        "--single-process",
+        action="store_true",
+        help=(
+            "run the whole service in this process (no acceptor/worker "
+            "split; --threads sizes the one thread pool)"
+        ),
     )
     p.add_argument(
         "--queue-blocks",
@@ -277,6 +299,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "stat", help="print the service's repro_service_* metrics"
     )
     cp.add_argument("--json", action="store_true", help="raw snapshot JSON")
+    cp.add_argument(
+        "--per-worker",
+        action="store_true",
+        help=(
+            "show each worker process's unmerged snapshot next to the "
+            "merged view (sharded servers; single-process shows one)"
+        ),
+    )
     _conn_flags(cp, data=False)
     cp.set_defaults(handler=_cmd_client_stat)
 
@@ -293,6 +323,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--detector", choices=_STATS_DETECTORS, default="helgrind"
     )
     p.add_argument("--seed", type=int, default=42)
+    p.add_argument(
+        "--per-worker",
+        action="store_true",
+        help=(
+            "print the per-process snapshot section next to the merged "
+            "view (one section per contributing process; a plain local "
+            "run has exactly one)"
+        ),
+    )
     _add_telemetry_flags(p)
     p.set_defaults(handler=_cmd_stats)
 
@@ -695,10 +734,17 @@ def _cmd_trace_stat(args) -> int:
 def _cmd_serve(args) -> int:
     """Run the streaming analysis service until interrupted; SIGINT or
     SIGTERM triggers a graceful drain (queued chunks are analysed and
-    unfinished sessions checkpointed before exit)."""
+    unfinished sessions checkpointed before exit).
+
+    Default mode is sharded: an acceptor in this process routes each
+    session to one of ``--workers`` shared-nothing worker processes by
+    consistent hashing on the session id, so aggregate throughput
+    scales with cores instead of saturating one GIL.
+    ``--single-process`` keeps everything on one thread pool here.
+    """
     import signal
 
-    from repro.service import AnalysisServer
+    from repro.service import AnalysisServer, ShardedAnalysisServer
 
     if (args.socket is None) == (args.tcp is None):
         raise SystemExit("pass exactly one of --socket PATH or --tcp HOST:PORT")
@@ -709,14 +755,24 @@ def _cmd_serve(args) -> int:
         host, _, port = args.tcp.rpartition(":")
         endpoint["host"] = host or "127.0.0.1"
         endpoint["port"] = int(port)
-    server = AnalysisServer(
-        workers=args.workers,
+    common = dict(
         queue_blocks=args.queue_blocks,
         idle_timeout=args.idle_timeout,
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
         **endpoint,
     )
+    if args.single_process:
+        server = AnalysisServer(workers=args.threads, **common)
+        shape = f"single process, {args.threads} analysis threads"
+    else:
+        server = ShardedAnalysisServer(
+            workers=args.workers, threads=args.threads, **common
+        )
+        shape = (
+            f"{args.workers} worker processes x {args.threads} threads, "
+            "consistent-hash routing"
+        )
 
     def _sigterm(signum, frame):
         raise KeyboardInterrupt
@@ -727,7 +783,7 @@ def _cmd_serve(args) -> int:
     where = addr if isinstance(addr, str) else f"{addr[0]}:{addr[1]}"
     print(
         f"repro service listening on {where} "
-        f"({args.workers} workers, queue bound {args.queue_blocks} blocks"
+        f"({shape}, queue bound {args.queue_blocks} blocks"
         + (f", checkpoints in {args.checkpoint_dir}" if args.checkpoint_dir else "")
         + ")",
         flush=True,
@@ -839,17 +895,7 @@ def _cmd_client_report(args) -> int:
     return 0
 
 
-def _cmd_client_stat(args) -> int:
-    """Print the service's metrics snapshot (``repro_service_*`` et al)."""
-    import json
-
-    from repro.service import AnalysisClient
-
-    with AnalysisClient(**_client_endpoint(args)) as client:
-        snapshot = client.stats()
-    if args.json:
-        print(json.dumps(snapshot, indent=2))
-        return 0
+def _print_snapshot_metrics(snapshot: dict) -> None:
     for name in sorted(snapshot.get("metrics", {})):
         family = snapshot["metrics"][name]
         print(f"{name} ({family['type']})")
@@ -859,6 +905,32 @@ def _cmd_client_stat(args) -> int:
                 for k, v in sorted(sample.get("labels", {}).items())
             )
             print(f"  {{{labels}}} {sample['value']:g}")
+
+
+def _cmd_client_stat(args) -> int:
+    """Print the service's metrics snapshot (``repro_service_*`` et al).
+
+    ``--per-worker`` asks a sharded service for every worker process's
+    unmerged snapshot and prints each next to the merged whole (a
+    single-process server shows one ``w0`` section)."""
+    import json
+
+    from repro.service import AnalysisClient
+
+    with AnalysisClient(**_client_endpoint(args)) as client:
+        snapshot = client.stats(per_worker=args.per_worker)
+    if args.json:
+        print(json.dumps(snapshot, indent=2))
+        return 0
+    if args.per_worker:
+        for wname in sorted(snapshot.get("workers", {})):
+            print(f"-- {wname} --")
+            _print_snapshot_metrics(snapshot["workers"][wname])
+            print()
+        print("-- merged --")
+        _print_snapshot_metrics(snapshot.get("merged", {}))
+    else:
+        _print_snapshot_metrics(snapshot)
     return 0
 
 
@@ -879,6 +951,20 @@ def _cmd_stats(args) -> int:
         f"{run.wall_seconds * 1e3:.0f} ms"
     )
     print()
-    print(to_console(telemetry.snapshot()), end="")
+    snapshot = telemetry.snapshot()
+    if args.per_worker:
+        # Local runs are one process; mirror the sharded service's
+        # shape anyway so output is uniform with `client stat`.
+        import os
+
+        from repro.telemetry import merge_snapshots
+
+        print(f"-- w0 (pid {os.getpid()}) --")
+        print(to_console(snapshot), end="")
+        print()
+        print("-- merged --")
+        print(to_console(merge_snapshots([snapshot])), end="")
+    else:
+        print(to_console(snapshot), end="")
     _write_telemetry(telemetry, args)
     return 0

@@ -18,10 +18,15 @@ Modules
     Per-client sessions: bounded ingest queue + `repro.api.Session`.
 :mod:`~repro.service.server`
     Accept/reader/worker/housekeeping threads, graceful drain.
+:mod:`~repro.service.shard`
+    Multi-process mode: acceptor + N shared-nothing worker processes,
+    consistent-hash session routing, supervisor restarts, merged stats.
 :mod:`~repro.service.checkpoint`
-    Atomic session checkpoints for kill-and-resume.
+    Atomic session checkpoints for kill-and-resume (and, sharded, the
+    failover unit a restarted worker restores sessions from).
 :mod:`~repro.service.client`
-    ``repro client`` plumbing: credit ledger, file/live streaming.
+    ``repro client`` plumbing: credit ledger, redirect following,
+    file/live streaming.
 
 See ``docs/SERVICE.md`` for the protocol walk-through and operational
 guide, and ``docs/OBSERVABILITY.md`` for the ``repro_service_*`` metric
@@ -32,13 +37,16 @@ from repro.service.checkpoint import Checkpoint, CheckpointStore
 from repro.service.client import AnalysisClient, ServiceError, fetch_report
 from repro.service.server import AnalysisServer
 from repro.service.session import ServiceSession
+from repro.service.shard import HashRing, ShardedAnalysisServer
 
 __all__ = [
     "AnalysisClient",
     "AnalysisServer",
     "Checkpoint",
     "CheckpointStore",
+    "HashRing",
     "ServiceError",
     "ServiceSession",
+    "ShardedAnalysisServer",
     "fetch_report",
 ]

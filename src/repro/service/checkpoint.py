@@ -103,3 +103,17 @@ class CheckpointStore:
     def session_ids(self) -> list[str]:
         """Resumable session ids, sorted (directory listing only)."""
         return sorted(p.stem for p in self.root.glob(f"*{_SUFFIX}"))
+
+    def max_session_seq(self) -> int:
+        """The highest numeric ``sNNNN`` sequence present in the store.
+
+        Fresh ids must start past this: checkpoints outlive the process
+        (and, in sharded mode, are shared by every worker), so a new
+        incarnation's counter colliding with a resumable id would
+        overwrite — then delete — the other client's checkpoint file.
+        """
+        best = 0
+        for sid in self.session_ids():
+            if sid.startswith("s") and sid[1:].isdigit():
+                best = max(best, int(sid[1:]))
+        return best

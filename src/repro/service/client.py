@@ -56,6 +56,7 @@ class AnalysisClient:
     ) -> None:
         if (socket_path is None) == (host is None or port is None):
             raise ValueError("pass either socket_path or host+port")
+        self._timeout = timeout
         if socket_path is not None:
             self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
             self._sock.settimeout(timeout)
@@ -70,6 +71,11 @@ class AnalysisClient:
         self.credits = 0
         self.welcome: dict | None = None
         self.bytes_sent = 0
+        #: ``(host, port)`` of the worker this session was redirected
+        #: to by a sharded acceptor, if any (``None`` on unix sockets
+        #: and single-process servers).
+        self.redirected_to: tuple[str, int] | None = None
+        self._redirect_hello: dict | None = None
 
     # -- lifecycle -----------------------------------------------------
 
@@ -87,9 +93,14 @@ class AnalysisClient:
 
     # -- frame plumbing ------------------------------------------------
 
-    def _await(self, wanted: int) -> bytes:
+    def _await(self, wanted: int, follow: int | None = None) -> bytes | None:
         """Read frames until ``wanted`` arrives; CREDIT frames are
-        absorbed into the ledger on the way; ERROR raises."""
+        absorbed into the ledger on the way; ERROR raises.
+
+        With ``follow=REDIRECT``, a REDIRECT frame reconnects the
+        client to the named worker endpoint and returns ``None`` (the
+        caller re-sends its request there).
+        """
         while True:
             frame = self._reader.read()
             if frame is None:
@@ -106,10 +117,27 @@ class AnalysisClient:
                 )
             elif ftype == wanted:
                 return payload
+            elif follow is not None and ftype == follow == protocol.REDIRECT:
+                self._follow_redirect(protocol.decode_json(payload))
+                return None
             else:
                 raise ServiceError(
                     f"unexpected {protocol.frame_name(ftype)} frame"
                 )
+
+    def _follow_redirect(self, info: dict) -> None:
+        """Reconnect to the worker endpoint a sharded acceptor named."""
+        host, port = info.get("host"), info.get("port")
+        if not host or not port:
+            raise ServiceError(f"malformed redirect: {info!r}")
+        self.close()
+        self._sock = socket.create_connection(
+            (host, int(port)), timeout=self._timeout
+        )
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._reader = protocol.FrameReader(self._sock)
+        self.redirected_to = (host, int(port))
+        self._redirect_hello = info.get("hello")
 
     # -- session -------------------------------------------------------
 
@@ -119,16 +147,30 @@ class AnalysisClient:
         For a resume, pass the ``session`` id of a checkpointed
         session; ``welcome["offset"]`` then says where to continue the
         byte stream (what :meth:`stream_file` does with ``offset``).
+
+        Against a sharded TCP service the acceptor answers with a
+        REDIRECT naming the worker's port; the redirect is followed
+        here transparently (the session lands directly on its worker,
+        and all subsequent frames bypass the acceptor entirely).
         """
         body: dict = {}
         if session is not None:
             body["session"] = session
         else:
             body["config"] = config
-        protocol.send_json(self._sock, protocol.HELLO, body)
-        self.welcome = protocol.decode_json(self._await(protocol.WELCOME))
-        self.credits = int(self.welcome.get("credits", 0))
-        return self.welcome
+        for _hop in range(4):
+            protocol.send_json(self._sock, protocol.HELLO, body)
+            payload = self._await(protocol.WELCOME, follow=protocol.REDIRECT)
+            if payload is None:
+                # Redirected: re-send the acceptor's rewritten HELLO
+                # (it carries the assigned session id, so the worker
+                # opens exactly the session the acceptor routed).
+                body = self._redirect_hello or body
+                continue
+            self.welcome = protocol.decode_json(payload)
+            self.credits = int(self.welcome.get("credits", 0))
+            return self.welcome
+        raise ServiceError("too many redirects")
 
     @property
     def session_id(self) -> str | None:
@@ -165,9 +207,18 @@ class AnalysisClient:
         protocol.send_frame(self._sock, protocol.FINISH)
         return self._await(protocol.REPORT)
 
-    def stats(self) -> dict:
-        """Fetch the server's metrics snapshot (no session needed)."""
-        protocol.send_frame(self._sock, protocol.STAT)
+    def stats(self, *, per_worker: bool = False) -> dict:
+        """Fetch the server's metrics snapshot (no session needed).
+
+        ``per_worker=True`` asks for the sharded view instead:
+        ``{"merged": snapshot, "workers": {"w0": snapshot, ...}}`` —
+        one unmerged snapshot per worker process next to the merged
+        whole (a single-process server answers with its lone ``w0``).
+        """
+        if per_worker:
+            protocol.send_json(self._sock, protocol.STAT, {"per_worker": True})
+        else:
+            protocol.send_frame(self._sock, protocol.STAT)
         return protocol.decode_json(self._await(protocol.STATS))
 
     # -- producers -----------------------------------------------------

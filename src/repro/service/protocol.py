@@ -49,7 +49,7 @@ __all__ = [
     "send_json",
     # frame types
     "HELLO", "DATA", "FINISH", "STAT",
-    "WELCOME", "CREDIT", "REPORT", "STATS", "ERROR",
+    "WELCOME", "CREDIT", "REPORT", "STATS", "ERROR", "REDIRECT",
 ]
 
 #: Frame header: type byte + payload length (big-endian u32).
@@ -71,11 +71,17 @@ CREDIT = 17
 REPORT = 18
 STATS = 19
 ERROR = 20
+#: Sharded TCP mode: the acceptor answers HELLO with a REDIRECT naming
+#: the worker endpoint (``{"host", "port", "hello"}``); the client
+#: reconnects there and sends the rewritten ``hello`` body.  Unix-socket
+#: sharding never redirects — the connection itself is handed to the
+#: worker over SCM_RIGHTS.
+REDIRECT = 21
 
 _NAMES = {
     HELLO: "HELLO", DATA: "DATA", FINISH: "FINISH", STAT: "STAT",
     WELCOME: "WELCOME", CREDIT: "CREDIT", REPORT: "REPORT",
-    STATS: "STATS", ERROR: "ERROR",
+    STATS: "STATS", ERROR: "ERROR", REDIRECT: "REDIRECT",
 }
 
 
@@ -106,11 +112,21 @@ class FrameReader:
     ``(type, payload)``, or ``None`` on a clean EOF at a frame
     boundary.  EOF in the middle of a frame raises
     :class:`ProtocolError` — a half frame always means a lost peer.
+
+    ``initial`` seeds the buffer with bytes already read from the
+    socket by a previous reader — the sharded acceptor reads the HELLO
+    frame to route a connection, then hands the socket *and* whatever
+    it over-read to the worker, which resumes parsing mid-stream.
     """
 
-    def __init__(self, sock: socket.socket) -> None:
+    def __init__(self, sock: socket.socket, initial: bytes = b"") -> None:
         self._sock = sock
-        self._buf = bytearray()
+        self._buf = bytearray(initial)
+
+    def leftover(self) -> bytes:
+        """Buffered bytes beyond the last frame returned by :meth:`read`
+        (for handing the stream over to another process)."""
+        return bytes(self._buf)
 
     def _fill(self, need: int) -> bool:
         """Grow the buffer to ``need`` bytes; False on EOF before that."""

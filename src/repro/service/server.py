@@ -55,6 +55,11 @@ class AnalysisServer:
     ``port`` (TCP; ``port=0`` picks a free one, see :attr:`address`)
     selects the transport.  ``start()`` spawns the threads and returns;
     ``serve_forever()`` blocks until :meth:`shutdown`.
+
+    With ``listen=False`` no endpoint is bound at all: the server only
+    ingests connections handed to it via :meth:`adopt_connection` —
+    the shape a shard worker process runs in when the acceptor passes
+    accepted sockets over SCM_RIGHTS (:mod:`repro.service.shard`).
     """
 
     def __init__(
@@ -70,9 +75,13 @@ class AnalysisServer:
         checkpoint_every: int = 0,
         registry: MetricsRegistry | None = None,
         throttle: float = 0.0,
+        listen: bool = True,
     ) -> None:
-        if (socket_path is None) == (host is None or port is None):
-            raise ValueError("pass either socket_path or host+port")
+        if listen:
+            if (socket_path is None) == (host is None or port is None):
+                raise ValueError("pass either socket_path or host+port")
+        elif socket_path is not None or host is not None or port is not None:
+            raise ValueError("listen=False takes no endpoint")
         if workers < 1:
             raise ValueError("need at least one worker")
         if queue_blocks < 1:
@@ -94,7 +103,10 @@ class AnalysisServer:
         #: soak/backpressure testing (simulates a slow detector).
         self.throttle = throttle
 
-        if socket_path is not None:
+        self._listener: socket.socket | None = None
+        if not listen:
+            pass
+        elif socket_path is not None:
             if os.path.exists(socket_path):
                 os.unlink(socket_path)
             self._listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
@@ -103,7 +115,8 @@ class AnalysisServer:
             self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
             self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
             self._listener.bind((host, port))
-        self._listener.listen(64)
+        if self._listener is not None:
+            self._listener.listen(64)
 
         self._sessions: dict[str, ServiceSession] = {}
         self._sessions_lock = threading.Lock()
@@ -113,13 +126,7 @@ class AnalysisServer:
         self._resuming: set[str] = set()
         self._next_session = 0
         if self.checkpoints is not None:
-            # Checkpoints outlive the process; fresh ids must never
-            # collide with a prior incarnation's resumable sessions
-            # (a collision would overwrite — then delete — the other
-            # client's checkpoint file).
-            for sid in self.checkpoints.session_ids():
-                if sid.startswith("s") and sid[1:].isdigit():
-                    self._next_session = max(self._next_session, int(sid[1:]))
+            self._next_session = self.checkpoints.max_session_seq()
         self._runq: queue.SimpleQueue = queue.SimpleQueue()
         self._threads: list[threading.Thread] = []
         self._conns: set[socket.socket] = set()
@@ -137,7 +144,10 @@ class AnalysisServer:
         self._m_active = self.registry.gauge(
             "repro_service_sessions_active",
             help="Sessions currently open",
-            merge="last",
+            # Summed, not last-wins: the sharded acceptor folds one
+            # snapshot per worker process into the merged stats view,
+            # and concurrent sessions on different workers must add up.
+            merge="sum",
         )
         self._m_idle_closed = self.registry.counter(
             "repro_service_idle_closed_total",
@@ -149,11 +159,14 @@ class AnalysisServer:
     # ------------------------------------------------------------------
 
     @property
-    def address(self) -> tuple[str, int] | str:
+    def address(self) -> tuple[str, int] | str | None:
         """Bound endpoint: the socket path, or the ``(host, port)``
-        actually bound (useful with ``port=0``)."""
+        actually bound (useful with ``port=0``); ``None`` when built
+        with ``listen=False``."""
         if self.socket_path is not None:
             return self.socket_path
+        if self._listener is None:
+            return None
         return self._listener.getsockname()
 
     def start(self) -> None:
@@ -167,11 +180,12 @@ class AnalysisServer:
             )
             t.start()
             self._threads.append(t)
-        t = threading.Thread(
-            target=self._accept_loop, name="repro-accept", daemon=True
-        )
-        t.start()
-        self._threads.append(t)
+        if self._listener is not None:
+            t = threading.Thread(
+                target=self._accept_loop, name="repro-accept", daemon=True
+            )
+            t.start()
+            self._threads.append(t)
         if self.idle_timeout:
             t = threading.Thread(
                 target=self._housekeeping_loop, name="repro-idle", daemon=True
@@ -196,10 +210,21 @@ class AnalysisServer:
         if self._stopping.is_set():
             return
         self._stopping.set()
-        try:
-            self._listener.close()
-        except OSError:
-            pass
+        # Release the endpoint *before* draining: draining can take
+        # seconds, and a replacement server started on the same unix
+        # path / TCP port must be able to bind immediately — and must
+        # never have its freshly-bound socket unlinked by our own
+        # post-drain cleanup (the restart race this ordering fixes).
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self.socket_path is not None:
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
         if drain:
             with self._sessions_lock:
                 active = list(self._sessions.values())
@@ -221,11 +246,6 @@ class AnalysisServer:
                 pass
             try:
                 conn.close()
-            except OSError:
-                pass
-        if self.socket_path is not None:
-            try:
-                os.unlink(self.socket_path)
             except OSError:
                 pass
         self._drained.set()
@@ -263,6 +283,22 @@ class AnalysisServer:
             # through the queue so other sessions get their turn.
             self._runq.put(session)
 
+    def stats_payload(self, *, per_worker: bool = False) -> dict:
+        """The STATS response body.
+
+        Plain requests get the registry snapshot.  ``per_worker``
+        requests get ``{"merged", "workers"}`` — in this single-process
+        server the one "worker" (``w0``) *is* the process, so both
+        views coincide; the sharded acceptor answers the same shape
+        with one entry per worker process (see
+        :mod:`repro.service.shard`).
+        """
+        with self.registry_lock:
+            snapshot = self.registry.snapshot()
+        if per_worker:
+            return {"merged": snapshot, "workers": {"w0": snapshot}}
+        return snapshot
+
     def release(self, session: ServiceSession, *, drop_checkpoint: bool) -> None:
         """Remove a finished/detached session (idempotent)."""
         with self._sessions_lock:
@@ -295,19 +331,51 @@ class AnalysisServer:
             )
             t.start()
 
-    def _client_loop(self, conn: socket.socket) -> None:
+    def adopt_connection(
+        self, conn: socket.socket, hello: dict | None = None,
+        leftover: bytes = b"",
+    ) -> None:
+        """Ingest a connection accepted elsewhere (the sharded
+        acceptor): spawn its reader thread as if we had accepted it.
+
+        ``hello`` is the already-parsed HELLO body when the acceptor
+        consumed that frame to route the connection; ``leftover`` is
+        whatever the acceptor's frame reader over-read past it.
+        """
+        if conn.family == socket.AF_INET:
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._conns.add(conn)
+        t = threading.Thread(
+            target=self._client_loop, args=(conn, hello, leftover),
+            name="repro-reader", daemon=True,
+        )
+        t.start()
+
+    def _client_loop(
+        self, conn: socket.socket, first_hello: dict | None = None,
+        initial: bytes = b"",
+    ) -> None:
         """One connection: HELLO → session ingest, or standalone STAT."""
         session: ServiceSession | None = None
-        reader = protocol.FrameReader(conn)
+        reader = protocol.FrameReader(conn, initial)
         try:
+            if first_hello is not None:
+                session = self._open_session(conn, first_hello)
+                with session.send_lock:
+                    protocol.send_json(
+                        conn, protocol.WELCOME, session.welcome_payload()
+                    )
             while True:
                 frame = reader.read()
                 if frame is None:
                     break
                 ftype, payload = frame
                 if ftype == protocol.STAT:
-                    with self.registry_lock:
-                        snapshot = self.registry.snapshot()
+                    snapshot = self.stats_payload(
+                        per_worker=bool(
+                            protocol.decode_json(payload).get("per_worker")
+                        )
+                    )
                     with session.send_lock if session else threading.Lock():
                         protocol.send_json(conn, protocol.STATS, snapshot)
                 elif ftype == protocol.HELLO:
@@ -402,15 +470,34 @@ class AnalysisServer:
     def _fresh_session(self, conn, hello: dict) -> ServiceSession:
         config = hello.get("config", "hwlc+dr")
         detector_config(config)  # validate before allocating anything
+        assigned = hello.get("assign")
         with self._sessions_lock:
-            while True:
-                self._next_session += 1
-                session_id = f"s{self._next_session:04d}"
+            if assigned is not None:
+                # The sharded acceptor owns the id space and routed
+                # this connection here by hashing the id it chose; we
+                # only guard against an active duplicate and keep our
+                # own counter clear of the acceptor's.
                 if (
-                    session_id not in self._sessions
-                    and session_id not in self._resuming
+                    assigned in self._sessions
+                    or assigned in self._resuming
                 ):
-                    break
+                    raise protocol.ProtocolError(
+                        f"session {assigned!r} is already active"
+                    )
+                session_id = assigned
+                if assigned.startswith("s") and assigned[1:].isdigit():
+                    self._next_session = max(
+                        self._next_session, int(assigned[1:])
+                    )
+            else:
+                while True:
+                    self._next_session += 1
+                    session_id = f"s{self._next_session:04d}"
+                    if (
+                        session_id not in self._sessions
+                        and session_id not in self._resuming
+                    ):
+                        break
             self._resuming.add(session_id)  # reserve until inserted
         session = None
         try:

@@ -40,6 +40,7 @@ from repro.telemetry.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    merge_snapshots,
 )
 from repro.telemetry.probe import DETECTOR_BATCH_EVENTS, Telemetry
 from repro.telemetry.tracing import VM_TRACK, Tracer
@@ -61,6 +62,7 @@ __all__ = [
     "Telemetry",
     "Tracer",
     "VM_TRACK",
+    "merge_snapshots",
     "prom_path_for",
     "to_console",
     "to_json",

@@ -45,6 +45,7 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
     "SNAPSHOT_VERSION",
+    "merge_snapshots",
 ]
 
 #: Version tag stamped into every snapshot (bump on breaking layout
@@ -339,3 +340,19 @@ class MetricsRegistry:
                     metric._merge(sample)
                 else:
                     raise ValueError(f"unknown metric type {kind!r} in snapshot")
+
+
+def merge_snapshots(snapshots) -> dict:
+    """Fold any number of :meth:`MetricsRegistry.snapshot` dicts into
+    one merged snapshot.
+
+    The aggregation every multi-process consumer needs — the parallel
+    figure6 harness, and the sharded analysis service's acceptor
+    answering ``repro client stat`` with one view over N worker
+    processes.  Counters and histograms add; gauges follow the merge
+    mode stamped on each sample.
+    """
+    merged = MetricsRegistry()
+    for snapshot in snapshots:
+        merged.merge_snapshot(snapshot)
+    return merged.snapshot()

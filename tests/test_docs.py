@@ -135,9 +135,13 @@ class TestObservabilityDoc:
         documented — no drift in either direction."""
         import inspect
 
-        from repro.service import server, session
+        from repro.service import server, session, shard
 
-        source = inspect.getsource(server) + inspect.getsource(session)
+        source = (
+            inspect.getsource(server)
+            + inspect.getsource(session)
+            + inspect.getsource(shard)
+        )
         registered = set(re.findall(r'"(repro_service_[a-z_]+)"', source))
         documented = {
             f
