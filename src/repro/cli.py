@@ -181,6 +181,19 @@ def _build_parser() -> argparse.ArgumentParser:
     tp.add_argument("trace_file")
     tp.set_defaults(handler=_cmd_trace_stat)
 
+    tp = trace_sub.add_parser(
+        "merge",
+        help=(
+            "merge per-process Chrome traces (epoch-aligned) into one "
+            "Perfetto timeline"
+        ),
+    )
+    tp.add_argument("inputs", nargs="+", help="Chrome trace JSON files")
+    tp.add_argument(
+        "-o", "--output", required=True, help="merged trace file path"
+    )
+    tp.set_defaults(handler=_cmd_trace_merge)
+
     p.set_defaults(handler=_cmd_trace_help, _trace_parser=p)
 
     p = sub.add_parser(
@@ -239,6 +252,46 @@ def _build_parser() -> argparse.ArgumentParser:
         default=0,
         metavar="EVENTS",
         help="also checkpoint mid-stream every EVENTS analysed events",
+    )
+    p.add_argument(
+        "--admin-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "serve the HTTP admin plane on 127.0.0.1:PORT (0 picks a "
+            "free one): /metrics /healthz /readyz /sessions /workers"
+        ),
+    )
+    p.add_argument(
+        "--admin-host",
+        default="127.0.0.1",
+        metavar="HOST",
+        help="bind address for --admin-port (default: loopback only)",
+    )
+    p.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default=None,
+        help="enable structured JSON-lines logs at this level",
+    )
+    p.add_argument(
+        "--log-file",
+        metavar="PATH",
+        default=None,
+        help=(
+            "append structured logs here (all processes share the file; "
+            "without it --log-level writes to stderr)"
+        ),
+    )
+    p.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "each worker writes a Chrome trace here at shutdown "
+            "(combine with `repro trace merge`)"
+        ),
     )
     p.set_defaults(handler=_cmd_serve)
 
@@ -731,6 +784,37 @@ def _cmd_trace_stat(args) -> int:
     return 0
 
 
+def _cmd_trace_merge(args) -> int:
+    """Merge per-process Chrome trace files into one timeline.
+
+    The sharded service writes one trace per worker process
+    (``--trace-dir``); each file's ``otherData.epoch_unix`` anchors its
+    relative timestamps to wall time, so the merge lines the processes
+    up on one Perfetto timeline and keeps their process groups apart.
+    """
+    import json as _json
+    import os
+
+    from repro.telemetry import merge_chrome_traces
+
+    docs = []
+    for path in args.inputs:
+        with open(path, "r", encoding="utf-8") as fh:
+            docs.append(_json.load(fh))
+    names = [
+        os.path.splitext(os.path.basename(path))[0] for path in args.inputs
+    ]
+    merged = merge_chrome_traces(docs, names=names)
+    with open(args.output, "w", encoding="utf-8") as fh:
+        _json.dump(merged, fh, indent=1)
+        fh.write("\n")
+    print(
+        f"merged {len(docs)} traces ({len(merged['traceEvents'])} events) "
+        f"into {args.output} (open in Perfetto)"
+    )
+    return 0
+
+
 def _cmd_serve(args) -> int:
     """Run the streaming analysis service until interrupted; SIGINT or
     SIGTERM triggers a graceful drain (queued chunks are analysed and
@@ -742,9 +826,11 @@ def _cmd_serve(args) -> int:
     scales with cores instead of saturating one GIL.
     ``--single-process`` keeps everything on one thread pool here.
     """
+    import os
     import signal
 
     from repro.service import AnalysisServer, ShardedAnalysisServer
+    from repro.telemetry import StructuredLogger, Tracer
 
     if (args.socket is None) == (args.tcp is None):
         raise SystemExit("pass exactly one of --socket PATH or --tcp HOST:PORT")
@@ -755,6 +841,23 @@ def _cmd_serve(args) -> int:
         host, _, port = args.tcp.rpartition(":")
         endpoint["host"] = host or "127.0.0.1"
         endpoint["port"] = int(port)
+
+    # Structured logs: enabled by --log-level and/or --log-file (a file
+    # without a level logs at info; a level without a file logs to
+    # stderr).  Neither → no logger at all, so the default service is
+    # exactly as quiet and as fast as before this flag existed.
+    logger = None
+    log_stream = None
+    if args.log_level or args.log_file:
+        if args.log_file:
+            log_stream = open(args.log_file, "a", encoding="utf-8")
+        else:
+            log_stream = sys.stderr
+        logger = StructuredLogger(log_stream, level=args.log_level or "info")
+
+    if args.trace_dir:
+        os.makedirs(args.trace_dir, exist_ok=True)
+
     common = dict(
         queue_blocks=args.queue_blocks,
         idle_timeout=args.idle_timeout,
@@ -763,11 +866,22 @@ def _cmd_serve(args) -> int:
         **endpoint,
     )
     if args.single_process:
-        server = AnalysisServer(workers=args.threads, **common)
+        tracer = trace_out = None
+        if args.trace_dir:
+            tracer = Tracer(pid=os.getpid(), process_name="w0")
+            trace_out = os.path.join(
+                args.trace_dir, f"trace-w0-{os.getpid()}.json"
+            )
+        server = AnalysisServer(
+            workers=args.threads, logger=logger, tracer=tracer,
+            trace_out=trace_out, **common,
+        )
         shape = f"single process, {args.threads} analysis threads"
     else:
         server = ShardedAnalysisServer(
-            workers=args.workers, threads=args.threads, **common
+            workers=args.workers, threads=args.threads, logger=logger,
+            log_file=args.log_file, log_level=args.log_level,
+            trace_dir=args.trace_dir, **common,
         )
         shape = (
             f"{args.workers} worker processes x {args.threads} threads, "
@@ -779,12 +893,26 @@ def _cmd_serve(args) -> int:
 
     signal.signal(signal.SIGTERM, _sigterm)
     server.start()
+    admin = None
+    if args.admin_port is not None:
+        from repro.service import AdminServer
+
+        admin = AdminServer(
+            server, host=args.admin_host, port=args.admin_port,
+            logger=logger,
+        )
+        admin.start()
     addr = server.address
     where = addr if isinstance(addr, str) else f"{addr[0]}:{addr[1]}"
     print(
         f"repro service listening on {where} "
         f"({shape}, queue bound {args.queue_blocks} blocks"
         + (f", checkpoints in {args.checkpoint_dir}" if args.checkpoint_dir else "")
+        + (
+            f", admin http://{admin.address[0]}:{admin.address[1]}"
+            if admin is not None
+            else ""
+        )
         + ")",
         flush=True,
     )
@@ -793,6 +921,11 @@ def _cmd_serve(args) -> int:
     except KeyboardInterrupt:
         print("draining...", flush=True)
         server.shutdown(drain=True)
+    finally:
+        if admin is not None:
+            admin.shutdown()
+        if log_stream is not None and log_stream is not sys.stderr:
+            log_stream.close()
     return 0
 
 

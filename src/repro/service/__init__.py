@@ -27,12 +27,16 @@ Modules
 :mod:`~repro.service.client`
     ``repro client`` plumbing: credit ledger, redirect following,
     file/live streaming.
+:mod:`~repro.service.admin`
+    The HTTP admin plane (``--admin-port``): ``/metrics``, ``/healthz``,
+    ``/readyz``, ``/sessions``, ``/workers``.
 
 See ``docs/SERVICE.md`` for the protocol walk-through and operational
 guide, and ``docs/OBSERVABILITY.md`` for the ``repro_service_*`` metric
 catalogue.
 """
 
+from repro.service.admin import AdminServer
 from repro.service.checkpoint import Checkpoint, CheckpointStore
 from repro.service.client import AnalysisClient, ServiceError, fetch_report
 from repro.service.server import AnalysisServer
@@ -40,6 +44,7 @@ from repro.service.session import ServiceSession
 from repro.service.shard import HashRing, ShardedAnalysisServer
 
 __all__ = [
+    "AdminServer",
     "AnalysisClient",
     "AnalysisServer",
     "Checkpoint",

@@ -25,6 +25,16 @@ needed) returning the server's metrics snapshot — the
 ``repro_service_*`` catalogue of ``docs/OBSERVABILITY.md``.  ``ERROR``
 may replace any server response; the connection closes after it.
 
+HELLO is free-form JSON, so optional keys ride it without a protocol
+rev.  Current optional keys: ``"assign"`` (the sharded acceptor's
+pre-chosen session id) and ``"trace"`` (a session-scoped trace
+correlation id — the acceptor mints one per session and stamps it into
+the rewritten HELLO, so acceptor- and worker-side log records and
+Chrome trace spans for the same session share the id across both the
+SCM_RIGHTS handover and the REDIRECT re-dial; ``repro trace merge``
+correlates on it).  The server echoes the id back as ``"trace"`` in
+WELCOME.  Unknown HELLO keys are ignored.
+
 Backpressure contract: ``WELCOME.credits`` is the session's queue bound
 N.  A client must not send a DATA frame without holding a credit; the
 server returns one credit per DATA frame it *dequeues and analyses*, so

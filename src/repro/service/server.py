@@ -41,6 +41,7 @@ from repro.service import protocol
 from repro.service.checkpoint import CheckpointStore
 from repro.service.session import ServiceSession
 from repro.telemetry import MetricsRegistry
+from repro.telemetry.logs import NULL_LOGGER
 
 __all__ = ["AnalysisServer"]
 
@@ -76,6 +77,11 @@ class AnalysisServer:
         registry: MetricsRegistry | None = None,
         throttle: float = 0.0,
         listen: bool = True,
+        worker_id: str = "w0",
+        logger=None,
+        flight=None,
+        tracer=None,
+        trace_out: str | None = None,
     ) -> None:
         if listen:
             if (socket_path is None) == (host is None or port is None):
@@ -102,6 +108,24 @@ class AnalysisServer:
         #: Per-chunk analysis delay in seconds — operational knob for
         #: soak/backpressure testing (simulates a slow detector).
         self.throttle = throttle
+        #: Stable identity of this process in multi-process views
+        #: (``/sessions``, per-worker STATS) — ``w<slot>`` in a shard
+        #: worker, ``w0`` standalone.
+        self.worker_id = worker_id
+        #: Structured logger for lifecycle edges; :data:`NULL_LOGGER`
+        #: (every call one attribute test) unless the operator asked
+        #: for logs, so programmatic embedding stays silent and free.
+        self.log = (logger if logger is not None else NULL_LOGGER).bind(
+            worker_id=worker_id
+        )
+        #: Crash flight recorder (ring of recent records + frames);
+        #: ``None`` disables frame recording entirely.
+        self.flight = flight
+        #: Optional tracer + path its Chrome trace is written to at
+        #: shutdown — one file per process, merged offline by
+        #: ``repro trace merge``.
+        self.tracer = tracer
+        self.trace_out = trace_out
 
         self._listener: socket.socket | None = None
         if not listen:
@@ -152,6 +176,10 @@ class AnalysisServer:
         self._m_idle_closed = self.registry.counter(
             "repro_service_idle_closed_total",
             help="Sessions closed by the idle timeout",
+        )
+        self._m_worker_errors = self.registry.counter(
+            "repro_service_worker_errors_total",
+            help="Unexpected exceptions caught by the worker loop",
         )
 
     # ------------------------------------------------------------------
@@ -210,6 +238,7 @@ class AnalysisServer:
         if self._stopping.is_set():
             return
         self._stopping.set()
+        self.log.info("drain_begin" if drain else "stop", drain=drain)
         # Release the endpoint *before* draining: draining can take
         # seconds, and a replacement server started on the same unix
         # path / TCP port must be able to bind immediately — and must
@@ -248,6 +277,12 @@ class AnalysisServer:
                 conn.close()
             except OSError:
                 pass
+        if self.tracer is not None and self.trace_out:
+            try:
+                self.tracer.write(self.trace_out)
+            except OSError:
+                pass  # trace loss must not fail the shutdown
+        self.log.info("drain_end" if drain else "stopped")
         self._drained.set()
 
     # ------------------------------------------------------------------
@@ -273,7 +308,15 @@ class AnalysisServer:
             except Exception:  # last resort: a worker must never die
                 import traceback
 
-                traceback.print_exc()
+                self._m_worker_errors.inc()
+                if self.log.enabled:
+                    self.log.error(
+                        "worker_error",
+                        session=session.session_id,
+                        traceback=traceback.format_exc(),
+                    )
+                else:  # no log sink configured: stderr beats silence
+                    traceback.print_exc()
                 self.release(session, drop_checkpoint=False)
             with session.lock:
                 if session.queue.empty() or session.closed:
@@ -296,8 +339,41 @@ class AnalysisServer:
         with self.registry_lock:
             snapshot = self.registry.snapshot()
         if per_worker:
-            return {"merged": snapshot, "workers": {"w0": snapshot}}
+            return {"merged": snapshot, "workers": {self.worker_id: snapshot}}
         return snapshot
+
+    @property
+    def draining(self) -> bool:
+        """True once shutdown has begun (the ``/readyz`` signal)."""
+        return self._stopping.is_set()
+
+    def sessions_payload(self) -> list[dict]:
+        """Introspection of live sessions (the admin ``/sessions`` body).
+
+        One dict per session, sorted by id, every value a plain JSON
+        type.  ``worker`` names the owning process so the sharded
+        acceptor can concatenate the workers' lists verbatim.
+        """
+        with self._sessions_lock:
+            sessions = list(self._sessions.values())
+        return sorted(
+            (s.introspect(self.worker_id) for s in sessions),
+            key=lambda d: d["session"],
+        )
+
+    def workers_payload(self) -> list[dict]:
+        """Worker-process introspection — the single-process server *is*
+        its one worker; the sharded acceptor overrides this with one
+        entry per subprocess."""
+        return [
+            {
+                "worker": self.worker_id,
+                "pid": os.getpid(),
+                "alive": True,
+                "restarts": 0,
+                "threads": self.workers,
+            }
+        ]
 
     def release(self, session: ServiceSession, *, drop_checkpoint: bool) -> None:
         """Remove a finished/detached session (idempotent)."""
@@ -345,6 +421,10 @@ class AnalysisServer:
         if conn.family == socket.AF_INET:
             conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._conns.add(conn)
+        self.log.debug(
+            "adopt_connection",
+            session=(hello or {}).get("assign") or (hello or {}).get("session"),
+        )
         t = threading.Thread(
             target=self._client_loop, args=(conn, hello, leftover),
             name="repro-reader", daemon=True,
@@ -370,6 +450,11 @@ class AnalysisServer:
                 if frame is None:
                     break
                 ftype, payload = frame
+                if self.flight is not None:
+                    self.flight.frame(
+                        "recv", protocol.frame_name(ftype), len(payload),
+                        session=session.session_id if session else None,
+                    )
                 if ftype == protocol.STAT:
                     snapshot = self.stats_payload(
                         per_worker=bool(
@@ -399,8 +484,18 @@ class AnalysisServer:
                         f"unexpected {protocol.frame_name(ftype)} frame"
                     )
         except protocol.ProtocolError as exc:
+            self.log.warning(
+                "protocol_error",
+                session=session.session_id if session else None,
+                error=str(exc),
+            )
             self._send_error(conn, session, str(exc))
         except (ValueError, KeyError) as exc:
+            self.log.warning(
+                "protocol_error",
+                session=session.session_id if session else None,
+                error=f"{type(exc).__name__}: {exc}",
+            )
             self._send_error(conn, session, f"{type(exc).__name__}: {exc}")
         except OSError:
             pass  # peer vanished; detach below persists progress
@@ -409,6 +504,9 @@ class AnalysisServer:
             if session is not None and not session.closed:
                 session.conn = None
                 if not session.finished:
+                    self.log.info(
+                        "session_detach", session=session.session_id
+                    )
                     session.detach()
             try:
                 conn.close()
@@ -427,13 +525,26 @@ class AnalysisServer:
         """Build a fresh session, or resume one from its checkpoint."""
         resume_id = hello.get("session")
         if resume_id is not None:
-            session = self._resume_session(conn, resume_id)
+            session = self._resume_session(
+                conn, resume_id, trace=hello.get("trace")
+            )
+            self.log.info(
+                "session_resume", session=session.session_id,
+                config=session.config, offset=session.api.bytes_fed,
+                events=session.api.events_seen, trace=session.trace_id,
+            )
         else:
             session = self._fresh_session(conn, hello)
+            self.log.info(
+                "session_open", session=session.session_id,
+                config=session.config, trace=session.trace_id,
+            )
         self._m_sessions.inc()
         return session
 
-    def _resume_session(self, conn, resume_id: str) -> ServiceSession:
+    def _resume_session(
+        self, conn, resume_id: str, *, trace: str | None = None
+    ) -> ServiceSession:
         if self.checkpoints is None:
             raise protocol.ProtocolError(
                 "cannot resume: server has no checkpoint directory"
@@ -455,6 +566,7 @@ class AnalysisServer:
             session = ServiceSession(
                 resume_id, ckpt.config, self, conn,
                 queue_blocks=self.queue_blocks, api_session=api_session,
+                trace_id=trace,
             )
         finally:
             # Hand the reservation over to the _sessions insert in one
@@ -502,7 +614,8 @@ class AnalysisServer:
         session = None
         try:
             session = ServiceSession(
-                session_id, config, self, conn, queue_blocks=self.queue_blocks
+                session_id, config, self, conn,
+                queue_blocks=self.queue_blocks, trace_id=hello.get("trace"),
             )
         finally:
             with self._sessions_lock:
@@ -528,6 +641,10 @@ class AnalysisServer:
                 ]
             for session in idle:
                 self._m_idle_closed.inc()
+                self.log.info(
+                    "session_idle_close", session=session.session_id,
+                    idle_seconds=round(now - session.last_activity, 3),
+                )
                 conn = session.conn
                 session.detach()
                 if conn is not None:

@@ -22,6 +22,7 @@ same sample.
 
 from __future__ import annotations
 
+import os
 import queue
 import threading
 import time
@@ -49,10 +50,22 @@ class ServiceSession:
         *,
         queue_blocks: int,
         api_session: Session | None = None,
+        trace_id: str | None = None,
     ) -> None:
         self.session_id = session_id
         self.config = config
         self.server = server
+        #: Session-scoped trace correlation id.  The sharded acceptor
+        #: mints one and stamps it into the rewritten HELLO so the same
+        #: id reaches the owning worker (over SCM_RIGHTS handover or a
+        #: REDIRECT re-dial); a directly-addressed server mints its own.
+        #: It labels trace spans and log records on both sides, which
+        #: is what lets ``repro trace merge`` correlate them.
+        self.trace_id = (
+            trace_id
+            if trace_id is not None
+            else f"{session_id}-{os.urandom(4).hex()}"
+        )
         self.api = api_session if api_session is not None else Session(config)
         self.queue: queue.Queue = queue.Queue(maxsize=queue_blocks)
         self.queue_blocks = queue_blocks
@@ -159,6 +172,18 @@ class ServiceSession:
         checkpoint cadence, and emits the REPORT / final checkpoint
         when a FINISH / DETACH sentinel surfaces.
         """
+        tracer = self.server.tracer
+        if tracer is None:
+            self._process_batch()
+            return
+        with tracer.span(
+            "analyze",
+            track=tracer.track(f"session {self.session_id}"),
+            args={"trace": self.trace_id},
+        ):
+            self._process_batch()
+
+    def _process_batch(self) -> None:
         consumed = 0
         throttle = self.server.throttle
         while True:
@@ -215,6 +240,11 @@ class ServiceSession:
             self._grant_credits(consumed_before)
         self.finished = True
         payload = self.api.report_text().encode("utf-8")
+        self.server.log.info(
+            "session_finish", session=self.session_id,
+            events=self.api.events_seen, bytes=self.api.bytes_fed,
+            report_bytes=len(payload), trace=self.trace_id,
+        )
         # Count before the send: a client that already holds the REPORT
         # must see the counter bumped in its next stats snapshot.
         with self.server.registry_lock:
@@ -236,6 +266,10 @@ class ServiceSession:
         good checkpoint (the failed chunk advanced nothing, so a
         corrected stream can resume from it), release the session."""
         self.finished = True
+        self.server.log.error(
+            "session_error", session=self.session_id, error=message,
+            trace=self.trace_id,
+        )
         with self.server.registry_lock:
             self.server.registry.counter(
                 "repro_service_analysis_errors_total",
@@ -286,4 +320,29 @@ class ServiceSession:
             "offset": self.api.bytes_fed,
             "events": self.api.events_seen,
             "config": self.config,
+            "trace": self.trace_id,
+        }
+
+    def introspect(self, worker_id: str) -> dict:
+        """One ``/sessions`` entry: live state as plain JSON types."""
+        with self.lock:
+            uncredited = self._uncredited
+        if self.finished:
+            state = "finished"
+        elif self.conn is None:
+            state = "detached"
+        else:
+            state = "active"
+        return {
+            "session": self.session_id,
+            "worker": worker_id,
+            "state": state,
+            "config": self.config,
+            "events": self.api.events_seen,
+            "bytes": self.api.bytes_fed,
+            "queue_depth": self.queue.qsize(),
+            "uncredited": uncredited,
+            "events_since_checkpoint": self._events_since_checkpoint,
+            "idle_seconds": round(time.monotonic() - self.last_activity, 3),
+            "trace": self.trace_id,
         }

@@ -57,6 +57,7 @@ import time
 from repro.service import protocol
 from repro.service.checkpoint import CheckpointStore
 from repro.telemetry import MetricsRegistry, merge_snapshots
+from repro.telemetry.logs import NULL_LOGGER, dump_flight_spool
 
 __all__ = ["HashRing", "ShardedAnalysisServer"]
 
@@ -81,6 +82,10 @@ OP_STAT = 0x43
 OP_STATS = 0x44
 #: Acceptor → worker: shut down (``{"drain": bool, "timeout": s}``).
 OP_SHUTDOWN = 0x45
+#: Acceptor ⇄ worker: session introspection round-trip.  The acceptor
+#: sends an empty request; the worker replies with the same op carrying
+#: its ``sessions_payload()`` JSON (the admin ``/sessions`` feed).
+OP_SESSIONS = 0x46
 
 _CTRL_HEADER = struct.Struct("!BI")
 #: Each OP_CONN frame carries exactly one fd on its header, but one
@@ -249,6 +254,10 @@ class ShardedAnalysisServer:
         throttle: float = 0.0,
         registry: MetricsRegistry | None = None,
         replicas: int = DEFAULT_REPLICAS,
+        logger=None,
+        log_file: str | None = None,
+        log_level: str | None = None,
+        trace_dir: str | None = None,
     ) -> None:
         if (socket_path is None) == (host is None or port is None):
             raise ValueError("pass either socket_path or host+port")
@@ -265,6 +274,19 @@ class ShardedAnalysisServer:
         self.ring = HashRing(workers, replicas)
         self.registry = registry if registry is not None else MetricsRegistry()
         self.registry_lock = threading.Lock()
+        #: Structured logger for the acceptor's own edges (route,
+        #: handover, redirect, supervisor); workers get their own via
+        #: ``log_file``/``log_level``, forwarded on their command line
+        #: (a subprocess cannot share a Python logger object).
+        self.log = (logger if logger is not None else NULL_LOGGER).bind(
+            worker_id="acceptor"
+        )
+        self.log_file = log_file
+        self.log_level = log_level
+        #: Directory each worker writes its Chrome trace into at
+        #: shutdown (``trace-w<slot>-<pid>.json``), merged offline by
+        #: ``repro trace merge``.
+        self.trace_dir = trace_dir
 
         if socket_path is not None:
             if os.path.exists(socket_path):
@@ -289,6 +311,8 @@ class ShardedAnalysisServer:
 
         self._slots: list[_WorkerHandle | None] = [None] * workers
         self._slots_lock = threading.Lock()
+        #: Per-slot supervisor restart counts (the ``/workers`` view).
+        self._restarts: dict[int, int] = {s: 0 for s in range(workers)}
         self._conns: set[socket.socket] = set()
         self._threads: list[threading.Thread] = []
         self._stopping = threading.Event()
@@ -349,6 +373,7 @@ class ShardedAnalysisServer:
         if self._stopping.is_set():
             return
         self._stopping.set()
+        self.log.info("drain_begin" if drain else "stop", drain=drain)
         try:
             self._listener.close()
         except OSError:
@@ -389,6 +414,7 @@ class ShardedAnalysisServer:
             except OSError:
                 pass
         self._m_workers.set(0)
+        self.log.info("drain_end" if drain else "stopped")
         self._drained.set()
 
     # ------------------------------------------------------------------
@@ -419,6 +445,12 @@ class ShardedAnalysisServer:
             cmd += ["--checkpoint-every", str(self.checkpoint_every)]
         if self.throttle:
             cmd += ["--throttle", str(self.throttle)]
+        if self.log_file:
+            cmd += ["--log-file", self.log_file]
+        if self.log_level:
+            cmd += ["--log-level", self.log_level]
+        if self.trace_dir:
+            cmd += ["--trace-dir", self.trace_dir]
         # The worker re-imports repro in a fresh interpreter: make sure
         # the package we are running from is importable there even when
         # the parent was launched with a transient sys.path tweak.
@@ -447,6 +479,9 @@ class ShardedAnalysisServer:
             raise RuntimeError(f"shard worker {slot} failed to start")
         ready = json.loads(frame[1])
         handle.port = ready.get("port")
+        self.log.info(
+            "worker_spawn", slot=slot, worker_pid=proc.pid, port=handle.port
+        )
         return handle
 
     def _condemn(self, handle: _WorkerHandle) -> None:
@@ -489,9 +524,24 @@ class ShardedAnalysisServer:
                 handle.dead = True
                 handle.close()
                 self._m_restarts.inc()
+                self._restarts[slot] = self._restarts.get(slot, 0) + 1
+                self.log.warning(
+                    "worker_exit", slot=slot, worker_pid=handle.pid,
+                    returncode=handle.proc.returncode,
+                )
+                # Post-mortem first, spawn second: the casualty's flight
+                # spool must be renamed away before its replacement
+                # starts a fresh one under the same name.
+                if self.checkpoint_dir:
+                    dump = dump_flight_spool(self.checkpoint_dir, f"w{slot}")
+                    if dump is not None:
+                        self.log.warning(
+                            "flight_dump", slot=slot, path=dump,
+                        )
                 try:
                     replacement = self._spawn_worker(slot)
                 except RuntimeError:
+                    self.log.error("worker_respawn_failed", slot=slot)
                     continue  # retry on the next sweep
                 with self._slots_lock:
                     self._slots[slot] = replacement
@@ -580,13 +630,31 @@ class ShardedAnalysisServer:
             detector_config(config)
             session_id = self._assign_id()
             hello = {"config": config, "assign": session_id}
+        # Session-scoped trace id, minted here (the one process that
+        # sees every session) and stamped into the rewritten HELLO so
+        # it reaches the owning worker over either transport — the
+        # SCM_RIGHTS payload carries the hello verbatim, and a
+        # redirected client re-sends the acceptor's hello as-is.
+        if "trace" not in hello:
+            hello = dict(hello)
+            hello["trace"] = f"{session_id}-{os.urandom(4).hex()}"
         slot = self.ring.slot(session_id)
         handle = self._live_handle(slot)
         self._m_routed.inc()
         if self.socket_path is not None:
+            self.log.info(
+                "route", session=session_id, slot=slot,
+                worker_pid=handle.pid, transport="handover",
+                trace=hello["trace"],
+            )
             self._handover(handle, conn, hello, reader.leftover())
         else:
             self._m_redirects.inc()
+            self.log.info(
+                "route", session=session_id, slot=slot,
+                worker_pid=handle.pid, transport="redirect",
+                port=handle.port, trace=hello["trace"],
+            )
             protocol.send_json(
                 conn, protocol.REDIRECT,
                 {"host": self._host, "port": handle.port, "hello": hello},
@@ -661,6 +729,69 @@ class ShardedAnalysisServer:
             return {"merged": merged, "workers": workers}
         return merged
 
+    # ------------------------------------------------------------------
+    # Admin-plane introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        """True once shutdown has begun (the ``/readyz`` signal)."""
+        return self._stopping.is_set()
+
+    def worker_sessions(self) -> dict[str, list[dict]]:
+        """Each live worker's session introspection, keyed ``w<slot>``
+        (same drop-out semantics as :meth:`worker_snapshots`)."""
+        result: dict[str, list[dict]] = {}
+        with self._slots_lock:
+            handles = [h for h in self._slots if h is not None and not h.dead]
+        for handle in handles:
+            try:
+                with handle.lock:
+                    handle.ctrl.settimeout(10.0)
+                    try:
+                        _ctrl_send(handle.ctrl, OP_SESSIONS, b"")
+                        frame = handle.channel.read()
+                    finally:
+                        handle.ctrl.settimeout(None)
+            except OSError:
+                self._condemn(handle)
+                continue
+            if frame is None or frame[0] != OP_SESSIONS:
+                continue
+            result[f"w{handle.slot}"] = json.loads(frame[1])
+        return result
+
+    def sessions_payload(self) -> list[dict]:
+        """Every live session across all workers (the ``/sessions``
+        body): each entry already names its owning worker."""
+        sessions: list[dict] = []
+        for entries in self.worker_sessions().values():
+            sessions.extend(entries)
+        return sorted(sessions, key=lambda d: d["session"])
+
+    def workers_payload(self) -> list[dict]:
+        """Per-worker-process view (the ``/workers`` body)."""
+        out: list[dict] = []
+        with self._slots_lock:
+            slots = list(self._slots)
+        for slot, handle in enumerate(slots):
+            entry = {
+                "worker": f"w{slot}",
+                "slot": slot,
+                "restarts": self._restarts.get(slot, 0),
+                "threads": self.threads,
+            }
+            if handle is None:
+                entry.update(pid=None, alive=False, port=None)
+            else:
+                entry.update(
+                    pid=handle.pid,
+                    alive=not handle.dead and handle.proc.poll() is None,
+                    port=handle.port,
+                )
+            out.append(entry)
+        return out
+
 
 # ----------------------------------------------------------------------
 # Worker entry point (``python -m repro.service.shard``)
@@ -686,6 +817,9 @@ def worker_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--checkpoint-dir", default=None)
     parser.add_argument("--checkpoint-every", type=int, default=0)
     parser.add_argument("--throttle", type=float, default=0.0)
+    parser.add_argument("--log-file", default=None)
+    parser.add_argument("--log-level", default=None)
+    parser.add_argument("--trace-dir", default=None)
     args = parser.parse_args(argv)
 
     # The acceptor owns this process's lifecycle.  A terminal Ctrl-C
@@ -699,6 +833,39 @@ def worker_main(argv: list[str] | None = None) -> int:
     signal.signal(signal.SIGTERM, signal.SIG_IGN)
 
     from repro.service.server import AnalysisServer
+    from repro.telemetry.logs import (
+        FlightRecorder,
+        StructuredLogger,
+        flight_spool_path,
+    )
+    from repro.telemetry.tracing import Tracer
+
+    worker_id = f"w{args.slot}"
+    # The flight recorder needs a durable home; the checkpoint dir is
+    # the one directory every worker already shares with the acceptor.
+    flight = None
+    if args.checkpoint_dir:
+        flight = FlightRecorder(
+            spool_path=flight_spool_path(args.checkpoint_dir, worker_id)
+        )
+    stream = None
+    if args.log_file:
+        try:
+            stream = open(args.log_file, "a", encoding="utf-8")
+        except OSError:
+            stream = None
+    logger = None
+    if stream is not None or flight is not None:
+        logger = StructuredLogger(
+            stream, level=args.log_level or "info", ring=flight
+        )
+    tracer = None
+    trace_out = None
+    if args.trace_dir:
+        tracer = Tracer(pid=os.getpid(), process_name=worker_id)
+        trace_out = os.path.join(
+            args.trace_dir, f"trace-{worker_id}-{os.getpid()}.json"
+        )
 
     ctrl = socket.socket(fileno=args.control_fd)
     kwargs = dict(
@@ -708,6 +875,11 @@ def worker_main(argv: list[str] | None = None) -> int:
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
         throttle=args.throttle,
+        worker_id=worker_id,
+        logger=logger,
+        flight=flight,
+        tracer=tracer,
+        trace_out=trace_out,
     )
     if args.host is not None:
         server = AnalysisServer(host=args.host, port=0, **kwargs)
@@ -716,6 +888,7 @@ def worker_main(argv: list[str] | None = None) -> int:
         server = AnalysisServer(listen=False, **kwargs)
         port = None
     server.start()
+    server.log.info("worker_ready", slot=args.slot, port=port)
     _ctrl_send(
         ctrl, OP_READY,
         json.dumps({"pid": os.getpid(), "port": port}).encode("utf-8"),
@@ -731,6 +904,8 @@ def worker_main(argv: list[str] | None = None) -> int:
             # Acceptor vanished (crash/kill): persist what we can and
             # go down with it.
             server.shutdown(drain=True, timeout=10.0)
+            if flight is not None:
+                flight.close(delete=True)
             return 0
         op, payload, fd = frame
         if op == OP_CONN:
@@ -750,12 +925,23 @@ def worker_main(argv: list[str] | None = None) -> int:
                 ctrl, OP_STATS,
                 json.dumps(snapshot, separators=(",", ":")).encode("utf-8"),
             )
+        elif op == OP_SESSIONS:
+            _ctrl_send(
+                ctrl, OP_SESSIONS,
+                json.dumps(
+                    server.sessions_payload(), separators=(",", ":")
+                ).encode("utf-8"),
+            )
         elif op == OP_SHUTDOWN:
             body = json.loads(payload) if payload else {}
             server.shutdown(
                 drain=bool(body.get("drain", True)),
                 timeout=float(body.get("timeout", 30.0)),
             )
+            # Clean exit: remove the spool so no stale post-mortem
+            # survives a healthy drain (a surviving spool *means* crash).
+            if flight is not None:
+                flight.close(delete=True)
             return 0
         # Unknown ops are ignored: a newer acceptor may speak a
         # superset; the worker must never die over it.

@@ -33,6 +33,15 @@ from repro.telemetry.exporters import (
     to_prometheus,
     write_metrics,
 )
+from repro.telemetry.logs import (
+    LEVELS,
+    NULL_LOGGER,
+    FlightRecorder,
+    StructuredLogger,
+    dump_flight_spool,
+    flight_spool_path,
+    read_flight_records,
+)
 from repro.telemetry.metrics import (
     DEFAULT_BUCKETS,
     SNAPSHOT_VERSION,
@@ -43,7 +52,7 @@ from repro.telemetry.metrics import (
     merge_snapshots,
 )
 from repro.telemetry.probe import DETECTOR_BATCH_EVENTS, Telemetry
-from repro.telemetry.tracing import VM_TRACK, Tracer
+from repro.telemetry.tracing import VM_TRACK, Tracer, merge_chrome_traces
 
 # NOTE: repro.telemetry.schema is deliberately NOT imported here — it is
 # run as ``python -m repro.telemetry.schema`` by CI, and importing it
@@ -55,15 +64,23 @@ __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
     "DETECTOR_BATCH_EVENTS",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "LEVELS",
     "MetricsRegistry",
+    "NULL_LOGGER",
     "SNAPSHOT_VERSION",
+    "StructuredLogger",
     "Telemetry",
     "Tracer",
     "VM_TRACK",
+    "dump_flight_spool",
+    "flight_spool_path",
+    "merge_chrome_traces",
     "merge_snapshots",
     "prom_path_for",
+    "read_flight_records",
     "to_console",
     "to_json",
     "to_prometheus",

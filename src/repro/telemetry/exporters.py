@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import json
 import math
+import os
 
 __all__ = [
     "to_prometheus",
@@ -230,14 +231,22 @@ def prom_path_for(json_path: str) -> str:
     return json_path + ".prom"
 
 
+def _write_atomic(path: str, text: str) -> None:
+    """Write-then-rename so a concurrent reader (a Prometheus scraper,
+    ``repro stats`` on a shared file) never sees a torn file."""
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    os.replace(tmp, path)
+
+
 def write_metrics(path: str, snapshot: dict) -> str:
     """Write ``path`` (JSON snapshot) and ``path + '.prom'`` (text format).
 
+    Both files are written atomically (temp file + ``os.replace``).
     Returns the Prometheus twin's path.
     """
-    with open(path, "w", encoding="utf-8") as fh:
-        fh.write(to_json(snapshot))
+    _write_atomic(path, to_json(snapshot))
     twin = prom_path_for(path)
-    with open(twin, "w", encoding="utf-8") as fh:
-        fh.write(to_prometheus(snapshot))
+    _write_atomic(twin, to_prometheus(snapshot))
     return twin

@@ -1,0 +1,345 @@
+"""Structured logging and the crash flight recorder.
+
+The paper's detector ran inside long-lived SIP servers, where the
+operators' first question is "what is the analysis doing right now and
+why did it die".  This module answers both halves for the streaming
+service (:mod:`repro.service`):
+
+* :class:`StructuredLogger` — leveled JSON-lines records with
+  correlation fields (``worker_id``, ``session_id``, ``pid``) bound
+  once and stamped on every record, so one ``grep session=s0042`` (or
+  a ``jq`` filter) reconstructs a session's life across the acceptor
+  and its worker process.  Controlled by ``--log-level``/``--log-file``
+  on ``repro serve``; a logger with neither a stream nor a ring sink is
+  free (one attribute test per call).
+* :class:`FlightRecorder` — a bounded ring of the last N records (log
+  records *and* protocol frames).  Workers sync the ring to a small
+  spool file next to their checkpoints; when a worker dies abnormally
+  the supervisor renames the spool to ``flight-<worker>-<ts>.jsonl`` —
+  a post-mortem of the victim's final moments that survives ``kill
+  -9`` (which leaves no chance to flush anything at exit).
+
+Record schema (one JSON object per line, keys in emission order)::
+
+    {"ts": 1754650000.123456,   # unix seconds, 6 decimal places
+     "level": "info",           # debug | info | warning | error
+     "event": "session_open",   # machine-matchable event name
+     "pid": 4711,               # emitting process
+     "worker_id": "w1",         # bound correlation fields ...
+     "session": "s0042",        # ... (present when bound/passed)
+     ...}                       # free-form event fields
+
+Everything here is dependency-free stdlib; records are written with one
+``write`` call each so concurrent processes appending to a shared
+``--log-file`` interleave at line granularity.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+
+__all__ = [
+    "LEVELS",
+    "NULL_LOGGER",
+    "StructuredLogger",
+    "FlightRecorder",
+    "flight_spool_path",
+    "dump_flight_spool",
+    "read_flight_records",
+]
+
+#: Level names in severity order; a logger at level L writes records
+#: with severity >= L to its stream (the ring captures everything).
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+class StructuredLogger:
+    """Leveled JSON-lines logger with bound correlation fields.
+
+    ``stream`` is any text file-like (or ``None`` for no stream
+    output); ``ring`` is an optional :class:`FlightRecorder` that
+    captures *every* record regardless of level, so the flight
+    recorder's post-mortem is complete even when the operator runs at
+    ``--log-level warning``.  :meth:`bind` derives children sharing the
+    stream, lock and ring, with extra fields stamped on each record —
+    the service binds ``worker_id`` once per process and ``session``
+    per session.
+    """
+
+    __slots__ = ("_stream", "_threshold", "_fields", "_ring", "_lock", "level")
+
+    def __init__(
+        self,
+        stream=None,
+        *,
+        level: str = "info",
+        fields: dict | None = None,
+        ring: "FlightRecorder | None" = None,
+        _lock: threading.Lock | None = None,
+    ) -> None:
+        if level not in LEVELS:
+            raise ValueError(
+                f"unknown log level {level!r} (choose from {sorted(LEVELS)})"
+            )
+        self._stream = stream
+        self.level = level
+        self._threshold = LEVELS[level]
+        self._fields = dict(fields or {})
+        self._ring = ring
+        self._lock = _lock if _lock is not None else threading.Lock()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        """Whether records go anywhere at all (stream or ring)."""
+        return self._stream is not None or self._ring is not None
+
+    def bind(self, **fields) -> "StructuredLogger":
+        """A child logger stamping ``fields`` on every record (shares
+        the stream, level, lock and ring with its parent)."""
+        merged = dict(self._fields)
+        merged.update(fields)
+        return StructuredLogger(
+            self._stream,
+            level=self.level,
+            fields=merged,
+            ring=self._ring,
+            _lock=self._lock,
+        )
+
+    def log(self, level: str, event: str, **fields) -> None:
+        """Emit one record (no-op without a stream or ring sink)."""
+        if self._stream is None and self._ring is None:
+            return
+        record = {
+            "ts": round(time.time(), 6),
+            "level": level,
+            "event": event,
+            "pid": os.getpid(),
+        }
+        record.update(self._fields)
+        record.update(fields)
+        if self._ring is not None:
+            self._ring.record(record)
+        if self._stream is not None and LEVELS.get(level, 0) >= self._threshold:
+            line = json.dumps(record, separators=(",", ":"), default=str)
+            with self._lock:
+                try:
+                    self._stream.write(line + "\n")
+                    self._stream.flush()
+                except (OSError, ValueError):
+                    pass  # a torn log sink must never kill the service
+
+    def debug(self, event: str, **fields) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields) -> None:
+        self.log("error", event, **fields)
+
+
+#: The shared disabled logger: every call is one attribute test.
+NULL_LOGGER = StructuredLogger(None, ring=None)
+
+
+# ----------------------------------------------------------------------
+# Flight recorder
+# ----------------------------------------------------------------------
+
+_SPOOL_SUFFIX = ".spool"
+
+
+def flight_spool_path(directory: str | os.PathLike, worker_id: str) -> str:
+    """The live spool file a worker keeps its ring synced to."""
+    return os.path.join(os.fspath(directory), f"flight-{worker_id}{_SPOOL_SUFFIX}")
+
+
+class FlightRecorder:
+    """Bounded ring buffer of a process's last N observability records.
+
+    Two producers feed it: the process's :class:`StructuredLogger`
+    (every record, below-threshold ones included) and the service's
+    frame reader (:meth:`frame` — one compact record per protocol
+    frame).  With a ``spool_path`` the ring is rewritten atomically to
+    disk whenever ``sync_every`` records accumulate — and, because a
+    lightly-loaded worker may never reach that count before it is
+    killed, a small daemon thread also syncs any dirty ring every
+    ``sync_interval`` seconds.  After ``kill -9`` the spool therefore
+    holds the victim's recent history at most ``sync_every`` records
+    *or* ``sync_interval`` seconds stale, whichever bound bites first;
+    the supervisor turns it into the post-mortem dump
+    (:func:`dump_flight_spool`).  A clean shutdown deletes the spool —
+    a surviving spool always means an abnormal exit.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        *,
+        spool_path: str | None = None,
+        sync_every: int = 16,
+        sync_interval: float = 0.25,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be >= 1")
+        self.capacity = capacity
+        self.spool_path = spool_path
+        self.sync_every = max(1, sync_every)
+        self.sync_interval = sync_interval
+        self._ring: deque[dict] = deque(maxlen=capacity)
+        self._since_sync = 0
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        if spool_path is not None and sync_interval:
+            t = threading.Thread(
+                target=self._sync_loop, name="repro-flight-sync", daemon=True
+            )
+            t.start()
+
+    def _sync_loop(self) -> None:
+        while not self._stop.wait(self.sync_interval):
+            with self._lock:
+                dirty = self._since_sync > 0
+            if dirty:
+                self.sync()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def record(self, record: dict) -> None:
+        """Append one record; periodically sync the ring to the spool."""
+        with self._lock:
+            self._ring.append(record)
+            self._since_sync += 1
+            due = (
+                self.spool_path is not None
+                and self._since_sync >= self.sync_every
+            )
+        if due:
+            self.sync()
+
+    def frame(
+        self,
+        direction: str,
+        frame_name: str,
+        size: int,
+        session: str | None = None,
+    ) -> None:
+        """Record one protocol frame (``direction`` is ``recv``/``send``)."""
+        record = {
+            "ts": round(time.time(), 6),
+            "level": "debug",
+            "event": "frame",
+            "pid": os.getpid(),
+            "dir": direction,
+            "frame": frame_name,
+            "bytes": size,
+        }
+        if session is not None:
+            record["session"] = session
+        self.record(record)
+
+    def records(self) -> list[dict]:
+        """The current ring contents, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    def sync(self) -> None:
+        """Atomically rewrite the spool with the current ring (no-op
+        without a ``spool_path``)."""
+        if self.spool_path is None or self._stop.is_set():
+            return
+        with self._lock:
+            lines = [
+                json.dumps(r, separators=(",", ":"), default=str)
+                for r in self._ring
+            ]
+            self._since_sync = 0
+        tmp = self.spool_path + ".tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write("\n".join(lines) + ("\n" if lines else ""))
+            os.replace(tmp, self.spool_path)
+        except OSError:
+            pass  # a full/readonly disk must not take the worker down
+
+    def close(self, *, delete: bool = False) -> None:
+        """Final sync — or, on a clean shutdown, remove the spool so no
+        stale post-mortem outlives a healthy exit."""
+        if self.spool_path is None:
+            self._stop.set()
+            return
+        if delete:
+            # Stop the sync thread *first* so a concurrent sync cannot
+            # resurrect the spool after the unlink (sync() checks the
+            # stop flag before writing).
+            self._stop.set()
+            for path in (self.spool_path, self.spool_path + ".tmp"):
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+        else:
+            self.sync()
+            self._stop.set()
+
+
+def read_flight_records(path: str | os.PathLike) -> list[dict]:
+    """Parse a spool or dump file, skipping any torn trailing line."""
+    records: list[dict] = []
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue  # torn tail from a mid-write crash
+    except OSError:
+        pass
+    return records
+
+
+def dump_flight_spool(
+    directory: str | os.PathLike,
+    worker_id: str,
+    *,
+    timestamp: int | None = None,
+) -> str | None:
+    """Turn a dead worker's spool into its post-mortem dump.
+
+    Renames ``flight-<worker>.spool`` in ``directory`` to
+    ``flight-<worker>-<ts>.jsonl`` (suffixed ``-2``, ``-3``, … if that
+    name is somehow taken) and returns the dump path, or ``None`` when
+    there is no spool — i.e. the worker exited cleanly, or never wrote
+    one.  Called by the sharded supervisor before it spawns the
+    replacement, so the fresh worker starts a fresh spool.
+    """
+    spool = flight_spool_path(directory, worker_id)
+    if not os.path.exists(spool):
+        return None
+    ts = int(time.time()) if timestamp is None else int(timestamp)
+    base = os.path.join(os.fspath(directory), f"flight-{worker_id}-{ts}")
+    dump = base + ".jsonl"
+    n = 1
+    while os.path.exists(dump):
+        n += 1
+        dump = f"{base}-{n}.jsonl"
+    try:
+        os.replace(spool, dump)
+    except OSError:
+        return None
+    return dump

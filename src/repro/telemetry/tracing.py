@@ -13,7 +13,12 @@ tracks:
 
 Timestamps are microseconds since the tracer was created (Chrome's
 expected unit), taken from ``time.perf_counter`` so spans nest
-consistently with the wall-clock metrics.
+consistently with the wall-clock metrics.  Each tracer additionally
+remembers the unix time of its creation (``epoch_unix`` in the
+exported ``otherData``), which is what lets
+:func:`merge_chrome_traces` align trace files recorded by *different
+processes* — the sharded service's acceptor and workers — onto one
+Perfetto timeline (``repro trace merge``).
 
 .. _Trace Event Format:
    https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
@@ -22,10 +27,11 @@ consistently with the wall-clock metrics.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from contextlib import contextmanager
 
-__all__ = ["Tracer", "VM_TRACK"]
+__all__ = ["Tracer", "VM_TRACK", "merge_chrome_traces"]
 
 #: Logical track (Chrome "thread id") for VM- and harness-level spans.
 VM_TRACK = 0
@@ -40,12 +46,29 @@ class Tracer:
     batch — the tracer itself is agnostic.
     """
 
-    def __init__(self, *, pid: int = 1) -> None:
+    def __init__(self, *, pid: int = 1, process_name: str | None = None) -> None:
         self.pid = pid
         self.events: list[dict] = []
         self._t0 = time.perf_counter()
+        #: Unix time of creation — the cross-process anchor ``repro
+        #: trace merge`` aligns multi-process trace files with.
+        self.epoch = time.time()
         self._tracks: dict[str, int] = {"vm": VM_TRACK}
         self._named: set[int] = set()
+        #: Guards track creation: the service records spans from many
+        #: reader/worker threads (event *appends* are atomic under the
+        #: GIL; the check-then-create in :meth:`track` is not).
+        self._track_lock = threading.Lock()
+        if process_name:
+            self.events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": self.pid,
+                    "tid": VM_TRACK,
+                    "args": {"name": process_name},
+                }
+            )
         self._name_track("vm", VM_TRACK)
 
     # ------------------------------------------------------------------
@@ -56,9 +79,12 @@ class Tracer:
         """Stable small-int track id for ``name`` (created on first use)."""
         tid = self._tracks.get(name)
         if tid is None:
-            tid = len(self._tracks)
-            self._tracks[name] = tid
-            self._name_track(name, tid)
+            with self._track_lock:
+                tid = self._tracks.get(name)
+                if tid is None:
+                    tid = len(self._tracks)
+                    self._tracks[name] = tid
+                    self._name_track(name, tid)
         return tid
 
     def _name_track(self, name: str, tid: int) -> None:
@@ -160,7 +186,10 @@ class Tracer:
         return {
             "traceEvents": list(self.events),
             "displayTimeUnit": "ms",
-            "otherData": {"generator": "repro.telemetry"},
+            "otherData": {
+                "generator": "repro.telemetry",
+                "epoch_unix": self.epoch,
+            },
         }
 
     def write(self, path: str) -> None:
@@ -170,3 +199,85 @@ class Tracer:
 
     def __len__(self) -> int:
         return len(self.events)
+
+
+# ----------------------------------------------------------------------
+# Cross-process merge (``repro trace merge``)
+# ----------------------------------------------------------------------
+
+
+def merge_chrome_traces(docs, *, names=None) -> dict:
+    """Merge Chrome trace documents from several processes into one.
+
+    Each ``doc`` is a parsed trace object (what :meth:`Tracer.to_chrome`
+    produces).  Two reconciliations make the merge a *timeline* rather
+    than a pile:
+
+    * **clock alignment** — every tracer's timestamps are relative to
+      its own creation; documents carrying ``otherData.epoch_unix`` are
+      shifted by their epoch's offset from the earliest one, so a span
+      the acceptor recorded at wall-time T lands next to the span the
+      worker recorded at T.  Documents without an epoch (foreign files)
+      are left unshifted.
+    * **pid disambiguation** — colliding ``pid`` values across
+      documents are remapped to fresh ids, so Perfetto renders one
+      process group per source process instead of interleaving them.
+
+    ``names`` optionally labels each document (e.g. its filename); a
+    document that has no ``process_name`` metadata of its own gets a
+    synthesised one, so the merged view stays navigable.
+    """
+    docs = list(docs)
+    epochs = [
+        d.get("otherData", {}).get("epoch_unix")
+        if isinstance(d.get("otherData"), dict)
+        else None
+        for d in docs
+    ]
+    known = [e for e in epochs if isinstance(e, (int, float))]
+    base = min(known) if known else None
+
+    merged: list[dict] = []
+    taken: set = set()
+    for i, doc in enumerate(docs):
+        events = doc.get("traceEvents", [])
+        shift_us = 0.0
+        if base is not None and isinstance(epochs[i], (int, float)):
+            shift_us = (epochs[i] - base) * 1e6
+        mapping: dict = {}
+        named_pids: set = set()
+        for event in events:
+            pid = event.get("pid", 0)
+            if pid not in mapping:
+                new = pid
+                while new in taken:
+                    new = (max(taken) if taken else 0) + 1
+                mapping[pid] = new
+                taken.add(new)
+            out = dict(event)
+            out["pid"] = mapping[pid]
+            if "ts" in out:
+                out["ts"] = round(out["ts"] + shift_us, 3)
+            if out.get("ph") == "M" and out.get("name") == "process_name":
+                named_pids.add(out["pid"])
+            merged.append(out)
+        if names is not None and i < len(names):
+            for pid in sorted(set(mapping.values()) - named_pids):
+                merged.append(
+                    {
+                        "name": "process_name",
+                        "ph": "M",
+                        "pid": pid,
+                        "tid": VM_TRACK,
+                        "args": {"name": str(names[i])},
+                    }
+                )
+    return {
+        "traceEvents": merged,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.telemetry",
+            "merged_from": len(docs),
+            **({"epoch_unix": base} if base is not None else {}),
+        },
+    }

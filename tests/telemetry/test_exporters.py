@@ -100,3 +100,40 @@ class TestWriteMetrics:
         assert doc["version"] == 1
         prom = (tmp_path / "m.json.prom").read_text()
         assert "# TYPE repro_events_total counter" in prom
+
+    def test_write_is_atomic_via_rename(self, tmp_path, monkeypatch):
+        """A concurrent reader must never see a torn file: both twins
+        go through a temp file and an ``os.replace``, and the temp
+        files do not outlive the write."""
+        import os as _os
+
+        from repro.telemetry import exporters
+
+        replaced = []
+        real_replace = _os.replace
+
+        def spy(src, dst):
+            # the destination must not yet hold partial new content:
+            # all bytes arrive in this single atomic step
+            replaced.append((_os.path.basename(src), _os.path.basename(dst)))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(exporters.os, "replace", spy)
+        path = tmp_path / "m.json"
+        write_metrics(str(path), _registry().snapshot())
+        assert replaced == [
+            ("m.json.tmp", "m.json"),
+            ("m.json.prom.tmp", "m.json.prom"),
+        ]
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "m.json", "m.json.prom",
+        ]
+
+    def test_overwrite_leaves_whole_new_content(self, tmp_path):
+        path = tmp_path / "m.json"
+        write_metrics(str(path), _registry().snapshot())
+        reg = _registry()
+        reg.counter("repro_events_total", {"kind": "MemRead"}).inc(1)
+        write_metrics(str(path), reg.snapshot())
+        doc = json.loads(path.read_text())  # parses ⇒ not torn
+        assert doc["version"] == 1

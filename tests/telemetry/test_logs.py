@@ -1,0 +1,180 @@
+"""Unit tests for structured logging and the crash flight recorder."""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.telemetry.logs import (
+    LEVELS,
+    NULL_LOGGER,
+    FlightRecorder,
+    StructuredLogger,
+    dump_flight_spool,
+    flight_spool_path,
+    read_flight_records,
+)
+
+
+def _lines(stream: io.StringIO) -> list[dict]:
+    return [json.loads(l) for l in stream.getvalue().splitlines() if l]
+
+
+class TestStructuredLogger:
+    def test_record_schema(self):
+        out = io.StringIO()
+        log = StructuredLogger(out, level="debug")
+        log.info("session_open", session="s0001", config="hwlc+dr")
+        (rec,) = _lines(out)
+        # leading keys in emission order, correlation fields present
+        assert list(rec)[:4] == ["ts", "level", "event", "pid"]
+        assert rec["level"] == "info"
+        assert rec["event"] == "session_open"
+        assert rec["pid"] == os.getpid()
+        assert rec["session"] == "s0001"
+        assert isinstance(rec["ts"], float)
+
+    def test_level_threshold_filters_stream(self):
+        out = io.StringIO()
+        log = StructuredLogger(out, level="warning")
+        log.debug("a")
+        log.info("b")
+        log.warning("c")
+        log.error("d")
+        assert [r["event"] for r in _lines(out)] == ["c", "d"]
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            StructuredLogger(io.StringIO(), level="verbose")
+
+    def test_bind_stamps_fields_and_shares_stream(self):
+        out = io.StringIO()
+        root = StructuredLogger(out, level="info")
+        child = root.bind(worker_id="w1").bind(session="s0002")
+        child.info("route", slot=1)
+        (rec,) = _lines(out)
+        assert rec["worker_id"] == "w1"
+        assert rec["session"] == "s0002"
+        assert rec["slot"] == 1
+
+    def test_call_fields_override_bound(self):
+        out = io.StringIO()
+        log = StructuredLogger(out).bind(session="bound")
+        log.info("x", session="call")
+        assert _lines(out)[0]["session"] == "call"
+
+    def test_null_logger_is_disabled_and_silent(self):
+        assert not NULL_LOGGER.enabled
+        NULL_LOGGER.error("anything", session="s1")  # must not raise
+
+    def test_ring_captures_below_threshold(self):
+        ring = FlightRecorder(capacity=8)
+        out = io.StringIO()
+        log = StructuredLogger(out, level="error", ring=ring)
+        log.debug("quiet", session="s1")
+        assert _lines(out) == []  # below the stream threshold
+        assert [r["event"] for r in ring.records()] == ["quiet"]
+
+    def test_levels_are_ordered(self):
+        assert (
+            LEVELS["debug"] < LEVELS["info"]
+            < LEVELS["warning"] < LEVELS["error"]
+        )
+
+    def test_broken_stream_never_raises(self):
+        class Broken:
+            def write(self, _):
+                raise OSError("disk full")
+
+            def flush(self):
+                raise OSError("disk full")
+
+        StructuredLogger(Broken()).info("x")  # must not raise
+
+
+class TestFlightRecorder:
+    def test_ring_is_bounded(self):
+        ring = FlightRecorder(capacity=4)
+        for i in range(10):
+            ring.record({"i": i})
+        assert [r["i"] for r in ring.records()] == [6, 7, 8, 9]
+        assert len(ring) == 4
+
+    def test_frame_record_shape(self):
+        ring = FlightRecorder(capacity=4)
+        ring.frame("recv", "DATA", 4096, session="s0001")
+        (rec,) = ring.records()
+        assert rec["event"] == "frame"
+        assert rec["dir"] == "recv"
+        assert rec["frame"] == "DATA"
+        assert rec["bytes"] == 4096
+        assert rec["session"] == "s0001"
+
+    def test_spool_sync_and_read(self, tmp_path):
+        spool = flight_spool_path(tmp_path, "w0")
+        ring = FlightRecorder(
+            capacity=8, spool_path=spool, sync_every=2, sync_interval=0,
+        )
+        ring.record({"a": 1})
+        assert not os.path.exists(spool)  # below the sync cadence
+        ring.record({"b": 2})
+        assert read_flight_records(spool) == [{"a": 1}, {"b": 2}]
+        ring.close()
+
+    def test_clean_close_deletes_spool(self, tmp_path):
+        spool = flight_spool_path(tmp_path, "w0")
+        ring = FlightRecorder(
+            capacity=8, spool_path=spool, sync_every=1, sync_interval=0,
+        )
+        ring.record({"a": 1})
+        assert os.path.exists(spool)
+        ring.close(delete=True)
+        assert not os.path.exists(spool)
+
+    def test_dump_renames_spool(self, tmp_path):
+        spool = flight_spool_path(tmp_path, "w1")
+        ring = FlightRecorder(
+            capacity=8, spool_path=spool, sync_every=1, sync_interval=0,
+        )
+        ring.record({"event": "frame"})
+        dump = dump_flight_spool(tmp_path, "w1", timestamp=1234)
+        assert dump == str(tmp_path / "flight-w1-1234.jsonl")
+        assert not os.path.exists(spool)
+        assert read_flight_records(dump) == [{"event": "frame"}]
+        # second dump at the same timestamp gets a collision suffix
+        ring2 = FlightRecorder(
+            capacity=8, spool_path=spool, sync_every=1, sync_interval=0,
+        )
+        ring2.record({"event": "frame"})
+        dump2 = dump_flight_spool(tmp_path, "w1", timestamp=1234)
+        assert dump2 == str(tmp_path / "flight-w1-1234-2.jsonl")
+        ring2.close()
+
+    def test_dump_without_spool_returns_none(self, tmp_path):
+        assert dump_flight_spool(tmp_path, "w9") is None
+
+    def test_read_skips_torn_tail(self, tmp_path):
+        path = tmp_path / "flight-w0-1.jsonl"
+        path.write_text('{"a": 1}\n{"b": 2}\n{"torn": ')
+        assert read_flight_records(path) == [{"a": 1}, {"b": 2}]
+
+    def test_read_missing_file_is_empty(self, tmp_path):
+        assert read_flight_records(tmp_path / "nope.jsonl") == []
+
+    def test_time_based_sync_flushes_light_traffic(self, tmp_path):
+        import time
+
+        spool = flight_spool_path(tmp_path, "w0")
+        ring = FlightRecorder(
+            capacity=8, spool_path=spool, sync_every=1000,
+            sync_interval=0.05,
+        )
+        ring.record({"only": 1})  # far below sync_every
+        deadline = time.time() + 5.0
+        while not os.path.exists(spool) and time.time() < deadline:
+            time.sleep(0.02)
+        assert read_flight_records(spool) == [{"only": 1}]
+        ring.close(delete=True)

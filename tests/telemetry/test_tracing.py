@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import json
 
-from repro.telemetry.tracing import VM_TRACK, Tracer
+from repro.telemetry.tracing import VM_TRACK, Tracer, merge_chrome_traces
 
 
 class TestTracks:
@@ -93,3 +93,101 @@ class TestExport:
         doc = json.loads(path.read_text())
         phases = {e["ph"] for e in doc["traceEvents"]}
         assert "X" in phases and "M" in phases
+
+    def test_epoch_is_exported(self):
+        t = Tracer()
+        doc = t.to_chrome()
+        assert doc["otherData"]["epoch_unix"] == t.epoch
+        assert t.epoch > 0
+
+    def test_process_name_metadata(self):
+        t = Tracer(pid=7, process_name="w3")
+        meta = [
+            e for e in t.events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        ]
+        assert meta and meta[0]["args"]["name"] == "w3"
+        assert meta[0]["pid"] == 7
+
+
+def _doc(pid: int, epoch: float, ts: float, name: str = "span") -> dict:
+    t = Tracer(pid=pid)
+    t.epoch = epoch
+    t.complete(name, start=ts, duration=0.001)
+    return t.to_chrome()
+
+
+class TestMergeChromeTraces:
+    def test_epoch_alignment_shifts_timestamps(self):
+        # Two processes, the second created 2s later: a span both
+        # recorded at local t=0 must land 2e6 µs apart after the merge.
+        a = _doc(pid=1, epoch=1000.0, ts=0.0, name="acceptor")
+        b = _doc(pid=2, epoch=1002.0, ts=0.0, name="worker")
+        merged = merge_chrome_traces([a, b])
+        spans = {
+            e["name"]: e for e in merged["traceEvents"] if e["ph"] == "X"
+        }
+        assert spans["acceptor"]["ts"] == 0.0
+        assert spans["worker"]["ts"] == 2_000_000.0
+        assert merged["otherData"]["epoch_unix"] == 1000.0
+        assert merged["otherData"]["merged_from"] == 2
+
+    def test_colliding_pids_are_remapped(self):
+        a = _doc(pid=1, epoch=1000.0, ts=0.0, name="a")
+        b = _doc(pid=1, epoch=1000.0, ts=0.0, name="b")
+        merged = merge_chrome_traces([a, b])
+        spans = {
+            e["name"]: e["pid"]
+            for e in merged["traceEvents"]
+            if e["ph"] == "X"
+        }
+        assert spans["a"] != spans["b"]
+
+    def test_distinct_pids_are_preserved(self):
+        a = _doc(pid=10, epoch=1000.0, ts=0.0, name="a")
+        b = _doc(pid=20, epoch=1000.0, ts=0.0, name="b")
+        merged = merge_chrome_traces([a, b])
+        pids = {e["pid"] for e in merged["traceEvents"]}
+        assert pids == {10, 20}
+
+    def test_names_synthesise_process_metadata(self):
+        a = _doc(pid=1, epoch=1000.0, ts=0.0)
+        b = _doc(pid=2, epoch=1000.0, ts=0.0)
+        merged = merge_chrome_traces([a, b], names=["acceptor", "w0"])
+        names = {
+            e["pid"]: e["args"]["name"]
+            for e in merged["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert set(names.values()) == {"acceptor", "w0"}
+
+    def test_existing_process_names_not_overridden(self):
+        t = Tracer(pid=1, process_name="already-named")
+        t.complete("x", start=0.0, duration=0.001)
+        merged = merge_chrome_traces([t.to_chrome()], names=["filename"])
+        names = [
+            e["args"]["name"]
+            for e in merged["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        ]
+        assert names == ["already-named"]
+
+    def test_foreign_doc_without_epoch_is_unshifted(self):
+        a = _doc(pid=1, epoch=1000.0, ts=0.0, name="ours")
+        foreign = {
+            "traceEvents": [
+                {"name": "theirs", "ph": "X", "pid": 2, "tid": 0,
+                 "ts": 5.0, "dur": 1.0}
+            ]
+        }
+        merged = merge_chrome_traces([a, foreign])
+        spans = {
+            e["name"]: e["ts"] for e in merged["traceEvents"]
+            if e["ph"] == "X"
+        }
+        assert spans["theirs"] == 5.0  # no epoch, no shift
+
+    def test_merge_of_nothing(self):
+        merged = merge_chrome_traces([])
+        assert merged["traceEvents"] == []
+        assert merged["otherData"]["merged_from"] == 0
