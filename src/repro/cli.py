@@ -171,6 +171,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     tp.add_argument("--full", action="store_true", help="print every warning block")
     tp.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "analyze the trace across N worker processes, partitioned "
+            "by shadow page; the merged report is byte-identical to a "
+            "sequential replay (default: 1 = sequential)"
+        ),
+    )
+    tp.add_argument(
         "--report-out",
         metavar="PATH",
         help="save the offline report (byte-identical to the live one)",
@@ -291,6 +302,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "each worker writes a Chrome trace here at shutdown "
             "(combine with `repro trace merge`)"
+        ),
+    )
+    p.add_argument(
+        "--finish-shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "opt-in FINISH-time post-pass: spool each session's bytes, "
+            "re-analyze the trace sharded across N processes and verify "
+            "byte-identity against the streaming report "
+            "(repro_service_shard_verify_total; default: off)"
         ),
     )
     p.set_defaults(handler=_cmd_serve)
@@ -720,24 +743,55 @@ def _cmd_trace_record(args) -> int:
 
 def _cmd_trace_replay(args) -> int:
     """Feed a recorded trace through a fresh detector (§4.5 offline
-    analysis).  The produced report is byte-identical to the live one."""
+    analysis).  The produced report is byte-identical to the live one —
+    and with ``--shards N`` the analysis fans out across N worker
+    processes partitioned by shadow page, still byte-identical."""
     import time
 
-    from repro.detectors import HelgrindDetector
-    from repro.runtime.trace import replay_trace
+    if args.shards > 1:
+        from repro.detectors.parallel import replay_trace_sharded
 
-    det = HelgrindDetector(_trace_config(args.config))
-    start = time.perf_counter()
-    count = replay_trace(args.trace_file, det)
-    wall = time.perf_counter() - start
-    report = det.report
-    print(
-        f"replayed {count} events from {args.trace_file} under "
-        f"{args.config}: {report.location_count} reported locations, "
-        f"{wall * 1e3:.0f} ms ({count / wall:,.0f} events/s)"
-        if wall > 0
-        else f"replayed {count} events: {report.location_count} locations"
-    )
+        start = time.perf_counter()
+        result = replay_trace_sharded(
+            args.trace_file, args.config, shards=args.shards
+        )
+        wall = time.perf_counter() - start
+        count = result.events
+        report = result.report
+        print(
+            f"replayed {count} events from {args.trace_file} under "
+            f"{args.config} across {args.shards} shards: "
+            f"{report.location_count} reported locations, "
+            f"{wall * 1e3:.0f} ms ({count / wall:,.0f} events/s)"
+            if wall > 0
+            else f"replayed {count} events: {report.location_count} locations"
+        )
+        for outcome in result.shards:
+            s = outcome.stats
+            print(
+                f"  shard {outcome.shard}: {outcome.warnings} warnings, "
+                f"{s['blocks_decoded']} blocks decoded, "
+                f"{s['blocks_skipped_shard']} skipped (foreign pages), "
+                f"{s['blocks_skipped_type']} skipped (no subscriber)"
+            )
+        if not result.skeleton_consistent:
+            print("  warning: shard segment graphs diverged (replay bug?)")
+    else:
+        from repro.detectors import HelgrindDetector
+        from repro.runtime.trace import replay_trace
+
+        det = HelgrindDetector(_trace_config(args.config))
+        start = time.perf_counter()
+        count = replay_trace(args.trace_file, det)
+        wall = time.perf_counter() - start
+        report = det.report
+        print(
+            f"replayed {count} events from {args.trace_file} under "
+            f"{args.config}: {report.location_count} reported locations, "
+            f"{wall * 1e3:.0f} ms ({count / wall:,.0f} events/s)"
+            if wall > 0
+            else f"replayed {count} events: {report.location_count} locations"
+        )
     if args.full:
         print()
         print(report.format_full())
@@ -763,6 +817,16 @@ def _cmd_trace_stat(args) -> int:
         )
         for name, n in stats["by_type"].items():
             print(f"  {n:8d}  {name}")
+        from pathlib import Path as _Path
+
+        hist = codec.page_histogram(_Path(args.trace_file).read_bytes())
+        print(
+            f"  pages: {hist['pages']} distinct shadow pages, "
+            f"{hist['accesses']} accesses, skew {hist['skew']:.2f} "
+            f"(1.00 = uniform; high skew shards poorly)"
+        )
+        for page, n in hist["top"][:5]:
+            print(f"  {n:8d}  page {page:#x}")
         return 0
     import os
 
@@ -863,6 +927,7 @@ def _cmd_serve(args) -> int:
         idle_timeout=args.idle_timeout,
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
+        finish_shards=args.finish_shards,
         **endpoint,
     )
     if args.single_process:

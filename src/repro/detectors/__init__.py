@@ -39,6 +39,11 @@ from repro.detectors.hybrid import HybridDetector
 from repro.detectors.racetrack import RaceTrackDetector
 from repro.detectors.atomizer import AtomizerDetector
 from repro.detectors.lockset import LocksetMachine, ShadowWord, WordState
+from repro.detectors.parallel import (
+    ShardedReplayResult,
+    merge_reports,
+    replay_trace_sharded,
+)
 from repro.detectors.report import Report, Warning_, WarningKind
 from repro.detectors.segments import Segment, SegmentGraph
 from repro.detectors.suppressions import SuppressionEntry, Suppressions
@@ -66,6 +71,7 @@ __all__ = [
     "Segment",
     "SegmentGraph",
     "ShadowWord",
+    "ShardedReplayResult",
     "SuppressionEntry",
     "Suppressions",
     "VectorClock",
@@ -73,4 +79,6 @@ __all__ = [
     "WarningKind",
     "WordState",
     "classify_report",
+    "merge_reports",
+    "replay_trace_sharded",
 ]

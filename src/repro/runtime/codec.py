@@ -84,6 +84,7 @@ __all__ = [
     "MAGIC",
     "TraceWriter",
     "StreamDecoder",
+    "ReplayStats",
     "read_blocks",
     "read_events",
     "events_from_bytes",
@@ -91,6 +92,8 @@ __all__ = [
     "build_block_loops",
     "replay_tables",
     "replay_blocks",
+    "build_block_index",
+    "page_histogram",
     "is_binary_trace",
     "trace_stats",
 ]
@@ -207,9 +210,29 @@ class TraceWriter:
     is flushed when the type changes (or on :meth:`close`); table
     definitions triggered while encoding a block are emitted *before*
     it, so a reader never sees a forward reference.
+
+    ``block_rows`` caps how many rows one block may hold: a long
+    same-type run (the dominant ``MemoryAccess`` stretches) is split
+    into multiple consecutive blocks of that size.  The cap bounds the
+    writer's pending buffer and — more importantly — sets the
+    granularity of the page-aware block index
+    (:func:`build_block_index`): sharded replay can only skip *whole*
+    blocks, so smaller blocks mean a shard worker seeks past more
+    foreign data undecoded.  The header overhead stays amortised to
+    well under a byte per event at the default size.
     """
 
-    def __init__(self, fh: BinaryIO) -> None:
+    #: Default block cap — large enough that the ~6-byte block header
+    #: is noise, small enough that single-page access runs produce
+    #: single-shard blocks.
+    DEFAULT_BLOCK_ROWS = 4096
+
+    def __init__(
+        self, fh: BinaryIO, *, block_rows: int | None = DEFAULT_BLOCK_ROWS
+    ) -> None:
+        if block_rows is not None and block_rows < 1:
+            raise ValueError("block_rows must be >= 1 (or None)")
+        self._block_rows = block_rows
         self._fh = fh
         self._strings: dict[str, int] = {}
         self._frames: dict[Frame, int] = {}
@@ -287,6 +310,8 @@ class TraceWriter:
             row.append(value)
         self._rows.append(tuple(row))
         self.events_written += 1
+        if self._block_rows is not None and len(self._rows) >= self._block_rows:
+            self._flush_block()
 
     def _flush_block(self) -> None:
         rows = self._rows
@@ -652,7 +677,47 @@ def replay_tables() -> tuple[list, list, list]:
     return _REPLAY_TABLES
 
 
-def replay_blocks(data: bytes, handler_table, vm) -> int:
+class ReplayStats:
+    """Per-replay block accounting for :func:`replay_blocks`.
+
+    Splits the skipped-undecoded tally by *why* the block was skipped:
+
+    ``blocks_skipped_type``
+        no handler subscribes to the block's event type (the classic
+        fast path — e.g. ``BarrierWait`` under every helgrind config);
+    ``blocks_skipped_shard``
+        the caller's ``skip_blocks`` set named the block — sharded
+        replay seeking past blocks whose pages belong to other shards.
+
+    ``events_skipped`` counts the rows inside skipped blocks (of either
+    kind); they still count toward the replay's returned event total.
+    """
+
+    __slots__ = (
+        "blocks_decoded",
+        "blocks_skipped_type",
+        "blocks_skipped_shard",
+        "events_skipped",
+    )
+
+    def __init__(self) -> None:
+        self.blocks_decoded = 0
+        self.blocks_skipped_type = 0
+        self.blocks_skipped_shard = 0
+        self.events_skipped = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+def replay_blocks(
+    data: bytes,
+    handler_table,
+    vm,
+    *,
+    skip_blocks: frozenset | set | None = None,
+    stats: ReplayStats | None = None,
+) -> int:
     """The replay-from-binary hot loop; returns the event count.
 
     A manually inlined variant of :func:`read_blocks` + dispatch —
@@ -662,6 +727,13 @@ def replay_blocks(data: bytes, handler_table, vm) -> int:
     tuple of handler callables (empty → the block is skipped without
     decoding a row); one subscriber takes the fused codegen loop,
     several share a flyweight per row.
+
+    ``skip_blocks`` is a set of block record offsets (the tag byte's
+    offset, as reported by :func:`build_block_index`) to seek past
+    undecoded — the sharded-replay fast path.  Skipped rows still count
+    toward the returned event total, so every shard reports the same
+    trace length.  ``stats`` (a :class:`ReplayStats`) receives the
+    block accounting when given; the default path pays nothing for it.
     """
     if not data.startswith(MAGIC):
         raise ValueError("not a binary trace (bad magic)")
@@ -690,6 +762,7 @@ def replay_blocks(data: bytes, handler_table, vm) -> int:
     count = 0
     while pos < end:
         tag = data[pos]
+        record_at = pos
         pos += 1
         if tag == _TAG_BLOCK:
             entry = dispatch[data[pos]]
@@ -709,7 +782,19 @@ def replay_blocks(data: bytes, handler_table, vm) -> int:
             s = entry[0][flags]
             size = s.size * n
             count += n
+            if skip_blocks is not None and record_at in skip_blocks:
+                if stats is not None:
+                    stats.blocks_skipped_shard += 1
+                    stats.events_skipped += n
+                pos += size
+                continue
             single = entry[1]
+            if stats is not None:
+                if single is None and not entry[2]:
+                    stats.blocks_skipped_type += 1
+                    stats.events_skipped += n
+                else:
+                    stats.blocks_decoded += 1
             if single is not None:
                 if n == 1:
                     # Single-row block (types alternating in the stream
@@ -762,6 +847,157 @@ def replay_blocks(data: bytes, handler_table, vm) -> int:
         else:
             raise ValueError(f"corrupt trace: unknown record tag {tag}")
     return count
+
+
+# ----------------------------------------------------------------------
+# Page-aware block index (the sharded-replay seek table)
+# ----------------------------------------------------------------------
+
+#: Shadow-page size must agree with the lock-set machine's
+#: (:mod:`repro.detectors.lockset` uses 2**10-word pages); the shard
+#: partition keys on the same pages so every word's whole access
+#: history lands in exactly one shard.
+DEFAULT_PAGE_BITS = 10
+
+#: ``MemoryAccess`` is the partitioned event type; everything else is
+#: skeleton, replicated to every shard.
+_ACCESS_TYPE_IDX = _TYPE_INDEX[MemoryAccess]
+
+
+def build_block_index(
+    data: bytes,
+    num_shards: int,
+    *,
+    page_bits: int = DEFAULT_PAGE_BITS,
+) -> dict[int, int]:
+    """Map each ``MemoryAccess`` block to the set of shards it touches.
+
+    One pass over the trace image: for every access block, the ``addr``
+    column is scanned and each row's shard — ``(addr >> page_bits) %
+    num_shards`` — is OR-ed into a bitmask.  Returns ``{block record
+    offset: shard bitmask}`` where the offset is that of the block's
+    tag byte, the same coordinate :func:`replay_blocks` checks its
+    ``skip_blocks`` set against.  A shard worker derives its skip set
+    as every block whose mask misses its bit, and needs a per-row page
+    filter only for *mixed* blocks (mask with more than one bit).
+
+    Non-access blocks are not indexed — they are skeleton (sync, lock,
+    thread-lifecycle, allocation) and every shard must replay them.
+    The scan early-exits a block once its mask saturates.
+    """
+    if not data.startswith(MAGIC):
+        raise ValueError("not a binary trace (bad magic)")
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    index: dict[int, int] = {}
+    full_mask = (1 << num_shards) - 1
+    pos = len(MAGIC)
+    end = len(data)
+    while pos < end:
+        tag = data[pos]
+        record_at = pos
+        pos += 1
+        if tag == _TAG_BLOCK:
+            type_idx = data[pos]
+            flags = data[pos + 1]
+            pos += 2
+            n, pos = _read_varint(data, pos)
+            if flags & _FLAG_SEQ_STEP:
+                _, pos = _read_varint(data, pos)
+            s = _ROW_STRUCTS[type_idx][flags]
+            size = s.size * n
+            if type_idx == _ACCESS_TYPE_IDX:
+                addr_col = 2 if flags & _FLAG_SEQ_STEP else 3
+                mask = 0
+                for row in s.iter_unpack(data[pos:pos + size]):
+                    mask |= 1 << ((row[addr_col] >> page_bits) % num_shards)
+                    if mask == full_mask:
+                        break
+                index[record_at] = mask
+            pos += size
+        elif tag == _TAG_STRING:
+            length, pos = _read_varint(data, pos)
+            pos += length
+        elif tag == _TAG_FRAME:
+            _, pos = _read_varint(data, pos)
+            _, pos = _read_varint(data, pos)
+            _, pos = _read_varint(data, pos)
+        elif tag == _TAG_STACK:
+            n, pos = _read_varint(data, pos)
+            for _ in range(n):
+                _, pos = _read_varint(data, pos)
+        else:
+            raise ValueError(f"corrupt trace: unknown record tag {tag}")
+    return index
+
+
+def page_histogram(
+    data: bytes,
+    *,
+    page_bits: int = DEFAULT_PAGE_BITS,
+    top: int = 10,
+) -> dict:
+    """Events-per-shadow-page distribution of a trace's memory accesses.
+
+    The shard-balance predictor behind ``repro trace stat``: accesses
+    partition across shards by page, so a trace whose accesses pile
+    onto one page cannot parallelise.  Returns::
+
+        {"accesses": int,           # MemoryAccess rows in the trace
+         "pages": int,              # distinct shadow pages touched
+         "top": [(page, count)],    # hottest pages, descending
+         "skew": float}             # hottest page / mean page load
+
+    ``skew`` is 1.0 for a perfectly uniform trace and approaches
+    ``pages`` as everything collapses onto one page; 0.0 when there
+    are no accesses at all.
+    """
+    if not data.startswith(MAGIC):
+        raise ValueError("not a binary trace (bad magic)")
+    counts: dict[int, int] = {}
+    pos = len(MAGIC)
+    end = len(data)
+    while pos < end:
+        tag = data[pos]
+        pos += 1
+        if tag == _TAG_BLOCK:
+            type_idx = data[pos]
+            flags = data[pos + 1]
+            pos += 2
+            n, pos = _read_varint(data, pos)
+            if flags & _FLAG_SEQ_STEP:
+                _, pos = _read_varint(data, pos)
+            s = _ROW_STRUCTS[type_idx][flags]
+            size = s.size * n
+            if type_idx == _ACCESS_TYPE_IDX:
+                addr_col = 2 if flags & _FLAG_SEQ_STEP else 3
+                for row in s.iter_unpack(data[pos:pos + size]):
+                    page = row[addr_col] >> page_bits
+                    counts[page] = counts.get(page, 0) + 1
+            pos += size
+        elif tag == _TAG_STRING:
+            length, pos = _read_varint(data, pos)
+            pos += length
+        elif tag == _TAG_FRAME:
+            _, pos = _read_varint(data, pos)
+            _, pos = _read_varint(data, pos)
+            _, pos = _read_varint(data, pos)
+        elif tag == _TAG_STACK:
+            n, pos = _read_varint(data, pos)
+            for _ in range(n):
+                _, pos = _read_varint(data, pos)
+        else:
+            raise ValueError(f"corrupt trace: unknown record tag {tag}")
+    accesses = sum(counts.values())
+    pages = len(counts)
+    hottest = max(counts.values()) if counts else 0
+    mean = accesses / pages if pages else 0.0
+    return {
+        "accesses": accesses,
+        "pages": pages,
+        "top": sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[:top],
+        "skew": (hottest / mean) if mean else 0.0,
+    }
 
 
 # ----------------------------------------------------------------------

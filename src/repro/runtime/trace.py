@@ -55,6 +55,7 @@ __all__ = [
     "load_trace",
     "replay",
     "replay_trace",
+    "build_handler_table",
 ]
 
 #: File suffixes that select the binary codec when no explicit format
@@ -323,7 +324,35 @@ def replay(events: Iterable[Event], *detectors, vm=None) -> None:
             detector.handle(event, vm)
 
 
-def replay_trace(path: str | Path, *detectors, vm=None) -> int:
+def build_handler_table(hooks, vm=None) -> list[tuple]:
+    """Pre-resolve per-event-type handlers for :func:`codec.replay_blocks`.
+
+    The VM's route-building, done once for a whole replay: one tuple of
+    handler callables per :data:`EVENT_TYPES` index.  Hooks exposing
+    ``handler_for`` subscribe selectively; legacy hooks (bare
+    ``handle``) get everything.  Shared by :func:`replay_trace`, the
+    streaming :class:`repro.api.Session`, and the sharded driver in
+    :mod:`repro.detectors.parallel` (which additionally wraps the
+    ``MemoryAccess`` entries with its page filter).
+    """
+    handler_table: list[tuple] = []
+    for cls in EVENT_TYPES:
+        fns = []
+        for hook in hooks:
+            resolver = getattr(hook, "handler_for", None)
+            if resolver is not None:
+                fn = resolver(cls)
+            else:  # legacy hook: wants everything
+                fn = hook.handle
+            if fn is not None:
+                fns.append(fn)
+        handler_table.append(tuple(fns))
+    return handler_table
+
+
+def replay_trace(
+    path: str | Path, *detectors, vm=None, stats: "codec.ReplayStats | None" = None
+) -> int:
     """Replay a trace *file* through detectors; returns the event count.
 
     For binary traces this is the fast path: per-type handlers are
@@ -336,7 +365,9 @@ def replay_trace(path: str | Path, *detectors, vm=None) -> int:
 
     When ``vm`` is omitted a :class:`ReplayVM` is created and fed the
     trace's allocation events, so report "Address" lines match the
-    original run byte-for-byte.
+    original run byte-for-byte.  ``stats`` (a
+    :class:`repro.runtime.codec.ReplayStats`) receives block-skip
+    accounting for binary traces.
     """
     path = Path(path)
     if vm is None:
@@ -352,19 +383,5 @@ def replay_trace(path: str | Path, *detectors, vm=None) -> int:
         return count
 
     data = path.read_bytes()
-    # Pre-resolve handlers per event type (the VM's route-building,
-    # done once for the whole file).
-    handler_table: list[tuple] = []
-    for cls in EVENT_TYPES:
-        fns = []
-        for hook in hooks:
-            resolver = getattr(hook, "handler_for", None)
-            if resolver is not None:
-                fn = resolver(cls)
-            else:  # legacy hook: wants everything
-                fn = hook.handle
-            if fn is not None:
-                fns.append(fn)
-        handler_table.append(tuple(fns))
-
-    return codec.replay_blocks(data, handler_table, vm)
+    handler_table = build_handler_table(hooks, vm)
+    return codec.replay_blocks(data, handler_table, vm, stats=stats)

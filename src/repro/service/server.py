@@ -82,6 +82,7 @@ class AnalysisServer:
         flight=None,
         tracer=None,
         trace_out: str | None = None,
+        finish_shards: int = 0,
     ) -> None:
         if listen:
             if (socket_path is None) == (host is None or port is None):
@@ -126,6 +127,13 @@ class AnalysisServer:
         #: ``repro trace merge``.
         self.tracer = tracer
         self.trace_out = trace_out
+        #: Opt-in FINISH-time verification pass: when >= 1, each session
+        #: spools its ingested byte stream and, after shipping the
+        #: streaming report, re-analyses the whole trace sharded across
+        #: this many worker processes and checks byte-identity
+        #: (``repro_service_shard_verify_total``).  0 disables — no
+        #: spooling, no extra cost.
+        self.finish_shards = finish_shards
 
         self._listener: socket.socket | None = None
         if not listen:

@@ -81,6 +81,20 @@ class ServiceSession:
         #: client's spent credits (``== queue_blocks`` ⇒ client stalled).
         self._uncredited = 0
         self._events_since_checkpoint = 0
+        #: FINISH-time sharded re-analysis (``server.finish_shards``):
+        #: the analysed byte stream is spooled to a temp file so the
+        #: whole trace can be replayed sharded and byte-compared against
+        #: the streaming report.  Resumed sessions skip it — their spool
+        #: would be missing everything before the checkpoint.
+        self._spool = None
+        if getattr(server, "finish_shards", 0) >= 1 and api_session is None:
+            import tempfile
+
+            self._spool = tempfile.NamedTemporaryFile(
+                prefix=f"repro-spool-{session_id}-",
+                suffix=".rptr",
+                delete=False,
+            )
         with server.registry_lock:
             self._init_metrics(session_id, server.registry)
 
@@ -198,6 +212,11 @@ class ServiceSession:
             if item is _DETACH:
                 self._detach_now()
                 return
+            if self._spool is not None:
+                # Written on the (single) worker thread in analysis
+                # order, so the spool is the exact byte stream the
+                # streaming decoder saw.
+                self._spool.write(item)
             try:
                 events = self.api.feed(item)
             except Exception as exc:
@@ -259,12 +278,17 @@ class ServiceSession:
                     protocol.send_frame(conn, protocol.REPORT, payload)
             except OSError:
                 self.conn = None
+        if self._spool is not None:
+            # After the client has its report — the verification pass
+            # must never add to report latency.
+            self._verify_sharded(payload)
         self.server.release(self, drop_checkpoint=True)
 
     def _fail(self, message: str) -> None:
         """Analysis failed mid-stream: tell the client, keep the last
         good checkpoint (the failed chunk advanced nothing, so a
         corrected stream can resume from it), release the session."""
+        self._drop_spool()
         self.finished = True
         self.server.log.error(
             "session_error", session=self.session_id, error=message,
@@ -289,9 +313,79 @@ class ServiceSession:
 
     def _detach_now(self) -> None:
         """Connection gone: persist progress and release the session."""
+        self._drop_spool()
         if not self.finished:
             self.checkpoint()
         self.server.release(self, drop_checkpoint=False)
+
+    # ------------------------------------------------------------------
+    # FINISH-time sharded re-analysis (opt-in offline post-pass)
+    # ------------------------------------------------------------------
+
+    def _drop_spool(self) -> None:
+        if self._spool is None:
+            return
+        spool, self._spool = self._spool, None
+        import os
+
+        try:
+            spool.close()
+            os.unlink(spool.name)
+        except OSError:
+            pass
+
+    def _verify_sharded(self, payload: bytes) -> None:
+        """Replay the spooled trace sharded; byte-compare the reports.
+
+        The paper's offline tier as a self-check: the streaming report
+        and an N-process page-sharded replay of the same bytes must be
+        byte-identical.  Outcome lands in
+        ``repro_service_shard_verify_total{result=...}`` and the
+        structured log; a mismatch is an analysis bug, not a client
+        error, so the session itself is unaffected.
+        """
+        spool, self._spool = self._spool, None
+        import os
+
+        try:
+            spool.flush()
+            from repro.detectors.parallel import replay_trace_sharded
+
+            result = replay_trace_sharded(
+                spool.name, self.config, shards=self.server.finish_shards
+            )
+            import json as _json
+
+            sharded = _json.dumps(result.report.to_dict(), indent=2)
+            outcome = (
+                "match" if sharded.encode("utf-8") == payload else "mismatch"
+            )
+        except Exception as exc:  # never let the post-pass kill a worker
+            outcome = "error"
+            self.server.log.error(
+                "shard_verify_error", session=self.session_id,
+                error=f"{type(exc).__name__}: {exc}", trace=self.trace_id,
+            )
+        finally:
+            try:
+                spool.close()
+                os.unlink(spool.name)
+            except OSError:
+                pass
+        with self.server.registry_lock:
+            self.server.registry.counter(
+                "repro_service_shard_verify_total",
+                {"result": outcome},
+                help="FINISH-time sharded re-analysis outcomes",
+            ).inc()
+        log = (
+            self.server.log.info if outcome == "match" else self.server.log.error
+        )
+        if outcome != "error":
+            log(
+                "shard_verify", session=self.session_id, result=outcome,
+                shards=self.server.finish_shards, trace=self.trace_id,
+            )
 
     # ------------------------------------------------------------------
 

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import io
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.runtime import codec
@@ -400,3 +401,62 @@ def test_replay_blocks_no_subscribers_counts_only():
     data, _ = _encode(_ONE_OF_EACH)
     count = codec.replay_blocks(data, [() for _ in EVENT_TYPES], vm=None)
     assert count == len(_ONE_OF_EACH)
+
+
+# ----------------------------------------------------------------------
+# Page histogram (the shard-balance predictor behind `trace stat`)
+# ----------------------------------------------------------------------
+
+
+def test_page_histogram_counts_pages_and_skew():
+    page = 1 << codec.DEFAULT_PAGE_BITS
+    events = (
+        # 6 accesses on page 0, 2 on page 3 — skew = 6 / mean(4) = 1.5.
+        [MemoryAccess(i, 0, i, AccessKind.READ, False, -1) for i in range(6)]
+        + [MemoryAccess(6, 0, 3 * page, AccessKind.WRITE, False, -1),
+           MemoryAccess(7, 1, 3 * page + 8, AccessKind.READ, False, -1)]
+        # Non-access events must not count.
+        + [LockAcquire(8, 0, 7, LockMode.WRITE, True)]
+    )
+    data, _ = _encode(events)
+    hist = codec.page_histogram(data)
+    assert hist["accesses"] == 8
+    assert hist["pages"] == 2
+    assert hist["top"] == [(0, 6), (3, 2)]
+    assert hist["skew"] == pytest.approx(1.5)
+
+    # `top` truncates but `pages`/`accesses` still cover everything.
+    assert codec.page_histogram(data, top=1)["top"] == [(0, 6)]
+
+
+def test_page_histogram_empty_and_invalid():
+    data, _ = _encode([])
+    hist = codec.page_histogram(data)
+    assert hist == {"accesses": 0, "pages": 0, "top": [], "skew": 0.0}
+    with pytest.raises(ValueError):
+        codec.page_histogram(b"nope")
+
+
+def test_writer_block_rows_cap_bounds_block_size():
+    """`block_rows` caps rows per block so the page index stays
+    fine-grained even for single-type event streams."""
+    events = [
+        MemoryAccess(i, 0, i, AccessKind.READ, False, -1) for i in range(10)
+    ]
+    data, _ = _encode(events)
+    capped = io.BytesIO()
+    writer = TraceWriter(capped, block_rows=3)
+    for event in events:
+        writer.write(event)
+    writer.close()
+
+    assert _decode(capped.getvalue()) == _decode(data)
+    sizes = [
+        len(block) // s.size
+        for _t, _stacks, _strings, s, block, _base in read_blocks(
+            capped.getvalue()
+        )
+    ]
+    assert sizes == [3, 3, 3, 1]
+    with pytest.raises(ValueError):
+        TraceWriter(io.BytesIO(), block_rows=0)

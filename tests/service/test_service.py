@@ -486,3 +486,73 @@ class TestCliClient:
 
         assert main(["client"]) == 2
         assert "record" in capsys.readouterr().out
+
+
+class TestFinishShards:
+    """Opt-in FINISH-time sharded re-analysis (``--finish-shards N``).
+
+    The session spools every ingested chunk; at FINISH the server
+    replays the spool through the page-sharded parallel analyzer and
+    byte-compares the result against the report it just served.  The
+    outcome must land in ``repro_service_shard_verify_total``."""
+
+    def _verify_totals(self, server):
+        with server.registry_lock:
+            family = server.registry.snapshot()["metrics"].get(
+                "repro_service_shard_verify_total"
+            )
+        if family is None:
+            return {}
+        return {
+            s["labels"]["result"]: s["value"] for s in family["samples"]
+        }
+
+    @pytest.mark.parametrize("finish_shards", (1, 2))
+    def test_verify_matches_served_report(
+        self, tmp_path, traces, finish_shards
+    ):
+        server = AnalysisServer(
+            socket_path=str(tmp_path / "repro.sock"),
+            workers=1,
+            finish_shards=finish_shards,
+        )
+        server.start()
+        try:
+            path, reference = traces[("T1", "hwlc+dr")]
+            got = fetch_report(path, "hwlc+dr", socket_path=server.address)
+            assert got == reference
+        finally:
+            # Drain: release happens after the verify pass, so after
+            # shutdown the counter is final.
+            server.shutdown(drain=True, timeout=30.0)
+        assert self._verify_totals(server) == {"match": 1.0}
+
+    def test_detached_session_drops_spool(self, tmp_path, traces):
+        """A client that vanishes mid-stream must not leave the spool
+        behind or trigger a verification pass."""
+        import socket as socket_mod
+
+        from repro.service import protocol
+
+        server = AnalysisServer(
+            socket_path=str(tmp_path / "repro.sock"),
+            workers=1,
+            finish_shards=1,
+        )
+        server.start()
+        try:
+            path, _ = traces[("T2", "hwlc")]
+            data = path.read_bytes()
+            conn = socket_mod.socket(socket_mod.AF_UNIX)
+            conn.connect(server.address)
+            try:
+                protocol.send_json(conn, protocol.HELLO, {
+                    "trace": "drop-test", "config": "hwlc",
+                })
+                protocol.FrameReader(conn).read()  # WELCOME
+                protocol.send_frame(conn, protocol.DATA, data[:4096])
+            finally:
+                conn.close()  # vanish without FINISH
+        finally:
+            server.shutdown(drain=True, timeout=30.0)
+        assert self._verify_totals(server) == {}
