@@ -42,6 +42,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.command is None:
         parser.print_help()
         return 2
+    if getattr(args, "no_transition_cache", False):
+        # Process-wide escape hatch (docs/PERFORMANCE.md layer 6): every
+        # detector built after this point — including in forked workers —
+        # runs the unmemoized, unelided, unbatched vanilla path.
+        from repro.detectors.lockset import set_transition_cache_default
+
+        set_transition_cache_default(False)
     return args.handler(args)
 
 
@@ -69,6 +76,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes for the 24 independent cells (1 = sequential)",
     )
     _add_telemetry_flags(p)
+    _add_cache_flag(p)
     p.set_defaults(handler=_cmd_figure6)
 
     p = sub.add_parser("case", help="run one test case under one configuration")
@@ -120,6 +128,7 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_telemetry_flags(p)
+    _add_cache_flag(p)
     p.set_defaults(handler=_cmd_report)
 
     p = sub.add_parser("suppress", help="triage a case and emit suppressions")
@@ -172,13 +181,14 @@ def _build_parser() -> argparse.ArgumentParser:
     tp.add_argument("--full", action="store_true", help="print every warning block")
     tp.add_argument(
         "--shards",
-        type=int,
+        type=_shards_arg,
         default=1,
         metavar="N",
         help=(
             "analyze the trace across N worker processes, partitioned "
             "by shadow page; the merged report is byte-identical to a "
-            "sequential replay (default: 1 = sequential)"
+            "sequential replay. 'auto' picks a count from cpu_count and "
+            "the trace's page histogram (default: 1 = sequential)"
         ),
     )
     tp.add_argument(
@@ -186,6 +196,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="save the offline report (byte-identical to the live one)",
     )
+    _add_cache_flag(tp)
     tp.set_defaults(handler=_cmd_trace_replay)
 
     tp = trace_sub.add_parser("stat", help="summarise a trace file")
@@ -316,6 +327,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "(repro_service_shard_verify_total; default: off)"
         ),
     )
+    _add_cache_flag(p)
     p.set_defaults(handler=_cmd_serve)
 
     p = sub.add_parser(
@@ -425,6 +437,31 @@ _STATS_DETECTORS = (
     "hybrid",
     "atomizer",
 )
+
+
+def _add_cache_flag(p) -> None:
+    p.add_argument(
+        "--no-transition-cache",
+        action="store_true",
+        help=(
+            "disable the memoized shadow-transition cache (and the "
+            "same-access elision + batched replay built on it); the "
+            "escape hatch for A/B-ing the vanilla per-event path — "
+            "reports are byte-identical either way"
+        ),
+    )
+
+
+def _shards_arg(value: str):
+    """``--shards`` accepts an int or the literal ``auto``."""
+    if value == "auto":
+        return value
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid shards value: {value!r} (an integer or 'auto')"
+        ) from None
 
 
 def _add_telemetry_flags(p) -> None:
@@ -741,6 +778,48 @@ def _cmd_trace_record(args) -> int:
     return 0
 
 
+def _auto_shards(trace_file) -> int:
+    """Resolve ``--shards auto``: shard only when it can plausibly win.
+
+    BENCH_parallel.json showed sharding *loses* on a single-core host
+    (fork + merge overhead, no parallelism) and on traces whose page
+    histogram is degenerate (every access on one shadow page leaves
+    N-1 workers idle).  Both cases resolve to 1; the decision and its
+    reason are printed so operators can override with an explicit N.
+    """
+    import os
+    from pathlib import Path
+
+    from repro.runtime import codec
+
+    cpus = os.cpu_count() or 1
+    if cpus == 1:
+        print(
+            "shards auto: 1 (single-core host; sharding would only add "
+            "fork+merge overhead)"
+        )
+        return 1
+    if not codec.is_binary_trace(trace_file):
+        print(
+            "shards auto: 1 (JSON-lines trace; sharded replay needs the "
+            "binary codec)"
+        )
+        return 1
+    hist = codec.page_histogram(Path(trace_file).read_bytes())
+    if hist["pages"] <= 1:
+        print(
+            f"shards auto: 1 (degenerate page histogram: "
+            f"{hist['pages']} distinct shadow page(s) — nothing to split)"
+        )
+        return 1
+    shards = min(cpus, hist["pages"], 8)
+    print(
+        f"shards auto: {shards} (cpu_count={cpus}, {hist['pages']} "
+        f"distinct shadow pages, skew {hist['skew']:.2f})"
+    )
+    return shards
+
+
 def _cmd_trace_replay(args) -> int:
     """Feed a recorded trace through a fresh detector (§4.5 offline
     analysis).  The produced report is byte-identical to the live one —
@@ -748,19 +827,23 @@ def _cmd_trace_replay(args) -> int:
     processes partitioned by shadow page, still byte-identical."""
     import time
 
-    if args.shards > 1:
+    shards = args.shards
+    if shards == "auto":
+        shards = _auto_shards(args.trace_file)
+    if shards > 1:
         from repro.detectors.parallel import replay_trace_sharded
 
         start = time.perf_counter()
         result = replay_trace_sharded(
-            args.trace_file, args.config, shards=args.shards
+            args.trace_file, args.config, shards=shards,
+            transition_cache=False if args.no_transition_cache else None,
         )
         wall = time.perf_counter() - start
         count = result.events
         report = result.report
         print(
             f"replayed {count} events from {args.trace_file} under "
-            f"{args.config} across {args.shards} shards: "
+            f"{args.config} across {shards} shards: "
             f"{report.location_count} reported locations, "
             f"{wall * 1e3:.0f} ms ({count / wall:,.0f} events/s)"
             if wall > 0

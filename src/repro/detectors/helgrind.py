@@ -44,7 +44,30 @@ from collections import deque
 from dataclasses import dataclass, replace
 
 from repro.detectors.dispatch import EventDispatcher, handles
-from repro.detectors.lockset import EMPTY_ID, LOCKSETS, LocksetMachine, WordState
+from repro.detectors.lockset import (
+    EMPTY_ID,
+    LOCKSETS,
+    LocksetMachine,
+    LocksetOutcome,
+    WordState,
+    transition_cache_default,
+)
+from repro.detectors.lockset import (  # the batched pump inlines the machine
+    _EXCLUSIVE,
+    _KEEP_OWNER,
+    _LOW,
+    _LS_BITS,
+    _LS_MASK,
+    _LS_SHIFT,
+    _OWNER_SHIFT,
+    _PAGE_BITS,
+    _PAGE_MASK,
+    _RACY,
+    _SHARED,
+    _SHARED_MOD,
+    _ST_MASK,
+    _STATE_OF_CODE,
+)
 from repro.detectors.report import Report, Warning_, WarningKind
 from repro.detectors.segments import SegmentGraph
 from repro._util.intervals import IntervalSet
@@ -115,6 +138,12 @@ class HelgrindConfig:
     #: sides of the conflict (later Helgrind's --history-level=full).
     #: Costs one stack reference per shadow word; off by default.
     access_history: bool = False
+    #: Memoized shadow-transition cache + redundant-access elision +
+    #: batched block replay (docs/PERFORMANCE.md layer 6).  ``None`` =
+    #: follow the process default (the ``--no-transition-cache`` escape
+    #: hatch); ``True``/``False`` force it for this detector.  Reports
+    #: are byte-identical either way — the flag exists to *prove* that.
+    transition_cache: bool | None = None
 
     # -- the paper's three evaluation configurations -------------------
 
@@ -254,6 +283,14 @@ class _HeldLocks:
         return LOCKSETS.members(self.write_bus_id)
 
 
+class _BulkEvent:
+    """Minimal :class:`MemoryAccess` stand-in materialised only for the
+    rare racing row of a batched block (:meth:`HelgrindDetector.bulk_access`
+    hands it to ``_report_race``, which reads exactly these fields)."""
+
+    __slots__ = ("step", "tid", "stack", "addr", "is_write")
+
+
 class HelgrindDetector(EventDispatcher):
     """On-the-fly data-race detector (register on a VM or feed a trace).
 
@@ -275,12 +312,16 @@ class HelgrindDetector(EventDispatcher):
 
     def __init__(self, config: HelgrindConfig | None = None, *, suppressions=None) -> None:
         self.config = config or HelgrindConfig.original()
+        cache = self.config.transition_cache
+        if cache is None:
+            cache = transition_cache_default()
         self.segments = SegmentGraph()
         self.machine = LocksetMachine(
             self.segments,
             use_states=self.config.use_states,
             segment_transfer=self.config.segment_transfer,
             once_per_word=self.config.once_per_word,
+            transition_cache=cache,
         )
         self.machine.access_history = self.config.access_history
         self.report = Report(suppressions)
@@ -295,6 +336,17 @@ class HelgrindDetector(EventDispatcher):
         self._cond_tokens: dict[int, dict[int, int]] = {}
         #: lock names for report rendering (learned from events lazily).
         self._access_checks = 0
+        #: Helgrind-style same-access elision: the one access the filter
+        #: would absorb, as ``(tid, addr, kind, bus_locked)``.  Armed
+        #: only after a no-outcome access with no history/tracking side
+        #: channels, and cleared by *every* non-access handler (locks,
+        #: segments, alloc/free, client requests all invalidate the
+        #: "identical immediate repeat is a no-op" proof).
+        self._last_access: tuple | None = None
+        self._elided = 0
+        self._elide_ok = (
+            cache and not self.config.access_history
+        )
         # Bind the specialised access handler for the configured bus-lock
         # model once (instance attribute wins the dispatch lookup), so
         # the per-access path does not re-branch on configuration and
@@ -326,46 +378,56 @@ class HelgrindDetector(EventDispatcher):
 
     @handles(LockAcquire)
     def _on_lock_acquire(self, event: LockAcquire, vm) -> None:
+        self._last_access = None
         self._held_for(event.tid).acquire(event.lock_id, event.mode)
 
     @handles(LockRelease)
     def _on_lock_release(self, event: LockRelease, vm) -> None:
+        self._last_access = None
         self._held_for(event.tid).release(event.lock_id)
 
     @handles(MemAlloc)
     def _on_alloc(self, event: MemAlloc, vm) -> None:
+        self._last_access = None
         self.machine.on_alloc(event.addr, event.size)
 
     @handles(MemFree)
     def _on_free(self, event: MemFree, vm) -> None:
+        self._last_access = None
         self.machine.on_free(event.addr, event.size)
 
     @handles(ThreadCreate)
     def _on_thread_create(self, event: ThreadCreate, vm) -> None:
+        self._last_access = None
         self.segments.on_create(event.tid, event.child_tid)
 
     @handles(ThreadFinish)
     def _on_thread_finish(self, event: ThreadFinish, vm) -> None:
+        self._last_access = None
         self.segments.on_finish(event.tid)
 
     @handles(ThreadJoin)
     def _on_thread_join(self, event: ThreadJoin, vm) -> None:
+        self._last_access = None
         self.segments.on_join(event.tid, event.joined_tid)
 
     @handles(QueuePut)
     def _on_queue_put(self, event: QueuePut, vm) -> None:
+        self._last_access = None
         self._queue_tokens[(event.queue_id, event.msg_id)] = self.segments.post(
             event.tid
         )
 
     @handles(QueueGet)
     def _on_queue_get(self, event: QueueGet, vm) -> None:
+        self._last_access = None
         token = self._queue_tokens.pop((event.queue_id, event.msg_id), None)
         if token is not None:
             self.segments.receive(event.tid, token)
 
     @handles(SemPost)
     def _on_sem_post(self, event: SemPost, vm) -> None:
+        self._last_access = None
         tokens = self._sem_tokens.get(event.sem_id)
         if tokens is None:
             tokens = deque()
@@ -374,16 +436,19 @@ class HelgrindDetector(EventDispatcher):
 
     @handles(SemWait)
     def _on_sem_wait(self, event: SemWait, vm) -> None:
+        self._last_access = None
         tokens = self._sem_tokens.get(event.sem_id)
         if tokens:
             self.segments.receive(event.tid, tokens.popleft())
 
     @handles(CondSignal)
     def _on_cond_signal(self, event: CondSignal, vm) -> None:
+        self._last_access = None
         self._cond_tokens[event.cond_id] = self.segments.post(event.tid)
 
     @handles(CondWait)
     def _on_cond_wait(self, event: CondWait, vm) -> None:
+        self._last_access = None
         if event.phase == "leave":
             token = self._cond_tokens.get(event.cond_id)
             if token is not None:
@@ -426,7 +491,21 @@ class HelgrindDetector(EventDispatcher):
     def _on_access_rwlock(self, event: MemoryAccess, vm) -> None:
         """RWLOCK-model hot path: :meth:`_on_access` with the benign
         check, :meth:`_held_for` and :meth:`_effective_ids` inlined —
-        one bound-method call per access instead of four."""
+        one bound-method call per access instead of four.  An access
+        identical to the immediately preceding one (same thread, word,
+        direction, bus prefix, nothing in between) is a state no-op and
+        is absorbed before the machine is entered."""
+        last = self._last_access
+        if (
+            last is not None
+            and last[1] == event.addr
+            and last[0] == event.tid
+            and last[2] is event.kind
+            and last[3] == event.bus_locked
+        ):
+            self._access_checks += 1
+            self._elided += 1
+            return
         benign = self._benign
         if benign and event.addr in benign:
             return
@@ -451,6 +530,11 @@ class HelgrindDetector(EventDispatcher):
         )
         if outcome is not None:
             self._report_race(event, outcome, vm)
+            self._last_access = None
+        elif self._elide_ok and machine.transition_counts is None:
+            self._last_access = (
+                event.tid, event.addr, event.kind, event.bus_locked
+            )
         if machine.access_history:
             word = machine.word(event.addr)
             prev = word.last_access
@@ -461,6 +545,17 @@ class HelgrindDetector(EventDispatcher):
     def _on_access_mutex(self, event: MemoryAccess, vm) -> None:
         """MUTEX-model (original Helgrind) hot path; see
         :meth:`_on_access_rwlock`."""
+        last = self._last_access
+        if (
+            last is not None
+            and last[1] == event.addr
+            and last[0] == event.tid
+            and last[2] is event.kind
+            and last[3] == event.bus_locked
+        ):
+            self._access_checks += 1
+            self._elided += 1
+            return
         benign = self._benign
         if benign and event.addr in benign:
             return
@@ -482,12 +577,182 @@ class HelgrindDetector(EventDispatcher):
         )
         if outcome is not None:
             self._report_race(event, outcome, vm)
+            self._last_access = None
+        elif self._elide_ok and machine.transition_counts is None:
+            self._last_access = (
+                event.tid, event.addr, event.kind, event.bus_locked
+            )
         if machine.access_history:
             word = machine.word(event.addr)
             prev = word.last_access
             if prev is not None and prev[0] != event.tid:
                 word.last_other = prev
             word.last_access = (event.tid, is_write, event.stack)
+
+    # ------------------------------------------------------------------
+    # Batched block replay (docs/PERFORMANCE.md layer 6)
+    # ------------------------------------------------------------------
+
+    def bulk_access_ready(self) -> bool:
+        """May :func:`repro.runtime.codec.replay_blocks` hand whole
+        decoded ``MemoryAccess`` blocks to :meth:`bulk_access`?
+
+        Static gate, checked once when the dispatch table is built:
+        bulk replay inlines this exact class's access semantics, so a
+        subclass, a cache-disabled machine, the no-states ablation or
+        access-history mode all fall back to the per-event handlers.
+        """
+        machine = self.machine
+        return (
+            type(self) is HelgrindDetector
+            and machine.transition_cache
+            and machine.use_states
+            and not machine.access_history
+        )
+
+    def bulk_access(self, block, s, base, stacks, vm) -> bool:
+        """Analyse one decoded ``MemoryAccess`` block in a tight loop.
+
+        ``block`` is the raw row bytes, ``s`` the row struct, ``base``
+        the SEQ_STEP base (``None`` = rows carry their own step).
+        Returns ``False`` — caller must fall back to the per-event
+        loop — when dynamic state forbids batching (benign ranges
+        registered, transition tracking enabled mid-run).
+
+        The loop binds every table to a local and handles the steady
+        states inline: run-length elision of identical adjacent rows,
+        EXCLUSIVE hits by the current owner, RACY words, and memoized
+        SHARED/SHARED_MOD transitions.  Everything else (NEW, ownership
+        transfer, memo misses) takes the machine's normal
+        ``access_check``, so the state evolution is exactly the
+        sequential one.  Within one block there are no lock, segment or
+        client-request events (blocks are single-type), so per-thread
+        held-set ids and owner tokens are loop constants, cached by
+        ``(tid, kind, bus)`` / ``tid``.
+        """
+        machine = self.machine
+        memo = machine._memo
+        if memo is None or machine.transition_counts is not None or self._benign:
+            return False
+        pages = machine._pages
+        seg_ids = machine._seg_ids
+        segments = machine.segments
+        segment_transfer = machine.segment_transfer
+        access_check = machine.access_check
+        rwlock = self.config.bus_lock_model is BusLockModel.RWLOCK
+        held_map = self._held
+        report_race = self._report_race
+        ids_cache: dict[int, tuple[int, int]] = {}
+        owner_cache: dict[int, int] = {}
+        if base is None:
+            ti, si, ai, ki, bi = 1, 2, 3, 4, 5
+        else:
+            ti, si, ai, ki, bi = 0, 1, 2, 3, 4
+        # Run-length elision state: the previous row's key fields, armed
+        # only while the previous outcome was "no race, no side effect".
+        p_tid = p_addr = p_kind = p_bus = -1
+        armed = False
+        elided = 0
+        hits = 0
+        i = -1
+        for row in s.iter_unpack(block):
+            i += 1
+            tid = row[ti]
+            addr = row[ai]
+            kind = row[ki]
+            bus = row[bi]
+            if armed and addr == p_addr and tid == p_tid \
+                    and kind == p_kind and bus == p_bus:
+                elided += 1
+                continue
+            ik = (tid << 2) | (kind << 1) | bus
+            pair = ids_cache.get(ik)
+            if pair is None:
+                held = held_map.get(tid)
+                if held is None:
+                    held = _HeldLocks()
+                    held_map[tid] = held
+                if rwlock:
+                    if bus:
+                        pair = (held.any_bus_id, held.write_bus_id)
+                    elif kind:
+                        pair = (held.any_id, held.write_id)
+                    else:
+                        pair = (held.any_bus_id, held.write_id)
+                elif bus:
+                    pair = (held.any_bus_id, held.write_bus_id)
+                else:
+                    pair = (held.any_id, held.write_id)
+                ids_cache[ik] = pair
+            outcome = None
+            page = pages.get(addr >> _PAGE_BITS)
+            if page is None:
+                # Pristine page: let the machine materialise it.
+                outcome = access_check(addr, tid, kind == 1, pair[0], pair[1])
+            else:
+                slot = addr & _PAGE_MASK
+                packed = page[slot]
+                code = packed & _ST_MASK
+                if code == _EXCLUSIVE:
+                    owner = owner_cache.get(tid)
+                    if owner is None:
+                        if segment_transfer:
+                            owner = seg_ids.get(tid)
+                            if owner is None:
+                                owner = segments.current(tid).seg_id
+                        else:
+                            owner = tid
+                        owner_cache[tid] = owner
+                    if (packed >> _OWNER_SHIFT) - 1 != owner:
+                        outcome = access_check(
+                            addr, tid, kind == 1, pair[0], pair[1]
+                        )
+                elif code == _SHARED_MOD or code == _SHARED:
+                    held_id = pair[1] if kind else pair[0]
+                    low = packed & _LOW
+                    value = memo.get(
+                        (((low << 1) | (kind == 1)) << _LS_BITS) | held_id
+                    )
+                    if value is not None:
+                        hits += 1
+                        new_low = value >> 1
+                        if new_low != low:
+                            page[slot] = (packed & _KEEP_OWNER) | new_low
+                        if value & 1:
+                            outcome = LocksetOutcome(
+                                True,
+                                _STATE_OF_CODE[code],
+                                ((low >> _LS_SHIFT) & _LS_MASK) - 1,
+                                ((new_low >> _LS_SHIFT) & _LS_MASK) - 1,
+                            )
+                    else:
+                        outcome = access_check(
+                            addr, tid, kind == 1, pair[0], pair[1]
+                        )
+                elif code != _RACY:  # NEW on a materialised page
+                    outcome = access_check(
+                        addr, tid, kind == 1, pair[0], pair[1]
+                    )
+            if outcome is None:
+                p_tid = tid
+                p_addr = addr
+                p_kind = kind
+                p_bus = bus
+                armed = True
+                continue
+            armed = False
+            ev = _BulkEvent()
+            ev.step = row[0] if base is None else base + i
+            ev.tid = tid
+            ev.stack = stacks[row[si]]
+            ev.addr = addr
+            ev.is_write = kind == 1
+            report_race(ev, outcome, vm)
+        self._access_checks += i + 1
+        self._elided += elided
+        machine._memo_hits += hits
+        self._last_access = None
+        return True
 
     def _effective_sets(
         self, held: _HeldLocks, event: MemoryAccess
@@ -558,6 +823,7 @@ class HelgrindDetector(EventDispatcher):
 
     @handles(ClientRequest)
     def _on_client_request(self, event: ClientRequest, vm=None) -> None:
+        self._last_access = None
         if event.request == "hg_destruct":
             if self.config.honor_destruct:
                 owner = (

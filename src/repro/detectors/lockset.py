@@ -66,6 +66,8 @@ __all__ = [
     "EMPTY_ID",
     "NO_LOCKSET",
     "PAGE_SIZE",
+    "set_transition_cache_default",
+    "transition_cache_default",
 ]
 
 
@@ -128,6 +130,36 @@ _CODE_OF_STATE = {state: code for code, state in enumerate(_STATE_OF_CODE)}
 #: The distinguished all-NEW page.  Never mutated; ``_ZERO_PAGE[:]`` is
 #: the copy-on-write copy, ``_ZERO_PAGE[lo:hi]`` the range-reset source.
 _ZERO_PAGE = [0] * _PAGE_SIZE
+
+#: Transition-memo capacity.  The key space a real guest exercises is
+#: tiny (distinct ``(word low bits, is_write, held-set id)`` triples),
+#: so the cap only guards pathological id churn; on overflow the table
+#: is cleared wholesale (an *eviction* in the telemetry) rather than
+#: tracked per-entry.
+_MEMO_CAP = 65536
+
+#: Process default for :class:`LocksetMachine`'s ``transition_cache``
+#: (the ``--no-transition-cache`` escape hatch flips it before any
+#: detector is built; worker processes forked afterwards inherit it).
+_TRANSITION_CACHE_DEFAULT = True
+
+
+def set_transition_cache_default(enabled: bool) -> None:
+    """Flip the process-wide transition-cache default.
+
+    Detectors built afterwards (with ``transition_cache=None``) follow
+    it; the CLI's ``--no-transition-cache`` sets it before building
+    anything, so every machine in the run — including ones constructed
+    deep inside the harness or in forked worker processes — runs the
+    uncached reference path.
+    """
+    global _TRANSITION_CACHE_DEFAULT
+    _TRANSITION_CACHE_DEFAULT = bool(enabled)
+
+
+def transition_cache_default() -> bool:
+    """The current process-wide transition-cache default."""
+    return _TRANSITION_CACHE_DEFAULT
 
 
 class LocksetTable:
@@ -482,6 +514,7 @@ class LocksetMachine:
         use_states: bool = True,
         segment_transfer: bool = True,
         once_per_word: bool = True,
+        transition_cache: bool | None = None,
     ) -> None:
         self.segments = segments
         #: Direct reference to the graph's tid → seg_id mirror: the
@@ -517,6 +550,19 @@ class LocksetMachine:
         #: tracking is on (the telemetry layer's Figure-5-style matrix);
         #: ``None`` — and zero per-access cost — otherwise.
         self.transition_counts: dict[tuple[WordState, WordState], int] | None = None
+        if transition_cache is None:
+            transition_cache = _TRANSITION_CACHE_DEFAULT
+        #: Memoized SHARED/SHARED_MOD transition function (see
+        #: :meth:`access_check`).  ``None`` = caching disabled — the
+        #: machine then runs the branch cascade verbatim.  The EXCLUSIVE
+        #: and NEW paths are never memoized: their result depends on the
+        #: owner token and the segment graph's happens-before relation,
+        #: which the key cannot capture soundly.
+        self.transition_cache = transition_cache
+        self._memo: dict[int, int] | None = {} if transition_cache else None
+        self._memo_hits = 0
+        self._memo_misses = 0
+        self._memo_evictions = 0
 
     # ------------------------------------------------------------------
     # Pickling (session checkpoints)
@@ -525,9 +571,13 @@ class LocksetMachine:
     def __getstate__(self) -> dict:
         """Packed words embed :data:`LOCKSETS` ids — positions in the
         *process-global* table.  Ship the id → members mapping alongside
-        so another process can re-intern and remap on restore."""
+        so another process can re-intern and remap on restore.  The
+        transition memo is dropped (its keys and values embed this
+        process's lockset ids); a restored machine just re-warms it."""
         state = self.__dict__.copy()
         state["_lockset_dump"] = LOCKSETS.dump()
+        if state.get("_memo") is not None:
+            state["_memo"] = {}
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -653,11 +703,18 @@ class LocksetMachine:
     def _traced_access_check(
         self, addr: int, tid: int, is_write: bool, locks_any, locks_write
     ) -> "LocksetOutcome | None":
-        outcome = self._traced_access(
-            addr, tid, is_write=is_write,
-            locks_any=locks_any, locks_write=locks_write,
+        # Peek-count-peek around the *real* hot path rather than routing
+        # through :meth:`access`, so instrumented runs keep the memoized
+        # machine (and its hit/miss counters) live.
+        prev_state = _STATE_OF_CODE[self._peek(addr) & _ST_MASK]
+        outcome = LocksetMachine.access_check(
+            self, addr, tid, is_write, locks_any, locks_write
         )
-        return outcome if outcome.race else None
+        new_state = _STATE_OF_CODE[self._peek(addr) & _ST_MASK]
+        counts = self.transition_counts
+        key = (prev_state, new_state)
+        counts[key] = counts.get(key, 0) + 1
+        return outcome
 
     def state_distribution(self) -> dict[WordState, int]:
         """Tracked shadow words by current state (Figure-5 material)."""
@@ -683,6 +740,22 @@ class LocksetMachine:
             "page_copies": self._page_copies,
             "range_ops": self._range_ops,
             "range_pages": self._range_pages,
+        }
+
+    def transition_cache_stats(self) -> dict[str, int]:
+        """Transition-memo counters (telemetry input).
+
+        ``hits``/``misses`` count :meth:`access_check` SHARED/SHARED_MOD
+        steps answered from / inserted into the memo; ``evictions``
+        counts whole-table clears on overflow (see ``_MEMO_CAP``).
+        ``size`` is the live entry count.  All zero when the cache is
+        disabled.
+        """
+        return {
+            "hits": self._memo_hits,
+            "misses": self._memo_misses,
+            "evictions": self._memo_evictions,
+            "size": len(self._memo) if self._memo is not None else 0,
         }
 
     # ------------------------------------------------------------------
@@ -952,46 +1025,52 @@ class LocksetMachine:
             )
             return None
 
-        if code == _SHARED_MOD:
-            prev_id = ((packed >> _LS_SHIFT) & _LS_MASK) - 1
-            new_id = LOCKSETS.intersect(
-                prev_id, locks_write if is_write else locks_any
-            )
-            if new_id == EMPTY_ID:
-                new_code = _RACY if self.once_per_word else _SHARED_MOD
-                page[slot] = (packed & _KEEP_OWNER) | new_code | (
-                    (new_id + 1) << _LS_SHIFT
-                )
-                return LocksetOutcome(
-                    True, WordState.SHARED_MODIFIED, prev_id, new_id
-                )
-            if new_id != prev_id:
-                page[slot] = (packed & _KEEP_OWNER) | _SHARED_MOD | (
-                    (new_id + 1) << _LS_SHIFT
-                )
-            return None
-
-        if code == _SHARED:
-            prev_id = ((packed >> _LS_SHIFT) & _LS_MASK) - 1
-            if is_write:
-                new_id = LOCKSETS.intersect(prev_id, locks_write)
-                if new_id == EMPTY_ID:
-                    new_code = _RACY if self.once_per_word else _SHARED_MOD
-                    page[slot] = (packed & _KEEP_OWNER) | new_code | (
-                        (new_id + 1) << _LS_SHIFT
-                    )
-                    return LocksetOutcome(
-                        True, WordState.SHARED, prev_id, new_id
-                    )
-                page[slot] = (packed & _KEEP_OWNER) | _SHARED_MOD | (
-                    (new_id + 1) << _LS_SHIFT
-                )
-                return None
-            new_id = LOCKSETS.intersect(prev_id, locks_any)
-            if new_id != prev_id:
-                page[slot] = (packed & _KEEP_OWNER) | _SHARED | (
-                    (new_id + 1) << _LS_SHIFT
-                )
+        if code == _SHARED_MOD or code == _SHARED:
+            # The SHARED/SHARED_MOD step is a *pure* function of the
+            # word's low bits (state + candidate-set id), the access
+            # direction and the effective held-set id: lockset ids are
+            # interned in the append-only process-global LOCKSETS table
+            # and intersection is deterministic, so a memoized result
+            # never needs invalidation.  Key and value are single ints
+            # (key: low | is_write | held; value: new_low | race bit).
+            held = locks_write if is_write else locks_any
+            low = packed & _LOW
+            memo = self._memo
+            if memo is not None:
+                key = (((low << 1) | is_write) << _LS_BITS) | held
+                value = memo.get(key)
+                if value is not None:
+                    self._memo_hits += 1
+                    new_low = value >> 1
+                    if new_low != low:
+                        page[slot] = (packed & _KEEP_OWNER) | new_low
+                    if value & 1:
+                        return LocksetOutcome(
+                            True,
+                            _STATE_OF_CODE[code],
+                            ((low >> _LS_SHIFT) & _LS_MASK) - 1,
+                            ((new_low >> _LS_SHIFT) & _LS_MASK) - 1,
+                        )
+                    return None
+            prev_id = ((low >> _LS_SHIFT) & _LS_MASK) - 1
+            new_id = LOCKSETS.intersect(prev_id, held)
+            if code == _SHARED and not is_write:
+                race = False
+                new_code = _SHARED  # read-only sharing never warns
+            else:
+                race = new_id == EMPTY_ID
+                new_code = _RACY if race and self.once_per_word else _SHARED_MOD
+            new_low = new_code | ((new_id + 1) << _LS_SHIFT)
+            if new_low != low:
+                page[slot] = (packed & _KEEP_OWNER) | new_low
+            if memo is not None:
+                if len(memo) >= _MEMO_CAP:
+                    memo.clear()
+                    self._memo_evictions += 1
+                self._memo_misses += 1
+                memo[key] = (new_low << 1) | race
+            if race:
+                return LocksetOutcome(True, _STATE_OF_CODE[code], prev_id, new_id)
             return None
 
         if code == _NEW:

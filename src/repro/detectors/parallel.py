@@ -152,7 +152,12 @@ def _analyze_shard(payload: tuple) -> dict:
     telemetry snapshot, the segment-graph signature, and (optionally)
     the dumped shadow pages.
     """
-    path, config_name, shard, num_shards, page_bits, collect_shadow = payload
+    (
+        path, config_name, shard, num_shards, page_bits, collect_shadow,
+        transition_cache,
+    ) = payload
+
+    import dataclasses
 
     from repro.api import detector_config
     from repro.detectors import HelgrindDetector
@@ -160,7 +165,10 @@ def _analyze_shard(payload: tuple) -> dict:
     from repro.telemetry.metrics import MetricsRegistry
 
     data = Path(path).read_bytes()
-    detector = HelgrindDetector(detector_config(config_name))
+    cfg = detector_config(config_name)
+    if transition_cache is not None:
+        cfg = dataclasses.replace(cfg, transition_cache=transition_cache)
+    detector = HelgrindDetector(cfg)
     vm = ReplayVM()
     table = build_handler_table((vm, detector), vm)
 
@@ -270,13 +278,18 @@ def replay_trace_sharded(
     max_workers: int | None = None,
     page_bits: int = PAGE_BITS,
     collect_shadow: bool = False,
+    transition_cache: bool | None = None,
 ) -> ShardedReplayResult:
     """Analyse a binary trace across ``shards`` worker processes.
 
     ``config`` is a named detector configuration
     (:func:`repro.api.detector_config` — ``original`` / ``hwlc`` /
     ``hwlc+dr`` / ...); workers rebuild it by name, so nothing
-    unpicklable crosses the process boundary.  ``shards=1`` runs the
+    unpicklable crosses the process boundary.  ``transition_cache``
+    forces the memoized transition cache on/off in every worker
+    (``None`` follows each worker process's default — forked workers
+    inherit :func:`~repro.detectors.lockset.set_transition_cache_default`,
+    spawned ones reset to on).  ``shards=1`` runs the
     identical code path in-process (no pool, no filter, no skip set) —
     handy as the degenerate case the byte-identity gate compares
     against.  Workers are plain forked processes reassembled in shard
@@ -292,7 +305,10 @@ def replay_trace_sharded(
         )
 
     payloads = [
-        (str(path), config, shard, shards, page_bits, collect_shadow)
+        (
+            str(path), config, shard, shards, page_bits, collect_shadow,
+            transition_cache,
+        )
         for shard in range(shards)
     ]
     if shards == 1:

@@ -710,6 +710,26 @@ class ReplayStats:
         return {name: getattr(self, name) for name in self.__slots__}
 
 
+def _bulk_for(type_idx: int, fns) -> "object | None":
+    """Resolve a batched block consumer for one dispatch entry.
+
+    Only the sole-subscriber ``MemoryAccess`` shape qualifies: the
+    handler must be a bound method (closures from telemetry wrappers or
+    shard page filters have no ``__self__`` and fall through), and its
+    owner must publish ``bulk_access_ready()`` and opt in.  Everything
+    else returns ``None`` and the per-event loops run unchanged.
+    """
+    if type_idx != _ACCESS_TYPE_IDX or len(fns) != 1:
+        return None
+    owner = getattr(fns[0], "__self__", None)
+    if owner is None:
+        return None
+    ready = getattr(owner, "bulk_access_ready", None)
+    if ready is None or not ready():
+        return None
+    return owner.bulk_access
+
+
 def replay_blocks(
     data: bytes,
     handler_table,
@@ -741,7 +761,7 @@ def replay_blocks(
     # One merged per-type dispatch entry — a single list index per block
     # instead of separate struct/handler/loop/filler lookups:
     # ``(struct variants, single handler or None, handlers, (plain,
-    # seq) loops, filler, seq filler)``.
+    # seq) loops, filler, seq filler, bulk consumer or None)``.
     dispatch = [
         (
             _ROW_STRUCTS[i],
@@ -750,6 +770,7 @@ def replay_blocks(
             loops[i],
             fillers[i],
             seq_fillers[i],
+            _bulk_for(i, fns),
         )
         for i, fns in enumerate(handler_table)
     ]
@@ -807,11 +828,13 @@ def replay_blocks(
                         single(entry[5](stacks, strings, row, base), vm)
                 else:
                     block = view[pos:pos + size]
-                    pair = entry[3]
-                    if base is None:
-                        pair[0](block, s, stacks, strings, single, vm, 0)
-                    else:
-                        pair[1](block, s, stacks, strings, single, vm, base)
+                    bulk = entry[6]
+                    if bulk is None or not bulk(block, s, base, stacks, vm):
+                        pair = entry[3]
+                        if base is None:
+                            pair[0](block, s, stacks, strings, single, vm, 0)
+                        else:
+                            pair[1](block, s, stacks, strings, single, vm, base)
             elif entry[2]:
                 fns = entry[2]
                 block = view[pos:pos + size]
@@ -1094,6 +1117,7 @@ class StreamDecoder:
                 loops[i],
                 fillers[i],
                 seq_fillers[i],
+                _bulk_for(i, fns),
             )
             for i, fns in enumerate(handler_table)
         ]
@@ -1208,11 +1232,17 @@ class StreamDecoder:
                     single = entry[1]
                     if single is not None:
                         block = view[npos:npos + size]
-                        pair = entry[3]
-                        if base is None:
-                            pair[0](block, s, stacks, strings, single, vm, 0)
-                        else:
-                            pair[1](block, s, stacks, strings, single, vm, base)
+                        bulk = entry[6]
+                        if bulk is None or not bulk(block, s, base, stacks, vm):
+                            pair = entry[3]
+                            if base is None:
+                                pair[0](
+                                    block, s, stacks, strings, single, vm, 0
+                                )
+                            else:
+                                pair[1](
+                                    block, s, stacks, strings, single, vm, base
+                                )
                     elif entry[2]:
                         fns = entry[2]
                         block = view[npos:npos + size]

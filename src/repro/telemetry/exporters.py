@@ -174,6 +174,27 @@ def to_console(snapshot: dict) -> str:
             f"{int(_value(snapshot, 'repro_stack_intern_frames'))} frames, "
             f"{_rate(_value(snapshot, 'repro_stack_intern_hits_total'), _value(snapshot, 'repro_stack_intern_misses_total'))} hit"
         )
+    tc_hits = sum(
+        s["value"]
+        for s in _samples(snapshot, "repro_transition_cache_hits_total")
+    )
+    tc_misses = sum(
+        s["value"]
+        for s in _samples(snapshot, "repro_transition_cache_misses_total")
+    )
+    if tc_hits or tc_misses:
+        tc_evict = sum(
+            s["value"]
+            for s in _samples(snapshot, "repro_transition_cache_evictions_total")
+        )
+        elided = sum(
+            s["value"] for s in _samples(snapshot, "repro_access_elided_total")
+        )
+        out.append(
+            f"  transition cache: {_rate(tc_hits, tc_misses)} hit "
+            f"({int(tc_hits)} hits, {int(tc_misses)} misses, "
+            f"{int(tc_evict)} evictions); {int(elided)} accesses elided"
+        )
 
     shadow = _samples(snapshot, "repro_shadow_words")
     if shadow:

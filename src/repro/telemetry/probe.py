@@ -405,6 +405,35 @@ class Telemetry:
                         help="Paged shadow-memory engine counters (sum on merge).",
                         merge="sum",
                     ).inc(float(value))
+            # Transition-memo counters (always emitted so the families
+            # validate even on cache-disabled runs — values just stay 0).
+            cache = getattr(machine, "transition_cache_stats", None)
+            if cache is not None:
+                stats = cache()
+                reg.counter(
+                    "repro_transition_cache_hits_total",
+                    {"detector": name},
+                    help="access_check SHARED steps answered from the memo.",
+                ).inc(stats["hits"])
+                reg.counter(
+                    "repro_transition_cache_misses_total",
+                    {"detector": name},
+                    help="access_check SHARED steps that computed + memoized.",
+                ).inc(stats["misses"])
+                reg.counter(
+                    "repro_transition_cache_evictions_total",
+                    {"detector": name},
+                    help="Whole-table memo clears on reaching the size cap.",
+                ).inc(stats["evictions"])
+
+        # Same-access elision (Helgrind-style redundant-access filter).
+        elided = getattr(hook, "_elided", None)
+        if elided is not None:
+            reg.counter(
+                "repro_access_elided_total",
+                {"detector": name},
+                help="Accesses absorbed by the one-entry same-access filter.",
+            ).inc(elided)
 
         # Detector-specific summary gauges (each detector contributes
         # its own vocabulary through telemetry_summary()).

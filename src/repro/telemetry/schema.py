@@ -35,6 +35,10 @@ REQUIRED_FAMILIES = (
     "repro_detector_events_total",
     "repro_detector_busy_seconds_total",
     "repro_shadow_engine",
+    "repro_transition_cache_hits_total",
+    "repro_transition_cache_misses_total",
+    "repro_transition_cache_evictions_total",
+    "repro_access_elided_total",
 )
 
 

@@ -104,7 +104,12 @@ def test_packed_engine_matches_reference(ops, config):
     )
     ref = RefLocksetMachine(graph, **kwargs)
     packed = LocksetMachine(graph, **kwargs)      # exercised via access()
-    checked = LocksetMachine(graph, **kwargs)     # exercised via access_check()
+    checked = LocksetMachine(graph, **kwargs)     # access_check(), memoized
+    uncached = LocksetMachine(                    # access_check(), no memo
+        graph, transition_cache=False, **kwargs
+    )
+    assert checked._memo is not None
+    assert uncached._memo is None
 
     touched: set[int] = set()
     for op in ops:
@@ -119,26 +124,36 @@ def test_packed_engine_matches_reference(ops, config):
             o_chk = checked.access_check(
                 addr, tid, is_write, locks_any, locks_write
             )
+            o_unc = uncached.access_check(
+                addr, tid, is_write, locks_any, locks_write
+            )
             assert _outcomes_equal(o_ref, o_pck), (op, o_ref, o_pck)
             assert (o_chk is not None) == o_ref.race, (op, o_ref, o_chk)
             if o_chk is not None:
                 assert _outcomes_equal(o_ref, o_chk), (op, o_ref, o_chk)
+            # The memoized machine must be indistinguishable from the
+            # uncached one: same outcome object fields, same state left
+            # behind (checked below against the reference for both).
+            assert (o_chk is None) == (o_unc is None), (op, o_chk, o_unc)
+            if o_chk is not None:
+                assert _outcomes_equal(o_chk, o_unc), (op, o_chk, o_unc)
             touched.add(addr)
             _word_equal(packed, ref, addr)
             assert checked.state_of(addr) is ref.state_of(addr)
+            assert uncached.state_of(addr) is ref.state_of(addr)
         elif kind in ("alloc", "free", "destruct"):
             _, addr, size, tid = op
             if kind == "alloc":
-                for m in (ref, packed, checked):
+                for m in (ref, packed, checked, uncached):
                     m.on_alloc(addr, size)
             elif kind == "free":
-                for m in (ref, packed, checked):
+                for m in (ref, packed, checked, uncached):
                     m.on_free(addr, size)
             else:
                 owner = (
                     graph.current(tid).seg_id if segment_transfer else tid
                 )
-                for m in (ref, packed, checked):
+                for m in (ref, packed, checked, uncached):
                     m.make_exclusive(addr, size, owner)
                 touched.update((addr, addr + size - 1))
             # Boundary words are where a paged implementation breaks.
@@ -146,6 +161,7 @@ def test_packed_engine_matches_reference(ops, config):
                 if probe >= 0:
                     _word_equal(packed, ref, probe)
                     assert checked.state_of(probe) is ref.state_of(probe)
+                    assert uncached.state_of(probe) is ref.state_of(probe)
         elif kind == "spawn":
             _, parent, child = op
             graph.on_create(parent, child)

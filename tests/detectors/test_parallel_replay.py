@@ -241,7 +241,7 @@ def shard_parts(traces):
     inline — ``_analyze_shard`` is the exact function the pool maps)."""
     path, reference = traces[("T2", "hwlc+dr")]
     parts = [
-        _analyze_shard((str(path), "hwlc+dr", shard, 3, PAGE_BITS, False))
+        _analyze_shard((str(path), "hwlc+dr", shard, 3, PAGE_BITS, False, None))
         for shard in range(3)
     ]
     return [Report.from_dict(p["report"]) for p in parts], reference
