@@ -38,7 +38,7 @@ import pytest
 
 from conftest import report
 
-from repro.api import detector_config
+from repro.api.profiles import profile
 from repro.detectors import HelgrindDetector
 from repro.detectors.parallel import PAGE_BITS
 from repro.experiments.performance import workload_guest
@@ -76,7 +76,7 @@ GUEST_ITERATIONS = 500
 
 def _config(cache: bool):
     return dataclasses.replace(
-        detector_config(CONFIG), transition_cache=cache
+        profile(CONFIG).config(), transition_cache=cache
     )
 
 

@@ -41,7 +41,7 @@ import pytest
 
 from conftest import report
 
-from repro.api import detector_config
+from repro.api.profiles import profile
 from repro.detectors import HelgrindDetector
 from repro.detectors.parallel import PAGE_BITS, replay_trace_sharded
 from repro.runtime.codec import TraceWriter
@@ -126,7 +126,7 @@ def big_trace(tmp_path_factory):
     path = root / "big.rptr"
     events = _synthesise(path)
     assert events >= 100_000
-    det = HelgrindDetector(detector_config(CONFIG))
+    det = HelgrindDetector(profile(CONFIG).config())
     replay_trace(path, det)
     reference = json.dumps(det.report.to_dict(), indent=2).encode()
     assert det.report.location_count > 0  # races exist: report non-trivial
@@ -134,7 +134,7 @@ def big_trace(tmp_path_factory):
 
 
 def _run_sequential(path, reference) -> float:
-    det = HelgrindDetector(detector_config(CONFIG))
+    det = HelgrindDetector(profile(CONFIG).config())
     start = time.perf_counter()
     replay_trace(path, det)
     wall = time.perf_counter() - start

@@ -36,7 +36,7 @@ import pytest
 
 from conftest import report
 
-from repro.api import detector_config
+from repro.api.profiles import profile
 from repro.detectors import HelgrindDetector
 from repro.runtime import codec
 from repro.runtime.trace import TraceRecorder, replay_trace
@@ -65,7 +65,7 @@ def service_traces(tmp_path_factory):
         with TraceRecorder(path, format="binary") as recorder:
             run_proxy_case(by_id[case_id], CONFIG, seed=42,
                            extra_hooks=(recorder,))
-        det = HelgrindDetector(detector_config(CONFIG))
+        det = HelgrindDetector(profile(CONFIG).config())
         replay_trace(path, det)
         reference = json.dumps(det.report.to_dict(), indent=2).encode()
         events = codec.trace_stats(path)["events"]

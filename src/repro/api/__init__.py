@@ -4,14 +4,16 @@ Historically the pipeline had three scattered entry points — the
 evaluation harness (:func:`repro.experiments.harness.run_proxy_case`),
 the offline tier (:func:`repro.runtime.trace.replay_trace`), and
 hand-built ``VM`` + detector assemblies — each wiring detectors,
-configurations and replay state slightly differently.  This module
+configurations and replay state slightly differently.  This package
 consolidates them:
 
-* :func:`detector_config` — name → :class:`~repro.detectors.HelgrindConfig`
-  with validation (the public twin of what the harness used privately).
-* :class:`Pipeline` — a detector *configuration* bound to factories for
-  everything built from it: fresh detectors, live harness runs, offline
-  replays, and incremental sessions.
+* :mod:`repro.api.profiles` — the :class:`~repro.api.profiles
+  .AnalysisProfile` registry behind every configuration name: config
+  factory, detector factory and capability flags per tier (the paper's
+  three configurations and the ``predictive`` tier register uniformly).
+* :class:`Pipeline` — a profile (or hand-built config) bound to
+  factories for everything built from it: fresh detectors, live harness
+  runs, offline replays, and incremental sessions.
 * :class:`Session` — one incremental analysis: feed events or encoded
   RPTR v1 bytes in any chunking, snapshot/restore the full mid-stream
   state, read the report at any time.  The streaming analysis service
@@ -23,66 +25,95 @@ Everything here is re-exported from the package root::
     import repro
     report = repro.Pipeline("hwlc+dr").replay("trace.rptr")
 
-Deprecation policy (see ``docs/API.md``): superseded private entry
-points keep working for one PR cycle behind a shim that emits a single
-:class:`DeprecationWarning`, then are removed.
+Deprecation policy (see ``docs/API.md``): superseded entry points keep
+working for one PR cycle behind a shim that emits a single
+:class:`DeprecationWarning`, then are removed.  :func:`detector_config`
+and :func:`detector_configs` are the currently shimmed names — use
+``repro.api.profiles.profile(name)`` / ``profile_names()``.
 """
 
 from __future__ import annotations
 
 import pickle
+import warnings
 from pathlib import Path
 
+from repro.api import profiles
+from repro.api.profiles import AnalysisProfile
 from repro.detectors import HelgrindConfig, HelgrindDetector
 from repro.detectors.report import Report
 from repro.runtime import codec
 from repro.runtime.events import EVENT_TYPES, Event
 from repro.runtime.trace import ReplayVM, replay_trace
 
-__all__ = ["Pipeline", "Session", "detector_config", "detector_configs"]
-
-#: Known configuration names → factory.  ``detector_config`` validates
-#: against this table; keep it in sync with the CLI choices.
-_CONFIG_FACTORIES = {
-    "original": HelgrindConfig.original,
-    "hwlc": HelgrindConfig.hwlc,
-    "hwlc+dr": HelgrindConfig.hwlc_dr,
-    "extended": HelgrindConfig.extended,
-    "raw-eraser": HelgrindConfig.raw_eraser,
-    "eraser-states": HelgrindConfig.eraser_states,
-}
+__all__ = [
+    "AnalysisProfile",
+    "Pipeline",
+    "Session",
+    "detector_config",
+    "detector_configs",
+    "profiles",
+]
 
 #: Pickle payload version for :meth:`Session.snapshot`.
 SNAPSHOT_VERSION = 1
 
+#: One-shot latch for the ``detector_config``/``detector_configs``
+#: deprecation shims (one warning per process, not one per call).
+_DETECTOR_CONFIG_WARNED = False
+
+
+def _warn_detector_config() -> None:
+    global _DETECTOR_CONFIG_WARNED
+    if not _DETECTOR_CONFIG_WARNED:
+        _DETECTOR_CONFIG_WARNED = True
+        warnings.warn(
+            "repro.api.detector_config/detector_configs are deprecated; "
+            "use repro.api.profiles.profile(name).config() and "
+            "repro.api.profiles.profile_names()",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
 
 def detector_configs() -> tuple[str, ...]:
-    """The known detector-configuration names, sorted."""
-    return tuple(sorted(_CONFIG_FACTORIES))
+    """Deprecated: use :func:`repro.api.profiles.profile_names`."""
+    _warn_detector_config()
+    return profiles.profile_names()
 
 
 def detector_config(name: str) -> HelgrindConfig:
-    """Build the named detector configuration.
+    """Deprecated: use ``repro.api.profiles.profile(name).config()``.
 
     The names are the paper's evaluation vocabulary (``original``,
-    ``hwlc``, ``hwlc+dr``) plus the extensions; unknown names raise a
-    :class:`ValueError` that lists every known one.
+    ``hwlc``, ``hwlc+dr``) plus the extensions and the ``predictive``
+    tier; unknown names raise a :class:`ValueError` that lists every
+    known one.
     """
+    _warn_detector_config()
+    return profiles.profile(name).config()
+
+
+def _case_by_id(case_id: str):
+    """Resolve a case id across the evaluation and predictive suites."""
+    from repro.sip.workload import evaluation_cases, predictive_cases
+
+    by_id = {c.case_id: c for c in evaluation_cases()}
+    by_id.update({c.case_id: c for c in predictive_cases()})
     try:
-        factory = _CONFIG_FACTORIES[name]
+        return by_id[case_id]
     except KeyError:
-        known = ", ".join(detector_configs())
+        known = ", ".join(sorted(by_id, key=lambda c: (len(c), c)))
         raise ValueError(
-            f"unknown detector configuration {name!r}; known configurations: {known}"
+            f"unknown case {case_id!r}; known cases: {known}"
         ) from None
-    return factory()
 
 
 class Pipeline:
-    """A detector configuration plus factories for everything built on it.
+    """An analysis profile plus factories for everything built on it.
 
-    ``config`` is a configuration *name* (validated by
-    :func:`detector_config`) or a ready :class:`HelgrindConfig`.  The
+    ``config`` is a profile *name* (validated against
+    :mod:`repro.api.profiles`) or a ready :class:`HelgrindConfig`.  The
     pipeline itself is stateless and reusable — each :meth:`detector`,
     :meth:`session`, :meth:`run_case` or :meth:`replay` call builds
     fresh analysis state.
@@ -95,9 +126,11 @@ class Pipeline:
         suppressions=None,
     ) -> None:
         if isinstance(config, str):
+            self.profile: AnalysisProfile | None = profiles.profile(config)
             self.config_name: str | None = config
-            self.config = detector_config(config)
+            self.config = self.profile.config()
         else:
+            self.profile = None
             self.config_name = None
             self.config = config
         self.suppressions = suppressions
@@ -107,7 +140,11 @@ class Pipeline:
         return f"Pipeline({name!r})"
 
     def detector(self) -> HelgrindDetector:
-        """A fresh detector wired for this configuration."""
+        """A fresh detector wired for this profile/configuration."""
+        if self.profile is not None:
+            return self.profile.detector(
+                self.config, suppressions=self.suppressions
+            )
         return HelgrindDetector(self.config, suppressions=self.suppressions)
 
     def session(self, *, extra_hooks: tuple = ()) -> "Session":
@@ -118,7 +155,7 @@ class Pipeline:
         """Run one harness test case live under this configuration.
 
         ``case`` is a :class:`~repro.sip.workload.TestCase` or a case id
-        (``"T1"``…``"T8"``); keyword arguments pass through to
+        (``"T1"``…``"T10"``); keyword arguments pass through to
         :func:`repro.experiments.harness.run_proxy_case` (``seed``,
         ``mode``, ``extra_hooks``, ``telemetry``, …).  Returns that
         function's :class:`~repro.experiments.harness.ExperimentRun`.
@@ -129,19 +166,11 @@ class Pipeline:
                 "the instrumented build from the name); construct the "
                 "Pipeline with a configuration name"
             )
-        # Deferred: the harness imports repro.api for detector_config.
+        # Deferred: the harness imports repro.api for the profiles.
         from repro.experiments.harness import run_proxy_case
-        from repro.sip.workload import evaluation_cases
 
         if isinstance(case, str):
-            by_id = {c.case_id: c for c in evaluation_cases()}
-            try:
-                case = by_id[case]
-            except KeyError:
-                known = ", ".join(sorted(by_id))
-                raise ValueError(
-                    f"unknown case {case!r}; known cases: {known}"
-                ) from None
+            case = _case_by_id(case)
         if self.suppressions is not None and "detector" not in kwargs:
             kwargs["detector"] = self.detector()
         return run_proxy_case(case, self.config_name, **kwargs)
@@ -150,10 +179,12 @@ class Pipeline:
         """Replay a recorded trace file offline; returns the report.
 
         Byte-identical to the live run's report (see
-        :func:`repro.runtime.trace.replay_trace`).
+        :func:`repro.runtime.trace.replay_trace`).  Predictive profiles
+        run their finalisation post-pass before the report is returned.
         """
         detector = self.detector()
         replay_trace(path, detector, vm=vm)
+        detector.finalize()
         return detector.report
 
 
@@ -239,6 +270,16 @@ class Session:
 
     # -- results -------------------------------------------------------
 
+    def finalize(self) -> None:
+        """Run the detector's end-of-stream pass (idempotent).
+
+        Legacy tiers are complete after the last event and this is a
+        no-op; the predictive tier emits its predicted findings here.
+        Call it once the input stream is known to be finished — the
+        service does at FINISH time.
+        """
+        self.detector.finalize()
+
     @property
     def report(self) -> Report:
         """The detector's live report (readable at any time)."""
@@ -247,9 +288,7 @@ class Session:
     def report_text(self) -> str:
         """The report rendered exactly as :meth:`Report.save` writes it
         — byte-identical to ``repro trace replay --report-out``."""
-        import json
-
-        return json.dumps(self.report.to_dict(), indent=2)
+        return self.report.render()
 
     @property
     def events_seen(self) -> int:

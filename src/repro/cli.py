@@ -53,6 +53,14 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    # The analysis-profile registry is the single source of truth for
+    # which configurations exist; the CLI's choices are generated from
+    # it so a newly registered profile is selectable everywhere at once.
+    from repro.api.profiles import profile_names
+
+    config_choices = profile_names()
+    case_ids = [f"T{i}" for i in range(1, 11)]
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -64,6 +72,18 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("figure6", help="regenerate Figures 6 and 5")
     p.add_argument("--seed", type=int, default=42, help="scheduler seed")
+    p.add_argument(
+        "--config",
+        dest="configs",
+        action="append",
+        choices=config_choices,
+        help=(
+            "sweep these profiles instead of the paper's "
+            "Original/HWLC/HWLC+DR columns (repeatable); a custom set "
+            "renders a plain location-count table without the paper "
+            "comparison"
+        ),
+    )
     p.add_argument(
         "--mode",
         choices=("thread-per-request", "thread-pool"),
@@ -80,11 +100,8 @@ def _build_parser() -> argparse.ArgumentParser:
     p.set_defaults(handler=_cmd_figure6)
 
     p = sub.add_parser("case", help="run one test case under one configuration")
-    p.add_argument("case_id", choices=[f"T{i}" for i in range(1, 9)])
-    p.add_argument(
-        "config",
-        choices=("original", "hwlc", "hwlc+dr", "extended", "raw-eraser"),
-    )
+    p.add_argument("case_id", choices=case_ids)
+    p.add_argument("config", choices=config_choices)
     p.add_argument("--seed", type=int, default=42)
     p.add_argument("--full", action="store_true", help="print every warning block")
     p.set_defaults(handler=_cmd_case)
@@ -111,7 +128,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--case",
         dest="cases",
         action="append",
-        choices=[f"T{i}" for i in range(1, 9)],
+        choices=case_ids,
         help=(
             "restrict the Figure 6 sweep to these cases (repeatable); "
             "implies a focused report: the case-independent studies and "
@@ -132,7 +149,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p.set_defaults(handler=_cmd_report)
 
     p = sub.add_parser("suppress", help="triage a case and emit suppressions")
-    p.add_argument("case_id", choices=[f"T{i}" for i in range(1, 9)])
+    p.add_argument("case_id", choices=case_ids)
     p.add_argument("--seed", type=int, default=42)
     p.add_argument("-o", "--output", default="-", help="file ('-' = stdout)")
     p.set_defaults(handler=_cmd_suppress)
@@ -146,12 +163,12 @@ def _build_parser() -> argparse.ArgumentParser:
     tp = trace_sub.add_parser(
         "record", help="run one case with a trace recorder riding along"
     )
-    tp.add_argument("case_id", choices=[f"T{i}" for i in range(1, 9)])
+    tp.add_argument("case_id", choices=case_ids)
     tp.add_argument(
         "config",
         nargs="?",
         default="hwlc+dr",
-        choices=("original", "hwlc", "hwlc+dr", "extended", "raw-eraser"),
+        choices=config_choices,
     )
     tp.add_argument("-o", "--output", required=True, help="trace file path")
     tp.add_argument(
@@ -176,7 +193,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "config",
         nargs="?",
         default="hwlc+dr",
-        choices=("original", "hwlc", "hwlc+dr", "extended", "raw-eraser"),
+        choices=config_choices,
     )
     tp.add_argument("--full", action="store_true", help="print every warning block")
     tp.add_argument(
@@ -327,6 +344,16 @@ def _build_parser() -> argparse.ArgumentParser:
             "(repro_service_shard_verify_total; default: off)"
         ),
     )
+    p.add_argument(
+        "--finish-predict",
+        action="store_true",
+        help=(
+            "opt-in FINISH-time predictive post-pass: spool each "
+            "session's bytes and re-analyze the trace under the "
+            "'predictive' profile, appending predicted findings to the "
+            "session's report (default: off)"
+        ),
+    )
     _add_cache_flag(p)
     p.set_defaults(handler=_cmd_serve)
 
@@ -347,12 +374,12 @@ def _build_parser() -> argparse.ArgumentParser:
     cp = client_sub.add_parser(
         "record", help="run a case live, streaming its events to the service"
     )
-    cp.add_argument("case_id", choices=[f"T{i}" for i in range(1, 9)])
+    cp.add_argument("case_id", choices=case_ids)
     cp.add_argument(
         "config",
         nargs="?",
         default="hwlc+dr",
-        choices=("original", "hwlc", "hwlc+dr", "extended", "raw-eraser"),
+        choices=config_choices,
     )
     cp.add_argument("--seed", type=int, default=42)
     cp.add_argument(
@@ -369,7 +396,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "config",
         nargs="?",
         default="hwlc+dr",
-        choices=("original", "hwlc", "hwlc+dr", "extended", "raw-eraser"),
+        choices=config_choices,
     )
     cp.add_argument(
         "--session",
@@ -404,9 +431,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "stats",
         help="run one case instrumented; print pipeline telemetry",
     )
-    p.add_argument(
-        "case_id", nargs="?", default="T1", choices=[f"T{i}" for i in range(1, 9)]
-    )
+    p.add_argument("case_id", nargs="?", default="T1", choices=case_ids)
     p.add_argument(
         "--detector", choices=_STATS_DETECTORS, default="helgrind"
     )
@@ -428,10 +453,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
 #: Detectors the ``stats`` command (and ``report --detector``) can
 #: instrument.  "helgrind" runs the paper's HWLC+DR configuration;
-#: "lockset" is the raw §2.3.2 Eraser ablation.
+#: "lockset" is the raw §2.3.2 Eraser ablation; "predictive" is the
+#: offline prediction tier riding HWLC+DR.
 _STATS_DETECTORS = (
     "helgrind",
     "lockset",
+    "predictive",
     "djit",
     "racetrack",
     "hybrid",
@@ -522,6 +549,8 @@ def _stats_detector(name: str):
         return None, "hwlc+dr"
     if name == "lockset":
         return None, "raw-eraser"
+    if name == "predictive":
+        return None, "predictive"
     from repro.detectors import (
         AtomizerDetector,
         DjitDetector,
@@ -543,13 +572,22 @@ def _cmd_figure6(args) -> int:
         figure5_decomposition,
         figure6_table,
         shape_violations,
+        sweep_table,
     )
-    from repro.experiments.harness import run_figure6
+    from repro.experiments.harness import EVAL_CONFIGS, run_figure6
 
     telemetry = _telemetry_for(args)
+    configs = tuple(args.configs) if args.configs else EVAL_CONFIGS
     rows = run_figure6(
-        seed=args.seed, mode=args.mode, workers=args.workers, telemetry=telemetry
+        seed=args.seed, mode=args.mode, workers=args.workers,
+        telemetry=telemetry, configs=configs,
     )
+    if configs != EVAL_CONFIGS:
+        # A custom column set has no paper twin: render the plain
+        # sweep and skip the Figure 5/6 comparisons and shape checks.
+        print(sweep_table(rows, configs))
+        _write_telemetry(telemetry, args)
+        return 0
     print(figure6_table(rows))
     print()
     print(figure5_decomposition(rows))
@@ -565,9 +603,9 @@ def _cmd_figure6(args) -> int:
 
 
 def _case_by_id(case_id: str):
-    from repro.sip.workload import evaluation_cases
+    from repro.sip.workload import evaluation_cases, predictive_cases
 
-    for case in evaluation_cases():
+    for case in (*evaluation_cases(), *predictive_cases()):
         if case.case_id == case_id:
             return case
     raise SystemExit(f"unknown case {case_id}")
@@ -742,21 +780,15 @@ def _cmd_trace_help(args) -> int:
     return 2
 
 
-def _trace_config(name: str):
-    from repro.api import detector_config
-
-    return detector_config(name)
-
-
 def _cmd_trace_record(args) -> int:
     """Run a case with a :class:`TraceRecorder` riding the standard
     harness run — the §4.5 offline mode's record half."""
-    from repro.detectors import HelgrindDetector
+    from repro.api.profiles import profile
     from repro.experiments.harness import run_proxy_case
     from repro.runtime.trace import TraceRecorder
 
     case = _case_by_id(args.case_id)
-    det = HelgrindDetector(_trace_config(args.config))
+    det = profile(args.config).detector()
     with TraceRecorder(args.output, format=args.format) as recorder:
         run = run_proxy_case(
             case, args.config, seed=args.seed,
@@ -860,12 +892,13 @@ def _cmd_trace_replay(args) -> int:
         if not result.skeleton_consistent:
             print("  warning: shard segment graphs diverged (replay bug?)")
     else:
-        from repro.detectors import HelgrindDetector
+        from repro.api.profiles import profile
         from repro.runtime.trace import replay_trace
 
-        det = HelgrindDetector(_trace_config(args.config))
+        det = profile(args.config).detector()
         start = time.perf_counter()
         count = replay_trace(args.trace_file, det)
+        det.finalize()
         wall = time.perf_counter() - start
         report = det.report
         print(
@@ -1011,6 +1044,7 @@ def _cmd_serve(args) -> int:
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
         finish_shards=args.finish_shards,
+        finish_predict=args.finish_predict,
         **endpoint,
     )
     if args.single_process:

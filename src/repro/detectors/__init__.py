@@ -44,7 +44,14 @@ from repro.detectors.parallel import (
     merge_reports,
     replay_trace_sharded,
 )
-from repro.detectors.report import Report, Warning_, WarningKind
+from repro.detectors.predict import PredictiveDetector
+from repro.detectors.report import (
+    Finding,
+    Report,
+    Warning_,
+    WarningKind,
+    validate_report_json,
+)
 from repro.detectors.segments import Segment, SegmentGraph
 from repro.detectors.suppressions import SuppressionEntry, Suppressions
 from repro.detectors.vectorclock import VectorClock
@@ -67,6 +74,8 @@ __all__ = [
     "RaceTrackDetector",
     "AtomizerDetector",
     "LocksetMachine",
+    "Finding",
+    "PredictiveDetector",
     "Report",
     "Segment",
     "SegmentGraph",
@@ -80,5 +89,6 @@ __all__ = [
     "WordState",
     "classify_report",
     "merge_reports",
+    "validate_report_json",
     "replay_trace_sharded",
 ]

@@ -29,7 +29,62 @@ from repro.detectors.dispatch import EventDispatcher, handles
 from repro.detectors.report import Report, Warning_, WarningKind
 from repro.runtime.events import LockAcquire, LockRelease
 
-__all__ = ["LockGraphDetector"]
+__all__ = ["LockGraphDetector", "canonical_cycle", "cycle_gate", "find_cycle"]
+
+
+def canonical_cycle(cycle: list[int]) -> tuple[int, ...]:
+    """Canonical rotation: smallest lock id first, so A→B→A and B→A→B
+    deduplicate to the same key."""
+    pivot = cycle.index(min(cycle))
+    return tuple(cycle[pivot:] + cycle[:pivot])
+
+
+def find_cycle(
+    edges: dict[int, dict[int, object]], start: int, target: int
+) -> list[int] | None:
+    """DFS over ``edges``: is ``target`` reachable from ``start``?
+
+    If so, an edge ``target → start`` just closed a cycle; the returned
+    path is the cycle's node list (``start`` … ``target``).  Shared by
+    the on-the-fly lock-order detector and the predictive tier's
+    cross-thread lock graph (:mod:`repro.detectors.predict`).
+    """
+    stack = [(start, [start])]
+    seen = {start}
+    while stack:
+        node, path = stack.pop()
+        if node == target:
+            return path
+        for succ in edges.get(node, ()):
+            if succ not in seen:
+                seen.add(succ)
+                stack.append((succ, path + [succ]))
+    return None
+
+
+def cycle_gate(
+    edges: dict[int, dict[int, list]], canon: tuple[int, ...]
+) -> frozenset[int] | None:
+    """The gate-lock test over a canonical cycle.
+
+    Edge witnesses store their accumulated guard set at index 2 (the
+    intersection of everything else held across every traversal).  The
+    return value is the non-empty set of locks guarding *every* edge of
+    the cycle — the gates that serialise the acquisition paths and make
+    the inversion benign — or ``None`` when no such lock exists (or an
+    edge is unwitnessed, in which case we must not excuse the cycle).
+    """
+    ring = canon + (canon[0],)
+    common: frozenset[int] | None = None
+    for prior, then in zip(ring, ring[1:]):
+        witness = edges.get(prior, {}).get(then)
+        if witness is None:
+            return None  # incomplete information: do not excuse
+        guards = witness[2]
+        common = guards if common is None else (common & guards)
+        if not common:
+            return None
+    return common
 
 
 class LockGraphDetector(EventDispatcher):
@@ -95,25 +150,10 @@ class LockGraphDetector(EventDispatcher):
     # ------------------------------------------------------------------
 
     def _find_cycle(self, start: int, target: int) -> list[int] | None:
-        """DFS: is ``target`` reachable from ``start``?  (If so, adding
-        the edge ``target → start`` just closed a cycle.)"""
-        stack = [(start, [start])]
-        seen = {start}
-        while stack:
-            node, path = stack.pop()
-            if node == target:
-                return path
-            for succ in self._edges.get(node, ()):
-                if succ not in seen:
-                    seen.add(succ)
-                    stack.append((succ, path + [succ]))
-        return None
+        return find_cycle(self._edges, start, target)
 
     def _consider_cycle(self, cycle: list[int], event: LockAcquire) -> None:
-        # Canonical form: rotate so the smallest lock id leads, making
-        # A→B→A and B→A→B the same cycle for deduplication.
-        pivot = cycle.index(min(cycle))
-        canon = tuple(cycle[pivot:] + cycle[:pivot])
+        canon = canonical_cycle(cycle)
         if canon in self._reported_cycles:
             return
         if self.gate_lock_filter and self._gated(canon):
@@ -151,17 +191,7 @@ class LockGraphDetector(EventDispatcher):
 
     def _gated(self, canon: tuple[int, ...]) -> bool:
         """True if one lock guarded every edge of the cycle."""
-        ring = canon + (canon[0],)
-        common: frozenset[int] | None = None
-        for prior, then in zip(ring, ring[1:]):
-            witness = self._edges.get(prior, {}).get(then)
-            if witness is None:
-                return False  # incomplete information: do not excuse
-            guards = witness[2]
-            common = guards if common is None else (common & guards)
-            if not common:
-                return False
-        return bool(common)
+        return cycle_gate(self._edges, canon) is not None
 
     # ------------------------------------------------------------------
 

@@ -107,16 +107,32 @@ def merge_reports(parts):
     Order-independent: min-step warning per location, summed occurrence
     counts, summed suppression tally, final ordering by step (unique
     per warning — one warning per event, one step per event).
-    """
-    from repro.detectors.report import Report
 
+    Predicted findings (the predictive tier's ``finalize`` post-pass)
+    are partitioned out and re-appended *after* every live warning,
+    sorted by ``(step, kind, message)`` — the exact order
+    :meth:`PredictiveDetector.finalize` emits them sequentially.
+    Address-sharded race predictions are disjoint across shards (each
+    shard records only its own pages' accesses) and deadlock
+    predictions come from shard 0 alone (``predict_deadlocks``), so no
+    cross-shard dedup beyond the location key is needed.
+    """
+    from repro.detectors.report import Report, WarningKind
+
+    predicted_kinds = (WarningKind.PREDICTED_RACE, WarningKind.PREDICTED_DEADLOCK)
     best: dict[tuple, object] = {}
     occurrences: dict[tuple, int] = {}
+    predicted: dict[tuple, object] = {}
     suppressed = 0
     for part in parts:
         suppressed += part.suppressed_count
         for warning in part.warnings:
             key = warning.location_key
+            if warning.kind in predicted_kinds:
+                held = predicted.get(key)
+                if held is None or warning.step < held.step:
+                    predicted[key] = warning
+                continue
             occurrences[key] = occurrences.get(key, 0) + part.occurrences.get(
                 key, 1
             )
@@ -130,6 +146,10 @@ def merge_reports(parts):
         merged.warnings.append(warning)
         merged._by_location[key] = warning
         merged.occurrences[key] = occurrences[key]
+    for warning in sorted(
+        predicted.values(), key=lambda w: (w.step, w.kind, w.message)
+    ):
+        merged.add(warning)
     return merged
 
 
@@ -159,16 +179,21 @@ def _analyze_shard(payload: tuple) -> dict:
 
     import dataclasses
 
-    from repro.api import detector_config
-    from repro.detectors import HelgrindDetector
+    from repro.api.profiles import profile
     from repro.runtime.trace import ReplayVM, build_handler_table
     from repro.telemetry.metrics import MetricsRegistry
 
     data = Path(path).read_bytes()
-    cfg = detector_config(config_name)
+    prof = profile(config_name)
+    cfg = prof.config()
     if transition_cache is not None:
         cfg = dataclasses.replace(cfg, transition_cache=transition_cache)
-    detector = HelgrindDetector(cfg)
+    detector = prof.detector(cfg)
+    if hasattr(detector, "predict_deadlocks"):
+        # Deadlock prediction consumes only the replicated sync/lifecycle
+        # skeleton, so every shard would predict the identical cycles —
+        # leave it on for shard 0 alone.
+        detector.predict_deadlocks = shard == 0
     vm = ReplayVM()
     table = build_handler_table((vm, detector), vm)
 
@@ -191,6 +216,7 @@ def _analyze_shard(payload: tuple) -> dict:
 
     stats = codec.ReplayStats()
     events = codec.replay_blocks(data, table, vm, skip_blocks=skip, stats=stats)
+    detector.finalize()
 
     registry = MetricsRegistry()
     labels = {"shard": str(shard)}
@@ -282,10 +308,10 @@ def replay_trace_sharded(
 ) -> ShardedReplayResult:
     """Analyse a binary trace across ``shards`` worker processes.
 
-    ``config`` is a named detector configuration
-    (:func:`repro.api.detector_config` — ``original`` / ``hwlc`` /
-    ``hwlc+dr`` / ...); workers rebuild it by name, so nothing
-    unpicklable crosses the process boundary.  ``transition_cache``
+    ``config`` is a named analysis profile
+    (:mod:`repro.api.profiles` — ``original`` / ``hwlc`` / ``hwlc+dr``
+    / ``predictive`` / ...); workers rebuild detector and configuration
+    by name, so nothing unpicklable crosses the process boundary.  ``transition_cache``
     forces the memoized transition cache on/off in every worker
     (``None`` follows each worker process's default — forked workers
     inherit :func:`~repro.detectors.lockset.set_transition_cache_default`,

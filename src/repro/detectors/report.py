@@ -7,6 +7,14 @@ race locations").  :class:`Report` therefore deduplicates warnings by
 (kind, innermost frame) while still counting dynamic occurrences, and
 :meth:`Warning_.format` renders the Figure-9 style text block for human
 consumption.
+
+The structured read side: :meth:`Report.findings` views every warning
+as a :class:`Finding` (``kind`` ∈ ``race`` | ``deadlock`` |
+``predicted_race`` | ``predicted_deadlock``), :meth:`Report.render`
+produces the canonical serialisation every consumer compares
+byte-for-byte (CLI ``--report-out``, service REPORT frames, the
+``--finish-shards`` verifier), and :meth:`Report.to_json` is the
+schema-validated machine twin (:func:`validate_report_json`).
 """
 
 from __future__ import annotations
@@ -15,7 +23,17 @@ from dataclasses import dataclass, field
 
 from repro.runtime.events import CallStack, Frame
 
-__all__ = ["Warning_", "Report", "WarningKind"]
+__all__ = [
+    "Finding",
+    "REPORT_SCHEMA_VERSION",
+    "Report",
+    "Warning_",
+    "WarningKind",
+    "validate_report_json",
+]
+
+#: Version of the :meth:`Report.to_json` document layout.
+REPORT_SCHEMA_VERSION = 1
 
 
 class WarningKind:
@@ -24,6 +42,22 @@ class WarningKind:
     DATA_RACE = "possible-data-race"
     LOCK_ORDER = "lock-order-violation"
     DEADLOCK = "deadlock"
+    #: Predictive tier: a race that did not manifest in the observed
+    #: interleaving but is feasible under another schedule.
+    PREDICTED_RACE = "predicted-data-race"
+    #: Predictive tier: a lock-order cycle spanning cross-thread
+    #: critical sections — a deadlock some schedule can reach.
+    PREDICTED_DEADLOCK = "predicted-deadlock"
+
+
+#: Warning kind → the coarse :class:`Finding` vocabulary.
+_FINDING_KINDS = {
+    WarningKind.DATA_RACE: "race",
+    WarningKind.LOCK_ORDER: "deadlock",
+    WarningKind.DEADLOCK: "deadlock",
+    WarningKind.PREDICTED_RACE: "predicted_race",
+    WarningKind.PREDICTED_DEADLOCK: "predicted_deadlock",
+}
 
 
 @dataclass(slots=True)
@@ -78,6 +112,31 @@ class Warning_:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """A structured, consumer-facing view of one reported location.
+
+    ``kind`` collapses the warning-kind vocabulary to four values —
+    ``race``, ``deadlock``, ``predicted_race``, ``predicted_deadlock``
+    — so callers can branch on finding class without knowing every
+    warning-kind string.  ``warning`` keeps the full record (message,
+    details, address) for anything richer.
+    """
+
+    kind: str
+    location: Frame | None
+    stack: CallStack
+    step: int
+    tid: int
+    occurrences: int
+    warning: Warning_
+
+    @property
+    def predicted(self) -> bool:
+        """True for findings the run never exhibited live."""
+        return self.kind.startswith("predicted_")
+
+
 class Report:
     """Aggregates warnings, deduplicating by location.
 
@@ -120,6 +179,26 @@ class Report:
 
     def by_kind(self, kind: str) -> list[Warning_]:
         return [w for w in self.warnings if w.kind == kind]
+
+    def findings(self) -> list[Finding]:
+        """Every deduplicated warning as a structured :class:`Finding`,
+        in report order."""
+        return [
+            Finding(
+                kind=_FINDING_KINDS.get(w.kind, w.kind),
+                location=w.site,
+                stack=w.stack,
+                step=w.step,
+                tid=w.tid,
+                occurrences=self.occurrences.get(w.location_key, 1),
+                warning=w,
+            )
+            for w in self.warnings
+        ]
+
+    def predicted_findings(self) -> list[Finding]:
+        """Just the predictive tier's output (empty on legacy tiers)."""
+        return [f for f in self.findings() if f.predicted]
 
     def locations(self) -> list[tuple]:
         return list(self._by_location)
@@ -183,14 +262,57 @@ class Report:
             report.occurrences[warning.location_key] = item.get("occurrences", 1)
         return report
 
-    def save(self, path) -> None:
-        """Write the report as JSON."""
+    def render(self) -> str:
+        """The canonical report text.
+
+        This is the byte-identity contract: the CLI's ``--report-out``
+        files, the service's REPORT frames, ``Session.report_text()``
+        and the ``--finish-shards`` verifier all compare this exact
+        string (no trailing newline).
+        """
         import json
+
+        return json.dumps(self.to_dict(), indent=2)
+
+    def to_json(self) -> dict:
+        """The structured machine twin (schema-validated, like the
+        telemetry exporters): findings keyed by the coarse kind
+        vocabulary plus the raw warning records.
+        """
+        return {
+            "version": REPORT_SCHEMA_VERSION,
+            "suppressed_count": self.suppressed_count,
+            "location_count": self.location_count,
+            "dynamic_count": self.dynamic_count,
+            "findings": [
+                {
+                    "kind": f.kind,
+                    "predicted": f.predicted,
+                    "location": (
+                        [f.location.function, f.location.file, f.location.line]
+                        if f.location is not None
+                        else None
+                    ),
+                    "stack": [
+                        [fr.function, fr.file, fr.line] for fr in f.stack
+                    ],
+                    "step": f.step,
+                    "tid": f.tid,
+                    "occurrences": f.occurrences,
+                    "message": f.warning.message,
+                    "details": {
+                        k: str(v) for k, v in f.warning.details.items()
+                    },
+                }
+                for f in self.findings()
+            ],
+        }
+
+    def save(self, path) -> None:
+        """Write the report as JSON (exactly :meth:`render`)."""
         from pathlib import Path
 
-        Path(path).write_text(
-            json.dumps(self.to_dict(), indent=2), encoding="utf-8"
-        )
+        Path(path).write_text(self.render(), encoding="utf-8")
 
     @classmethod
     def load(cls, path) -> "Report":
@@ -205,3 +327,76 @@ class Report:
 
     def __iter__(self):
         return iter(self.warnings)
+
+
+_FINDING_VOCABULARY = frozenset(_FINDING_KINDS.values())
+
+
+def validate_report_json(doc: object) -> list[str]:
+    """Structural validation of a :meth:`Report.to_json` document.
+
+    Returns human-readable problems (empty = valid) — the same
+    contract, and the same no-``jsonschema`` constraint, as
+    :func:`repro.telemetry.schema.validate_snapshot`.
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"report must be an object, got {type(doc).__name__}"]
+    if doc.get("version") != REPORT_SCHEMA_VERSION:
+        problems.append(
+            f"version must be {REPORT_SCHEMA_VERSION}, "
+            f"got {doc.get('version')!r}"
+        )
+    for key in ("suppressed_count", "location_count", "dynamic_count"):
+        value = doc.get(key)
+        if not isinstance(value, int) or value < 0:
+            problems.append(f"{key} must be a non-negative integer, got {value!r}")
+    findings = doc.get("findings")
+    if not isinstance(findings, list):
+        problems.append("findings must be a list")
+        return problems
+    if isinstance(doc.get("location_count"), int) and len(findings) != doc[
+        "location_count"
+    ]:
+        problems.append(
+            f"location_count is {doc['location_count']} but there are "
+            f"{len(findings)} findings"
+        )
+    for i, finding in enumerate(findings):
+        where = f"findings[{i}]"
+        if not isinstance(finding, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        kind = finding.get("kind")
+        if kind not in _FINDING_VOCABULARY:
+            problems.append(f"{where}: unknown kind {kind!r}")
+        elif finding.get("predicted") != kind.startswith("predicted_"):
+            problems.append(
+                f"{where}: predicted flag disagrees with kind {kind!r}"
+            )
+        stack = finding.get("stack")
+        if not isinstance(stack, list) or not all(
+            isinstance(fr, list)
+            and len(fr) == 3
+            and isinstance(fr[0], str)
+            and isinstance(fr[1], str)
+            and isinstance(fr[2], int)
+            for fr in stack
+        ):
+            problems.append(f"{where}: stack must be a list of [fn, file, line]")
+        location = finding.get("location")
+        if location is not None and (
+            not isinstance(location, list) or len(location) != 3
+        ):
+            problems.append(f"{where}: location must be null or [fn, file, line]")
+        for key in ("step", "tid", "occurrences"):
+            if not isinstance(finding.get(key), int):
+                problems.append(f"{where}: {key} must be an integer")
+        if not isinstance(finding.get("message"), str):
+            problems.append(f"{where}: message must be a string")
+        details = finding.get("details")
+        if not isinstance(details, dict) or not all(
+            isinstance(k, str) and isinstance(v, str) for k, v in details.items()
+        ):
+            problems.append(f"{where}: details must be a string->string object")
+    return problems

@@ -185,6 +185,12 @@ class SegmentGraph:
             or self.happens_before(sb, sa)
         )
 
+    def concurrent(self, a: int | Segment, b: int | Segment) -> bool:
+        """True when neither segment happens-before the other — the
+        schedules can interleave them.  The predictive tier's race
+        feasibility test."""
+        return not self.ordered(a, b)
+
     @property
     def segment_count(self) -> int:
         return self._next_id

@@ -40,6 +40,24 @@ PAPER_FIGURE6: dict[str, tuple[int, int, int]] = {
 }
 
 
+def sweep_table(rows: list[Figure6Row], configs: tuple[str, ...]) -> str:
+    """A generic (case × profile) location-count table.
+
+    Used when ``repro figure6 --config ...`` selects a column set other
+    than the paper trio — the Figure 6 paper comparison columns only
+    make sense for Original/HWLC/HWLC+DR.
+    """
+    body = [
+        [row.case_id, *(row.runs[c].location_count for c in configs)]
+        for row in rows
+    ]
+    return format_table(
+        ["case", *configs],
+        body,
+        title="Reported warning locations per analysis profile",
+    )
+
+
 def figure6_table(rows: list[Figure6Row]) -> str:
     """Render measured vs paper Figure 6, row for row."""
     body = []

@@ -26,8 +26,8 @@ import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
-from repro.api import detector_config
-from repro.detectors import HelgrindConfig, HelgrindDetector
+from repro.api.profiles import profile
+from repro.detectors import HelgrindConfig
 from repro.detectors.classify import ClassifiedReport, classify_report
 from repro.oracle import GroundTruth, WarningCategory
 from repro.runtime import VM, RandomScheduler
@@ -93,9 +93,9 @@ def _detector_config(name: str) -> HelgrindConfig:
     """Deprecated: use :func:`repro.api.detector_config`.
 
     This was the harness's private name-to-configuration table; it is
-    now the public, validated ``repro.api.detector_config``.  The shim
-    warns once per process and will be removed next PR cycle (see
-    ``docs/API.md``).
+    now the public, validated ``repro.api.detector_config`` (itself a
+    thin veneer over :mod:`repro.api.profiles`).  The shim warns once
+    per process and will be removed next PR cycle (see ``docs/API.md``).
     """
     global _DETECTOR_CONFIG_WARNED
     if not _DETECTOR_CONFIG_WARNED:
@@ -106,7 +106,7 @@ def _detector_config(name: str) -> HelgrindConfig:
             DeprecationWarning,
             stacklevel=2,
         )
-    return detector_config(name)
+    return profile(name).config()
 
 
 def run_proxy_case(
@@ -137,18 +137,24 @@ def run_proxy_case(
     :class:`~repro.runtime.trace.TraceRecorder`, so ``repro trace
     record`` captures exactly the event stream the detector saw (the
     §4.5 offline mode riding an otherwise unchanged evaluation run).
+
+    A case may pin its own bug set (``case.bugs``), which overrides the
+    ``bugs`` argument — the predictive T9/T10 cases use this to enable
+    *only* their latent fault regardless of the caller's default.
     """
-    det_config = detector_config(config_name)
+    prof = profile(config_name)
+    det_config = prof.config()
+    effective_bugs = case.bugs if case.bugs is not None else bugs
     truth = GroundTruth()
     proxy = SipProxy(
         ProxyConfig(
             mode=mode,
-            bugs=bugs,
+            bugs=effective_bugs,
             instrumented=det_config.honor_destruct,
         ),
         truth=truth,
     )
-    det = detector if detector is not None else HelgrindDetector(det_config)
+    det = detector if detector is not None else prof.detector(det_config)
     instrumented = telemetry is not None and telemetry.enabled
     vm = VM(
         detectors=(*extra_hooks, det),
@@ -156,14 +162,25 @@ def run_proxy_case(
         step_limit=step_limit,
         telemetry=telemetry if instrumented else None,
     )
+    def _finalize() -> None:
+        # End-of-stream hook: the predictive tier's offline post-pass
+        # runs here (a no-op for every live-only detector).  Must
+        # precede the telemetry harvest — predicted warnings and the
+        # repro_predict_* counters land at finalize time.
+        finalize = getattr(det, "finalize", None)
+        if finalize is not None:
+            finalize()
+
     start = time.perf_counter()
     if instrumented:
         telemetry.attach(vm)
         with telemetry.phase(f"{case.case_id}/{config_name}"):
             proxy_result = vm.run(proxy.main, case.wires)
+        _finalize()
         telemetry.record_run(vm, label=f"{case.case_id}/{config_name}")
     else:
         proxy_result = vm.run(proxy.main, case.wires)
+        _finalize()
     wall = time.perf_counter() - start
     return ExperimentRun(
         case_id=case.case_id,
@@ -212,8 +229,14 @@ def run_figure6(
     mode: str = "thread-per-request",
     workers: int | None = None,
     telemetry=None,
+    configs: tuple[str, ...] = EVAL_CONFIGS,
 ) -> list[Figure6Row]:
     """The full evaluation: T1-T8 × {Original, HWLC, HWLC+DR}.
+
+    ``configs`` overrides the column set — any registered profile name
+    is a valid column (``repro figure6 --config predictive`` sweeps
+    the predictive tier over the same cases).  The Figure 6 paper
+    comparison is only rendered for the default paper trio.
 
     ``workers`` > 1 fans the independent cells out over that many
     worker processes (``python -m repro figure6 --workers N``); the
@@ -230,11 +253,13 @@ def run_figure6(
     """
     case_list = list(cases) if cases is not None else evaluation_cases()
     if workers is not None and workers > 1:
-        return _run_figure6_parallel(case_list, seed, mode, workers, telemetry)
+        return _run_figure6_parallel(
+            case_list, seed, mode, workers, telemetry, configs
+        )
     rows: list[Figure6Row] = []
     for case in case_list:
         row = Figure6Row(case.case_id)
-        for config_name in EVAL_CONFIGS:
+        for config_name in configs:
             row.runs[config_name] = run_proxy_case(
                 case, config_name, seed=seed, mode=mode, telemetry=telemetry
             )
@@ -243,14 +268,15 @@ def run_figure6(
 
 
 def _run_figure6_parallel(
-    cases: list[TestCase], seed: int, mode: str, workers: int, telemetry=None
+    cases: list[TestCase], seed: int, mode: str, workers: int,
+    telemetry=None, configs: tuple[str, ...] = EVAL_CONFIGS,
 ) -> list[Figure6Row]:
-    """Fan the 24 independent cells across ``workers`` processes."""
+    """Fan the independent (case × config) cells across ``workers``."""
     collect = telemetry is not None and telemetry.enabled
     jobs = [
         (case, config_name, seed, mode, collect)
         for case in cases
-        for config_name in EVAL_CONFIGS
+        for config_name in configs
     ]
     by_case: dict[str, Figure6Row] = {
         case.case_id: Figure6Row(case.case_id) for case in cases

@@ -36,7 +36,8 @@ import socket
 import threading
 import time
 
-from repro.api import Session, detector_config
+from repro.api import Session
+from repro.api.profiles import profile
 from repro.service import protocol
 from repro.service.checkpoint import CheckpointStore
 from repro.service.session import ServiceSession
@@ -83,6 +84,7 @@ class AnalysisServer:
         tracer=None,
         trace_out: str | None = None,
         finish_shards: int = 0,
+        finish_predict: bool = False,
     ) -> None:
         if listen:
             if (socket_path is None) == (host is None or port is None):
@@ -134,6 +136,11 @@ class AnalysisServer:
         #: (``repro_service_shard_verify_total``).  0 disables — no
         #: spooling, no extra cost.
         self.finish_shards = finish_shards
+        #: Opt-in FINISH-time predictive post-pass: each session spools
+        #: its byte stream and, *before* shipping the report, replays it
+        #: under the ``predictive`` profile and appends the predicted
+        #: findings (``repro_service_predict_finish_total``).
+        self.finish_predict = finish_predict
 
         self._listener: socket.socket | None = None
         if not listen:
@@ -589,7 +596,7 @@ class AnalysisServer:
 
     def _fresh_session(self, conn, hello: dict) -> ServiceSession:
         config = hello.get("config", "hwlc+dr")
-        detector_config(config)  # validate before allocating anything
+        profile(config)  # validate before allocating anything
         assigned = hello.get("assign")
         with self._sessions_lock:
             if assigned is not None:

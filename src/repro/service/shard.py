@@ -253,6 +253,7 @@ class ShardedAnalysisServer:
         checkpoint_every: int = 0,
         throttle: float = 0.0,
         finish_shards: int = 0,
+        finish_predict: bool = False,
         registry: MetricsRegistry | None = None,
         replicas: int = DEFAULT_REPLICAS,
         logger=None,
@@ -275,6 +276,10 @@ class ShardedAnalysisServer:
         #: Forwarded to every worker process: FINISH-time sharded
         #: re-analysis fan-out (0 = off).
         self.finish_shards = finish_shards
+        #: Forwarded to every worker process: FINISH-time predictive
+        #: post-pass (replay the session spool under the ``predictive``
+        #: profile and append predicted findings to the report).
+        self.finish_predict = finish_predict
         self.ring = HashRing(workers, replicas)
         self.registry = registry if registry is not None else MetricsRegistry()
         self.registry_lock = threading.Lock()
@@ -451,6 +456,8 @@ class ShardedAnalysisServer:
             cmd += ["--throttle", str(self.throttle)]
         if self.finish_shards:
             cmd += ["--finish-shards", str(self.finish_shards)]
+        if self.finish_predict:
+            cmd += ["--finish-predict"]
         if self.log_file:
             cmd += ["--log-file", self.log_file]
         if self.log_level:
@@ -630,10 +637,10 @@ class ShardedAnalysisServer:
             # route before any worker is involved) and validates the
             # config early — a bad name fails here, not after a
             # redirect round-trip.
-            from repro.api import detector_config
+            from repro.api.profiles import profile
 
             config = hello.get("config", "hwlc+dr")
-            detector_config(config)
+            profile(config)
             session_id = self._assign_id()
             hello = {"config": config, "assign": session_id}
         # Session-scoped trace id, minted here (the one process that
@@ -824,6 +831,7 @@ def worker_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--checkpoint-every", type=int, default=0)
     parser.add_argument("--throttle", type=float, default=0.0)
     parser.add_argument("--finish-shards", type=int, default=0)
+    parser.add_argument("--finish-predict", action="store_true")
     parser.add_argument("--log-file", default=None)
     parser.add_argument("--log-level", default=None)
     parser.add_argument("--trace-dir", default=None)
@@ -883,6 +891,7 @@ def worker_main(argv: list[str] | None = None) -> int:
         checkpoint_every=args.checkpoint_every,
         throttle=args.throttle,
         finish_shards=args.finish_shards,
+        finish_predict=args.finish_predict,
         worker_id=worker_id,
         logger=logger,
         flight=flight,

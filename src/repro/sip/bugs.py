@@ -34,13 +34,39 @@ Bug ids and their §4.1 provenance:
     The "groups [of faults] that stem from the same origin" catch-all:
     per-request statistics counters incremented without the lock from
     many handler sites.
+
+Two further bugs are *latent*: seeded so that no live run manifests
+them (host-side pacing keeps the dangerous interleavings out of reach
+of every schedule the VM can pick), which is precisely what the
+predictive tier (:mod:`repro.detectors.predict`) exists to catch.
+They are excluded from :data:`DEFAULT_BUGS` and the Figure 5/6
+evaluation set and enabled only by the T9/T10 predictive cases:
+
+``latent-lock-order``
+    A maintenance audit takes registrar → domain while the domain
+    refresher's *helper thread* takes domain → registrar — the second
+    half of the inversion crosses a thread boundary (the refresher
+    spawns the helper while holding the domain lock), so no
+    single-thread lock graph ever sees the cycle.
+``latent-unguarded-write``
+    A warm-up write populates a statistics probe word without the
+    statistics lock before publishing it; every later reader locks
+    properly.  Eraser-style detectors forgive the first-toucher
+    (EXCLUSIVE warm-up), so no live run warns.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["Bug", "BUGS", "ALL_BUG_IDS", "DEFAULT_BUGS"]
+__all__ = [
+    "Bug",
+    "BUGS",
+    "ALL_BUG_IDS",
+    "DEFAULT_BUGS",
+    "EVALUATION_BUGS",
+    "LATENT_BUG_IDS",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -128,16 +154,52 @@ BUGS: dict[str, Bug] = {
             ),
             fix="Take the statistics mutex (or use atomic increments).",
         ),
+        Bug(
+            bug_id="latent-lock-order",
+            title="Lock-order inversion across a helper thread",
+            paper_ref="predictive tier (beyond §3.3's live lock graph)",
+            description=(
+                "The registrar audit takes registrar → domain; the "
+                "domain refresher spawns a helper *while holding the "
+                "domain lock* and the helper takes the registrar lock — "
+                "domain → registrar, completed in another thread.  The "
+                "run schedule keeps the two phases apart, so the "
+                "deadlock never fires live."
+            ),
+            fix="Take both locks in the registrar → domain hierarchy "
+            "order everywhere (the helper must not acquire the "
+            "registrar lock under an inherited domain lock).",
+            race_detectable=False,
+        ),
+        Bug(
+            bug_id="latent-unguarded-write",
+            title="Unguarded warm-up write to a guarded word",
+            paper_ref="predictive tier (Eraser's EXCLUSIVE warm-up blind spot)",
+            description=(
+                "A probe word is populated without the statistics lock "
+                "before being published to a reader that locks "
+                "correctly; the first-toucher warm-up keeps every live "
+                "lock-set run silent."
+            ),
+            fix="Take the statistics lock around the warm-up store as "
+            "well.",
+            race_detectable=False,
+        ),
     )
 }
 
 ALL_BUG_IDS = frozenset(BUGS)
 
-#: What the paper's subject looked like: everything broken.
-DEFAULT_BUGS = ALL_BUG_IDS
+#: Latent faults: never manifest live, only the predictive tier's
+#: offline post-pass reports them (T9/T10).
+LATENT_BUG_IDS = frozenset({"latent-lock-order", "latent-unguarded-write"})
+
+#: What the paper's subject looked like: everything broken (the latent
+#: seeds are ours, not the paper's, and stay opt-in).
+DEFAULT_BUGS = ALL_BUG_IDS - LATENT_BUG_IDS
 
 #: The configuration of the measured experiments.  §4.1: the race in the
 #: application's own deadlock-detection code "was not easy to change in
 #: order to remove the race condition.  Therefore, it was disabled for
 #: further experiments" — so the Figure 5/6 runs exclude it.
-EVALUATION_BUGS = ALL_BUG_IDS - {"deadlock-detector"}
+EVALUATION_BUGS = ALL_BUG_IDS - LATENT_BUG_IDS - {"deadlock-detector"}

@@ -244,10 +244,12 @@ class SipProxy:
                 )
             )
             self._boot(api)
+            self._spawn_latent(api)
             if config.mode == "thread-per-request":
                 self._serve_thread_per_request(api, wire_messages)
             else:
                 self._serve_thread_pool(api, wire_messages)
+            self._join_latent(api)
             self._shutdown(api)
         return self.result
 
@@ -462,6 +464,105 @@ class SipProxy:
                     self._record_failure(f"transaction {key} expired ({status})")
                 self._mark_zombie(api, key, obj, 679)
             self._release_transaction(api, obj, 681)
+
+    # ------------------------------------------------------------------
+    # Latent maintenance routines (the predictive tier's subjects)
+    # ------------------------------------------------------------------
+    #
+    # Both routines pace themselves through *host-side* flags polled via
+    # ``api.yield_()`` — the same trick ``_pace_dialog`` uses — so the
+    # dangerous interleaving is out of reach of every schedule the VM
+    # can pick, yet no happens-before edge exists that would let a live
+    # detector excuse (or a predictive one miss) the fault.
+
+    def _spawn_latent(self, api) -> None:
+        config = self.config
+        self._latent_threads = []
+        self._latent_flags: dict[str, bool] = {}
+        self._latent_probe = None
+        if config.has_bug("latent-lock-order"):
+            api.at(700)
+            self._latent_threads.append(
+                api.spawn(self._latent_audit_main, name="registrar-audit")
+            )
+            self._latent_threads.append(
+                api.spawn(self._latent_refresh_main, name="domain-refresh")
+            )
+        if config.has_bug("latent-unguarded-write"):
+            api.at(752)
+            self._latent_probe = api.malloc(1, tag="latent.stats-probe")
+            if self.truth is not None:
+                self.truth.claim(
+                    self._latent_probe,
+                    1,
+                    WarningCategory.TRUE_RACE,
+                    note="probe word warmed up without the statistics lock",
+                    bug_id="latent-unguarded-write",
+                )
+            self._latent_threads.append(
+                api.spawn(self._latent_writer_main, name="probe-warmup")
+            )
+            self._latent_threads.append(
+                api.spawn(self._latent_reader_main, name="probe-poll")
+            )
+
+    def _join_latent(self, api) -> None:
+        for handle in self._latent_threads:
+            api.join(handle)
+        self._latent_threads = []
+
+    def _latent_audit_main(self, api) -> None:
+        """Maintenance audit: registrar -> domain (the hierarchy order)."""
+        with api.frame("RegistrarAudit::run", _SRC, 710):
+            self._registrar_lock.lock(api)
+            api.at(712)
+            self._domain_lock.lock(api)
+            self._domain_lock.unlock(api)
+            self._registrar_lock.unlock(api)
+        # Host-side publication: the refresher is paced to run only
+        # after the audit is done, so the inverted acquisition order
+        # can never collide live.
+        self._latent_flags["audit-done"] = True
+
+    def _latent_refresh_main(self, api) -> None:
+        """Domain refresh: takes the domain lock, then delegates the
+        registrar sync to a helper thread *while still holding it* —
+        the inversion's second half lives in the helper."""
+        while not self._latent_flags.get("audit-done"):
+            api.yield_()
+        with api.frame("DomainRefresh::run", _SRC, 720):
+            self._domain_lock.lock(api)
+            api.at(722)
+            helper = api.spawn(self._latent_refresh_helper, name="refresh-helper")
+            api.join(helper)
+            self._domain_lock.unlock(api)
+
+    def _latent_refresh_helper(self, api) -> None:
+        """Runs under the parent's (inherited) domain lock: acquiring
+        the registrar lock here completes the domain -> registrar edge
+        in another thread, invisible to any per-thread lock graph."""
+        with api.frame("DomainRefresh::syncRegistrar", _SRC, 730):
+            self._registrar_lock.lock(api)
+            self._registrar_lock.unlock(api)
+
+    def _latent_writer_main(self, api) -> None:
+        """Warm-up store without the statistics lock — the classic
+        Eraser EXCLUSIVE-state blind spot: the word's first toucher."""
+        with api.frame("StatsProbe::warmup", _SRC, 760):
+            api.at(762)
+            api.store(self._latent_probe, 1)
+        self._latent_flags["probe-ready"] = True
+
+    def _latent_reader_main(self, api) -> None:
+        """Disciplined reader: polls the probe under the statistics
+        lock, paced (host-side) to run only after the warm-up."""
+        while not self._latent_flags.get("probe-ready"):
+            api.yield_()
+        with api.frame("StatsProbe::poll", _SRC, 770):
+            self._stats_lock.lock(api)
+            api.at(772)
+            api.load(self._latent_probe)
+            self._stats_lock.unlock(api)
 
     # ------------------------------------------------------------------
     # Dispatch

@@ -22,7 +22,13 @@ from repro._util.rng import SplitMix64
 from repro.sip.message import Header, SipMessage
 from repro.sip.parser import serialize_message
 
-__all__ = ["TestCase", "evaluation_cases", "scenario_calls", "CallScenario"]
+__all__ = [
+    "TestCase",
+    "evaluation_cases",
+    "predictive_cases",
+    "scenario_calls",
+    "CallScenario",
+]
 
 _DOMAINS = ("example.com", "biloxi.example.com", "atlanta.example.com")
 _USERS = ("alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi")
@@ -39,6 +45,11 @@ class TestCase:
     name: str
     description: str
     wires: list[str] = field(default_factory=list)
+    #: Bug set this case is designed around, or ``None`` to let the
+    #: harness default apply (``EVALUATION_BUGS`` for T1-T8).  The
+    #: predictive cases T9/T10 pin their single latent bug here so
+    #: every runner — harness, CLI, CI — seeds the same server.
+    bugs: frozenset[str] | None = None
 
     @property
     def message_count(self) -> int:
@@ -395,4 +406,52 @@ def _t8(seed: int) -> TestCase:
         "maintenance",
         "registration refresh sweep with audits and two calls",
         b.weave(scenarios),
+    )
+
+
+# ----------------------------------------------------------------------
+# The predictive test cases (latent bugs; see repro.sip.bugs)
+# ----------------------------------------------------------------------
+
+
+def predictive_cases(*, seed: int = 2007) -> list[TestCase]:
+    """T9/T10: cases whose seeded bug never fires in any live run.
+
+    Both pin their latent bug through :attr:`TestCase.bugs`, so running
+    them under the legacy detector configurations produces clean
+    reports — only the ``predictive`` profile's offline post-pass
+    reports the fault.
+    """
+    return [_t9(seed), _t10(seed)]
+
+
+def _t9(seed: int) -> TestCase:
+    """Latent lock-order deadlock across a helper thread."""
+    b = _Builder(seed ^ 0x59)
+    scenarios = [b.register(renew=True) for _ in range(2)]
+    scenarios += [b.options() for _ in range(2)]
+    return TestCase(
+        "T9",
+        "latent-lock-order",
+        "light maintenance traffic while the registrar audit and the "
+        "domain refresher (via its helper thread) take the registrar "
+        "and domain locks in opposite orders — paced so the deadlock "
+        "never fires live",
+        b.weave(scenarios),
+        bugs=frozenset({"latent-lock-order"}),
+    )
+
+
+def _t10(seed: int) -> TestCase:
+    """Latent unguarded warm-up write to a guarded statistics word."""
+    b = _Builder(seed ^ 0x5A)
+    scenarios = [b.options() for _ in range(3)]
+    return TestCase(
+        "T10",
+        "latent-unguarded-write",
+        "keep-alive pings while a warm-up thread stores a statistics "
+        "probe word without the lock before a properly-locking reader "
+        "polls it — the Eraser warm-up keeps every live run silent",
+        b.weave(scenarios),
+        bugs=frozenset({"latent-unguarded-write"}),
     )

@@ -238,6 +238,27 @@ def to_console(snapshot: dict) -> str:
                     out.append(
                         f"    warnings[{s['labels']['kind']}] = {int(s['value'])} locations"
                     )
+            # The predictive tier's offline pass (zeros elsewhere —
+            # only shown when the detector actually predicted).
+            edges = _value(snapshot, "repro_predict_edges_total", detector=det)
+            cycles = _value(
+                snapshot, "repro_predict_cycles_checked_total", detector=det
+            )
+            predictions = _value(
+                snapshot, "repro_predict_predictions_total", detector=det
+            )
+            rejections = _value(
+                snapshot,
+                "repro_predict_feasibility_rejections_total",
+                detector=det,
+            )
+            if edges or cycles or predictions or rejections:
+                out.append(
+                    f"    predictions: {int(predictions)} emitted "
+                    f"({int(edges)} cross-thread edges, "
+                    f"{int(cycles)} cycles checked, "
+                    f"{int(rejections)} rejected infeasible)"
+                )
 
     if "repro_phase_seconds_total" in metrics:
         out.append("phases")

@@ -435,6 +435,34 @@ class Telemetry:
                 help="Accesses absorbed by the one-entry same-access filter.",
             ).inc(elided)
 
+        # Predictive-tier counters.  Every detector answers
+        # predict_stats() (the base implementation returns zeros), so
+        # the families are always present and schema-validatable;
+        # non-zero values only appear under the predictive profile.
+        predict = getattr(hook, "predict_stats", None)
+        if predict is not None:
+            stats = predict()
+            reg.counter(
+                "repro_predict_edges_total",
+                {"detector": name},
+                help="Cross-thread lock-graph edges recorded for prediction.",
+            ).inc(stats["edges"])
+            reg.counter(
+                "repro_predict_cycles_checked_total",
+                {"detector": name},
+                help="Candidate lock-order cycles examined for feasibility.",
+            ).inc(stats["cycles_checked"])
+            reg.counter(
+                "repro_predict_predictions_total",
+                {"detector": name},
+                help="Predicted findings (races + deadlocks) emitted.",
+            ).inc(stats["predictions"])
+            reg.counter(
+                "repro_predict_feasibility_rejections_total",
+                {"detector": name},
+                help="Candidate predictions discarded by the feasibility gate.",
+            ).inc(stats["feasibility_rejections"])
+
         # Detector-specific summary gauges (each detector contributes
         # its own vocabulary through telemetry_summary()).
         summary = getattr(hook, "telemetry_summary", None)

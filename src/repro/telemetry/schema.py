@@ -39,6 +39,10 @@ REQUIRED_FAMILIES = (
     "repro_transition_cache_misses_total",
     "repro_transition_cache_evictions_total",
     "repro_access_elided_total",
+    "repro_predict_edges_total",
+    "repro_predict_cycles_checked_total",
+    "repro_predict_predictions_total",
+    "repro_predict_feasibility_rejections_total",
 )
 
 

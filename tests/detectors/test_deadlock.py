@@ -218,3 +218,112 @@ class TestGateLockFilter:
         det = LockGraphDetector()
         VM(detectors=(det,)).run(prog)
         assert det.cycles_found == 1
+
+
+class TestBaselineContract:
+    """Pin the current detector's observable contract — graph shape,
+    edge witnesses, canonical-cycle dedup — before the predictive tier
+    builds on it."""
+
+    def test_telemetry_summary_counts_graph_shape(self):
+        def prog(api):
+            a_, b_, c_ = api.mutex("A"), api.mutex("B"), api.mutex("C")
+            # Edges A->B, A->C, B->C; no cycle.
+            api.lock(a_)
+            api.lock(b_)
+            api.lock(c_)
+            api.unlock(c_)
+            api.unlock(b_)
+            api.unlock(a_)
+
+        det = run_lg(prog)
+        summary = det.telemetry_summary()
+        assert summary == {
+            "graph_nodes": 2,   # A and B have successors
+            "graph_edges": 3,   # A->B, A->C, B->C
+            "cycles_reported": 0,
+            "cycles_gated": 0,
+        }
+
+    def test_gated_cycle_counts_in_summary(self):
+        det = LockGraphDetector()
+        VM(detectors=(det,)).run(TestGateLockFilter()._gated_program)
+        assert det.telemetry_summary()["cycles_gated"] == 1
+        assert det.telemetry_summary()["cycles_reported"] == 0
+
+    def test_edge_witnesses_name_thread_and_site(self):
+        """Each cycle edge is witnessed: which thread, which frame."""
+
+        def prog(api):
+            m1, m2 = api.mutex("A"), api.mutex("B")
+            api.lock(m1)
+            api.lock(m2)
+            api.unlock(m2)
+            api.unlock(m1)
+            api.lock(m2)
+            api.lock(m1)
+            api.unlock(m1)
+            api.unlock(m2)
+
+        det = run_lg(prog)
+        (w,) = det.report.warnings
+        edge_keys = [k for k in w.details if k.startswith("Edge lock")]
+        assert len(edge_keys) == 2
+        assert "Edge lock0 -> lock1" in w.details
+        assert "Edge lock1 -> lock0" in w.details
+        for key in edge_keys:
+            assert w.details[key].startswith("thread ")
+
+    def test_cycle_dedup_is_rotation_invariant(self):
+        """A->B->A observed first, then the B->A->B rotation: one
+        report, whichever rotation closed the cycle."""
+
+        def prog(api):
+            m1, m2 = api.mutex("A"), api.mutex("B")
+            for first, second in ((m1, m2), (m2, m1), (m1, m2), (m2, m1)):
+                api.lock(first)
+                api.lock(second)
+                api.unlock(second)
+                api.unlock(first)
+
+        det = run_lg(prog)
+        assert det.cycles_found == 1
+        assert len(det.report.warnings) == 1
+
+    def test_two_disjoint_cycles_both_reported(self):
+        def prog(api):
+            a_, b_ = api.mutex("A"), api.mutex("B")
+            c_, d_ = api.mutex("C"), api.mutex("D")
+            for first, second in ((a_, b_), (b_, a_), (c_, d_), (d_, c_)):
+                api.lock(first)
+                api.lock(second)
+                api.unlock(second)
+                api.unlock(first)
+
+        det = run_lg(prog)
+        assert det.cycles_found == 2
+
+    def test_warning_carries_acquisition_stack_and_step(self):
+        def prog(api):
+            m1, m2 = api.mutex("A"), api.mutex("B")
+            api.lock(m1)
+            api.lock(m2)
+            api.unlock(m2)
+            api.unlock(m1)
+            api.lock(m2)
+            api.lock(m1)
+            api.unlock(m1)
+            api.unlock(m2)
+
+        det = run_lg(prog)
+        (w,) = det.report.warnings
+        assert w.kind == "lock-order-violation"
+        assert w.step > 0
+        assert w.addr is None
+
+    def test_release_without_acquire_is_tolerated(self):
+        from repro.runtime.events import LockRelease
+
+        det = LockGraphDetector()
+        det._on_release(LockRelease(1, 1, lock_id=7))
+        assert det.held_by(1) == []

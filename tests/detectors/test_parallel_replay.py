@@ -30,7 +30,7 @@ import json
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.api import detector_config
+from repro.api.profiles import profile
 from repro.detectors import HelgrindDetector
 from repro.detectors.parallel import (
     PAGE_BITS,
@@ -77,7 +77,7 @@ def traces(tmp_path_factory):
             with TraceRecorder(path, format="binary") as recorder:
                 run_proxy_case(by_id[case_id], config, seed=42,
                                extra_hooks=(recorder,))
-            det = HelgrindDetector(detector_config(config))
+            det = HelgrindDetector(profile(config).config())
             replay_trace(path, det)
             reference = json.dumps(det.report.to_dict(), indent=2).encode()
             out[(case_id, config)] = (path, reference)
@@ -107,7 +107,7 @@ class TestByteIdentity:
         """Beyond the report: the union of per-shard shadow pages must
         equal the sequential machine's state, page for page."""
         path, reference = traces[("T1", "hwlc+dr")]
-        seq = HelgrindDetector(detector_config("hwlc+dr"))
+        seq = HelgrindDetector(profile("hwlc+dr").config())
         replay_trace(path, seq)
 
         result = replay_trace_sharded(

@@ -27,7 +27,7 @@ import pickle
 
 import pytest
 
-from repro.api import detector_config
+from repro.api.profiles import profile
 from repro.detectors import DjitDetector, HelgrindDetector
 from repro.detectors.helgrind import HelgrindConfig
 from repro.detectors.lockset import (
@@ -47,7 +47,7 @@ def _report_bytes(report) -> bytes:
 
 
 def _config(name: str, cache: bool) -> HelgrindConfig:
-    return dataclasses.replace(detector_config(name), transition_cache=cache)
+    return dataclasses.replace(profile(name).config(), transition_cache=cache)
 
 
 @pytest.fixture(scope="module")
@@ -206,7 +206,7 @@ class TestGates:
             assert transition_cache_default() is False
             machine = LocksetMachine(SegmentGraph())
             assert machine._memo is None
-            det = HelgrindDetector(detector_config("hwlc+dr"))
+            det = HelgrindDetector(profile("hwlc+dr").config())
             assert det.machine._memo is None
             assert not det._elide_ok
             assert not det.bulk_access_ready()
@@ -229,14 +229,14 @@ class TestGates:
         # fast path entirely; subclasses may override handlers.
         hist = HelgrindDetector(
             dataclasses.replace(
-                detector_config("hwlc+dr"),
+                profile("hwlc+dr").config(),
                 access_history=True, transition_cache=True,
             )
         )
         assert not hist.bulk_access_ready()
         raw = HelgrindDetector(
             dataclasses.replace(
-                detector_config("raw-eraser"), transition_cache=True
+                profile("raw-eraser").config(), transition_cache=True
             )
         )
         assert not raw.bulk_access_ready()

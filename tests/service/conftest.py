@@ -13,7 +13,7 @@ import json
 
 import pytest
 
-from repro.api import detector_config
+from repro.api.profiles import profile
 from repro.detectors import HelgrindDetector
 from repro.runtime.trace import replay_trace
 
@@ -38,7 +38,7 @@ def traces(tmp_path_factory):
             with TraceRecorder(path, format="binary") as recorder:
                 run_proxy_case(by_id[case_id], config, seed=42,
                                extra_hooks=(recorder,))
-            det = HelgrindDetector(detector_config(config))
+            det = HelgrindDetector(profile(config).config())
             replay_trace(path, det)
             reference = json.dumps(det.report.to_dict(), indent=2).encode()
             out[(case_id, config)] = (path, reference)

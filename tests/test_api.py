@@ -1,12 +1,17 @@
-"""The ``repro.api`` facade: configs, pipelines, incremental sessions.
+"""The ``repro.api`` facade: profiles, pipelines, incremental sessions.
 
 These are the contracts other layers (the service, the CLI, external
 callers) build on:
 
-* ``detector_config`` validates names and its error lists every known
-  configuration;
-* the old private ``harness._detector_config`` still works but warns
-  exactly once per process;
+* ``repro.api.profiles`` is the registry every configuration name
+  routes through — look-ups validate, enumeration is sorted, and the
+  ``predictive`` tier builds a different detector class;
+* the legacy ``detector_config``/``detector_configs`` names and the old
+  private ``harness._detector_config`` still work but warn exactly once
+  per process (this file runs under ``-W error::DeprecationWarning`` in
+  CI, so every unmanaged warning is a hard failure);
+* the structured ``Report`` renders the canonical byte-identity text
+  and a schema-valid machine twin;
 * a ``Session`` fed a recorded trace — in one gulp or arbitrary
   chunks — renders a report byte-identical to ``replay_trace``;
 * ``snapshot``/``restore`` round-trips the complete mid-stream state:
@@ -23,9 +28,21 @@ import warnings
 import pytest
 
 import repro
-from repro.api import Pipeline, Session, detector_config, detector_configs
+import repro.api as api_module
+from repro.api import Pipeline, Session
+from repro.api.profiles import (
+    AnalysisProfile,
+    profile,
+    profile_names,
+    profiles,
+)
 from repro.detectors import HelgrindConfig, HelgrindDetector
 from repro.runtime.trace import replay_trace
+
+ALL_PROFILES = (
+    "eraser-states", "extended", "hwlc", "hwlc+dr",
+    "original", "predictive", "raw-eraser",
+)
 
 
 @pytest.fixture(scope="module")
@@ -37,7 +54,7 @@ def t1_trace(tmp_path_factory):
 
     case = next(c for c in evaluation_cases() if c.case_id == "T1")
     path = tmp_path_factory.mktemp("api") / "T1.rptr"
-    det = HelgrindDetector(detector_config("hwlc+dr"))
+    det = profile("hwlc+dr").detector()
     with TraceRecorder(path, format="binary") as recorder:
         run_proxy_case(case, "hwlc+dr", seed=42, detector=det,
                        extra_hooks=(recorder,))
@@ -45,53 +62,154 @@ def t1_trace(tmp_path_factory):
 
 
 def _offline_text(path, config: str) -> str:
-    det = HelgrindDetector(detector_config(config))
+    det = profile(config).detector()
     replay_trace(path, det)
+    det.finalize()
     return json.dumps(det.report.to_dict(), indent=2)
 
 
-class TestDetectorConfig:
+class TestProfiles:
     def test_known_names(self):
-        assert detector_configs() == (
-            "eraser-states", "extended", "hwlc", "hwlc+dr",
-            "original", "raw-eraser",
-        )
-        for name in detector_configs():
-            assert isinstance(detector_config(name), HelgrindConfig)
+        assert profile_names() == ALL_PROFILES
+        for name in profile_names():
+            prof = profile(name)
+            assert isinstance(prof, AnalysisProfile)
+            assert isinstance(prof.config(), HelgrindConfig)
+
+    def test_profiles_sorted_and_complete(self):
+        assert tuple(p.name for p in profiles()) == ALL_PROFILES
+        assert all(p.description for p in profiles())
+
+    def test_capabilities(self):
+        for name in ("original", "hwlc", "hwlc+dr"):
+            assert "paper-eval" in profile(name).capabilities
+        assert profile("predictive").predictive
+        assert not profile("hwlc+dr").predictive
+
+    def test_predictive_builds_its_own_detector_class(self):
+        from repro.detectors.predict import PredictiveDetector
+
+        det = profile("predictive").detector()
+        assert isinstance(det, PredictiveDetector)
+        legacy = profile("hwlc+dr").detector()
+        assert isinstance(legacy, HelgrindDetector)
+        assert not isinstance(legacy, PredictiveDetector)
 
     def test_names_map_to_distinct_feature_sets(self):
-        original = detector_config("original")
-        hwlc_dr = detector_config("hwlc+dr")
+        original = profile("original").config()
+        hwlc_dr = profile("hwlc+dr").config()
         assert original != hwlc_dr or original is not hwlc_dr
 
     def test_unknown_name_lists_known_ones(self):
         with pytest.raises(ValueError) as exc:
-            detector_config("helgrind++")
+            profile("helgrind++")
         message = str(exc.value)
         assert "helgrind++" in message
-        for name in detector_configs():
+        for name in profile_names():
             assert name in message
 
     def test_fresh_config_per_call(self):
-        assert detector_config("hwlc") is not detector_config("hwlc")
+        prof = profile("hwlc")
+        assert prof.config() is not prof.config()
+
+    def test_detector_honours_config_override(self):
+        import dataclasses
+
+        prof = profile("hwlc+dr")
+        cfg = dataclasses.replace(prof.config(), transition_cache=False)
+        det = prof.detector(cfg)
+        assert det.config is cfg
 
 
-class TestDeprecatedShim:
-    def test_harness_shim_warns_exactly_once(self):
-        from repro.experiments import harness
-
-        harness._DETECTOR_CONFIG_WARNED = False
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            first = harness._detector_config("hwlc+dr")
-            second = harness._detector_config("original")
+class TestDeprecatedShims:
+    def test_api_shim_warns_exactly_once(self):
+        api_module._DETECTOR_CONFIG_WARNED = False
+        try:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                names = api_module.detector_configs()
+                cfg = api_module.detector_config("hwlc+dr")
+        finally:
+            api_module._DETECTOR_CONFIG_WARNED = True
         deprecations = [
             w for w in caught if issubclass(w.category, DeprecationWarning)
         ]
         assert len(deprecations) == 1
-        assert "repro.api.detector_config" in str(deprecations[0].message)
+        assert "repro.api.profiles" in str(deprecations[0].message)
+        assert names == profile_names()
+        assert isinstance(cfg, HelgrindConfig)
+
+    def test_api_shim_validates_like_the_registry(self):
+        api_module._DETECTOR_CONFIG_WARNED = True  # silence, test lookup
+        with pytest.raises(ValueError) as exc:
+            api_module.detector_config("helgrind++")
+        for name in profile_names():
+            assert name in str(exc.value)
+
+    def test_harness_shim_warns_exactly_once(self):
+        from repro.experiments import harness
+
+        harness._DETECTOR_CONFIG_WARNED = False
+        try:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                first = harness._detector_config("hwlc+dr")
+                second = harness._detector_config("original")
+        finally:
+            harness._DETECTOR_CONFIG_WARNED = True
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "repro.api" in str(deprecations[0].message)
         assert isinstance(first, HelgrindConfig)
         assert isinstance(second, HelgrindConfig)
+
+
+class TestReport:
+    def test_render_is_the_byte_identity_contract(self, t1_trace):
+        path, live = t1_trace
+        det = profile("hwlc+dr").detector()
+        replay_trace(path, det)
+        assert det.report.render() == json.dumps(live, indent=2)
+
+    def test_findings_vocabulary(self, t1_trace):
+        path, _ = t1_trace
+        det = profile("hwlc+dr").detector()
+        replay_trace(path, det)
+        findings = det.report.findings()
+        assert findings, "T1 must report at least one location"
+        for finding in findings:
+            assert finding.kind in (
+                "race", "deadlock", "predicted_race", "predicted_deadlock",
+            )
+            assert finding.predicted == finding.kind.startswith("predicted_")
+        assert det.report.predicted_findings() == [
+            f for f in findings if f.predicted
+        ]
+
+    def test_to_json_schema_valid(self, t1_trace):
+        from repro.detectors.report import (
+            REPORT_SCHEMA_VERSION,
+            validate_report_json,
+        )
+
+        path, _ = t1_trace
+        det = profile("hwlc+dr").detector()
+        replay_trace(path, det)
+        doc = det.report.to_json()
+        assert doc["version"] == REPORT_SCHEMA_VERSION
+        assert validate_report_json(doc) == []
+        # A mangled document reports problems instead of passing.
+        broken = dict(doc, findings=[{"kind": "nonsense"}])
+        assert validate_report_json(broken)
+
+    def test_from_dict_round_trip(self, t1_trace):
+        from repro.detectors.report import Report
+
+        path, live = t1_trace
+        report = Report.from_dict(live)
+        assert report.render() == json.dumps(live, indent=2)
 
 
 class TestPipeline:
@@ -155,6 +273,16 @@ class TestSession:
             session = Session(config)
             session.feed(path.read_bytes())
             assert session.report_text() == _offline_text(path, config)
+
+    def test_predictive_session_finalizes(self, t1_trace):
+        """The predictive profile streams like any other, with the
+        predicted findings appended at finalize() — on T1 there are
+        none, so the text stays byte-identical to hwlc+dr replay."""
+        path, _ = t1_trace
+        session = Session("predictive")
+        session.feed(path.read_bytes())
+        session.finalize()
+        assert session.report_text() == _offline_text(path, "predictive")
 
     def test_snapshot_restore_mid_stream(self, t1_trace):
         path, _ = t1_trace
@@ -259,8 +387,8 @@ class TestPackageExports:
     def test_root_reexports(self):
         assert repro.Session is Session
         assert repro.Pipeline is Pipeline
-        assert repro.detector_config is detector_config
-        assert repro.detector_configs is detector_configs
+        assert repro.detector_config is api_module.detector_config
+        assert repro.detector_configs is api_module.detector_configs
         assert repro.api.SNAPSHOT_VERSION == 1
 
     def test_all_names_resolve(self):
